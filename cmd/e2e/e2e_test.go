@@ -1,0 +1,248 @@
+// Package e2e drives the real executables — gupsterd, datastored, gupctl —
+// as separate processes against each other, exactly as the README's
+// deployment section describes. It is the outermost integration layer: if
+// these tests pass, a user following the README gets a working federation.
+package e2e
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "gupster-e2e-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binDir = dir
+	for _, name := range []string{"gupsterd", "datastored", "gupctl"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, name), "gupster/cmd/"+name)
+		cmd.Dir = repoRoot()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "building %s: %v\n%s", name, err, out)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func repoRoot() string {
+	wd, _ := os.Getwd()
+	return filepath.Dir(filepath.Dir(wd)) // cmd/e2e → repo root
+}
+
+// freePort reserves a port by briefly listening on it.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startDaemon launches a binary and kills it at cleanup.
+func startDaemon(t *testing.T, name string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", name, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		if t.Failed() {
+			t.Logf("%s output:\n%s", name, out.String())
+		}
+	})
+	return cmd
+}
+
+// waitFor polls until a TCP endpoint accepts connections.
+func waitFor(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s never came up", addr)
+}
+
+func gupctl(t *testing.T, mdm, identity, role string, args ...string) (string, error) {
+	t.Helper()
+	full := append([]string{"-mdm", mdm, "-as", identity, "-role", role}, args...)
+	out, err := exec.Command(filepath.Join(binDir, "gupctl"), full...).CombinedOutput()
+	return string(out), err
+}
+
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches real processes")
+	}
+	const key = "e2e-shared-key"
+	mdmAddr := freePort(t)
+	storeAddr := freePort(t)
+
+	startDaemon(t, "gupsterd", "-listen", mdmAddr, "-key", key)
+	waitFor(t, mdmAddr)
+
+	// Seed a profile file for the store to load.
+	profile := filepath.Join(binDir, "alice.xml")
+	if err := os.WriteFile(profile, []byte(
+		`<user id="alice"><presence status="available"/><calendar><event id="e1" day="Mon" start="09:00" end="10:00"><title>standup</title></event></calendar></user>`,
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	startDaemon(t, "datastored",
+		"-id", "gup.portal.example", "-listen", storeAddr,
+		"-mdm", mdmAddr, "-key", key,
+		"-load", profile, "-user", "alice",
+		"-register", "/user[@id='alice']/presence",
+		"-register", "/user[@id='alice']/calendar",
+	)
+	waitFor(t, storeAddr)
+
+	// Registration is asynchronous after startup; poll the MDM stats.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		out, err := gupctl(t, mdmAddr, "alice", "self", "stats")
+		if err == nil && strings.Contains(out, "registrations: 2") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registrations never appeared; stats:\n%s (%v)", out, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The owner fetches her presence through referrals.
+	out, err := gupctl(t, mdmAddr, "alice", "self", "get", "/user[@id='alice']/presence")
+	if err != nil || !strings.Contains(out, `status="available"`) {
+		t.Fatalf("get presence: %v\n%s", err, out)
+	}
+
+	// The referral plan is inspectable.
+	out, err = gupctl(t, mdmAddr, "alice", "self", "resolve", "/user[@id='alice']/calendar")
+	if err != nil || !strings.Contains(out, "gup.portal.example") {
+		t.Fatalf("resolve: %v\n%s", err, out)
+	}
+
+	// A stranger is denied until a rule permits them.
+	out, err = gupctl(t, mdmAddr, "bob", "family", "get", "/user[@id='alice']/presence")
+	if err == nil {
+		t.Fatalf("stranger got presence:\n%s", out)
+	}
+	out, err = gupctl(t, mdmAddr, "alice", "self",
+		"put-rule", "alice", "fam", "permit", "/user[@id='alice']/presence", "role=family")
+	if err != nil {
+		t.Fatalf("put-rule: %v\n%s", err, out)
+	}
+	out, err = gupctl(t, mdmAddr, "bob", "family", "get", "/user[@id='alice']/presence")
+	if err != nil || !strings.Contains(out, "presence") {
+		t.Fatalf("family get after rule: %v\n%s", err, out)
+	}
+
+	// Updates round-trip through the binaries.
+	upd := filepath.Join(binDir, "presence.xml")
+	os.WriteFile(upd, []byte(`<presence status="busy"/>`), 0o644)
+	out, err = gupctl(t, mdmAddr, "alice", "self", "update", "/user[@id='alice']/presence", upd)
+	if err != nil || !strings.Contains(out, "updated 1 store") {
+		t.Fatalf("update: %v\n%s", err, out)
+	}
+	out, err = gupctl(t, mdmAddr, "alice", "self", "get", "/user[@id='alice']/presence")
+	if err != nil || !strings.Contains(out, `status="busy"`) {
+		t.Fatalf("get after update: %v\n%s", err, out)
+	}
+
+	// The disclosure ledger recorded everything.
+	out, err = gupctl(t, mdmAddr, "alice", "self", "provenance-summary")
+	if err != nil || !strings.Contains(out, "bob") {
+		t.Fatalf("provenance: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "denials=1") {
+		t.Errorf("bob's pre-rule denial not recorded:\n%s", out)
+	}
+}
+
+// A two-mirror constellation through the real binaries: register at mirror
+// A, resolve at mirror B; kill A, B keeps serving (§5.3 reliability).
+func TestMirroredConstellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches real processes")
+	}
+	const key = "e2e-mirror-key"
+	addrA := freePort(t)
+	addrB := freePort(t)
+	storeAddr := freePort(t)
+
+	daemonA := startDaemon(t, "gupsterd", "-listen", addrA, "-key", key, "-peer", addrB)
+	startDaemon(t, "gupsterd", "-listen", addrB, "-key", key, "-peer", addrA)
+	waitFor(t, addrA)
+	waitFor(t, addrB)
+	// Give the background peering loops a moment to connect.
+	time.Sleep(300 * time.Millisecond)
+
+	startDaemon(t, "datastored",
+		"-id", "gup.s1.example", "-listen", storeAddr,
+		"-mdm", addrA, "-key", key,
+		"-register", "/user[@id='alice']/presence",
+	)
+	waitFor(t, storeAddr)
+
+	// Seed through gupctl at mirror A.
+	f := filepath.Join(binDir, "p.xml")
+	os.WriteFile(f, []byte(`<presence status="mirrored"/>`), 0o644)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if out, err := gupctl(t, addrA, "alice", "self", "update", "/user[@id='alice']/presence", f); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("update never succeeded: %v\n%s", err, out)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Mirror B can resolve the registration it never saw directly. The
+	// constellation converges asynchronously (peering retries + snapshot
+	// replay), so poll until it does.
+	var out string
+	var err error
+	for {
+		out, err = gupctl(t, addrB, "alice", "self", "get", "/user[@id='alice']/presence")
+		if err == nil && strings.Contains(out, "mirrored") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mirror B never converged: %v\n%s", err, out)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// Kill mirror A; B keeps answering.
+	daemonA.Process.Kill()
+	daemonA.Wait()
+	out, err = gupctl(t, addrB, "alice", "self", "get", "/user[@id='alice']/presence")
+	if err != nil || !strings.Contains(out, "mirrored") {
+		t.Fatalf("mirror B after A's death: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,63 @@
+// Command gupbench regenerates the experiment tables of EXPERIMENTS.md —
+// the testbed-and-benchmark suite the paper's conclusion calls for. Every
+// experiment runs the real components (client, MDM, data stores over TCP;
+// substrate simulators behind adapters) and prints the measured table.
+//
+// Usage:
+//
+//	gupbench [-iters N] [e1 e2 … e14 | fig5 | all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"gupster/internal/bench"
+	"gupster/internal/metrics"
+)
+
+func main() {
+	iters := flag.Int("iters", 0, "override per-cell iteration count (0 = experiment default)")
+	flag.Parse()
+
+	opts := bench.Options{Iters: *iters}
+	type experiment struct {
+		id  string
+		run func(bench.Options) (*metrics.Table, error)
+	}
+	experiments := []experiment{
+		{"e1", bench.RunE1}, {"e2", bench.RunE2}, {"e3", bench.RunE3},
+		{"e4", bench.RunE4}, {"e5", bench.RunE5}, {"e6", bench.RunE6},
+		{"e7", bench.RunE7}, {"e8", bench.RunE8}, {"e9", bench.RunE9},
+		{"e10", bench.RunE10}, {"e11", bench.RunE11}, {"e12", bench.RunE12},
+		{"e13", bench.RunE13}, {"e14", bench.RunE14},
+		{"fig5", func(bench.Options) (*metrics.Table, error) { return bench.RunFig5() }},
+	}
+
+	want := flag.Args()
+	if len(want) == 0 || (len(want) == 1 && want[0] == "all") {
+		want = nil
+		for _, e := range experiments {
+			want = append(want, e.id)
+		}
+	}
+	byID := map[string]experiment{}
+	for _, e := range experiments {
+		byID[e.id] = e
+	}
+	for _, id := range want {
+		e, ok := byID[strings.ToLower(id)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gupbench: unknown experiment %q (have e1..e14, fig5, all)\n", id)
+			os.Exit(2)
+		}
+		t, err := e.run(opts)
+		if err != nil {
+			log.Fatalf("gupbench: %s: %v", e.id, err)
+		}
+		fmt.Println(t.String())
+	}
+}

@@ -1,0 +1,191 @@
+// Command gupctl is the GUPster command-line client: resolve, fetch and
+// update profile components, provision privacy-shield rules, subscribe to
+// changes, and inspect MDM statistics.
+//
+// Usage:
+//
+//	gupctl -mdm 127.0.0.1:7000 -as alice [-role self] <command> [args]
+//
+// Commands:
+//
+//	get <path>                         fetch via referral and print XML
+//	get-via <pattern> <path>           fetch via chaining|recruiting
+//	resolve <path>                     print the referral plan
+//	update <path> <file.xml|->         write a component
+//	put-rule <owner> <id> <effect> <path> [cond]   provision a shield rule
+//	delete-rule <owner> <id>           remove a shield rule
+//	subscribe <path>                   stream change notifications
+//	provenance                         print my disclosure ledger
+//	provenance-summary                 per-requester disclosure rollup
+//	stats                              print MDM counters
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/policy"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+func main() {
+	mdmAddr := flag.String("mdm", "127.0.0.1:7000", "MDM address")
+	identity := flag.String("as", "", "requester identity (required)")
+	role := flag.String("role", "self", "asserted role (self, family, co-worker, …)")
+	flag.Parse()
+
+	if *identity == "" || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cli, err := core.DialMDM(*mdmAddr, *identity, *role)
+	if err != nil {
+		log.Fatalf("gupctl: %v", err)
+	}
+	defer cli.Close()
+
+	ctx := context.Background()
+	args := flag.Args()
+	switch cmd := args[0]; cmd {
+	case "get":
+		need(args, 2, "get <path>")
+		doc, err := cli.Get(ctx, args[1])
+		fatal(err)
+		printDoc(doc)
+	case "get-via":
+		need(args, 3, "get-via <chaining|recruiting> <path>")
+		doc, err := cli.GetVia(ctx, args[2], wire.QueryPattern(args[1]))
+		fatal(err)
+		printDoc(doc)
+	case "resolve":
+		need(args, 2, "resolve <path>")
+		resp, err := cli.Resolve(ctx, &wire.ResolveRequest{
+			Path:    args[1],
+			Context: policy.Context{Requester: *identity, Role: *role, Purpose: policy.PurposeQuery},
+			Verb:    token.VerbFetch,
+		})
+		fatal(err)
+		for i, alt := range resp.Alternatives {
+			fmt.Printf("alternative %d (merge=%q):\n", i+1, alt.Merge)
+			for _, ref := range alt.Referrals {
+				fmt.Printf("  %s  @%s (%s)\n", ref.Query.Redact(), ref.Query.Store, ref.Address)
+			}
+		}
+	case "update":
+		need(args, 3, "update <path> <file.xml|->")
+		var data []byte
+		if args[2] == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(args[2])
+		}
+		fatal(err)
+		frag, err := xmltree.ParseString(string(data))
+		fatal(err)
+		n, err := cli.Update(ctx, args[1], frag)
+		fatal(err)
+		fmt.Printf("updated %d store(s)\n", n)
+	case "put-rule":
+		need(args, 5, "put-rule <owner> <id> <permit|deny> <path> [cond]")
+		cond := ""
+		if len(args) > 5 {
+			cond = args[5]
+		}
+		parsedCond, err := policy.ParseCond(cond)
+		fatal(err)
+		p, err := xpath.Parse(args[4])
+		fatal(err)
+		effect := policy.Deny
+		if args[3] == "permit" {
+			effect = policy.Permit
+		}
+		fatal(cli.PutRule(ctx, args[1], policy.Rule{
+			ID: args[2], Path: p, Cond: parsedCond, Effect: effect,
+		}))
+		fmt.Println("rule provisioned")
+	case "delete-rule":
+		need(args, 3, "delete-rule <owner> <id>")
+		fatal(cli.DeleteRule(ctx, args[1], args[2]))
+		fmt.Println("rule deleted")
+	case "subscribe":
+		need(args, 2, "subscribe <path>")
+		id, err := cli.Subscribe(ctx, args[1], func(n wire.Notification) {
+			fmt.Printf("--- change at %s (v%d):\n%s\n", n.Path, n.Version, n.XML)
+		})
+		fatal(err)
+		fmt.Printf("subscribed (id %d); waiting for notifications, Ctrl-C to stop\n", id)
+		select {} // stream until interrupted
+	case "provenance":
+		recs, err := cli.Provenance(ctx, 0)
+		fatal(err)
+		if len(recs) == 0 {
+			fmt.Println("(no disclosure records)")
+			return
+		}
+		for _, r := range recs {
+			fmt.Printf("#%d %s %s %s %s by %s", r.Seq, time.Unix(r.TimeUnix, 0).Format(time.RFC3339),
+				r.Outcome, r.Verb, r.Path, r.Requester)
+			if r.RuleID != "" {
+				fmt.Printf(" (rule %s)", r.RuleID)
+			}
+			if len(r.Stores) > 0 {
+				fmt.Printf(" served by %v", r.Stores)
+			}
+			fmt.Println()
+		}
+	case "provenance-summary":
+		sums, err := cli.ProvenanceSummary(ctx)
+		fatal(err)
+		if len(sums) == 0 {
+			fmt.Println("(no disclosures)")
+			return
+		}
+		for _, s := range sums {
+			fmt.Printf("%-16s grants=%d denials=%d last=%s paths=%v\n",
+				s.Requester, s.Grants, s.Denials, time.Unix(s.LastUnix, 0).Format(time.RFC3339), s.Paths)
+		}
+	case "stats":
+		st, err := cli.Stats(ctx)
+		fatal(err)
+		fmt.Printf("resolves:      %d\n", st.Resolves)
+		fmt.Printf("denied:        %d\n", st.Denied)
+		fmt.Printf("spurious:      %d\n", st.Spurious)
+		fmt.Printf("cache hits:    %d\n", st.CacheHits)
+		fmt.Printf("cache misses:  %d\n", st.CacheMisses)
+		fmt.Printf("registrations: %d\n", st.Registrations)
+		fmt.Printf("subscriptions: %d\n", st.Subscriptions)
+		fmt.Printf("bytes proxied: %d\n", st.BytesProxied)
+	default:
+		log.Fatalf("gupctl: unknown command %q", cmd)
+	}
+}
+
+func need(args []string, n int, usage string) {
+	if len(args) < n {
+		log.Fatalf("gupctl: usage: gupctl %s", usage)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		log.Fatalf("gupctl: %v", err)
+	}
+}
+
+func printDoc(doc *xmltree.Node) {
+	if doc == nil {
+		fmt.Println("(empty)")
+		return
+	}
+	fmt.Print(doc.Indent())
+}

@@ -1,0 +1,105 @@
+// Command gupsterd runs a GUPster meta-data manager (MDM) server: the
+// central, data-less registry of profile coverage and privacy shields that
+// resolves client requests into signed referrals (paper §4).
+//
+// Usage:
+//
+//	gupsterd -listen 127.0.0.1:7000 -key shared-secret [-cache 1024] [-ttl 30s]
+//	         [-provenance 4096] [-peer 127.0.0.1:7001 -peer 127.0.0.1:7002]
+//
+// With -peer flags the daemon joins a mirrored constellation (§5.3
+// reliability): coverage registrations and privacy-shield changes replicate
+// to the peers, and any mirror can answer any resolve. Peers that are not
+// up yet are retried in the background.
+//
+// Data stores register coverage with `datastored -mdm <addr>`; clients use
+// `gupctl -mdm <addr>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/federation"
+	"gupster/internal/provenance"
+	"gupster/internal/schema"
+	"gupster/internal/token"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7000", "address to listen on")
+	key := flag.String("key", "", "shared referral-signing key (required)")
+	cache := flag.Int("cache", 0, "component cache entries for chaining resolves (0 disables)")
+	ttl := flag.Duration("ttl", 30*time.Second, "referral grant time-to-live")
+	ledger := flag.Int("provenance", 4096, "disclosure-ledger capacity (0 disables)")
+	var peers repeated
+	flag.Var(&peers, "peer", "address of a peer mirror (repeatable)")
+	flag.Parse()
+
+	if *key == "" {
+		fmt.Fprintln(os.Stderr, "gupsterd: -key is required (shared with data stores)")
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Schema:       schema.GUP(),
+		Signer:       token.NewSigner([]byte(*key)),
+		GrantTTL:     *ttl,
+		CacheEntries: *cache,
+		Adjuncts:     schema.GUPAdjuncts(),
+	}
+	if *ledger > 0 {
+		cfg.Provenance = provenance.NewLedger(*ledger)
+	}
+	mdm := core.New(cfg)
+
+	var closeServer func() error
+	if len(peers) > 0 {
+		mirror := federation.NewMirror(mdm)
+		srv, err := mirror.Serve(*listen)
+		if err != nil {
+			log.Fatalf("gupsterd: %v", err)
+		}
+		closeServer = srv.Close
+		log.Printf("gupsterd: mirror listening on %s (cache=%d, ttl=%s, peers=%v)", srv.Addr(), *cache, *ttl, peers)
+		// Peers may come up later: retry in the background.
+		for _, p := range peers {
+			go func(addr string) {
+				for {
+					if err := mirror.AddPeer(addr); err == nil {
+						log.Printf("gupsterd: peered with %s", addr)
+						return
+					}
+					time.Sleep(200 * time.Millisecond)
+				}
+			}(p)
+		}
+		defer mirror.Close()
+	} else {
+		srv := core.NewServer(mdm)
+		if err := srv.Start(*listen); err != nil {
+			log.Fatalf("gupsterd: %v", err)
+		}
+		closeServer = srv.Close
+		log.Printf("gupsterd: MDM listening on %s (cache=%d, ttl=%s)", srv.Addr(), *cache, *ttl)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("gupsterd: shutting down")
+	mdm.Close()
+	closeServer()
+}

@@ -1,0 +1,158 @@
+// Federated meta-data management — the paper's §5.1 architectural
+// variants, in one runnable scenario:
+//
+//   - user-level distributed MDM: Alice's meta-data is managed by her
+//     wireless provider, Bob's by his portal; applications find each user's
+//     MDM through the universal white pages, and Carol is "unlisted",
+//
+//   - hierarchical MDM: Alice's primary MDM delegates her wallet meta-data
+//     to her bank's MDM — the provider knows the wallet meta-data exists
+//     but nothing about it.
+//
+//     go run ./examples/federation
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"gupster"
+	"gupster/internal/federation"
+	"gupster/internal/policy"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+)
+
+var key = []byte("federation-shared-key")
+
+func main() {
+	ctx := context.Background()
+
+	// Two independent MDMs: the wireless provider (Alice's) and the portal
+	// (Bob's), each wrapped in a federation node.
+	wspMDM, wspNode, wspAddr := newNode()
+	defer wspNode.Close()
+	portalMDM, portalNode, portalAddr := newNode()
+	defer portalNode.Close()
+	// The bank's MDM, delegate for Alice's wallet.
+	bankMDM, bankNode, bankAddr := newNode()
+	defer bankNode.Close()
+
+	// Each MDM federates its own stores.
+	wspStore := newStore("gup.wsp.example")
+	defer wspStore.Close()
+	portalStore := newStore("gup.portal.example")
+	defer portalStore.Close()
+	bankStore := newStore("gup.bank.example")
+	defer bankStore.Close()
+
+	seed(wspStore, "alice", "presence", `<presence status="available"/>`)
+	seed(portalStore, "bob", "presence", `<presence status="away"/>`)
+	seed(bankStore, "alice", "wallet", `<wallet><card id="visa" kind="credit"><number>4111-****</number><expiry>2027-08</expiry></card></wallet>`)
+
+	must(wspMDM.Register("gup.wsp.example", wspStore.Addr(), gupster.MustParsePath("/user[@id='alice']/presence")))
+	must(portalMDM.Register("gup.portal.example", portalStore.Addr(), gupster.MustParsePath("/user[@id='bob']/presence")))
+	must(bankMDM.Register("gup.bank.example", bankStore.Addr(), gupster.MustParsePath("/user[@id='alice']/wallet")))
+
+	// Hierarchical delegation: the WSP forwards wallet requests to the bank.
+	wspNode.Delegate(gupster.MustParsePath("/user[@id='alice']/wallet"), bankAddr)
+
+	// The universal white pages, with Carol unlisted (§5.1.2's compromise:
+	// "a universal white pages but with the option for people to have
+	// 'unlisted' pointers").
+	wp := gupster.NewWhitePages()
+	wp.Set("alice", wspAddr, false)
+	wp.Set("bob", portalAddr, false)
+	wp.Set("carol", "10.9.9.9:1", true)
+	wpSrv, err := wp.Serve("127.0.0.1:0")
+	must(err)
+	defer wpSrv.Close()
+	fmt.Printf("white pages on %s; alice→wsp, bob→portal, carol→unlisted\n\n", wpSrv.Addr())
+
+	// An application discovers each user's MDM and resolves there.
+	loc, err := federation.NewLocator(wpSrv.Addr())
+	must(err)
+	defer loc.Close()
+
+	resolve := func(user, path string) {
+		resp, err := loc.Resolve(ctx, user, &wire.ResolveRequest{
+			Path:    path,
+			Context: policy.Context{Requester: user},
+			Verb:    token.VerbFetch,
+		})
+		if err != nil {
+			fmt.Printf("%-28s -> %v\n", path, err)
+			return
+		}
+		ref := resp.Alternatives[0].Referrals[0]
+		fmt.Printf("%-28s -> referral to %s (hops=%d)\n", path, ref.Query.Store, resp.Hops)
+	}
+	resolve("alice", "/user[@id='alice']/presence")
+	resolve("bob", "/user[@id='bob']/presence")
+	if _, err := loc.WhoHas(ctx, "carol"); errors.Is(err, federation.ErrUnlisted) {
+		fmt.Printf("%-28s -> %v (address must be learned out of band)\n", "carol (any path)", err)
+	}
+
+	// The hierarchical hop: the wallet resolves through the WSP into the
+	// bank; the WSP's own registry has no wallet coverage.
+	fmt.Println("\nwallet request through alice's primary MDM:")
+	resp, err := wspNode.Resolve(ctx, &wire.ResolveRequest{
+		Path:    "/user[@id='alice']/wallet",
+		Context: policy.Context{Requester: "alice"},
+		Verb:    token.VerbFetch,
+	})
+	must(err)
+	ref := resp.Alternatives[0].Referrals[0]
+	fmt.Printf("  delegated to the bank's MDM: store=%s hops=%d\n", ref.Query.Store, resp.Hops)
+	if _, err := wspMDM.Resolve(ctx, &wire.ResolveRequest{
+		Path:    "/user[@id='alice']/wallet",
+		Context: policy.Context{Requester: "alice"},
+	}); err != nil {
+		fmt.Printf("  the WSP's own registry, asked directly: %v\n", err)
+		fmt.Println("  (the provider knows the delegation exists but nothing about the wallet)")
+	}
+
+	// The referral is honored by the bank's store like any other.
+	sc, err := gupster.DialStore(ref.Address)
+	must(err)
+	defer sc.Close()
+	doc, _, err := sc.Fetch(ctx, ref.Query)
+	must(err)
+	fmt.Println("\nfetched through the delegated referral:")
+	fmt.Print(doc.Indent())
+}
+
+func newNode() (*gupster.MDM, *gupster.FederatedNode, string) {
+	mdm := gupster.New(gupster.Config{
+		Schema:   gupster.GUPSchema(),
+		Signer:   gupster.NewSigner(key),
+		GrantTTL: time.Minute,
+	})
+	node := gupster.NewFederatedNode(mdm)
+	srv, err := node.Serve("127.0.0.1:0")
+	must(err)
+	return mdm, node, srv.Addr()
+}
+
+func newStore(id string) *gupster.StoreServer {
+	eng := gupster.NewStoreEngine(id)
+	eng.Schema = gupster.GUPSchema()
+	srv := gupster.NewStoreServer(eng, gupster.NewSigner(key))
+	must(srv.Start("127.0.0.1:0"))
+	return srv
+}
+
+func seed(store *gupster.StoreServer, user, section, xml string) {
+	path := gupster.MustParsePath(fmt.Sprintf("/user[@id='%s']/%s", user, section))
+	_, err := store.Engine.Put(user, path, gupster.MustParseXML(xml))
+	must(err)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Quickstart: the smallest complete GUPster federation — one MDM, two data
+// stores holding a split address book (the paper's Figure 9), a privacy
+// shield, and a client that fetches through signed referrals.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"gupster"
+)
+
+func main() {
+	ctx := context.Background()
+	key := []byte("quickstart-shared-key")
+
+	// 1. The meta-data manager: stores no data, only coverage and policy.
+	mdm := gupster.New(gupster.Config{
+		Schema:   gupster.GUPSchema(),
+		Signer:   gupster.NewSigner(key),
+		GrantTTL: time.Minute,
+	})
+	mdmSrv := gupster.NewMDMServer(mdm)
+	must(mdmSrv.Start("127.0.0.1:0"))
+	defer mdmSrv.Close()
+	defer mdm.Close()
+	fmt.Printf("MDM listening on %s\n", mdmSrv.Addr())
+
+	// 2. Two GUP-enabled data stores: Yahoo! holds Arnaud's personal
+	// address book items, Lucent the corporate ones.
+	yahoo := newStore("gup.yahoo.com", key)
+	defer yahoo.Close()
+	lucent := newStore("gup.lucent.com", key)
+	defer lucent.Close()
+
+	seed(yahoo.Engine, "arnaud", `<address-book>
+		<item name="Mom" type="personal"><phone>555-0100</phone></item>
+		<item name="Pizza" type="personal"><phone>555-0199</phone></item>
+	</address-book>`)
+	seed(lucent.Engine, "arnaud", `<address-book>
+		<item name="Rick Hull" type="corporate"><phone>908-582-0001</phone><email>hull@lucent.com</email></item>
+		<item name="Dan Lieuwen" type="corporate"><phone>908-582-0002</phone></item>
+	</address-book>`)
+
+	// 3. The stores register their coverage — exactly the paper's Figure 9.
+	must(mdm.Register("gup.yahoo.com", yahoo.Addr(),
+		gupster.MustParsePath("/user[@id='arnaud']/address-book/item[@type='personal']")))
+	must(mdm.Register("gup.lucent.com", lucent.Addr(),
+		gupster.MustParsePath("/user[@id='arnaud']/address-book/item[@type='corporate']")))
+
+	// 4. Arnaud fetches his whole address book: the MDM returns one
+	// alternative with two signed referrals; the client fetches both pieces
+	// directly from the stores and deep-unions them.
+	arnaud, err := gupster.DialMDM(mdmSrv.Addr(), "arnaud", "self")
+	must(err)
+	defer arnaud.Close()
+
+	book, err := arnaud.Get(ctx, "/user[@id='arnaud']/address-book")
+	must(err)
+	fmt.Println("\nArnaud's merged address book (personal @yahoo + corporate @lucent):")
+	fmt.Print(book.Indent())
+
+	// 5. Privacy shield: family may see only the personal half.
+	must(arnaud.PutRule(ctx, "arnaud", gupster.Rule{
+		ID:     "family-personal",
+		Path:   gupster.MustParsePath("/user[@id='arnaud']/address-book/item[@type='personal']"),
+		Cond:   gupster.RoleIs("family"),
+		Effect: gupster.PermitAccess,
+	}))
+	mom, err := gupster.DialMDM(mdmSrv.Addr(), "mom", "family")
+	must(err)
+	defer mom.Close()
+	momView, err := mom.Get(ctx, "/user[@id='arnaud']/address-book")
+	must(err)
+	fmt.Println("\nWhat mom sees (narrowed grant — personal items only):")
+	fmt.Print(momView.Indent())
+
+	if _, err := mom.Get(ctx, "/user[@id='arnaud']/wallet"); err != nil {
+		fmt.Printf("\nMom asking for the wallet: %v\n", err)
+	}
+
+	// 6. Updates fan out through the same referral machinery.
+	newItem := gupster.MustParseXML(`<address-book>
+		<item name="Mom" type="personal"><phone>555-0100</phone></item>
+		<item name="Pizza" type="personal"><phone>555-0199</phone></item>
+		<item name="Dentist" type="personal"><phone>555-0142</phone></item>
+	</address-book>`)
+	n, err := arnaud.Update(ctx, "/user[@id='arnaud']/address-book/item[@type='personal']", newItem)
+	must(err)
+	fmt.Printf("\nUpdated the personal half at %d store(s); re-fetching:\n", n)
+	book, err = arnaud.Get(ctx, "/user[@id='arnaud']/address-book")
+	must(err)
+	fmt.Print(book.Indent())
+}
+
+func newStore(id string, key []byte) *gupster.StoreServer {
+	eng := gupster.NewStoreEngine(id)
+	eng.Schema = gupster.GUPSchema()
+	srv := gupster.NewStoreServer(eng, gupster.NewSigner(key))
+	must(srv.Start("127.0.0.1:0"))
+	return srv
+}
+
+func seed(eng *gupster.StoreEngine, user, xml string) {
+	frag := gupster.MustParseXML(xml)
+	_, err := eng.Put(user, gupster.MustParsePath(fmt.Sprintf("/user[@id='%s']/address-book", user)), frag)
+	must(err)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Roaming profile — the paper's Example 1 (§2.1): Alice's profile data is
+// spread across SprintPCS (her US carrier), Vodafone (her European SIM) and
+// Yahoo! (her portal). GUPster makes it behave like one profile:
+//
+//  1. her cell phone synchronizes its address book through the carrier,
+//     whose copy is a replica of the primary at Yahoo!,
+//
+//  2. she reads her corporate calendar while roaming in Europe,
+//
+//  3. she switches carriers — and keeps her data, because the profile
+//     lives in the federation, not in the carrier ("enter once, use
+//     everywhere").
+//
+//     go run ./examples/roaming
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"gupster"
+)
+
+const user = "alice"
+
+func main() {
+	ctx := context.Background()
+	key := []byte("roaming-shared-key")
+
+	mdm := gupster.New(gupster.Config{
+		Schema:   gupster.GUPSchema(),
+		Signer:   gupster.NewSigner(key),
+		GrantTTL: time.Minute,
+	})
+	mdmSrv := gupster.NewMDMServer(mdm)
+	must(mdmSrv.Start("127.0.0.1:0"))
+	defer mdmSrv.Close()
+	defer mdm.Close()
+
+	// The players.
+	yahoo := newStore("gup.yahoo.com", key)      // primary personal data
+	sprint := newStore("gup.sprintpcs.com", key) // US carrier replica
+	lucent := newStore("gup.lucent.com", key)    // corporate calendar
+	att := newStore("gup.att.com", key)          // the carrier she'll switch to
+	defer yahoo.Close()
+	defer sprint.Close()
+	defer lucent.Close()
+	defer att.Close()
+
+	// Primary copies: address book at Yahoo!, corporate calendar at Lucent.
+	book := gupster.MustParseXML(`<address-book>
+		<item name="Mom" type="personal"><phone>555-0100</phone></item>
+		<item name="Rick Hull" type="corporate"><phone>908-582-0001</phone></item>
+	</address-book>`)
+	putComponent(yahoo, "address-book", book)
+	putComponent(lucent, "calendar", gupster.MustParseXML(`<calendar>
+		<event id="review" day="Mon" start="15:00" end="16:00"><title>design review</title><where>room 6C-104</where></event>
+	</calendar>`))
+
+	// Coverage: Yahoo! is the primary for the address book; SprintPCS holds
+	// a replica ("a cached copy held by a wireless service provider, to
+	// provide fast synchronization with the end-user's phone", §2.3 req 4).
+	register := func(store *gupster.StoreServer, id, path string) {
+		must(mdm.Register(gupster.StoreID(id), store.Addr(), gupster.MustParsePath(path)))
+	}
+	register(yahoo, "gup.yahoo.com", "/user[@id='alice']/address-book")
+	register(lucent, "gup.lucent.com", "/user[@id='alice']/calendar")
+
+	// Seed the SprintPCS replica from the primary through GUPster itself.
+	alice, err := gupster.DialMDM(mdmSrv.Addr(), user, "self")
+	must(err)
+	defer alice.Close()
+	primary, err := alice.Get(ctx, "/user[@id='alice']/address-book")
+	must(err)
+	putComponent(sprint, "address-book", primary.Child("address-book"))
+	register(sprint, "gup.sprintpcs.com", "/user[@id='alice']/address-book")
+	fmt.Println("Coverage: address book @ yahoo (primary) + sprintpcs (replica); calendar @ lucent")
+
+	// 1. Alice's cell phone synchronizes its address book. The MDM refers
+	// the sync to one covering store.
+	phone := gupster.NewSyncDevice(gupster.DefaultKeys)
+	st, err := alice.SyncDeviceComponent(ctx, "/user[@id='alice']/address-book", phone, gupster.SyncServerWins)
+	must(err)
+	fmt.Printf("\nPhone first sync: slow=%v, %d entries on the phone\n",
+		st.Slow, len(phone.Local.ChildrenNamed("item")))
+
+	// She adds a contact on the phone keypad and re-syncs: a fast delta.
+	phone.Edit(func(local *gupster.Node) *gupster.Node {
+		item := gupster.MustParseXML(`<item name="Taxi Paris" type="personal"><phone>+33-1-4770</phone></item>`)
+		local.Add(item)
+		return local
+	})
+	st, err = alice.SyncDeviceComponent(ctx, "/user[@id='alice']/address-book", phone, gupster.SyncServerWins)
+	must(err)
+	fmt.Printf("Phone second sync: slow=%v, sent %d op(s), %d bytes up\n", st.Slow, st.OpsSent, st.BytesUp)
+
+	// The sync landed at one covering store; an update through GUPster fans
+	// the reconciled book out to every replica (yahoo and sprintpcs), so
+	// the primary copy has the new entry too.
+	n, err := alice.Update(ctx, "/user[@id='alice']/address-book", phone.Local)
+	must(err)
+	fmt.Printf("Propagated the reconciled book to %d covering store(s)\n", n)
+
+	// 2. Roaming in Europe, she reads her corporate calendar — same path,
+	// same protocol, the data never moved.
+	cal, err := alice.Get(ctx, "/user[@id='alice']/calendar")
+	must(err)
+	fmt.Println("\nCorporate calendar fetched while roaming:")
+	fmt.Print(cal.Indent())
+
+	// 3. Carrier switch: SprintPCS drops out of the federation; AT&T joins
+	// and seeds its replica from the surviving primary. Alice's phone keeps
+	// syncing — against the new carrier — without losing a single entry.
+	must(mdm.Unregister("gup.sprintpcs.com", gupster.MustParsePath("/user[@id='alice']/address-book")))
+	fresh, err := alice.Get(ctx, "/user[@id='alice']/address-book") // served by the primary
+	must(err)
+	putComponent(att, "address-book", fresh.Child("address-book"))
+	register(att, "gup.att.com", "/user[@id='alice']/address-book")
+	fmt.Println("\nSwitched carriers: sprintpcs unregistered, att registered and seeded from the primary")
+
+	newPhone := gupster.NewSyncDevice(gupster.DefaultKeys) // the phone the new carrier ships
+	st, err = alice.SyncDeviceComponent(ctx, "/user[@id='alice']/address-book", newPhone, gupster.SyncServerWins)
+	must(err)
+	fmt.Printf("New phone synced %d entries (incl. the one added in Paris): enter once, use everywhere\n",
+		len(newPhone.Local.ChildrenNamed("item")))
+	for _, item := range newPhone.Local.ChildrenNamed("item") {
+		name, _ := item.Attr("name")
+		fmt.Printf("  - %s (%s)\n", name, item.ChildText("phone"))
+	}
+}
+
+func newStore(id string, key []byte) *gupster.StoreServer {
+	eng := gupster.NewStoreEngine(id)
+	eng.Schema = gupster.GUPSchema()
+	srv := gupster.NewStoreServer(eng, gupster.NewSigner(key))
+	must(srv.Start("127.0.0.1:0"))
+	return srv
+}
+
+func putComponent(store *gupster.StoreServer, section string, frag *gupster.Node) {
+	path := gupster.MustParsePath(fmt.Sprintf("/user[@id='%s']/%s", user, section))
+	_, err := store.Engine.Put(user, path, frag)
+	must(err)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module gupster
+
+go 1.24

@@ -1,0 +1,226 @@
+package adapter
+
+import (
+	"errors"
+	"testing"
+
+	"gupster/internal/schema"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+func seedDirectory() *Directory {
+	d := NewDirectory()
+	d.Add(Entry{DN: "uid=arnaud,ou=people,o=lucent", Attrs: map[string][]string{
+		"objectClass":     {"inetOrgPerson"},
+		"cn":              {"Arnaud Sahuguet"},
+		"mail":            {"sahuguet@lucent.com"},
+		"telephoneNumber": {"908-582-0001"},
+		"o":               {"Lucent Technologies"},
+	}})
+	d.Add(Entry{DN: "cn=Rick Hull,ou=contacts,uid=arnaud,o=lucent", Attrs: map[string][]string{
+		"objectClass":     {"person"},
+		"cn":              {"Rick Hull"},
+		"telephoneNumber": {"908-582-0002"},
+		"mail":            {"hull@lucent.com"},
+		"category":        {"corporate"},
+	}})
+	d.Add(Entry{DN: "cn=Mom,ou=contacts,uid=arnaud,o=lucent", Attrs: map[string][]string{
+		"objectClass":     {"person"},
+		"cn":              {"Mom"},
+		"telephoneNumber": {"555-0100"},
+		"category":        {"personal"},
+	}})
+	return d
+}
+
+func TestDirectoryBasics(t *testing.T) {
+	d := seedDirectory()
+	if d.Len() != 3 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	e, err := d.Get("uid=arnaud,ou=people,o=lucent")
+	if err != nil || e.Attr("cn") != "Arnaud Sahuguet" {
+		t.Errorf("Get: %v / %v", e, err)
+	}
+	if _, err := d.Get("uid=ghost"); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("missing entry err = %v", err)
+	}
+	// Search is subtree, sorted, excludes base itself.
+	res := d.Search("ou=contacts,uid=arnaud,o=lucent")
+	if len(res) != 2 || res[0].Attr("cn") != "Mom" {
+		t.Errorf("Search = %v", res)
+	}
+	// Directory copies entries defensively.
+	e.Attrs["cn"][0] = "HACKED"
+	e2, _ := d.Get("uid=arnaud,ou=people,o=lucent")
+	if e2.Attr("cn") != "Arnaud Sahuguet" {
+		t.Error("directory aliases caller memory")
+	}
+	d.Delete("cn=Mom,ou=contacts,uid=arnaud,o=lucent")
+	if d.Len() != 2 {
+		t.Errorf("Len after delete = %d", d.Len())
+	}
+	d.Delete("cn=Mom,ou=contacts,uid=arnaud,o=lucent") // idempotent
+}
+
+func TestSelfFromLDAP(t *testing.T) {
+	d := seedDirectory()
+	self, err := SelfFromLDAP(d, "uid=arnaud,ou=people,o=lucent")
+	if err != nil {
+		t.Fatalf("SelfFromLDAP: %v", err)
+	}
+	if self.ChildText("name") != "Arnaud Sahuguet" ||
+		self.ChildText("email") != "sahuguet@lucent.com" ||
+		self.ChildText("employer") != "Lucent Technologies" {
+		t.Errorf("self = %s", self.Indent())
+	}
+	// The produced component validates against the GUP schema.
+	if err := schema.GUP().ValidateComponent(xpath.MustParse("/user/self"), self); err != nil {
+		t.Errorf("schema: %v", err)
+	}
+	if _, err := SelfFromLDAP(d, "uid=ghost"); err == nil {
+		t.Error("missing DN accepted")
+	}
+}
+
+func TestAddressBookLDAPRoundTrip(t *testing.T) {
+	d := seedDirectory()
+	base := "ou=contacts,uid=arnaud,o=lucent"
+	book := AddressBookFromLDAP(d, base)
+	items := book.ChildrenNamed("item")
+	if len(items) != 2 {
+		t.Fatalf("items = %d\n%s", len(items), book.Indent())
+	}
+	if err := schema.GUP().ValidateComponent(xpath.MustParse("/user/address-book"), book); err != nil {
+		t.Errorf("schema: %v", err)
+	}
+
+	// Edit the component and push it back.
+	book.Add(xmltree.MustParse(`<item name="Dan Lieuwen" type="corporate"><phone>908-582-0003</phone></item>`))
+	n, err := AddressBookToLDAP(d, base, book)
+	if err != nil || n != 3 {
+		t.Fatalf("AddressBookToLDAP = %d, %v", n, err)
+	}
+	// Round trip reproduces the component (order by DN ≈ by cn).
+	back := AddressBookFromLDAP(d, base)
+	if len(back.ChildrenNamed("item")) != 3 {
+		t.Errorf("round trip items = %d", len(back.ChildrenNamed("item")))
+	}
+	want := map[string]bool{"Rick Hull": true, "Mom": true, "Dan Lieuwen": true}
+	for _, it := range back.ChildrenNamed("item") {
+		name, _ := it.Attr("name")
+		if !want[name] {
+			t.Errorf("unexpected item %q", name)
+		}
+		delete(want, name)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing items: %v", want)
+	}
+	// Bad inputs.
+	if _, err := AddressBookToLDAP(d, base, xmltree.New("calendar")); err == nil {
+		t.Error("wrong fragment accepted")
+	}
+	if _, err := AddressBookToLDAP(d, base, xmltree.MustParse(`<address-book><item/></address-book>`)); err == nil {
+		t.Error("nameless item accepted")
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable("contacts", "name", "kind", "phone", "email")
+	if err := tb.Insert("Rick", "corporate", "1", "r@x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert("too", "few"); err == nil {
+		t.Error("arity violation accepted")
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	rows := tb.Rows()
+	if rows[0]["name"] != "Rick" || rows[0]["email"] != "r@x" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+var contactsMapping = RowMapping{
+	Component:    "address-book",
+	Element:      "item",
+	AttrColumns:  map[string]string{"name": "name", "kind": "type"},
+	ChildColumns: map[string]string{"phone": "phone", "email": "email"},
+	ChildOrder:   []string{"phone", "email"},
+}
+
+func TestRelationalRoundTrip(t *testing.T) {
+	tb := NewTable("contacts", "name", "kind", "phone", "email")
+	tb.Insert("Rick", "corporate", "908-1", "r@lucent.com")
+	tb.Insert("Mom", "personal", "555-1", "")
+
+	comp := ComponentFromTable(tb, contactsMapping)
+	if err := schema.GUP().ValidateComponent(xpath.MustParse("/user/address-book"), comp); err != nil {
+		t.Fatalf("schema: %v\n%s", err, comp.Indent())
+	}
+	items := comp.ChildrenNamed("item")
+	if len(items) != 2 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if v, _ := items[0].Attr("type"); v != "corporate" {
+		t.Errorf("item attrs: %s", items[0])
+	}
+	if items[1].Child("email") != nil {
+		t.Errorf("empty column should be omitted: %s", items[1])
+	}
+
+	// Mutate the XML view and push down.
+	items[0].Child("phone").Text = "908-2"
+	comp.Add(xmltree.MustParse(`<item name="Ming" type="corporate"><phone>908-3</phone></item>`))
+	if err := TableFromComponent(tb, contactsMapping, comp); err != nil {
+		t.Fatalf("pushdown: %v", err)
+	}
+	if tb.Len() != 3 {
+		t.Errorf("rows after pushdown = %d", tb.Len())
+	}
+	byName := map[string]map[string]string{}
+	for _, r := range tb.Rows() {
+		byName[r["name"]] = r
+	}
+	if byName["Rick"]["phone"] != "908-2" {
+		t.Errorf("update lost: %v", byName["Rick"])
+	}
+	if byName["Ming"]["kind"] != "corporate" {
+		t.Errorf("insert lost: %v", byName["Ming"])
+	}
+	// Wrong fragment rejected.
+	if err := TableFromComponent(tb, contactsMapping, xmltree.New("presence")); err == nil {
+		t.Error("wrong fragment accepted")
+	}
+}
+
+func TestChildOrderIsStable(t *testing.T) {
+	tb := NewTable("contacts", "name", "kind", "phone", "email")
+	tb.Insert("A", "", "1", "a@x")
+	m := contactsMapping
+	m.ChildOrder = []string{"email", "phone"}
+	comp := ComponentFromTable(tb, m)
+	item := comp.ChildrenNamed("item")[0]
+	if item.Children[0].Name != "email" || item.Children[1].Name != "phone" {
+		t.Errorf("child order: %s", item)
+	}
+}
+
+func TestEscapeDN(t *testing.T) {
+	d := NewDirectory()
+	base := "ou=c,o=x"
+	book := xmltree.MustParse(`<address-book><item name="Doe, John=Jr"><phone>1</phone></item></address-book>`)
+	if _, err := AddressBookToLDAP(d, base, book); err != nil {
+		t.Fatal(err)
+	}
+	back := AddressBookFromLDAP(d, base)
+	if got := len(back.ChildrenNamed("item")); got != 1 {
+		t.Fatalf("items = %d", got)
+	}
+	if v, _ := back.ChildrenNamed("item")[0].Attr("name"); v != "Doe, John=Jr" {
+		t.Errorf("name = %q", v)
+	}
+}

@@ -1,0 +1,204 @@
+// Package adapter implements the wrappers that GUP-enable legacy profile
+// sources (paper §2.3 requirement 3 and §4.2: "an adapter is put on top of
+// the data store to offer a GUP-compliant interface"). Two source shapes
+// are covered, matching the paper's related-work discussion (§6):
+//
+//   - an LDAP-style directory — flat entries of multi-valued name/value
+//     pairs arranged in a DIT, the shape of Netscape roaming profiles and
+//     DEN schemas, which the paper plans "to provide tools to wrap",
+//   - a relational source — tables published as XML views, the
+//     SilkRoute/Xperanto lineage.
+//
+// Both directions are supported: source → GUP XML component (fetch path)
+// and GUP XML component → source mutations (the integrated-update path the
+// paper notes no prior system handled).
+package adapter
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gupster/internal/xmltree"
+)
+
+// Entry is one LDAP-style directory entry: a distinguished name plus
+// multi-valued attributes. Attribute values are flat strings — exactly the
+// limitation (no nesting) the paper holds against LDAP.
+type Entry struct {
+	DN    string
+	Attrs map[string][]string
+}
+
+// Attr returns the first value of an attribute, or "".
+func (e Entry) Attr(name string) string {
+	if vs := e.Attrs[name]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+// ErrNoEntry is returned for lookups of absent DNs.
+var ErrNoEntry = errors.New("adapter: no such entry")
+
+// Directory is a minimal LDAP-style DIT. Safe for concurrent use.
+type Directory struct {
+	mu      sync.RWMutex
+	entries map[string]Entry
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[string]Entry)}
+}
+
+// Add inserts or replaces an entry.
+func (d *Directory) Add(e Entry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[e.DN] = copyEntry(e)
+}
+
+// Get fetches a copy of one entry by DN.
+func (d *Directory) Get(dn string) (Entry, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.entries[dn]
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: %s", ErrNoEntry, dn)
+	}
+	return copyEntry(e), nil
+}
+
+func copyEntry(e Entry) Entry {
+	cp := Entry{DN: e.DN, Attrs: make(map[string][]string, len(e.Attrs))}
+	for k, vs := range e.Attrs {
+		cp.Attrs[k] = append([]string(nil), vs...)
+	}
+	return cp
+}
+
+// Delete removes an entry; deleting an absent DN is a no-op.
+func (d *Directory) Delete(dn string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.entries, dn)
+}
+
+// Search returns entries whose DN ends with base (one-level and subtree
+// semantics collapse in this simplified DIT), sorted by DN.
+func (d *Directory) Search(base string) []Entry {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []Entry
+	for dn, e := range d.entries {
+		if dn != base && strings.HasSuffix(dn, ","+base) {
+			out = append(out, copyEntry(e))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DN < out[j].DN })
+	return out
+}
+
+// Len reports the number of entries.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}
+
+// SelfFromLDAP maps an inetOrgPerson-style entry to the GUP <self>
+// component.
+func SelfFromLDAP(d *Directory, dn string) (*xmltree.Node, error) {
+	e, err := d.Get(dn)
+	if err != nil {
+		return nil, err
+	}
+	self := xmltree.New("self")
+	for _, m := range []struct{ ldap, gup string }{
+		{"cn", "name"},
+		{"postalAddress", "address"},
+		{"mail", "email"},
+		{"telephoneNumber", "phone"},
+		{"o", "employer"},
+	} {
+		if v := e.Attr(m.ldap); v != "" {
+			self.Add(xmltree.NewText(m.gup, v))
+		}
+	}
+	return self, nil
+}
+
+// AddressBookFromLDAP maps contact entries under a base DN to the GUP
+// <address-book> component. Each entry contributes one <item> keyed by its
+// cn.
+func AddressBookFromLDAP(d *Directory, base string) *xmltree.Node {
+	book := xmltree.New("address-book")
+	for _, e := range d.Search(base) {
+		cn := e.Attr("cn")
+		if cn == "" {
+			continue
+		}
+		item := xmltree.New("item").SetAttr("name", cn)
+		if t := e.Attr("category"); t != "" {
+			item.SetAttr("type", t)
+		}
+		if v := e.Attr("telephoneNumber"); v != "" {
+			item.Add(xmltree.NewText("phone", v))
+		}
+		if v := e.Attr("mail"); v != "" {
+			item.Add(xmltree.NewText("email", v))
+		}
+		if v := e.Attr("postalAddress"); v != "" {
+			item.Add(xmltree.NewText("address", v))
+		}
+		book.Add(item)
+	}
+	return book
+}
+
+// AddressBookToLDAP writes a GUP <address-book> component back into the
+// directory under base, replacing the contact subtree (the integrated
+// update direction). It returns the number of entries written.
+func AddressBookToLDAP(d *Directory, base string, book *xmltree.Node) (int, error) {
+	if book == nil || book.Name != "address-book" {
+		return 0, errors.New("adapter: fragment is not an <address-book>")
+	}
+	// Replace semantics: clear existing contacts below base.
+	for _, e := range d.Search(base) {
+		d.Delete(e.DN)
+	}
+	n := 0
+	for _, item := range book.ChildrenNamed("item") {
+		cn, ok := item.Attr("name")
+		if !ok || cn == "" {
+			return n, errors.New("adapter: address book item without name")
+		}
+		attrs := map[string][]string{
+			"objectClass": {"person"},
+			"cn":          {cn},
+		}
+		if t, ok := item.Attr("type"); ok {
+			attrs["category"] = []string{t}
+		}
+		if v := item.ChildText("phone"); v != "" {
+			attrs["telephoneNumber"] = []string{v}
+		}
+		if v := item.ChildText("email"); v != "" {
+			attrs["mail"] = []string{v}
+		}
+		if v := item.ChildText("address"); v != "" {
+			attrs["postalAddress"] = []string{v}
+		}
+		d.Add(Entry{DN: "cn=" + escapeDN(cn) + "," + base, Attrs: attrs})
+		n++
+	}
+	return n, nil
+}
+
+func escapeDN(s string) string {
+	r := strings.NewReplacer(",", "\\,", "=", "\\=")
+	return r.Replace(s)
+}

@@ -1,0 +1,146 @@
+package adapter
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gupster/internal/xmltree"
+)
+
+// Table is a minimal relational table: named columns and string-typed rows.
+// Safe for concurrent use.
+type Table struct {
+	Name    string
+	Columns []string
+
+	mu   sync.RWMutex
+	rows [][]string
+}
+
+// NewTable declares a table.
+func NewTable(name string, columns ...string) *Table {
+	return &Table{Name: name, Columns: columns}
+}
+
+// Insert appends a row; it must match the column count.
+func (t *Table) Insert(values ...string) error {
+	if len(values) != len(t.Columns) {
+		return fmt.Errorf("adapter: table %s expects %d columns, got %d", t.Name, len(t.Columns), len(values))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = append(t.rows, append([]string(nil), values...))
+	return nil
+}
+
+// Rows materializes all rows as column→value maps.
+func (t *Table) Rows() []map[string]string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]map[string]string, len(t.rows))
+	for i, r := range t.rows {
+		m := make(map[string]string, len(t.Columns))
+		for j, c := range t.Columns {
+			m[c] = r[j]
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// Replace swaps the table contents for the given rows (update pushdown).
+func (t *Table) Replace(rows []map[string]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = t.rows[:0]
+	for _, m := range rows {
+		r := make([]string, len(t.Columns))
+		for j, c := range t.Columns {
+			r[j] = m[c]
+		}
+		t.rows = append(t.rows, r)
+	}
+}
+
+// Len reports the row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// RowMapping declares how a table row becomes a repeated element of a GUP
+// component — a miniature SilkRoute view definition.
+type RowMapping struct {
+	// Component is the wrapping component element ("address-book").
+	Component string
+	// Element is the per-row element ("item").
+	Element string
+	// AttrColumns maps columns to attributes of Element.
+	AttrColumns map[string]string
+	// ChildColumns maps columns to text child elements of Element.
+	ChildColumns map[string]string
+	// ChildOrder fixes the serialization order of child elements (schema
+	// order); columns absent from it append alphabetically last.
+	ChildOrder []string
+}
+
+// ComponentFromTable publishes the table as a GUP component under the
+// mapping. Rows with an empty value for a column simply omit that attribute
+// or child.
+func ComponentFromTable(t *Table, m RowMapping) *xmltree.Node {
+	comp := xmltree.New(m.Component)
+	for _, row := range t.Rows() {
+		el := xmltree.New(m.Element)
+		for col, attr := range m.AttrColumns {
+			if v := row[col]; v != "" {
+				el.SetAttr(attr, v)
+			}
+		}
+		emitted := map[string]bool{}
+		emit := func(col string) {
+			child, ok := m.ChildColumns[col]
+			if !ok || emitted[col] {
+				return
+			}
+			emitted[col] = true
+			if v := row[col]; v != "" {
+				el.Add(xmltree.NewText(child, v))
+			}
+		}
+		for _, col := range m.ChildOrder {
+			emit(col)
+		}
+		for _, col := range t.Columns {
+			emit(col)
+		}
+		comp.Add(el)
+	}
+	return comp
+}
+
+// TableFromComponent pushes a GUP component back into the table (update
+// direction): every Element child becomes one row.
+func TableFromComponent(t *Table, m RowMapping, comp *xmltree.Node) error {
+	if comp == nil || comp.Name != m.Component {
+		return errors.New("adapter: fragment does not match the mapping's component")
+	}
+	var rows []map[string]string
+	for _, el := range comp.ChildrenNamed(m.Element) {
+		row := make(map[string]string)
+		for col, attr := range m.AttrColumns {
+			if v, ok := el.Attr(attr); ok {
+				row[col] = v
+			}
+		}
+		for col, child := range m.ChildColumns {
+			if v := el.ChildText(child); v != "" {
+				row[col] = v
+			}
+		}
+		rows = append(rows, row)
+	}
+	t.Replace(rows)
+	return nil
+}

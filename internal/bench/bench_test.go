@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"gupster/internal/metrics"
+)
+
+// Smoke tests: every experiment driver must run end-to-end at tiny
+// iteration counts and produce a table with the expected columns and at
+// least one data row. (The numbers themselves are exercised by the
+// repository-root benchmarks; this guards the drivers against rot.)
+
+func runAndCheck(t *testing.T, name string, run func(Options) (*metrics.Table, error), wantCols ...string) {
+	t.Helper()
+	tbl, err := run(Options{Iters: 2})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 { // title, header, separator, ≥1 row
+		t.Fatalf("%s: too few lines:\n%s", name, out)
+	}
+	for _, col := range wantCols {
+		if !strings.Contains(lines[1], col) {
+			t.Errorf("%s: header missing %q:\n%s", name, col, out)
+		}
+	}
+}
+
+func TestRunE3(t *testing.T) {
+	runAndCheck(t, "E3", RunE3, "variant", "rules", "decision p50")
+}
+
+func TestRunE6(t *testing.T) {
+	runAndCheck(t, "E6", RunE6, "registrations", "speedup")
+}
+
+func TestRunE10(t *testing.T) {
+	runAndCheck(t, "E10", RunE10, "items/side", "overlap")
+}
+
+func TestRunE11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seeding 10⁵ subscribers is slow")
+	}
+	runAndCheck(t, "E11", RunE11, "subscribers", "ops/s")
+}
+
+func TestRunE12(t *testing.T) {
+	runAndCheck(t, "E12", RunE12, "request", "outcome")
+}
+
+func TestRunE5(t *testing.T) {
+	runAndCheck(t, "E5", RunE5, "entries", "mode", "bytes down/op")
+}
+
+func TestRunE7(t *testing.T) {
+	runAndCheck(t, "E7", RunE7, "gathering", "in budget")
+}
+
+func TestRunFig5(t *testing.T) {
+	tbl, err := RunFig5()
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	out := tbl.String()
+	for _, frag := range []string{"Wireless", "PSTN", "VoIP", "/user/presence", "/user/location"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Fig5 missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRunE13(t *testing.T) {
+	runAndCheck(t, "E13", RunE13, "mirrors", "operation")
+}
+
+func TestRunE14(t *testing.T) {
+	runAndCheck(t, "E14", RunE14, "routing", "far-replica delay")
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/federation"
+	"gupster/internal/metrics"
+	"gupster/internal/policy"
+	"gupster/internal/schema"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+)
+
+// RunE13 — mirrored MDM constellation (§4.2, §5.3 reliability): what
+// replication costs on the mutation path, and that the read path is
+// unaffected by constellation size.
+func RunE13(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable("E13 — mirrored MDM constellation (§5.3 reliability)",
+		"mirrors", "operation", "p50", "p99")
+	iters := o.iters(200)
+	signer := token.NewSigner(benchKey)
+
+	for _, n := range []int{1, 2, 4} {
+		mdms := make([]*core.MDM, n)
+		mirrors := make([]*federation.Mirror, n)
+		addrs := make([]string, n)
+		var cleanups []func()
+		for i := 0; i < n; i++ {
+			mdms[i] = core.New(core.Config{Schema: schema.GUP(), Signer: signer, GrantTTL: time.Minute})
+			mirrors[i] = federation.NewMirror(mdms[i])
+			srv, err := mirrors[i].Serve("127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			addrs[i] = srv.Addr()
+			i := i
+			cleanups = append(cleanups, func() { srv.Close(); mirrors[i].Close(); mdms[i].Close() })
+		}
+		if err := federation.Join(mirrors, addrs); err != nil {
+			return nil, err
+		}
+
+		cli, err := wire.Dial(addrs[0])
+		if err != nil {
+			return nil, err
+		}
+
+		// Mutation path: register/unregister replicates to n-1 peers.
+		hMut := metrics.NewHistogram()
+		for i := 0; i < iters; i++ {
+			p := fmt.Sprintf("/user[@id='u%d']/presence", i)
+			start := time.Now()
+			if err := cli.Call(context.Background(), wire.TypeRegister, &wire.RegisterRequest{
+				Store: "s1", Address: "127.0.0.1:1", Path: p,
+			}, nil); err != nil {
+				return nil, err
+			}
+			hMut.Record(time.Since(start))
+		}
+		t.AddRow(n, "register (replicated)", hMut.Percentile(50), hMut.Percentile(99))
+
+		// Read path: resolve is local to whichever mirror answers.
+		hRead := metrics.NewHistogram()
+		req := &wire.ResolveRequest{
+			Path:    "/user[@id='u1']/presence",
+			Context: policy.Context{Requester: "u1"},
+			Verb:    token.VerbFetch,
+		}
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			var resp wire.ResolveResponse
+			if err := cli.Call(context.Background(), wire.TypeResolve, req, &resp); err != nil {
+				return nil, err
+			}
+			hRead.Record(time.Since(start))
+		}
+		t.AddRow(n, "resolve (local)", hRead.Percentile(50), hRead.Percentile(99))
+
+		// Convergence check: the last mirror knows the first registration.
+		if n > 1 {
+			if _, err := mdms[n-1].Resolve(context.Background(), req); err != nil {
+				return nil, fmt.Errorf("bench: constellation did not converge: %w", err)
+			}
+		}
+		cli.Close()
+		for _, c := range cleanups {
+			c()
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"context"
+	"io"
+	"net"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/metrics"
+	"gupster/internal/store"
+	"gupster/internal/token"
+	"gupster/internal/xpath"
+)
+
+// delayProxy forwards TCP to a backend with added per-chunk latency — a
+// WAN-distant replica.
+type delayProxy struct {
+	ln      net.Listener
+	backend string
+	delay   time.Duration
+}
+
+func newDelayProxy(backend string, delay time.Duration) (*delayProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &delayProxy{ln: ln, backend: backend, delay: delay}
+	go p.run()
+	return p, nil
+}
+
+func (p *delayProxy) addr() string { return p.ln.Addr().String() }
+func (p *delayProxy) close()       { p.ln.Close() }
+
+func (p *delayProxy) run() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go p.serve(conn)
+	}
+}
+
+func (p *delayProxy) serve(client net.Conn) {
+	defer client.Close()
+	backend, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+	done := make(chan struct{}, 2)
+	go func() {
+		defer func() { done <- struct{}{} }()
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := client.Read(buf)
+			if n > 0 {
+				time.Sleep(p.delay)
+				if _, werr := backend.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		defer func() { done <- struct{}{} }()
+		io.Copy(client, backend)
+	}()
+	<-done
+}
+
+// RunE14 — closest-replica routing (§5.3: "requests … will be routed to the
+// closest store available"): a component replicated at a near and a far
+// store (the far one behind a delay proxy, and sorting first so the naive
+// order hits it), fetched with latency-aware ordering on and off.
+func RunE14(o Options) (*metrics.Table, error) {
+	t := metrics.NewTable("E14 — closest-replica routing among redundant stores (§5.3)",
+		"far-replica delay", "routing", "p50", "p99")
+	iters := o.iters(100)
+
+	for _, delay := range []time.Duration{10 * time.Millisecond, 50 * time.Millisecond} {
+		for _, disabled := range []bool{true, false} {
+			r, err := newRig(1, 2<<10, 0) // one near store, registered below
+			if err != nil {
+				return nil, err
+			}
+			// Far replica: same content, identity sorting before "store-0",
+			// reached through the delay proxy.
+			signer := token.NewSigner(benchKey)
+			farEng := store.NewEngine("a-far-replica")
+			farSrv := store.NewServer(farEng, signer)
+			if err := farSrv.Start("127.0.0.1:0"); err != nil {
+				r.close()
+				return nil, err
+			}
+			comp, _, err := r.stores[0].Engine.GetComponent("u", xpath.MustParse("/user[@id='u']/address-book"))
+			if err != nil {
+				r.close()
+				farSrv.Close()
+				return nil, err
+			}
+			if _, err := farEng.Put("u", xpath.MustParse("/user[@id='u']/address-book"), comp.Clone()); err != nil {
+				r.close()
+				farSrv.Close()
+				return nil, err
+			}
+			proxy, err := newDelayProxy(farSrv.Addr(), delay)
+			if err != nil {
+				r.close()
+				farSrv.Close()
+				return nil, err
+			}
+			if err := r.mdm.Register("a-far-replica", proxy.addr(),
+				xpath.MustParse("/user[@id='u']/address-book")); err != nil {
+				r.close()
+				farSrv.Close()
+				proxy.close()
+				return nil, err
+			}
+
+			cli, err := core.DialMDM(r.mdmSrv.Addr(), "u", "self")
+			if err != nil {
+				r.close()
+				farSrv.Close()
+				proxy.close()
+				return nil, err
+			}
+			cli.DisableLatencyRouting = disabled
+
+			h := metrics.NewHistogram()
+			for i := 0; i < iters; i++ {
+				start := time.Now()
+				doc, err := cli.Get(context.Background(), "/user[@id='u']/address-book")
+				if err != nil {
+					cli.Close()
+					r.close()
+					farSrv.Close()
+					proxy.close()
+					return nil, err
+				}
+				_ = doc
+				h.Record(time.Since(start))
+			}
+			routing := "latency-aware"
+			if disabled {
+				routing = "naive order"
+			}
+			t.AddRow(delay, routing, h.Percentile(50), h.Percentile(99))
+			cli.Close()
+			r.close()
+			farSrv.Close()
+			proxy.close()
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,227 @@
+// Package calendarsvc simulates a network-hosted calendar service (paper
+// §2.1–2.2: Alice's personal calendar at Yahoo!, her corporate calendar at
+// Lucent). It stores per-user events keyed by weekday and clock time,
+// answers the availability queries the selective reach-me service needs
+// ("retrieve Alice's appointments for today"), and exports the GUP
+// <calendar> component.
+package calendarsvc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gupster/internal/xmltree"
+)
+
+// Service errors.
+var (
+	ErrNoEvent = errors.New("calendarsvc: no such event")
+	ErrBadTime = errors.New("calendarsvc: bad clock time")
+)
+
+// Event is one calendar entry. Times are minutes-since-midnight on a
+// weekday — the recurring weekly shape the paper's reach-me examples use
+// ("on Fridays, Alice is working from home").
+type Event struct {
+	ID    string
+	Day   time.Weekday
+	Start int // minutes since midnight
+	End   int
+	Title string
+	Where string
+}
+
+// parseClock converts "HH:MM" to minutes.
+func parseClock(s string) (int, error) {
+	var h, m int
+	if _, err := fmt.Sscanf(s, "%d:%d", &h, &m); err != nil || h < 0 || h > 23 || m < 0 || m > 59 {
+		return 0, fmt.Errorf("%w: %q", ErrBadTime, s)
+	}
+	return h*60 + m, nil
+}
+
+// NewEvent builds an event from clock strings; it panics on malformed
+// times (static fixtures) — use Add with explicit minutes for dynamic data.
+func NewEvent(id string, day time.Weekday, start, end, title, where string) Event {
+	s, err := parseClock(start)
+	if err != nil {
+		panic(err)
+	}
+	e, err := parseClock(end)
+	if err != nil {
+		panic(err)
+	}
+	return Event{ID: id, Day: day, Start: s, End: e, Title: title, Where: where}
+}
+
+// Service is the calendar store. Safe for concurrent use.
+type Service struct {
+	mu     sync.RWMutex
+	events map[string]map[string]Event // user → event id → event
+}
+
+// New returns an empty service.
+func New() *Service {
+	return &Service{events: make(map[string]map[string]Event)}
+}
+
+// Add inserts or replaces an event.
+func (s *Service) Add(user string, e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.events[user]
+	if m == nil {
+		m = make(map[string]Event)
+		s.events[user] = m
+	}
+	m[e.ID] = e
+}
+
+// Remove deletes an event.
+func (s *Service) Remove(user, id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.events[user]
+	if _, ok := m[id]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNoEvent, user, id)
+	}
+	delete(m, id)
+	return nil
+}
+
+// EventsOn lists a user's events for a weekday, ordered by start time.
+func (s *Service) EventsOn(user string, day time.Weekday) []Event {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Event
+	for _, e := range s.events[user] {
+		if e.Day == day {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// BusyAt reports whether the user has an event covering the instant, and
+// which one.
+func (s *Service) BusyAt(user string, at time.Time) (Event, bool) {
+	min := at.Hour()*60 + at.Minute()
+	for _, e := range s.EventsOn(user, at.Weekday()) {
+		if min >= e.Start && min < e.End {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// NextFree returns the next minute-of-day at or after the instant when the
+// user has no event, within the same day; ok is false when the rest of the
+// day is busy.
+func (s *Service) NextFree(user string, at time.Time) (int, bool) {
+	min := at.Hour()*60 + at.Minute()
+	events := s.EventsOn(user, at.Weekday())
+	for {
+		busy := false
+		for _, e := range events {
+			if min >= e.Start && min < e.End {
+				min = e.End
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return min, min < 24*60
+		}
+		if min >= 24*60 {
+			return 0, false
+		}
+	}
+}
+
+// Component exports the GUP <calendar> component for a user.
+func (s *Service) Component(user string) *xmltree.Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cal := xmltree.New("calendar")
+	var ids []string
+	for id := range s.events[user] {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e := s.events[user][id]
+		ev := xmltree.New("event").
+			SetAttr("id", e.ID).
+			SetAttr("day", e.Day.String()[:3]).
+			SetAttr("start", fmt.Sprintf("%02d:%02d", e.Start/60, e.Start%60)).
+			SetAttr("end", fmt.Sprintf("%02d:%02d", e.End/60, e.End%60))
+		if e.Title != "" {
+			ev.Add(xmltree.NewText("title", e.Title))
+		}
+		if e.Where != "" {
+			ev.Add(xmltree.NewText("where", e.Where))
+		}
+		cal.Add(ev)
+	}
+	return cal
+}
+
+// FromComponent imports a GUP <calendar> component, replacing the user's
+// events (the provisioning direction).
+func (s *Service) FromComponent(user string, cal *xmltree.Node) error {
+	if cal == nil || cal.Name != "calendar" {
+		return errors.New("calendarsvc: fragment is not a <calendar>")
+	}
+	parsed := make(map[string]Event)
+	for _, ev := range cal.ChildrenNamed("event") {
+		id, ok := ev.Attr("id")
+		if !ok {
+			return errors.New("calendarsvc: event without id")
+		}
+		day, err := parseDay(attrOr(ev, "day", "Mon"))
+		if err != nil {
+			return err
+		}
+		start, err := parseClock(attrOr(ev, "start", "00:00"))
+		if err != nil {
+			return err
+		}
+		end, err := parseClock(attrOr(ev, "end", "23:59"))
+		if err != nil {
+			return err
+		}
+		parsed[id] = Event{
+			ID: id, Day: day, Start: start, End: end,
+			Title: ev.ChildText("title"), Where: ev.ChildText("where"),
+		}
+	}
+	s.mu.Lock()
+	s.events[user] = parsed
+	s.mu.Unlock()
+	return nil
+}
+
+func attrOr(n *xmltree.Node, name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+func parseDay(s string) (time.Weekday, error) {
+	for d := time.Sunday; d <= time.Saturday; d++ {
+		if d.String()[:3] == s || d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("calendarsvc: bad weekday %q", s)
+}

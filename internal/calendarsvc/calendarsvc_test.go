@@ -1,0 +1,135 @@
+package calendarsvc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gupster/internal/schema"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// 2026-07-06 is a Monday.
+func mondayAt(clock string) time.Time {
+	tt, err := time.Parse("15:04", clock)
+	if err != nil {
+		panic(err)
+	}
+	return time.Date(2026, 7, 6, tt.Hour(), tt.Minute(), 0, 0, time.UTC)
+}
+
+func seeded() *Service {
+	s := New()
+	s.Add("alice", NewEvent("standup", time.Monday, "09:00", "09:30", "standup", "room 1"))
+	s.Add("alice", NewEvent("design", time.Monday, "09:30", "11:00", "design review", "room 2"))
+	s.Add("alice", NewEvent("lunch", time.Monday, "12:00", "13:00", "lunch", ""))
+	s.Add("alice", NewEvent("friday-wfh", time.Friday, "08:00", "18:00", "working from home", "home"))
+	return s
+}
+
+func TestEventsOnOrdering(t *testing.T) {
+	s := seeded()
+	evs := s.EventsOn("alice", time.Monday)
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].ID != "standup" || evs[2].ID != "lunch" {
+		t.Errorf("order = %v", evs)
+	}
+	if len(s.EventsOn("alice", time.Sunday)) != 0 {
+		t.Error("sunday should be empty")
+	}
+	if len(s.EventsOn("ghost", time.Monday)) != 0 {
+		t.Error("ghost user should be empty")
+	}
+}
+
+func TestBusyAt(t *testing.T) {
+	s := seeded()
+	if e, busy := s.BusyAt("alice", mondayAt("09:15")); !busy || e.ID != "standup" {
+		t.Errorf("09:15 = %v, %v", e, busy)
+	}
+	if _, busy := s.BusyAt("alice", mondayAt("11:30")); busy {
+		t.Error("11:30 should be free")
+	}
+	// End is exclusive.
+	if _, busy := s.BusyAt("alice", mondayAt("11:00")); busy {
+		t.Error("11:00 (end of design) should be free")
+	}
+}
+
+func TestNextFree(t *testing.T) {
+	s := seeded()
+	// During back-to-back meetings: next free is 11:00.
+	min, ok := s.NextFree("alice", mondayAt("09:10"))
+	if !ok || min != 11*60 {
+		t.Errorf("NextFree = %d, %v", min, ok)
+	}
+	// Already free: now.
+	min, ok = s.NextFree("alice", mondayAt("14:00"))
+	if !ok || min != 14*60 {
+		t.Errorf("NextFree = %d, %v", min, ok)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := seeded()
+	if err := s.Remove("alice", "lunch"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("alice", "lunch"); !errors.Is(err, ErrNoEvent) {
+		t.Errorf("err = %v", err)
+	}
+	if _, busy := s.BusyAt("alice", mondayAt("12:30")); busy {
+		t.Error("removed event still busy")
+	}
+}
+
+func TestComponentRoundTrip(t *testing.T) {
+	s := seeded()
+	cal := s.Component("alice")
+	if got := len(cal.ChildrenNamed("event")); got != 4 {
+		t.Fatalf("events = %d\n%s", got, cal.Indent())
+	}
+	if err := schema.GUP().ValidateComponent(xpath.MustParse("/user/calendar"), cal); err != nil {
+		t.Errorf("schema: %v", err)
+	}
+	// Import into a fresh service.
+	s2 := New()
+	if err := s2.FromComponent("alice", cal); err != nil {
+		t.Fatalf("FromComponent: %v", err)
+	}
+	if e, busy := s2.BusyAt("alice", mondayAt("09:15")); !busy || e.Title != "standup" {
+		t.Errorf("imported: %v, %v", e, busy)
+	}
+	evs := s2.EventsOn("alice", time.Friday)
+	if len(evs) != 1 || evs[0].Where != "home" {
+		t.Errorf("friday = %v", evs)
+	}
+}
+
+func TestFromComponentErrors(t *testing.T) {
+	s := New()
+	if err := s.FromComponent("u", xmltree.New("presence")); err == nil {
+		t.Error("wrong fragment accepted")
+	}
+	if err := s.FromComponent("u", xmltree.MustParse(`<calendar><event/></calendar>`)); err == nil {
+		t.Error("event without id accepted")
+	}
+	if err := s.FromComponent("u", xmltree.MustParse(`<calendar><event id="e" day="Funday"/></calendar>`)); err == nil {
+		t.Error("bad weekday accepted")
+	}
+	if err := s.FromComponent("u", xmltree.MustParse(`<calendar><event id="e" start="99:99"/></calendar>`)); err == nil {
+		t.Error("bad clock accepted")
+	}
+}
+
+func TestNewEventPanicsOnGarbage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewEvent("x", time.Monday, "25:00", "26:00", "", "")
+}

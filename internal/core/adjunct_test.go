@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/schema"
+	"gupster/internal/store"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// With schema adjuncts, NoCache components (presence, wallet) bypass the
+// chaining cache while others (calendar) use it — requirement 8's
+// "expanded meta-data" steering the runtime.
+func TestAdjunctNoCacheBypassesMDMCache(t *testing.T) {
+	signer := token.NewSigner(key)
+	m := core.New(core.Config{
+		Schema:       schema.GUP(),
+		Signer:       signer,
+		GrantTTL:     time.Minute,
+		CacheEntries: 64,
+		Adjuncts:     schema.GUPAdjuncts(),
+	})
+	srv := core.NewServer(m)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { m.Close(); srv.Close() }()
+
+	eng := store.NewEngine("s1")
+	ssrv := store.NewServer(eng, signer)
+	if err := ssrv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer ssrv.Close()
+	eng.Put("u", xpath.MustParse("/user[@id='u']/presence"), xmltree.MustParse(`<presence status="a"/>`))
+	eng.Put("u", xpath.MustParse("/user[@id='u']/calendar"), xmltree.MustParse(`<calendar><event id="e"><title>x</title></event></calendar>`))
+	m.Register("s1", ssrv.Addr(), xpath.MustParse("/user[@id='u']/presence"))
+	m.Register("s1", ssrv.Addr(), xpath.MustParse("/user[@id='u']/calendar"))
+
+	cli, err := core.DialMDM(srv.Addr(), "u", "self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Presence is NoCache: repeated chaining fetches never hit the cache,
+	// so a direct engine write (bypassing change notices) is always seen.
+	for i := 0; i < 3; i++ {
+		if _, err := cli.GetVia(context.Background(), "/user[@id='u']/presence", wire.PatternChaining); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits := m.Stats.CacheHits.Load(); hits != 0 {
+		t.Errorf("presence cache hits = %d, want 0 (NoCache adjunct)", hits)
+	}
+	// Calendar is cacheable: the second fetch hits.
+	for i := 0; i < 2; i++ {
+		if _, err := cli.GetVia(context.Background(), "/user[@id='u']/calendar", wire.PatternChaining); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits := m.Stats.CacheHits.Load(); hits != 1 {
+		t.Errorf("calendar cache hits = %d, want 1", hits)
+	}
+	// Freshness: presence changed underneath (no invalidation path used);
+	// the next read reflects it because it was never cached.
+	eng.Put("u", xpath.MustParse("/user[@id='u']/presence"), xmltree.MustParse(`<presence status="b"/>`))
+	doc, err := cli.GetVia(context.Background(), "/user[@id='u']/presence", wire.PatternChaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := doc.Child("presence").Attr("status"); s != "b" {
+		t.Errorf("stale presence served: %s", doc)
+	}
+}

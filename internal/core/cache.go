@@ -1,0 +1,94 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// componentCache is the MDM's LRU cache of merged components (§5.2:
+// "GUPster should probably also offer some caching to make the access to
+// user profile component faster", §5.3 "GUPster can also offer some caching
+// services"). Entries are invalidated wholesale per owner when any of the
+// owner's components changes — coarse, but correct without tracking which
+// registrations fed which merge.
+type componentCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List               // front = most recent; values are *cacheEntry
+	entries map[string]*list.Element // key → element
+	byOwner map[string]map[string]bool
+}
+
+type cacheEntry struct {
+	key   string
+	owner string
+	xml   string
+}
+
+func newComponentCache(capacity int) *componentCache {
+	return &componentCache{
+		cap:     capacity,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+		byOwner: make(map[string]map[string]bool),
+	}
+}
+
+func (c *componentCache) get(key string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return "", false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).xml, true
+}
+
+func (c *componentCache) put(key, owner, xml string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).xml = xml
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, owner: owner, xml: xml})
+	c.entries[key] = el
+	keys := c.byOwner[owner]
+	if keys == nil {
+		keys = make(map[string]bool)
+		c.byOwner[owner] = keys
+	}
+	keys[key] = true
+	for c.lru.Len() > c.cap {
+		c.evict(c.lru.Back())
+	}
+}
+
+// evict removes an element; caller holds the lock.
+func (c *componentCache) evict(el *list.Element) {
+	if el == nil {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	if keys := c.byOwner[e.owner]; keys != nil {
+		delete(keys, e.key)
+		if len(keys) == 0 {
+			delete(c.byOwner, e.owner)
+		}
+	}
+}
+
+// invalidateOwner drops every entry for an owner (a component changed).
+func (c *componentCache) invalidateOwner(owner string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key := range c.byOwner[owner] {
+		if el, ok := c.entries[key]; ok {
+			c.evict(el)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gupster/internal/policy"
+	"gupster/internal/store"
+	"gupster/internal/syncml"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// Client is a GUPster client application's view of the converged network:
+// it resolves requests at the MDM and follows referrals to data stores,
+// handling the choice ("||") and merge semantics of §4.3 transparently.
+// Safe for concurrent use.
+type Client struct {
+	mdm *wire.Client
+	// Identity stamps the request context.
+	Identity string
+	// Role is the asserted relationship to profile owners.
+	Role string
+	// Keys drives client-side merges.
+	Keys xmltree.KeySpec
+
+	poolMu sync.Mutex
+	pool   map[string]*store.Client
+
+	subMu      sync.Mutex
+	subs       map[uint64]func(wire.Notification)
+	notifyOnce sync.Once
+
+	// DisableLatencyRouting turns off closest-replica ordering of
+	// alternatives, leaving the MDM's (deterministic) order — the ablation
+	// measured by benchmark E14.
+	DisableLatencyRouting bool
+
+	// latMu guards lat, the per-store-address EWMA fetch latency used to
+	// prefer the closest replica among referral alternatives (§5.3:
+	// "requests … will be routed to the closest store available").
+	latMu sync.Mutex
+	lat   map[string]time.Duration
+}
+
+// DialMDM connects a client identity to the MDM.
+func DialMDM(addr, identity, role string) (*Client, error) {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		mdm:      c,
+		Identity: identity,
+		Role:     role,
+		Keys:     xmltree.DefaultKeys,
+		pool:     make(map[string]*store.Client),
+		subs:     make(map[uint64]func(wire.Notification)),
+		lat:      make(map[string]time.Duration),
+	}, nil
+}
+
+// observeLatency folds a fetch duration into the address's EWMA.
+func (c *Client) observeLatency(addr string, d time.Duration) {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	if prev, ok := c.lat[addr]; ok {
+		c.lat[addr] = (3*prev + d) / 4
+	} else {
+		c.lat[addr] = d
+	}
+}
+
+// latencyScore estimates an alternative's cost: the worst known EWMA among
+// its referrals. Unknown addresses score zero, so fresh replicas get tried
+// (and measured) ahead of known-slow ones.
+func (c *Client) latencyScore(alt wire.Alternative) time.Duration {
+	c.latMu.Lock()
+	defer c.latMu.Unlock()
+	var worst time.Duration
+	for _, ref := range alt.Referrals {
+		if d := c.lat[ref.Address]; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Close tears down the MDM connection and pooled store connections.
+func (c *Client) Close() error {
+	c.poolMu.Lock()
+	for addr, sc := range c.pool {
+		sc.Close()
+		delete(c.pool, addr)
+	}
+	c.poolMu.Unlock()
+	return c.mdm.Close()
+}
+
+func (c *Client) contextFor(purpose policy.Purpose) policy.Context {
+	return policy.Context{Requester: c.Identity, Role: c.Role, Purpose: purpose}
+}
+
+// Resolve asks the MDM for referrals (or data, for chaining/recruiting).
+func (c *Client) Resolve(ctx context.Context, req *wire.ResolveRequest) (*wire.ResolveResponse, error) {
+	var resp wire.ResolveResponse
+	if err := c.mdm.Call(ctx, wire.TypeResolve, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *Client) storeClient(addr string) (*store.Client, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("gupster: referral without store address")
+	}
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	if sc, ok := c.pool[addr]; ok {
+		return sc, nil
+	}
+	sc, err := store.DialClient(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.pool[addr] = sc
+	return sc, nil
+}
+
+func (c *Client) dropStoreClient(addr string) {
+	c.poolMu.Lock()
+	if sc, ok := c.pool[addr]; ok {
+		sc.Close()
+		delete(c.pool, addr)
+	}
+	c.poolMu.Unlock()
+}
+
+// Get resolves and fetches a profile component with the referral pattern:
+// alternatives are tried in order (the choice operator), and within an
+// alternative every referral is fetched and the pieces deep-unioned.
+func (c *Client) Get(ctx context.Context, path string) (*xmltree.Node, error) {
+	return c.GetAs(ctx, path, c.contextFor(policy.PurposeQuery))
+}
+
+// GetAs is Get with an explicit request context.
+func (c *Client) GetAs(ctx context.Context, path string, reqCtx policy.Context) (*xmltree.Node, error) {
+	resp, err := c.Resolve(ctx, &wire.ResolveRequest{
+		Path:    path,
+		Context: reqCtx,
+		Verb:    token.VerbFetch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c.FollowReferrals(ctx, resp)
+}
+
+// GetVia fetches through a server-side pattern (chaining or recruiting):
+// one round trip, data comes back from the MDM.
+func (c *Client) GetVia(ctx context.Context, path string, pattern wire.QueryPattern) (*xmltree.Node, error) {
+	resp, err := c.Resolve(ctx, &wire.ResolveRequest{
+		Path:    path,
+		Context: c.contextFor(policy.PurposeQuery),
+		Verb:    token.VerbFetch,
+		Pattern: pattern,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Data == "" {
+		return nil, nil
+	}
+	return xmltree.ParseString(resp.Data)
+}
+
+// FollowReferrals executes a referral-pattern response: alternatives are
+// tried in ascending order of observed store latency (closest replica
+// first, §5.3), pieces within an alternative fetched concurrently and
+// merged.
+func (c *Client) FollowReferrals(ctx context.Context, resp *wire.ResolveResponse) (*xmltree.Node, error) {
+	if resp.Data != "" {
+		return xmltree.ParseString(resp.Data)
+	}
+	alts := append([]wire.Alternative(nil), resp.Alternatives...)
+	if !c.DisableLatencyRouting {
+		sort.SliceStable(alts, func(i, j int) bool {
+			return c.latencyScore(alts[i]) < c.latencyScore(alts[j])
+		})
+	}
+	var lastErr error
+	for _, alt := range alts {
+		merged, err := c.fetchAlternative(ctx, alt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return merged, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoCoverage
+	}
+	return nil, lastErr
+}
+
+func (c *Client) fetchAlternative(ctx context.Context, alt wire.Alternative) (*xmltree.Node, error) {
+	type result struct {
+		idx int
+		doc *xmltree.Node
+		err error
+	}
+	results := make(chan result, len(alt.Referrals))
+	for i, ref := range alt.Referrals {
+		go func(i int, ref wire.Referral) {
+			sc, err := c.storeClient(ref.Address)
+			if err != nil {
+				results <- result{i, nil, err}
+				return
+			}
+			start := time.Now()
+			doc, _, err := sc.Fetch(ctx, ref.Query)
+			if err != nil {
+				c.dropStoreClient(ref.Address)
+			} else {
+				c.observeLatency(ref.Address, time.Since(start))
+			}
+			results <- result{i, doc, err}
+		}(i, ref)
+	}
+	pieces := make([]*xmltree.Node, len(alt.Referrals))
+	var firstErr error
+	for range alt.Referrals {
+		r := <-results
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		pieces[r.idx] = r.doc
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return xmltree.MergeAll(c.Keys, pieces...), nil
+}
+
+// Update resolves an update grant and writes the fragment to every store
+// fully covering the component (profile data is stored redundantly, §2.3
+// requirement 4; a write must reach all replicas). It returns the number of
+// stores written.
+func (c *Client) Update(ctx context.Context, path string, frag *xmltree.Node) (int, error) {
+	resp, err := c.Resolve(ctx, &wire.ResolveRequest{
+		Path:    path,
+		Context: c.contextFor(policy.PurposeProvision),
+		Verb:    token.VerbUpdate,
+	})
+	if err != nil {
+		return 0, err
+	}
+	written := 0
+	seen := map[string]bool{}
+	for _, alt := range resp.Alternatives {
+		for _, ref := range alt.Referrals {
+			key := ref.Query.Store + "\x00" + ref.Query.Path
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			sc, err := c.storeClient(ref.Address)
+			if err != nil {
+				return written, err
+			}
+			// For partial referrals the store only holds a piece: extract
+			// the matching piece of the fragment if possible.
+			toWrite := frag
+			if alt.Merge != "" {
+				if sub := extractForReferral(frag, ref, c.Keys); sub != nil {
+					toWrite = sub
+				}
+			}
+			if _, err := sc.Update(ctx, ref.Query, toWrite); err != nil {
+				c.dropStoreClient(ref.Address)
+				return written, err
+			}
+			written++
+		}
+	}
+	if written == 0 {
+		return 0, ErrNoCoverage
+	}
+	return written, nil
+}
+
+// extractForReferral narrows an update fragment to the piece a
+// partial-cover store is responsible for: the container pruned to the
+// children matching the referral's granted path (the store applies it as a
+// scoped replace). frag is rooted at the component element; the granted
+// path ends inside it. An empty container (all matching items removed)
+// is a valid result.
+func extractForReferral(frag *xmltree.Node, ref wire.Referral, keys xmltree.KeySpec) *xmltree.Node {
+	p, err := ref.Query.ParsedPath()
+	if err != nil || len(p.Steps) == 0 {
+		return nil
+	}
+	// Find the suffix of the granted path starting at the fragment's
+	// element name.
+	for i, s := range p.Steps {
+		if s.Name == frag.Name || s.Name == "*" {
+			sub := xpath.Path{Steps: p.Steps[i:]}
+			if len(sub.Steps) == 1 {
+				return frag
+			}
+			if got := xpath.Extract(frag, sub); got != nil {
+				return got
+			}
+			// No children match: send the bare container so the store
+			// clears its piece.
+			shell := &xmltree.Node{Name: frag.Name, Text: frag.Text}
+			for k, v := range frag.Attrs {
+				shell.SetAttr(k, v)
+			}
+			return shell
+		}
+	}
+	return nil
+}
+
+// Subscribe registers a push subscription; handler runs on the client's
+// notification loop and must not block.
+func (c *Client) Subscribe(ctx context.Context, path string, handler func(wire.Notification)) (uint64, error) {
+	c.notifyOnce.Do(func() {
+		c.mdm.OnNotify(func(msgType string, payload []byte) {
+			if msgType != wire.TypeNotify {
+				return
+			}
+			var n wire.Notification
+			if err := wire.Unmarshal(payload, &n); err != nil {
+				return
+			}
+			c.subMu.Lock()
+			h := c.subs[n.SubID]
+			c.subMu.Unlock()
+			if h != nil {
+				h(n)
+			}
+		})
+	})
+	var resp wire.SubscribeResponse
+	err := c.mdm.Call(ctx, wire.TypeSubscribe, &wire.SubscribeRequest{
+		Path:    path,
+		Context: c.contextFor(policy.PurposeSubscribe),
+	}, &resp)
+	if err != nil {
+		return 0, err
+	}
+	c.subMu.Lock()
+	c.subs[resp.SubID] = handler
+	c.subMu.Unlock()
+	return resp.SubID, nil
+}
+
+// Unsubscribe cancels a subscription.
+func (c *Client) Unsubscribe(ctx context.Context, subID uint64) error {
+	c.subMu.Lock()
+	delete(c.subs, subID)
+	c.subMu.Unlock()
+	return c.mdm.Call(ctx, wire.TypeUnsubscribe, &wire.UnsubscribeRequest{SubID: subID}, nil)
+}
+
+// PutRule provisions a privacy-shield rule for owner (self-provisioning —
+// "enter once, use everywhere" requires the owner to stay in control).
+func (c *Client) PutRule(ctx context.Context, owner string, rule policy.Rule) error {
+	return c.mdm.Call(ctx, wire.TypePutRule, &wire.PutRuleRequest{
+		Owner: owner,
+		Rule:  encodeRule(rule),
+	}, nil)
+}
+
+// DeleteRule removes a rule.
+func (c *Client) DeleteRule(ctx context.Context, owner, ruleID string) error {
+	return c.mdm.Call(ctx, wire.TypeDeleteRule, &wire.DeleteRuleRequest{Owner: owner, RuleID: ruleID}, nil)
+}
+
+// SyncDeviceComponent resolves an update grant for path and runs one sync
+// session for the device against the first fully-covering store.
+func (c *Client) SyncDeviceComponent(ctx context.Context, path string, dev *syncml.Device, pol syncml.Policy) (syncml.Stats, error) {
+	resp, err := c.Resolve(ctx, &wire.ResolveRequest{
+		Path:    path,
+		Context: c.contextFor(policy.PurposeSync),
+		Verb:    token.VerbUpdate,
+	})
+	if err != nil {
+		return syncml.Stats{}, err
+	}
+	for _, alt := range resp.Alternatives {
+		if len(alt.Referrals) != 1 {
+			continue // sync needs a single authoritative store
+		}
+		ref := alt.Referrals[0]
+		sc, err := c.storeClient(ref.Address)
+		if err != nil {
+			return syncml.Stats{}, err
+		}
+		return dev.Sync(ctx, sc.SyncTransport(ref.Query), pol)
+	}
+	return syncml.Stats{}, fmt.Errorf("gupster: no single-store referral to sync %s against", path)
+}
+
+// Provenance fetches the caller's own disclosure ledger (who accessed what
+// of my profile) — the §7 data-provenance challenge. Only the owner may
+// read it.
+func (c *Client) Provenance(ctx context.Context, sinceSeq uint64) ([]wire.ProvenanceRecord, error) {
+	var resp wire.ProvenanceResponse
+	err := c.mdm.Call(ctx, wire.TypeProvenance, &wire.ProvenanceRequest{
+		Owner: c.Identity, Requester: c.Identity, SinceSeq: sinceSeq,
+	}, &resp)
+	return resp.Records, err
+}
+
+// ProvenanceSummary fetches the per-requester disclosure rollup.
+func (c *Client) ProvenanceSummary(ctx context.Context) ([]wire.ProvenanceSummary, error) {
+	var resp wire.ProvenanceResponse
+	err := c.mdm.Call(ctx, wire.TypeProvenance, &wire.ProvenanceRequest{
+		Owner: c.Identity, Requester: c.Identity, Summarize: true,
+	}, &resp)
+	return resp.Summaries, err
+}
+
+// Stats fetches the MDM's counters.
+func (c *Client) Stats(ctx context.Context) (*wire.StatsResponse, error) {
+	var resp wire.StatsResponse
+	if err := c.mdm.Call(ctx, wire.TypeStats, wire.Empty{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gupster/internal/xpath"
+)
+
+// delayProxy forwards TCP to a backend, adding latency to each inbound
+// read — a WAN-distant replica.
+type delayProxy struct {
+	ln      net.Listener
+	backend string
+	delay   time.Duration
+	hits    atomic.Int64
+}
+
+func newDelayProxy(t *testing.T, backend string, delay time.Duration) *delayProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &delayProxy{ln: ln, backend: backend, delay: delay}
+	go p.run()
+	t.Cleanup(func() { ln.Close() })
+	return p
+}
+
+func (p *delayProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *delayProxy) run() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go p.serve(conn)
+	}
+}
+
+func (p *delayProxy) serve(client net.Conn) {
+	defer client.Close()
+	backend, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+	done := make(chan struct{}, 2)
+	// Client → backend, delayed per chunk (simulating distance).
+	go func() {
+		defer func() { done <- struct{}{} }()
+		buf := make([]byte, 32<<10)
+		for {
+			n, err := client.Read(buf)
+			if n > 0 {
+				p.hits.Add(1)
+				time.Sleep(p.delay)
+				if _, werr := backend.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		defer func() { done <- struct{}{} }()
+		io.Copy(client, backend)
+	}()
+	<-done
+}
+
+// After one measurement of each replica, the client prefers the fast one —
+// §5.3's "routed to the closest store available".
+func TestClosestReplicaPreferred(t *testing.T) {
+	r := newRig(t, 0)
+	r.addStore("fast-store")
+	// The slow replica's identity sorts first ("a-…" < "fast-…"), so the
+	// naive registry order would keep hitting it; it is reached through a
+	// 60 ms proxy (a distant site).
+	slow := r.addStore("a-slow-replica")
+	book := `<address-book><item name="rick"><phone>1</phone></item></address-book>`
+	r.seed("fast-store", "u", "/user[@id='u']/address-book", book)
+	r.seed("a-slow-replica", "u", "/user[@id='u']/address-book", book)
+
+	proxy := newDelayProxy(t, slow.Addr(), 60*time.Millisecond)
+	if err := r.mdm.Register("a-slow-replica", proxy.addr(),
+		xpath.MustParse("/user[@id='u']/address-book")); err != nil {
+		t.Fatal(err)
+	}
+	r.register("fast-store", "/user[@id='u']/address-book")
+
+	cli := r.client("u", "self")
+	ctx := context.Background()
+
+	// Warm-up: the first Get may land on the slow replica (alphabetical
+	// order, both latencies unknown). A second Get measures the other one.
+	for i := 0; i < 2; i++ {
+		if _, err := cli.Get(ctx, "/user[@id='u']/address-book"); err != nil {
+			t.Fatalf("warm-up get %d: %v", i, err)
+		}
+	}
+	// Steady state: every Get should use the fast replica (< slow delay).
+	slowHitsBefore := proxy.hits.Load()
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		if _, err := cli.Get(ctx, "/user[@id='u']/address-book"); err != nil {
+			t.Fatalf("steady get: %v", err)
+		}
+		if el := time.Since(start); el > 50*time.Millisecond {
+			t.Errorf("steady-state get %d took %v — slow replica still used", i, el)
+		}
+	}
+	if got := proxy.hits.Load(); got != slowHitsBefore {
+		t.Errorf("slow replica hit %d more times in steady state", got-slowHitsBefore)
+	}
+}

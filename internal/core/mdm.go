@@ -1,0 +1,536 @@
+// Package core implements the GUPster meta-data manager (MDM) — the paper's
+// primary contribution (§4): a Napster-style server that stores no profile
+// data itself, only meta-data (coverage and access-control policy), and
+// resolves client requests into signed referrals to the data stores that
+// hold the profile components.
+//
+// The MDM composes the substrate packages: the coverage registry (§4.3,
+// §4.5), the privacy shield and policy infrastructure (§4.6), signed query
+// tokens (§5.3), and the distributed query patterns — referral, chaining,
+// recruiting (§5.2) — plus the optional component cache and the
+// subscription (push) service §5.2 calls for.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gupster/internal/coverage"
+	"gupster/internal/policy"
+	"gupster/internal/provenance"
+	"gupster/internal/schema"
+	"gupster/internal/store"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// Resolution failures.
+var (
+	ErrDenied     = errors.New("gupster: access denied")
+	ErrSpurious   = errors.New("gupster: query does not fit the GUP schema")
+	ErrNoCoverage = errors.New("gupster: no data store covers the request")
+	ErrNoOwner    = errors.New("gupster: request does not identify a profile owner")
+)
+
+// Config parameterizes an MDM.
+type Config struct {
+	// Schema validates request paths (spurious-query filtering, §5.3) and
+	// is handed to the policy administration point. Nil disables filtering.
+	Schema *schema.Schema
+	// Signer signs referrals; shared with the data stores.
+	Signer *token.Signer
+	// GrantTTL bounds referral validity; default 30s.
+	GrantTTL time.Duration
+	// CacheEntries sizes the component cache used by chaining resolves;
+	// 0 disables caching.
+	CacheEntries int
+	// Keys drives merges.
+	Keys xmltree.KeySpec
+	// Provenance, when non-nil, receives a disclosure record for every
+	// grant and denial the MDM renders (§7's data-provenance challenge).
+	Provenance *provenance.Ledger
+	// Adjuncts, when non-nil, supply schema-adjunct metadata (requirement
+	// 8): components annotated NoCache bypass the chaining cache even when
+	// caching is enabled.
+	Adjuncts *schema.Adjuncts
+}
+
+// Stats are the MDM's observability counters.
+type Stats struct {
+	Resolves    atomic.Uint64
+	Denied      atomic.Uint64
+	Spurious    atomic.Uint64
+	CacheHits   atomic.Uint64
+	CacheMisses atomic.Uint64
+	// ShieldEvals counts privacy-shield decisions — the quantity push
+	// subscriptions save versus polling (benchmark E8).
+	ShieldEvals  atomic.Uint64
+	BytesProxied atomic.Uint64
+	Notifies     atomic.Uint64
+}
+
+// MDM is the GUPster server core. It is usable in-process (benchmarks,
+// embedded deployments) or wrapped by Server for the wire protocol.
+type MDM struct {
+	cfg      Config
+	Registry *coverage.Registry
+	Repo     *policy.Repository
+	PAP      *policy.AdministrationPoint
+	PDP      *policy.DecisionPoint
+	Stats    Stats
+
+	mu    sync.RWMutex
+	addrs map[coverage.StoreID]string // store → dialable address
+
+	cache *componentCache
+	subs  *subscriptions
+
+	poolMu sync.Mutex
+	pool   map[string]*store.Client // address → connection (chaining)
+}
+
+// New assembles an MDM.
+func New(cfg Config) *MDM {
+	if cfg.GrantTTL == 0 {
+		cfg.GrantTTL = 30 * time.Second
+	}
+	if cfg.Keys == nil {
+		cfg.Keys = xmltree.DefaultKeys
+	}
+	repo := policy.NewRepository()
+	m := &MDM{
+		cfg:      cfg,
+		Registry: coverage.New(),
+		Repo:     repo,
+		PDP:      &policy.DecisionPoint{Repo: repo, DefaultOwnerAccess: true},
+		addrs:    make(map[coverage.StoreID]string),
+		subs:     newSubscriptions(),
+		pool:     make(map[string]*store.Client),
+	}
+	m.PAP = &policy.AdministrationPoint{Repo: repo}
+	if cfg.Schema != nil {
+		m.PAP.ValidatePath = cfg.Schema.ValidatePath
+	}
+	if cfg.CacheEntries > 0 {
+		m.cache = newComponentCache(cfg.CacheEntries)
+	}
+	return m
+}
+
+// Register records that a store (reachable at addr) covers path.
+func (m *MDM) Register(storeID coverage.StoreID, addr string, path xpath.Path) error {
+	if err := m.Registry.Register(path, storeID); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if addr != "" {
+		m.addrs[storeID] = addr
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// Unregister withdraws a coverage registration.
+func (m *MDM) Unregister(storeID coverage.StoreID, path xpath.Path) error {
+	return m.Registry.Unregister(path, storeID)
+}
+
+// AddrOf returns a store's dialable address.
+func (m *MDM) AddrOf(storeID coverage.StoreID) string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.addrs[storeID]
+}
+
+// ownerOf determines the profile owner of a request.
+func ownerOf(req *wire.ResolveRequest, p xpath.Path) (string, error) {
+	if req.Owner != "" {
+		return req.Owner, nil
+	}
+	if u, ok := coverage.UserOf(p); ok {
+		return u, nil
+	}
+	return "", ErrNoOwner
+}
+
+// Resolve is the MDM's central operation: filter, decide, rewrite, sign.
+// For the referral pattern the response carries alternatives of signed
+// queries; for chaining and recruiting it carries merged data.
+func (m *MDM) Resolve(ctx context.Context, req *wire.ResolveRequest) (*wire.ResolveResponse, error) {
+	m.Stats.Resolves.Add(1)
+	p, err := xpath.Parse(req.Path)
+	if err != nil {
+		m.Stats.Spurious.Add(1)
+		return nil, fmt.Errorf("%w: %v", ErrSpurious, err)
+	}
+	if m.cfg.Schema != nil {
+		if err := m.cfg.Schema.ValidatePath(p); err != nil {
+			m.Stats.Spurious.Add(1)
+			return nil, fmt.Errorf("%w: %v", ErrSpurious, err)
+		}
+	}
+	owner, err := ownerOf(req, p)
+	if err != nil {
+		return nil, err
+	}
+	verb := req.Verb
+	if verb == "" {
+		verb = token.VerbFetch
+	}
+
+	m.Stats.ShieldEvals.Add(1)
+	decision := m.PDP.Decide(owner, p, req.Context)
+	if !decision.Granted() {
+		m.Stats.Denied.Add(1)
+		m.recordProvenance(owner, req, verb, decision, nil)
+		return nil, fmt.Errorf("%w: %s for %s", ErrDenied, req.Path, req.Context.Requester)
+	}
+
+	alts, err := m.plan(owner, decision.Grants, verb, req.Context.Requester)
+	if err != nil {
+		return nil, err
+	}
+	m.recordProvenance(owner, req, verb, decision, alts)
+
+	switch req.Pattern {
+	case "", wire.PatternReferral:
+		return &wire.ResolveResponse{Alternatives: alts}, nil
+	case wire.PatternChaining:
+		return m.chain(ctx, owner, decision.Grants, alts)
+	case wire.PatternRecruiting:
+		return m.recruit(ctx, alts)
+	default:
+		return nil, fmt.Errorf("gupster: unknown query pattern %q", req.Pattern)
+	}
+}
+
+// plan rewrites granted paths into referral alternatives.
+//
+// For a single grant: every full-cover registration yields a one-referral
+// alternative (the client's choice, the paper's "||"); if none exists but
+// partial covers do, they form one multi-referral alternative whose pieces
+// the client merges (Figure 9). With several narrowed grants the per-grant
+// plans are combined into a single alternative (all pieces needed).
+func (m *MDM) plan(owner string, grants []xpath.Path, verb token.Verb, requester string) ([]wire.Alternative, error) {
+	sign := func(st coverage.StoreID, p xpath.Path) wire.Referral {
+		return wire.Referral{
+			Query:   m.cfg.Signer.Sign(string(st), owner, p, verb, requester, m.cfg.GrantTTL),
+			Address: m.AddrOf(st),
+		}
+	}
+
+	perGrant := make([][]wire.Alternative, 0, len(grants))
+	for _, g := range grants {
+		matches := m.Registry.Lookup(g)
+		var full []coverage.Match
+		var partial []coverage.Match
+		for _, mt := range matches {
+			if mt.Rel == xpath.CoverFull {
+				full = append(full, mt)
+			} else {
+				partial = append(partial, mt)
+			}
+		}
+		var alts []wire.Alternative
+		for _, f := range full {
+			// The signed path is the grant itself: the store holds a
+			// superset, the client asks for exactly what was granted.
+			alts = append(alts, wire.Alternative{Referrals: []wire.Referral{sign(f.Store, g)}})
+		}
+		if len(alts) == 0 && len(partial) > 0 {
+			var refs []wire.Referral
+			for _, pm := range partial {
+				// The signed path is the intersection of the grant and the
+				// registration: exactly the piece this store holds of what
+				// was granted.
+				piece, ok := xpath.Intersect(g, pm.Path)
+				if !ok {
+					continue
+				}
+				refs = append(refs, sign(pm.Store, piece))
+			}
+			if len(refs) > 0 {
+				alts = append(alts, wire.Alternative{Referrals: refs, Merge: "deep-union"})
+			}
+		}
+		if len(alts) == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoCoverage, g)
+		}
+		perGrant = append(perGrant, alts)
+	}
+
+	if len(perGrant) == 1 {
+		return perGrant[0], nil
+	}
+	// Multiple narrowed grants: all pieces are needed together. Take the
+	// first alternative of each grant and combine.
+	combined := wire.Alternative{Merge: "deep-union"}
+	for _, alts := range perGrant {
+		combined.Referrals = append(combined.Referrals, alts[0].Referrals...)
+	}
+	return []wire.Alternative{combined}, nil
+}
+
+// storeClient returns a pooled connection to a store address.
+func (m *MDM) storeClient(addr string) (*store.Client, error) {
+	if addr == "" {
+		return nil, errors.New("gupster: store has no registered address")
+	}
+	m.poolMu.Lock()
+	defer m.poolMu.Unlock()
+	if c, ok := m.pool[addr]; ok {
+		return c, nil
+	}
+	c, err := store.DialClient(addr)
+	if err != nil {
+		return nil, err
+	}
+	m.pool[addr] = c
+	return c, nil
+}
+
+// dropStoreClient evicts a pooled connection after a failure.
+func (m *MDM) dropStoreClient(addr string) {
+	m.poolMu.Lock()
+	if c, ok := m.pool[addr]; ok {
+		c.Close()
+		delete(m.pool, addr)
+	}
+	m.poolMu.Unlock()
+}
+
+// cacheKey derives the cache identity of a grant set.
+func cacheKey(owner string, grants []xpath.Path) string {
+	parts := make([]string, len(grants))
+	for i, g := range grants {
+		parts[i] = g.String()
+	}
+	sort.Strings(parts)
+	key := owner
+	for _, p := range parts {
+		key += "\x00" + p
+	}
+	return key
+}
+
+// chain implements the chaining pattern: the MDM fetches the pieces itself,
+// merges, and returns data — for clients too limited to follow referrals
+// (§5.2). Results are cached when the cache is enabled.
+func (m *MDM) chain(ctx context.Context, owner string, grants []xpath.Path, alts []wire.Alternative) (*wire.ResolveResponse, error) {
+	key := cacheKey(owner, grants)
+	cacheable := m.cache != nil && m.cacheableGrants(grants)
+	if cacheable {
+		if xml, ok := m.cache.get(key); ok {
+			m.Stats.CacheHits.Add(1)
+			return &wire.ResolveResponse{Data: xml, Cached: true}, nil
+		}
+		m.Stats.CacheMisses.Add(1)
+	}
+
+	var lastErr error
+	for _, alt := range alts {
+		merged, err := m.fetchAlternative(ctx, alt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		xml := ""
+		if merged != nil {
+			xml = merged.String()
+		}
+		m.Stats.BytesProxied.Add(uint64(len(xml)))
+		if cacheable && xml != "" {
+			m.cache.put(key, owner, xml)
+		}
+		return &wire.ResolveResponse{Data: xml}, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoCoverage
+	}
+	return nil, lastErr
+}
+
+// cacheableGrants reports whether every granted path may be cached under
+// the schema adjuncts (volatile and financial components are annotated
+// NoCache). Without adjuncts everything is cacheable.
+func (m *MDM) cacheableGrants(grants []xpath.Path) bool {
+	if m.cfg.Adjuncts == nil {
+		return true
+	}
+	for _, g := range grants {
+		if adj, ok := m.cfg.Adjuncts.Lookup(g); ok && adj.NoCache {
+			return false
+		}
+	}
+	return true
+}
+
+// fetchAlternative retrieves and merges all referrals of one alternative.
+func (m *MDM) fetchAlternative(ctx context.Context, alt wire.Alternative) (*xmltree.Node, error) {
+	var pieces []*xmltree.Node
+	for _, ref := range alt.Referrals {
+		c, err := m.storeClient(ref.Address)
+		if err != nil {
+			return nil, err
+		}
+		doc, _, err := c.Fetch(ctx, ref.Query)
+		if err != nil {
+			m.dropStoreClient(ref.Address)
+			return nil, err
+		}
+		if doc != nil {
+			pieces = append(pieces, doc)
+		}
+	}
+	return xmltree.MergeAll(m.cfg.Keys, pieces...), nil
+}
+
+// recruit implements the recruiting pattern: the query migrates to the
+// first referral's store, which gathers the sibling pieces itself.
+func (m *MDM) recruit(ctx context.Context, alts []wire.Alternative) (*wire.ResolveResponse, error) {
+	var lastErr error
+	for _, alt := range alts {
+		if len(alt.Referrals) == 0 {
+			continue
+		}
+		primary := alt.Referrals[0]
+		c, err := m.storeClient(primary.Address)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		merged, err := c.Exec(ctx, wire.FetchRequest{Query: primary.Query}, alt.Referrals[1:])
+		if err != nil {
+			m.dropStoreClient(primary.Address)
+			lastErr = err
+			continue
+		}
+		xml := ""
+		if merged != nil {
+			xml = merged.String()
+		}
+		// Recruiting moves only the final result through neither the MDM
+		// nor extra client round trips; the MDM just relays the response.
+		m.Stats.BytesProxied.Add(uint64(len(xml)))
+		return &wire.ResolveResponse{Data: xml}, nil
+	}
+	if lastErr == nil {
+		lastErr = ErrNoCoverage
+	}
+	return nil, lastErr
+}
+
+// recordProvenance appends a disclosure record when the ledger is enabled.
+func (m *MDM) recordProvenance(owner string, req *wire.ResolveRequest, verb token.Verb, d policy.Decision, alts []wire.Alternative) {
+	if m.cfg.Provenance == nil {
+		return
+	}
+	rec := provenance.Record{
+		Owner:     owner,
+		Path:      req.Path,
+		Requester: req.Context.Requester,
+		Role:      req.Context.Role,
+		Purpose:   string(req.Context.Purpose),
+		Verb:      string(verb),
+		Outcome:   provenance.Denied,
+		RuleID:    d.RuleID,
+	}
+	if d.Granted() {
+		rec.Outcome = provenance.Granted
+		for _, g := range d.Grants {
+			rec.Grants = append(rec.Grants, g.String())
+		}
+		seen := map[string]bool{}
+		for _, alt := range alts {
+			for _, ref := range alt.Referrals {
+				if !seen[ref.Query.Store] {
+					seen[ref.Query.Store] = true
+					rec.Stores = append(rec.Stores, ref.Query.Store)
+				}
+			}
+		}
+		sort.Strings(rec.Stores)
+	}
+	m.cfg.Provenance.Append(rec)
+}
+
+// Provenance exposes the ledger (nil when disabled).
+func (m *MDM) Provenance() *provenance.Ledger { return m.cfg.Provenance }
+
+// HandleChanged ingests a component-change notice from a store: it
+// invalidates cache entries and fans out subscription notifications.
+func (m *MDM) HandleChanged(n *wire.ChangedNotice) {
+	if m.cache != nil {
+		m.cache.invalidateOwner(n.User)
+	}
+	p, err := xpath.Parse(n.Path)
+	if err != nil {
+		return
+	}
+	m.notifySubscribers(n.User, p, n.XML, n.Version)
+}
+
+// CoverageSnapshot exports every live registration in wire form; mirrored
+// MDMs replay it to peers that join (or rejoin) the constellation so
+// late-comers catch up (§5.3 reliability).
+func (m *MDM) CoverageSnapshot() []wire.RegisterRequest {
+	regs := m.Registry.Snapshot()
+	out := make([]wire.RegisterRequest, 0, len(regs))
+	for _, reg := range regs {
+		out = append(out, wire.RegisterRequest{
+			Store:   string(reg.Store),
+			Address: m.AddrOf(reg.Store),
+			Path:    reg.Path.String(),
+		})
+	}
+	return out
+}
+
+// ShieldSnapshot exports every provisioned privacy-shield rule in wire
+// form, for the same catch-up purpose. Rules with conditions outside the
+// provisioning syntax serialize as "always" (see policy.Encode); shields
+// are normally provisioned over the wire, so this is lossless in practice.
+func (m *MDM) ShieldSnapshot() []wire.PutRuleRequest {
+	var out []wire.PutRuleRequest
+	for _, owner := range m.Repo.ChangedSince(0) {
+		shield, err := m.Repo.Get(owner)
+		if err != nil {
+			continue
+		}
+		for _, rule := range shield.Rules {
+			out = append(out, wire.PutRuleRequest{Owner: owner, Rule: encodeRule(rule)})
+		}
+	}
+	return out
+}
+
+// Snapshot returns a point-in-time stats view.
+func (m *MDM) Snapshot() wire.StatsResponse {
+	return wire.StatsResponse{
+		Resolves:      m.Stats.Resolves.Load(),
+		Denied:        m.Stats.Denied.Load(),
+		Spurious:      m.Stats.Spurious.Load(),
+		CacheHits:     m.Stats.CacheHits.Load(),
+		CacheMisses:   m.Stats.CacheMisses.Load(),
+		Registrations: m.Registry.Len(),
+		Subscriptions: m.subs.len(),
+		BytesProxied:  m.Stats.BytesProxied.Load(),
+	}
+}
+
+// Close releases pooled store connections.
+func (m *MDM) Close() {
+	m.poolMu.Lock()
+	defer m.poolMu.Unlock()
+	for addr, c := range m.pool {
+		c.Close()
+		delete(m.pool, addr)
+	}
+}

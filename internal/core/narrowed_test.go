@@ -1,0 +1,191 @@
+package core_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"gupster/internal/policy"
+	"gupster/internal/store"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// An update against a split component fans out through partial referrals:
+// each store receives only its piece (extractForReferral + scoped replace).
+func TestUpdateThroughPartialReferrals(t *testing.T) {
+	r := newRig(t, 0)
+	r.addStore("s-personal")
+	r.addStore("s-corporate")
+	r.register("s-personal", "/user[@id='u']/address-book/item[@type='personal']")
+	r.register("s-corporate", "/user[@id='u']/address-book/item[@type='corporate']")
+	r.seed("s-personal", "u", "/user[@id='u']/address-book",
+		`<address-book><item name="mom" type="personal"><phone>1</phone></item></address-book>`)
+	r.seed("s-corporate", "u", "/user[@id='u']/address-book",
+		`<address-book><item name="boss" type="corporate"><phone>2</phone></item></address-book>`)
+
+	cli := r.client("u", "self")
+	// The new book changes both halves.
+	newBook := xmltree.MustParse(`<address-book>
+		<item name="mom" type="personal"><phone>NEW-P</phone></item>
+		<item name="dentist" type="personal"><phone>3</phone></item>
+		<item name="boss" type="corporate"><phone>NEW-C</phone></item>
+	</address-book>`)
+	n, err := cli.Update(context.Background(), "/user[@id='u']/address-book", newBook)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("written to %d stores, want 2", n)
+	}
+	// Each store holds exactly its half.
+	pers, _, err := r.stores["s-personal"].Engine.GetComponent("u", xpath.MustParse("/user[@id='u']/address-book"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pers.ChildrenNamed("item")) != 2 {
+		t.Errorf("personal store items:\n%s", pers.Indent())
+	}
+	for _, it := range pers.ChildrenNamed("item") {
+		if v, _ := it.Attr("type"); v != "personal" {
+			t.Errorf("corporate item leaked to personal store: %s", it)
+		}
+	}
+	corp, _, err := r.stores["s-corporate"].Engine.GetComponent("u", xpath.MustParse("/user[@id='u']/address-book"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := corp.ChildrenNamed("item")
+	if len(items) != 1 || items[0].ChildText("phone") != "NEW-C" {
+		t.Errorf("corporate store items:\n%s", corp.Indent())
+	}
+	// And the merged read agrees with the written book.
+	merged, err := cli.Get(context.Background(), "/user[@id='u']/address-book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(merged.Child("address-book").ChildrenNamed("item")); got != 3 {
+		t.Errorf("merged items = %d\n%s", got, merged.Indent())
+	}
+}
+
+// A subscription under a narrowed grant delivers only the granted subset of
+// a changed component (filterToGrants).
+func TestSubscriptionNarrowedGrantFiltering(t *testing.T) {
+	r := newRig(t, 0)
+	r.addStore("s1")
+	r.register("s1", "/user[@id='alice']/address-book")
+
+	// Family may see only the personal items.
+	owner := r.client("alice", "self")
+	if err := owner.PutRule(context.Background(), "alice", policy.Rule{
+		ID:     "fam",
+		Path:   xpath.MustParse("/user[@id='alice']/address-book/item[@type='personal']"),
+		Cond:   policy.RoleIs("family"),
+		Effect: policy.Permit,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	family := r.client("mom", "family")
+	got := make(chan wire.Notification, 4)
+	if _, err := family.Subscribe(context.Background(), "/user[@id='alice']/address-book", func(n wire.Notification) {
+		got <- n
+	}); err != nil {
+		t.Fatalf("family subscribe: %v", err)
+	}
+
+	// The store changes the whole book (both halves).
+	r.seed("s1", "alice", "/user[@id='alice']/address-book", `<address-book>
+		<item name="mom" type="personal"><phone>1</phone></item>
+		<item name="boss" type="corporate"><phone>SECRET</phone></item>
+	</address-book>`)
+
+	select {
+	case n := <-got:
+		if !strings.Contains(n.XML, "mom") {
+			t.Errorf("granted content missing: %q", n.XML)
+		}
+		if strings.Contains(n.XML, "SECRET") || strings.Contains(n.XML, "boss") {
+			t.Errorf("narrowed subscription leaked corporate data: %q", n.XML)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("notification never arrived")
+	}
+
+	// A change containing nothing granted is suppressed entirely.
+	r.seed("s1", "alice", "/user[@id='alice']/address-book",
+		`<address-book><item name="boss" type="corporate"><phone>SECRET2</phone></item></address-book>`)
+	select {
+	case n := <-got:
+		t.Fatalf("ungranted change delivered: %q", n.XML)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+// A changed notice arriving over the wire (as datastored sends it) drives
+// subscriptions exactly like the in-process hook.
+func TestChangedNoticeOverWire(t *testing.T) {
+	r := newRig(t, 0)
+	r.addStore("s1")
+	r.register("s1", "/user[@id='u']/presence")
+
+	cli := r.client("u", "self")
+	got := make(chan wire.Notification, 1)
+	if _, err := cli.Subscribe(context.Background(), "/user[@id='u']/presence", func(n wire.Notification) {
+		got <- n
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := wire.Dial(r.server.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	err = conn.Call(context.Background(), wire.TypeChanged, &wire.ChangedNotice{
+		Store: "s1", User: "u", Path: "/user[@id='u']/presence",
+		XML: `<presence status="wired"/>`, Version: 42,
+	}, nil)
+	if err != nil {
+		t.Fatalf("changed notice: %v", err)
+	}
+	select {
+	case n := <-got:
+		if !strings.Contains(n.XML, "wired") || n.Version != 42 {
+			t.Errorf("notification = %+v", n)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("wire-path notification never arrived")
+	}
+	// A malformed notice is rejected, not fatal.
+	if err := conn.Call(context.Background(), wire.TypeChanged, "not-a-notice", nil); err == nil {
+		t.Error("garbage notice accepted")
+	}
+}
+
+// SignFor lets a co-located trusted service mint a grant directly.
+func TestSignFor(t *testing.T) {
+	r := newRig(t, 0)
+	s := r.addStore("s1")
+	r.seed("s1", "u", "/user[@id='u']/presence", `<presence status="on"/>`)
+	q := r.mdm.SignFor("s1", "u", xpath.MustParse("/user[@id='u']/presence"), token.VerbFetch, "svc")
+	sc := dialStoreClient(t, s.Addr())
+	doc, _, err := sc.Fetch(context.Background(), q)
+	if err != nil || doc == nil {
+		t.Fatalf("SignFor grant rejected: %v", err)
+	}
+}
+
+func dialStoreClient(t *testing.T, addr string) *store.Client {
+	t.Helper()
+	sc, err := store.DialClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sc.Close() })
+	return sc
+}

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/policy"
+	"gupster/internal/provenance"
+	"gupster/internal/schema"
+	"gupster/internal/store"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/xpath"
+)
+
+// provRig builds an MDM with the provenance ledger enabled.
+func provRig(t *testing.T) *rig {
+	t.Helper()
+	signer := token.NewSigner(key)
+	m := core.New(core.Config{
+		Schema:     schema.GUP(),
+		Signer:     signer,
+		GrantTTL:   time.Minute,
+		Provenance: provenance.NewLedger(256),
+	})
+	srv := core.NewServer(m)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{t: t, mdm: m, server: srv, stores: map[string]*store.Server{}, signer: signer}
+	t.Cleanup(func() {
+		m.Close()
+		srv.Close()
+		for _, s := range r.stores {
+			s.Close()
+		}
+	})
+	return r
+}
+
+func TestProvenanceEndToEnd(t *testing.T) {
+	r := provRig(t)
+	r.addStore("s1")
+	r.register("s1", "/user[@id='alice']/presence")
+	r.seed("s1", "alice", "/user[@id='alice']/presence", `<presence status="on"/>`)
+
+	// Grant family access to presence.
+	owner := r.client("alice", "self")
+	if err := owner.PutRule(context.Background(), "alice", policy.Rule{
+		ID: "fam", Path: xpath.MustParse("/user[@id='alice']/presence"),
+		Cond: policy.RoleIs("family"), Effect: policy.Permit,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bob (family) reads presence twice; Eve is denied the wallet.
+	bob := r.client("bob", "family")
+	for i := 0; i < 2; i++ {
+		if _, err := bob.Get(context.Background(), "/user[@id='alice']/presence"); err != nil {
+			t.Fatalf("bob get: %v", err)
+		}
+	}
+	eve := r.client("eve", "third-party")
+	r.register("s1", "/user[@id='alice']/wallet")
+	if _, err := eve.Get(context.Background(), "/user[@id='alice']/wallet"); err == nil {
+		t.Fatal("eve got the wallet")
+	}
+
+	// Alice reads her disclosure ledger.
+	recs, err := owner.Provenance(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("Provenance: %v", err)
+	}
+	var bobGrants, eveDenials int
+	for _, rec := range recs {
+		switch {
+		case rec.Requester == "bob" && rec.Outcome == "granted":
+			bobGrants++
+			if len(rec.Stores) != 1 || rec.Stores[0] != "s1" {
+				t.Errorf("bob record stores = %v", rec.Stores)
+			}
+			if rec.RuleID != "fam" {
+				t.Errorf("bob record rule = %q", rec.RuleID)
+			}
+		case rec.Requester == "eve" && rec.Outcome == "denied":
+			eveDenials++
+		}
+	}
+	if bobGrants != 2 || eveDenials != 1 {
+		t.Fatalf("bobGrants=%d eveDenials=%d (records: %+v)", bobGrants, eveDenials, recs)
+	}
+
+	// The summary rolls up per requester.
+	sums, err := owner.ProvenanceSummary(context.Background())
+	if err != nil {
+		t.Fatalf("ProvenanceSummary: %v", err)
+	}
+	byReq := map[string]wire.ProvenanceSummary{}
+	for _, s := range sums {
+		byReq[s.Requester] = s
+	}
+	if byReq["bob"].Grants != 2 || byReq["eve"].Denials != 1 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+
+	// Only the owner may read her ledger.
+	if _, err := eve.Provenance(context.Background(), 0); err != nil {
+		// eve asks for her own ledger — that is allowed (it is about her
+		// requests *as owner* and contains nothing of alice's).
+		t.Fatalf("eve reading her own (empty) ledger: %v", err)
+	}
+	// Impersonation at the wire layer is rejected.
+	var resp wire.ProvenanceResponse
+	raw, err := wire.Dial(r.server.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	err = raw.Call(context.Background(), wire.TypeProvenance, &wire.ProvenanceRequest{
+		Owner: "alice", Requester: "eve",
+	}, &resp)
+	if err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Fatalf("cross-owner ledger read: %v", err)
+	}
+}
+
+func TestProvenanceDisabled(t *testing.T) {
+	r := newRig(t, 0) // ledger off
+	cli := r.client("u", "self")
+	if _, err := cli.Provenance(context.Background(), 0); err == nil || !strings.Contains(err.Error(), "not enabled") {
+		t.Fatalf("disabled ledger: %v", err)
+	}
+}
+
+// Subscriptions are disclosures too.
+func TestProvenanceRecordsSubscriptions(t *testing.T) {
+	r := provRig(t)
+	r.addStore("s1")
+	r.register("s1", "/user[@id='alice']/presence")
+	owner := r.client("alice", "self")
+	if _, err := owner.Subscribe(context.Background(), "/user[@id='alice']/presence", func(wire.Notification) {}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := owner.Provenance(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rec := range recs {
+		if rec.Verb == "subscribe" && rec.Outcome == "granted" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no subscribe record in %+v", recs)
+	}
+}

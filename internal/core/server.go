@@ -1,0 +1,244 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"gupster/internal/coverage"
+	"gupster/internal/policy"
+	"gupster/internal/wire"
+	"gupster/internal/xpath"
+)
+
+// Server exposes an MDM over the wire protocol (Figure 7: clients and data
+// stores both talk to the GUPster server).
+type Server struct {
+	MDM *MDM
+	ws  *wire.Server
+}
+
+// NewServer wraps an MDM; call Start.
+func NewServer(m *MDM) *Server {
+	return &Server{MDM: m}
+}
+
+// Start listens on addr.
+func (s *Server) Start(addr string) error {
+	ws, err := wire.Serve(addr, wire.HandlerFunc(s.serve))
+	if err != nil {
+		return err
+	}
+	s.ws = ws
+	return nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ws.Addr() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.ws.Close() }
+
+// Handle dispatches one message; exported so federated nodes can embed a
+// core server behind their own listener.
+func (s *Server) Handle(c *wire.ServerConn, m *wire.Message) { s.serve(c, m) }
+
+func (s *Server) serve(c *wire.ServerConn, m *wire.Message) {
+	var err error
+	switch m.Type {
+	case wire.TypeResolve:
+		err = s.handleResolve(c, m)
+	case wire.TypeRegister:
+		err = s.handleRegister(c, m)
+	case wire.TypeUnregister:
+		err = s.handleUnregister(c, m)
+	case wire.TypeSubscribe:
+		err = s.handleSubscribe(c, m)
+	case wire.TypeUnsubscribe:
+		err = s.handleUnsubscribe(c, m)
+	case wire.TypePutRule:
+		err = s.handlePutRule(c, m)
+	case wire.TypeDeleteRule:
+		err = s.handleDeleteRule(c, m)
+	case wire.TypeChanged:
+		err = s.handleChanged(c, m)
+	case wire.TypeStats:
+		err = c.Reply(m, s.MDM.Snapshot())
+	case wire.TypeProvenance:
+		err = s.handleProvenance(c, m)
+	default:
+		err = fmt.Errorf("gupster: unknown message type %q", m.Type)
+	}
+	if err != nil {
+		_ = c.ReplyError(m, err)
+	}
+}
+
+func (s *Server) handleResolve(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.ResolveRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	resp, err := s.MDM.Resolve(context.Background(), &req)
+	if err != nil {
+		return err
+	}
+	return c.Reply(m, resp)
+}
+
+func (s *Server) handleRegister(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.RegisterRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	p, err := xpath.Parse(req.Path)
+	if err != nil {
+		return err
+	}
+	if err := s.MDM.Register(coverage.StoreID(req.Store), req.Address, p); err != nil {
+		return err
+	}
+	return c.Reply(m, wire.Empty{})
+}
+
+func (s *Server) handleUnregister(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.UnregisterRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	p, err := xpath.Parse(req.Path)
+	if err != nil {
+		return err
+	}
+	if err := s.MDM.Unregister(coverage.StoreID(req.Store), p); err != nil {
+		return err
+	}
+	return c.Reply(m, wire.Empty{})
+}
+
+func (s *Server) handleSubscribe(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.SubscribeRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	id, err := s.MDM.Subscribe(&req, func(n wire.Notification) {
+		_ = c.Notify(wire.TypeNotify, n)
+	})
+	if err != nil {
+		return err
+	}
+	// Tear the subscription down with the connection.
+	c.OnClose(func() { s.MDM.Unsubscribe(id) })
+	return c.Reply(m, wire.SubscribeResponse{SubID: id})
+}
+
+func (s *Server) handleUnsubscribe(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.UnsubscribeRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	if !s.MDM.Unsubscribe(req.SubID) {
+		return fmt.Errorf("gupster: no subscription %d", req.SubID)
+	}
+	return c.Reply(m, wire.Empty{})
+}
+
+func (s *Server) handlePutRule(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.PutRuleRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	rule, err := decodeRule(req.Rule)
+	if err != nil {
+		return err
+	}
+	if err := s.MDM.PAP.PutRule(req.Owner, rule); err != nil {
+		return err
+	}
+	return c.Reply(m, wire.Empty{})
+}
+
+func (s *Server) handleDeleteRule(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.DeleteRuleRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	if err := s.MDM.PAP.DeleteRule(req.Owner, req.RuleID); err != nil {
+		return err
+	}
+	return c.Reply(m, wire.Empty{})
+}
+
+func (s *Server) handleChanged(c *wire.ServerConn, m *wire.Message) error {
+	var n wire.ChangedNotice
+	if err := wire.Unmarshal(m.Payload, &n); err != nil {
+		return err
+	}
+	s.MDM.HandleChanged(&n)
+	return c.Reply(m, wire.Empty{})
+}
+
+func (s *Server) handleProvenance(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.ProvenanceRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	ledger := s.MDM.Provenance()
+	if ledger == nil {
+		return fmt.Errorf("gupster: provenance ledger not enabled")
+	}
+	// Disclosure data is itself sensitive: only the owner reads her ledger.
+	if req.Requester != req.Owner {
+		return fmt.Errorf("%w: provenance of %s for %s", ErrDenied, req.Owner, req.Requester)
+	}
+	var resp wire.ProvenanceResponse
+	if req.Summarize {
+		for _, d := range ledger.Summary(req.Owner) {
+			resp.Summaries = append(resp.Summaries, wire.ProvenanceSummary{
+				Requester: d.Requester, Paths: d.Paths,
+				Grants: d.Grants, Denials: d.Denials, LastUnix: d.LastSeen.Unix(),
+			})
+		}
+	} else {
+		for _, r := range ledger.ByOwner(req.Owner, req.SinceSeq) {
+			resp.Records = append(resp.Records, wire.ProvenanceRecord{
+				Seq: r.Seq, TimeUnix: r.Time.Unix(), Path: r.Path,
+				Requester: r.Requester, Role: r.Role, Purpose: r.Purpose,
+				Verb: r.Verb, Outcome: string(r.Outcome), RuleID: r.RuleID,
+				Grants: r.Grants, Stores: r.Stores,
+			})
+		}
+	}
+	return c.Reply(m, resp)
+}
+
+// decodeRule converts the wire form of a rule into a policy rule.
+func decodeRule(r wire.RulePayload) (policy.Rule, error) {
+	p, err := xpath.Parse(r.Path)
+	if err != nil {
+		return policy.Rule{}, err
+	}
+	cond, err := policy.ParseCond(r.Cond)
+	if err != nil {
+		return policy.Rule{}, err
+	}
+	eff := policy.Deny
+	switch r.Effect {
+	case "permit":
+		eff = policy.Permit
+	case "deny", "":
+	default:
+		return policy.Rule{}, fmt.Errorf("gupster: unknown effect %q", r.Effect)
+	}
+	return policy.Rule{ID: r.ID, Path: p, Cond: cond, Effect: eff, Priority: r.Priority}, nil
+}
+
+// encodeRule is the inverse of decodeRule, used by the client.
+func encodeRule(r policy.Rule) wire.RulePayload {
+	return wire.RulePayload{
+		ID:       r.ID,
+		Path:     r.Path.String(),
+		Effect:   r.Effect.String(),
+		Priority: r.Priority,
+		Cond:     policy.Encode(r.Cond),
+	}
+}

@@ -1,0 +1,285 @@
+// Package federation implements the architectural variants of §5.1 of the
+// paper — the alternatives to a single centralized meta-data manager:
+//
+//   - WhitePages: the "UDDI-like universally available white pages" that map
+//     a personal identifier to the MDM managing that user's meta-data, with
+//     support for "unlisted" pointers (§5.1.2, user-level distributed MDM),
+//   - Node: a hierarchical MDM that manages most of a user's meta-data
+//     itself but delegates designated profile subtrees to other MDMs (the
+//     bank holds the wallet meta-data, the portal holds gaming), knowing
+//     that the delegated meta-data exists but nothing about it,
+//   - Locator: the client-side discovery flow — ask the white pages, dial
+//     the user's MDM, resolve, following delegations transparently.
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"gupster/internal/core"
+	"gupster/internal/wire"
+	"gupster/internal/xpath"
+)
+
+// Discovery errors.
+var (
+	// ErrUnlisted means the user exists but chose not to publish an MDM
+	// pointer; applications must learn the address out of band (§5.1.2).
+	ErrUnlisted = errors.New("federation: user is unlisted")
+	// ErrUnknownUser means the white pages have no entry at all.
+	ErrUnknownUser = errors.New("federation: unknown user")
+)
+
+// WhitePages maps user identities to the MDM managing their meta-data.
+// Safe for concurrent use.
+type WhitePages struct {
+	mu      sync.RWMutex
+	entries map[string]wpEntry
+}
+
+type wpEntry struct {
+	addr     string
+	unlisted bool
+}
+
+// NewWhitePages returns an empty directory.
+func NewWhitePages() *WhitePages {
+	return &WhitePages{entries: make(map[string]wpEntry)}
+}
+
+// Set publishes (or, with unlisted=true, hides) a user's MDM pointer.
+func (w *WhitePages) Set(user, addr string, unlisted bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.entries[user] = wpEntry{addr: addr, unlisted: unlisted}
+}
+
+// Lookup resolves a user to an MDM address.
+func (w *WhitePages) Lookup(user string) (string, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	e, ok := w.entries[user]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownUser, user)
+	}
+	if e.unlisted {
+		return "", fmt.Errorf("%w: %s", ErrUnlisted, user)
+	}
+	return e.addr, nil
+}
+
+// Serve exposes the white pages over the wire protocol (who-has).
+func (w *WhitePages) Serve(addr string) (*wire.Server, error) {
+	return wire.Serve(addr, wire.HandlerFunc(func(c *wire.ServerConn, m *wire.Message) {
+		if m.Type != wire.TypeWhoHas {
+			_ = c.ReplyError(m, fmt.Errorf("white pages: unknown message type %q", m.Type))
+			return
+		}
+		var req wire.WhoHasRequest
+		if err := wire.Unmarshal(m.Payload, &req); err != nil {
+			_ = c.ReplyError(m, err)
+			return
+		}
+		a, err := w.Lookup(req.User)
+		switch {
+		case errors.Is(err, ErrUnlisted):
+			_ = c.Reply(m, wire.WhoHasResponse{Unlisted: true})
+		case err != nil:
+			_ = c.ReplyError(m, err)
+		default:
+			_ = c.Reply(m, wire.WhoHasResponse{Address: a})
+		}
+	}))
+}
+
+// Delegation hands meta-data management for a profile subtree to another
+// MDM node.
+type Delegation struct {
+	// Path scopes the delegation (e.g. /user[@id='alice']/wallet).
+	Path xpath.Path
+	// Addr is the delegate MDM's wire address.
+	Addr string
+}
+
+// Node is a hierarchical MDM: a local core.MDM plus delegations. A request
+// whose path falls inside a delegated subtree is forwarded; everything else
+// resolves locally. The node knows *that* delegated meta-data exists but
+// none of its content — the privacy property §5.1.2 asks for.
+type Node struct {
+	Local *core.MDM
+
+	mu          sync.RWMutex
+	delegations []Delegation
+
+	clientMu sync.Mutex
+	clients  map[string]*wire.Client
+}
+
+// NewNode wraps a local MDM.
+func NewNode(local *core.MDM) *Node {
+	return &Node{Local: local, clients: make(map[string]*wire.Client)}
+}
+
+// Delegate routes requests under path to the MDM at addr.
+func (n *Node) Delegate(path xpath.Path, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.delegations = append(n.delegations, Delegation{Path: path, Addr: addr})
+}
+
+// Delegations lists the node's delegations.
+func (n *Node) Delegations() []Delegation {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return append([]Delegation(nil), n.delegations...)
+}
+
+func (n *Node) delegateFor(p xpath.Path) (Delegation, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	for _, d := range n.delegations {
+		if xpath.Covers(d.Path, p) == xpath.CoverFull {
+			return d, true
+		}
+	}
+	return Delegation{}, false
+}
+
+func (n *Node) client(addr string) (*wire.Client, error) {
+	n.clientMu.Lock()
+	defer n.clientMu.Unlock()
+	if c, ok := n.clients[addr]; ok {
+		return c, nil
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.clients[addr] = c
+	return c, nil
+}
+
+// Resolve answers a request, forwarding into the hierarchy when a
+// delegation covers the path. The response's Hops field counts forwards.
+func (n *Node) Resolve(ctx context.Context, req *wire.ResolveRequest) (*wire.ResolveResponse, error) {
+	p, err := xpath.Parse(req.Path)
+	if err != nil {
+		return nil, fmt.Errorf("federation: %w", err)
+	}
+	if d, ok := n.delegateFor(p); ok {
+		c, err := n.client(d.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("federation: delegate %s unreachable: %w", d.Addr, err)
+		}
+		var resp wire.ResolveResponse
+		if err := c.Call(ctx, wire.TypeResolve, req, &resp); err != nil {
+			return nil, err
+		}
+		resp.Hops++
+		return &resp, nil
+	}
+	return n.Local.Resolve(ctx, req)
+}
+
+// Serve exposes the node over the wire protocol. It answers resolve (with
+// delegation), and defers every other message type to a plain core server
+// for the local MDM.
+func (n *Node) Serve(addr string) (*wire.Server, error) {
+	inner := core.NewServer(n.Local)
+	return wire.Serve(addr, wire.HandlerFunc(func(c *wire.ServerConn, m *wire.Message) {
+		if m.Type == wire.TypeResolve {
+			var req wire.ResolveRequest
+			if err := wire.Unmarshal(m.Payload, &req); err != nil {
+				_ = c.ReplyError(m, err)
+				return
+			}
+			resp, err := n.Resolve(context.Background(), &req)
+			if err != nil {
+				_ = c.ReplyError(m, err)
+				return
+			}
+			_ = c.Reply(m, resp)
+			return
+		}
+		inner.Handle(c, m)
+	}))
+}
+
+// Close releases delegate connections.
+func (n *Node) Close() {
+	n.clientMu.Lock()
+	defer n.clientMu.Unlock()
+	for addr, c := range n.clients {
+		c.Close()
+		delete(n.clients, addr)
+	}
+}
+
+// Locator is the client-side discovery flow for user-level distributed
+// MDMs: white pages first, then the user's MDM.
+type Locator struct {
+	wp *wire.Client
+
+	mu      sync.Mutex
+	clients map[string]*wire.Client
+}
+
+// NewLocator dials the white pages.
+func NewLocator(whitePagesAddr string) (*Locator, error) {
+	c, err := wire.Dial(whitePagesAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &Locator{wp: c, clients: make(map[string]*wire.Client)}, nil
+}
+
+// Close tears down all connections.
+func (l *Locator) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for addr, c := range l.clients {
+		c.Close()
+		delete(l.clients, addr)
+	}
+	l.wp.Close()
+}
+
+// WhoHas asks the white pages for a user's MDM address.
+func (l *Locator) WhoHas(ctx context.Context, user string) (string, error) {
+	var resp wire.WhoHasResponse
+	if err := l.wp.Call(ctx, wire.TypeWhoHas, &wire.WhoHasRequest{User: user}, &resp); err != nil {
+		return "", err
+	}
+	if resp.Unlisted {
+		return "", fmt.Errorf("%w: %s", ErrUnlisted, user)
+	}
+	return resp.Address, nil
+}
+
+// Resolve discovers the user's MDM and resolves there (one extra hop for
+// the discovery itself is not counted in Hops — it is a directory lookup,
+// not an MDM forward).
+func (l *Locator) Resolve(ctx context.Context, user string, req *wire.ResolveRequest) (*wire.ResolveResponse, error) {
+	addr, err := l.WhoHas(ctx, user)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	c, ok := l.clients[addr]
+	if !ok {
+		c, err = wire.Dial(addr)
+		if err != nil {
+			l.mu.Unlock()
+			return nil, err
+		}
+		l.clients[addr] = c
+	}
+	l.mu.Unlock()
+	var resp wire.ResolveResponse
+	if err := c.Call(ctx, wire.TypeResolve, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,277 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"gupster/internal/core"
+	"gupster/internal/wire"
+)
+
+// This file implements the paper's reliability architecture (§4.2: the
+// central repository "may be implemented as a constellation of connected
+// servers … a family of mirrored servers"; §5.3: "Reliability will be
+// achieved by having the logical single entry point be implemented by a
+// constellation of GUPster servers"):
+//
+//   - Mirror fronts a local MDM and replicates every meta-data mutation
+//     (coverage registrations, privacy-shield rules, change notices) to its
+//     peer mirrors, so any mirror can answer any resolve,
+//   - MirrorClient gives applications the logical single entry point: it
+//     talks to one mirror and fails over to the next when it dies.
+//
+// Replication is best-effort fan-out on the mutation path — exactly the
+// UDDI-style mirroring the paper invokes; peers that are down miss updates
+// until re-registration (stores re-announce coverage on reconnect, so the
+// registry is self-healing).
+
+// peerHello marks a connection as a mirror-to-mirror link so forwarded
+// mutations are not forwarded again (no loops).
+const typePeerHello = "peer-hello"
+
+// mutating message types that replicate across the constellation.
+var mirroredTypes = map[string]bool{
+	wire.TypeRegister:   true,
+	wire.TypeUnregister: true,
+	wire.TypePutRule:    true,
+	wire.TypeDeleteRule: true,
+	wire.TypeChanged:    true,
+}
+
+// Mirror is one member of an MDM constellation.
+type Mirror struct {
+	mdm   *core.MDM
+	local *core.Server
+
+	mu    sync.Mutex
+	peers map[string]*wire.Client // address → connection
+
+	// peerConns tracks inbound connections that identified as peers.
+	peerMu    sync.Mutex
+	peerConns map[*wire.ServerConn]bool
+
+	ws *wire.Server
+}
+
+// NewMirror fronts a local MDM.
+func NewMirror(local *core.MDM) *Mirror {
+	return &Mirror{
+		mdm:       local,
+		local:     core.NewServer(local),
+		peers:     make(map[string]*wire.Client),
+		peerConns: make(map[*wire.ServerConn]bool),
+	}
+}
+
+// Serve starts the mirror's listener.
+func (m *Mirror) Serve(addr string) (*wire.Server, error) {
+	ws, err := wire.Serve(addr, wire.HandlerFunc(m.handle))
+	if err != nil {
+		return nil, err
+	}
+	m.ws = ws
+	return ws, nil
+}
+
+// AddPeer connects this mirror to a peer mirror; mutations will be
+// forwarded there, and this mirror's current meta-data (coverage and
+// shields) is replayed to the peer so late joiners catch up. Peering is
+// directional — call on both sides (or use Join).
+func (m *Mirror) AddPeer(addr string) error {
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	if err := c.Call(context.Background(), typePeerHello, wire.Empty{}, nil); err != nil {
+		c.Close()
+		return err
+	}
+	// Install the peer first so concurrent mutations start forwarding, then
+	// replay the snapshot — replays are idempotent, so overlap is harmless.
+	m.mu.Lock()
+	if old, ok := m.peers[addr]; ok {
+		old.Close()
+	}
+	m.peers[addr] = c
+	m.mu.Unlock()
+	for _, reg := range m.mdm.CoverageSnapshot() {
+		_ = c.Call(context.Background(), wire.TypeRegister, &reg, nil)
+	}
+	for _, rule := range m.mdm.ShieldSnapshot() {
+		_ = c.Call(context.Background(), wire.TypePutRule, &rule, nil)
+	}
+	return nil
+}
+
+// Join wires a set of mirrors into a full mesh.
+func Join(mirrors []*Mirror, addrs []string) error {
+	if len(mirrors) != len(addrs) {
+		return errors.New("federation: mirrors/addrs length mismatch")
+	}
+	for i, m := range mirrors {
+		for j, addr := range addrs {
+			if i == j {
+				continue
+			}
+			if err := m.AddPeer(addr); err != nil {
+				return fmt.Errorf("federation: peering %d→%d: %w", i, j, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Close shuts down peer links (the listener is closed by its owner).
+func (m *Mirror) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for addr, c := range m.peers {
+		c.Close()
+		delete(m.peers, addr)
+	}
+}
+
+func (m *Mirror) handle(c *wire.ServerConn, msg *wire.Message) {
+	if msg.Type == typePeerHello {
+		m.peerMu.Lock()
+		m.peerConns[c] = true
+		m.peerMu.Unlock()
+		c.OnClose(func() {
+			m.peerMu.Lock()
+			delete(m.peerConns, c)
+			m.peerMu.Unlock()
+		})
+		_ = c.Reply(msg, wire.Empty{})
+		return
+	}
+	// Replicate mutations that originated from clients or stores — not
+	// ones that arrived over a peer link — synchronously, before the local
+	// apply replies to the caller: when the caller's acknowledgement
+	// arrives, the constellation has converged.
+	if mirroredTypes[msg.Type] {
+		m.peerMu.Lock()
+		fromPeer := m.peerConns[c]
+		m.peerMu.Unlock()
+		if !fromPeer {
+			m.mu.Lock()
+			peers := make([]*wire.Client, 0, len(m.peers))
+			for _, p := range m.peers {
+				peers = append(peers, p)
+			}
+			m.mu.Unlock()
+			for _, p := range peers {
+				// Best-effort: a dead peer misses the update; stores
+				// re-register on reconnect.
+				_ = p.Call(context.Background(), msg.Type, msg.Payload, nil)
+			}
+		}
+	}
+	// Apply locally (the local core server replies to the caller).
+	m.local.Handle(c, msg)
+}
+
+// ErrAllMirrorsDown reports that no member of the constellation answered.
+var ErrAllMirrorsDown = errors.New("federation: all mirrors unreachable")
+
+// MirrorClient is the application's logical single entry point to a
+// constellation: calls go to the current mirror and fail over to the next
+// on connection errors. Safe for concurrent use.
+type MirrorClient struct {
+	addrs []string
+
+	mu   sync.Mutex
+	cur  int
+	conn *wire.Client
+}
+
+// DialMirrors creates a failover client over the constellation's addresses.
+func DialMirrors(addrs []string) (*MirrorClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("federation: no mirror addresses")
+	}
+	mc := &MirrorClient{addrs: append([]string(nil), addrs...)}
+	if _, err := mc.connection(); err != nil {
+		return nil, err
+	}
+	return mc, nil
+}
+
+// connection returns the live connection, dialing forward through the
+// address list as needed.
+func (mc *MirrorClient) connection() (*wire.Client, error) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.conn != nil {
+		return mc.conn, nil
+	}
+	for range mc.addrs {
+		addr := mc.addrs[mc.cur%len(mc.addrs)]
+		c, err := wire.Dial(addr)
+		if err == nil {
+			mc.conn = c
+			return c, nil
+		}
+		mc.cur++
+	}
+	return nil, ErrAllMirrorsDown
+}
+
+// drop discards the current connection and advances to the next mirror.
+func (mc *MirrorClient) drop() {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.conn != nil {
+		mc.conn.Close()
+		mc.conn = nil
+	}
+	mc.cur++
+}
+
+// Call invokes one MDM operation with failover: connection-level failures
+// advance to the next mirror and retry (once per mirror). Application-level
+// errors (denials, spurious queries) are returned as-is — they would fail
+// identically everywhere.
+func (mc *MirrorClient) Call(ctx context.Context, msgType string, req, resp any) error {
+	var lastErr error
+	for attempt := 0; attempt < len(mc.addrs); attempt++ {
+		c, err := mc.connection()
+		if err != nil {
+			return err
+		}
+		err = c.Call(ctx, msgType, req, resp)
+		if err == nil {
+			return nil
+		}
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			return err // the MDM answered; failing over cannot help
+		}
+		lastErr = err
+		mc.drop()
+	}
+	if lastErr == nil {
+		lastErr = ErrAllMirrorsDown
+	}
+	return lastErr
+}
+
+// Resolve is the common operation, with failover.
+func (mc *MirrorClient) Resolve(ctx context.Context, req *wire.ResolveRequest) (*wire.ResolveResponse, error) {
+	var resp wire.ResolveResponse
+	if err := mc.Call(ctx, wire.TypeResolve, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Close tears down the current connection.
+func (mc *MirrorClient) Close() {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.conn != nil {
+		mc.conn.Close()
+		mc.conn = nil
+	}
+}

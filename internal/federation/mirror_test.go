@@ -1,0 +1,174 @@
+package federation_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"gupster/internal/core"
+	"gupster/internal/federation"
+	"gupster/internal/policy"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// constellation builds n fully-meshed mirrors, each with its own MDM.
+func constellation(t *testing.T, n int) ([]*core.MDM, []*wire.Server, []string) {
+	t.Helper()
+	mdms := make([]*core.MDM, n)
+	mirrors := make([]*federation.Mirror, n)
+	servers := make([]*wire.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		mdms[i] = newMDM(t)
+		mirrors[i] = federation.NewMirror(mdms[i])
+		srv, err := mirrors[i].Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+		i := i
+		t.Cleanup(func() { srv.Close(); mirrors[i].Close() })
+	}
+	if err := federation.Join(mirrors, addrs); err != nil {
+		t.Fatal(err)
+	}
+	return mdms, servers, addrs
+}
+
+func TestMirrorReplication(t *testing.T) {
+	mdms, _, addrs := constellation(t, 3)
+	st := newStore(t, "s1")
+	st.Engine.Put("alice", xpath.MustParse("/user[@id='alice']/presence"), xmltree.MustParse(`<presence status="on"/>`))
+
+	// A store registers coverage at mirror 0 only.
+	reg, err := wire.Dial(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	err = reg.Call(context.Background(), wire.TypeRegister, &wire.RegisterRequest{
+		Store: "s1", Address: st.Addr(), Path: "/user[@id='alice']/presence",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every mirror can now resolve the request.
+	req := &wire.ResolveRequest{
+		Path:    "/user[@id='alice']/presence",
+		Context: policy.Context{Requester: "alice"},
+		Verb:    token.VerbFetch,
+	}
+	for i := range mdms {
+		resp, err := mdms[i].Resolve(context.Background(), req)
+		if err != nil {
+			t.Fatalf("mirror %d: %v", i, err)
+		}
+		if len(resp.Alternatives) != 1 {
+			t.Fatalf("mirror %d: %+v", i, resp.Alternatives)
+		}
+	}
+
+	// A shield rule provisioned at mirror 1 applies at mirror 2.
+	err = callAt(t, addrs[1], wire.TypePutRule, &wire.PutRuleRequest{
+		Owner: "alice",
+		Rule: wire.RulePayload{
+			ID: "fam", Path: "/user[@id='alice']/presence",
+			Effect: "permit", Cond: "role=family",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	famReq := &wire.ResolveRequest{
+		Path:    "/user[@id='alice']/presence",
+		Context: policy.Context{Requester: "mom", Role: "family"},
+		Verb:    token.VerbFetch,
+	}
+	if _, err := mdms[2].Resolve(context.Background(), famReq); err != nil {
+		t.Fatalf("rule did not replicate to mirror 2: %v", err)
+	}
+	// Deleting it at mirror 2 removes it everywhere.
+	err = callAt(t, addrs[2], wire.TypeDeleteRule, &wire.DeleteRuleRequest{Owner: "alice", RuleID: "fam"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mdms[0].Resolve(context.Background(), famReq); err == nil {
+		t.Fatal("rule deletion did not replicate to mirror 0")
+	}
+	// Unregistration replicates too.
+	err = reg.Call(context.Background(), wire.TypeUnregister, &wire.UnregisterRequest{
+		Store: "s1", Path: "/user[@id='alice']/presence",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mdms[2].Resolve(context.Background(), req); err == nil {
+		t.Fatal("unregistration did not replicate")
+	}
+}
+
+func callAt(t *testing.T, addr, msgType string, req any) error {
+	t.Helper()
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	return c.Call(context.Background(), msgType, req, nil)
+}
+
+func TestMirrorClientFailover(t *testing.T) {
+	_, servers, addrs := constellation(t, 3)
+	st := newStore(t, "s1")
+	st.Engine.Put("u", xpath.MustParse("/user[@id='u']/presence"), xmltree.MustParse(`<presence/>`))
+	if err := callAt(t, addrs[0], wire.TypeRegister, &wire.RegisterRequest{
+		Store: "s1", Address: st.Addr(), Path: "/user[@id='u']/presence",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	mc, err := federation.DialMirrors(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	req := &wire.ResolveRequest{
+		Path:    "/user[@id='u']/presence",
+		Context: policy.Context{Requester: "u"},
+		Verb:    token.VerbFetch,
+	}
+	if _, err := mc.Resolve(context.Background(), req); err != nil {
+		t.Fatalf("initial resolve: %v", err)
+	}
+
+	// Kill the first two mirrors; the client fails over to the third.
+	servers[0].Close()
+	servers[1].Close()
+
+	if _, err := mc.Resolve(context.Background(), req); err != nil {
+		t.Fatalf("failover resolve: %v", err)
+	}
+	// Application-level errors do not trigger failover.
+	_, err = mc.Resolve(context.Background(), &wire.ResolveRequest{
+		Path:    "/user[@id='u']/wallet",
+		Context: policy.Context{Requester: "eve"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "denied") {
+		t.Fatalf("expected denial, got %v", err)
+	}
+}
+
+func TestAllMirrorsDown(t *testing.T) {
+	if _, err := federation.DialMirrors([]string{"127.0.0.1:1", "127.0.0.1:2"}); !errors.Is(err, federation.ErrAllMirrorsDown) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := federation.DialMirrors(nil); err == nil {
+		t.Fatal("empty address list accepted")
+	}
+}

@@ -1,0 +1,389 @@
+// Package hlr simulates the wireless network's data-management plane
+// (paper §3.1.2, Figure 3): the Home Location Register holding permanent
+// subscriber profiles and current locations, Visitor Location Registers
+// holding temporary copies for their coverage areas, and the
+// location-update / call-delivery interplay between them:
+//
+//   - a subscriber moving into a new VLR's area triggers a location update
+//     at the HLR, which cancels the registration at the old VLR,
+//   - call delivery interrogates the HLR, which asks the serving VLR for a
+//     roaming number routed via that VLR's MSC.
+//
+// The paper characterizes HLRs as main-memory databases serving simple
+// lookup queries for millions of subscribers; this simulator reproduces
+// that data-management behaviour (not the radio plane) and exports
+// subscriber state as GUP components (location, devices, services) so the
+// wireless network can join the GUPster federation through an adapter.
+package hlr
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"gupster/internal/xmltree"
+)
+
+// Simulator errors.
+var (
+	ErrNoSubscriber = errors.New("hlr: no such subscriber")
+	ErrNotAttached  = errors.New("hlr: subscriber not attached to any VLR")
+	ErrNoVLR        = errors.New("hlr: no such VLR")
+	ErrBarred       = errors.New("hlr: call barred")
+)
+
+// Services is the per-subscriber service profile the HLR stores (call
+// forwarding, barring, roaming, … — §3.1.2).
+type Services struct {
+	// CallForwarding, when non-empty, redirects incoming calls.
+	CallForwarding string
+	// BarredNumbers are callers the subscriber blocks.
+	BarredNumbers []string
+	// RoamingAllowed gates location updates from foreign VLRs.
+	RoamingAllowed bool
+	// CallerID controls presentation of the subscriber's number.
+	CallerID bool
+}
+
+// Subscriber is the permanent HLR record.
+type Subscriber struct {
+	IMSI     string
+	MSISDN   string // the phone number
+	AuthKey  string
+	Services Services
+}
+
+// location is the temporary part: which VLR serves the subscriber now.
+type location struct {
+	vlr     string
+	since   time.Time
+	onAir   bool
+	cell    string
+	roaming bool
+}
+
+// VLR is a visitor location register: the temporary subscriber snapshots
+// for one coverage area, fronted by one MSC.
+type VLR struct {
+	ID   string
+	MSC  string
+	Home bool // false marks a foreign-network VLR (roaming)
+
+	mu       sync.Mutex
+	visitors map[string]bool // IMSI set
+	nextTMSI int
+}
+
+func newVLR(id, msc string, home bool) *VLR {
+	return &VLR{ID: id, MSC: msc, Home: home, visitors: make(map[string]bool)}
+}
+
+// attach registers a visitor and allocates a temporary identity.
+func (v *VLR) attach(imsi string) string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.visitors[imsi] = true
+	v.nextTMSI++
+	return v.ID + "-tmsi-" + strconv.Itoa(v.nextTMSI)
+}
+
+// cancel implements the HLR→old-VLR cancel-location message.
+func (v *VLR) cancel(imsi string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.visitors, imsi)
+}
+
+// Visitors reports the current visitor count.
+func (v *VLR) Visitors() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.visitors)
+}
+
+// provideRoamingNumber hands out an MSC-routable number for call delivery.
+func (v *VLR) provideRoamingNumber(imsi string) string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.visitors[imsi] {
+		return ""
+	}
+	return v.MSC + "/roam/" + imsi
+}
+
+// Stats counts the operations the paper says dominate HLR load.
+type Stats struct {
+	LocationUpdates uint64
+	CallDeliveries  uint64
+	Lookups         uint64
+	AuthRequests    uint64
+	Cancels         uint64
+}
+
+// HLR is the home location register.
+type HLR struct {
+	mu       sync.RWMutex
+	subs     map[string]*Subscriber // IMSI → record
+	byNumber map[string]string      // MSISDN → IMSI
+	locs     map[string]*location   // IMSI → current location
+	vlrs     map[string]*VLR
+	stats    Stats
+	// onMove, when set, runs after a successful location update (feeds the
+	// GUP adapter so location components stay fresh).
+	onMove func(imsi string, loc *xmltree.Node)
+	now    func() time.Time
+}
+
+// New returns an empty HLR.
+func New() *HLR {
+	return &HLR{
+		subs:     make(map[string]*Subscriber),
+		byNumber: make(map[string]string),
+		locs:     make(map[string]*location),
+		vlrs:     make(map[string]*VLR),
+		now:      time.Now,
+	}
+}
+
+// WithClock injects a clock for tests.
+func (h *HLR) WithClock(now func() time.Time) *HLR {
+	h.now = now
+	return h
+}
+
+// OnMove registers the location-change hook. Set before concurrent use.
+func (h *HLR) OnMove(fn func(imsi string, loc *xmltree.Node)) {
+	h.onMove = fn
+}
+
+// AddVLR provisions a coverage area. home=false marks a roaming partner's
+// VLR.
+func (h *HLR) AddVLR(id, msc string, home bool) *VLR {
+	v := newVLR(id, msc, home)
+	h.mu.Lock()
+	h.vlrs[id] = v
+	h.mu.Unlock()
+	return v
+}
+
+// AddSubscriber provisions a permanent record.
+func (h *HLR) AddSubscriber(s Subscriber) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, dup := h.subs[s.IMSI]; dup {
+		return fmt.Errorf("hlr: duplicate IMSI %s", s.IMSI)
+	}
+	cp := s
+	cp.Services.BarredNumbers = append([]string(nil), s.Services.BarredNumbers...)
+	h.subs[s.IMSI] = &cp
+	h.byNumber[s.MSISDN] = s.IMSI
+	return nil
+}
+
+// Authenticate checks a subscriber's key (the AAA interaction).
+func (h *HLR) Authenticate(imsi, key string) error {
+	h.mu.Lock()
+	h.stats.AuthRequests++
+	s, ok := h.subs[imsi]
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSubscriber, imsi)
+	}
+	if s.AuthKey != key {
+		return errors.New("hlr: authentication failed")
+	}
+	return nil
+}
+
+// LocationUpdate processes a subscriber appearing in a VLR's area: the new
+// VLR attaches the visitor, the HLR records the move and cancels the old
+// VLR's registration. It returns the temporary identity the VLR allocated.
+func (h *HLR) LocationUpdate(imsi, vlrID, cell string) (string, error) {
+	h.mu.Lock()
+	s, ok := h.subs[imsi]
+	if !ok {
+		h.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrNoSubscriber, imsi)
+	}
+	v, ok := h.vlrs[vlrID]
+	if !ok {
+		h.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrNoVLR, vlrID)
+	}
+	if !v.Home && !s.Services.RoamingAllowed {
+		h.mu.Unlock()
+		return "", fmt.Errorf("hlr: roaming not enabled for %s", imsi)
+	}
+	old := h.locs[imsi]
+	h.locs[imsi] = &location{vlr: vlrID, since: h.now(), onAir: true, cell: cell, roaming: !v.Home}
+	h.stats.LocationUpdates++
+	var oldVLR *VLR
+	if old != nil && old.vlr != vlrID {
+		oldVLR = h.vlrs[old.vlr]
+		h.stats.Cancels++
+	}
+	hook := h.onMove
+	h.mu.Unlock()
+
+	tmsi := v.attach(imsi)
+	if oldVLR != nil {
+		oldVLR.cancel(imsi)
+	}
+	if hook != nil {
+		hook(imsi, h.LocationComponent(imsi))
+	}
+	return tmsi, nil
+}
+
+// Detach marks a subscriber off-air (power down) without forgetting the
+// last known area.
+func (h *HLR) Detach(imsi string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	loc, ok := h.locs[imsi]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotAttached, imsi)
+	}
+	loc.onAir = false
+	return nil
+}
+
+// CallDelivery routes an incoming call to a subscriber's number: HLR lookup
+// for the serving VLR, barring check, then a roaming number from that VLR.
+func (h *HLR) CallDelivery(caller, msisdn string) (roamingNumber string, err error) {
+	h.mu.Lock()
+	h.stats.CallDeliveries++
+	imsi, ok := h.byNumber[msisdn]
+	if !ok {
+		h.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrNoSubscriber, msisdn)
+	}
+	s := h.subs[imsi]
+	for _, b := range s.Services.BarredNumbers {
+		if b == caller {
+			h.mu.Unlock()
+			return "", fmt.Errorf("%w: %s from %s", ErrBarred, msisdn, caller)
+		}
+	}
+	if s.Services.CallForwarding != "" {
+		fwd := s.Services.CallForwarding
+		h.mu.Unlock()
+		return "fwd:" + fwd, nil
+	}
+	loc, ok := h.locs[imsi]
+	if !ok || !loc.onAir {
+		h.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", ErrNotAttached, msisdn)
+	}
+	v := h.vlrs[loc.vlr]
+	h.mu.Unlock()
+
+	rn := v.provideRoamingNumber(imsi)
+	if rn == "" {
+		return "", fmt.Errorf("%w: %s (stale HLR location)", ErrNotAttached, msisdn)
+	}
+	return rn, nil
+}
+
+// Locate is the read-only location lookup other services use.
+func (h *HLR) Locate(imsi string) (vlr, cell string, onAir bool, err error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	loc, ok := h.locs[imsi]
+	if !ok {
+		return "", "", false, fmt.Errorf("%w: %s", ErrNotAttached, imsi)
+	}
+	return loc.vlr, loc.cell, loc.onAir, nil
+}
+
+// SetCallForwarding provisions forwarding (subscriber-initiated update,
+// §3.1.2).
+func (h *HLR) SetCallForwarding(imsi, target string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.subs[imsi]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSubscriber, imsi)
+	}
+	s.Services.CallForwarding = target
+	return nil
+}
+
+// Bar adds a barred caller.
+func (h *HLR) Bar(imsi, caller string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.subs[imsi]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSubscriber, imsi)
+	}
+	s.Services.BarredNumbers = append(s.Services.BarredNumbers, caller)
+	return nil
+}
+
+// Stats snapshots the counters.
+func (h *HLR) Stats() Stats {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.stats
+}
+
+// Subscribers reports the population size.
+func (h *HLR) Subscribers() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.subs)
+}
+
+// LocationComponent exports a subscriber's location as the GUP <location>
+// component (the wireless network's contribution to the converged profile).
+// It returns nil for unattached subscribers.
+func (h *HLR) LocationComponent(imsi string) *xmltree.Node {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	loc, ok := h.locs[imsi]
+	if !ok {
+		return nil
+	}
+	n := xmltree.New("location").
+		SetAttr("cell", loc.cell).
+		SetAttr("onair", strconv.FormatBool(loc.onAir)).
+		SetAttr("updated", loc.since.UTC().Format(time.RFC3339))
+	return n
+}
+
+// DeviceComponent exports the subscriber's wireless device description.
+func (h *HLR) DeviceComponent(imsi string) *xmltree.Node {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.subs[imsi]
+	if !ok {
+		return nil
+	}
+	dev := xmltree.New("device").
+		SetAttr("id", "cell-"+s.IMSI).
+		SetAttr("network", "wireless").
+		SetAttr("type", "phone")
+	dev.Add(xmltree.NewText("number", s.MSISDN))
+	return dev
+}
+
+// ServicesComponent exports the service profile as a GUP <services>
+// component.
+func (h *HLR) ServicesComponent(imsi string) *xmltree.Node {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.subs[imsi]
+	if !ok {
+		return nil
+	}
+	svc := xmltree.New("services")
+	cell := xmltree.New("service").SetAttr("name", "wireless").SetAttr("provider", "home-carrier")
+	if s.Services.CallForwarding != "" {
+		cell.SetAttr("plan", "forwarded")
+	}
+	svc.Add(cell)
+	return svc
+}

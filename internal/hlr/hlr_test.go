@@ -1,0 +1,242 @@
+package hlr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gupster/internal/xmltree"
+)
+
+func newTestHLR(t *testing.T) (*HLR, *VLR, *VLR, *VLR) {
+	t.Helper()
+	h := New().WithClock(func() time.Time {
+		return time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	})
+	nj := h.AddVLR("vlr-nj", "msc-nj", true)
+	ny := h.AddVLR("vlr-ny", "msc-ny", true)
+	eu := h.AddVLR("vlr-vodafone", "msc-eu", false) // roaming partner
+	if err := h.AddSubscriber(Subscriber{
+		IMSI: "imsi-alice", MSISDN: "908-555-0001", AuthKey: "k1",
+		Services: Services{RoamingAllowed: true, CallerID: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddSubscriber(Subscriber{
+		IMSI: "imsi-bob", MSISDN: "908-555-0002", AuthKey: "k2",
+		Services: Services{RoamingAllowed: false},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return h, nj, ny, eu
+}
+
+func TestLocationUpdateAndCancel(t *testing.T) {
+	h, nj, ny, _ := newTestHLR(t)
+	tmsi, err := h.LocationUpdate("imsi-alice", "vlr-nj", "cell-07974")
+	if err != nil {
+		t.Fatalf("LocationUpdate: %v", err)
+	}
+	if !strings.HasPrefix(tmsi, "vlr-nj-tmsi-") {
+		t.Errorf("tmsi = %q", tmsi)
+	}
+	if nj.Visitors() != 1 {
+		t.Errorf("nj visitors = %d", nj.Visitors())
+	}
+	// Moving to NY cancels the NJ registration.
+	if _, err := h.LocationUpdate("imsi-alice", "vlr-ny", "cell-10001"); err != nil {
+		t.Fatal(err)
+	}
+	if nj.Visitors() != 0 || ny.Visitors() != 1 {
+		t.Errorf("visitors nj=%d ny=%d", nj.Visitors(), ny.Visitors())
+	}
+	vlr, cell, onAir, err := h.Locate("imsi-alice")
+	if err != nil || vlr != "vlr-ny" || cell != "cell-10001" || !onAir {
+		t.Errorf("Locate = %s %s %v %v", vlr, cell, onAir, err)
+	}
+	st := h.Stats()
+	if st.LocationUpdates != 2 || st.Cancels != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRoamingPolicy(t *testing.T) {
+	h, _, _, _ := newTestHLR(t)
+	// Alice may roam.
+	if _, err := h.LocationUpdate("imsi-alice", "vlr-vodafone", "cell-paris"); err != nil {
+		t.Errorf("alice roam: %v", err)
+	}
+	// Bob may not.
+	if _, err := h.LocationUpdate("imsi-bob", "vlr-vodafone", "cell-paris"); err == nil {
+		t.Error("bob roamed without permission")
+	}
+	// Bob attaches at home fine.
+	if _, err := h.LocationUpdate("imsi-bob", "vlr-nj", "cell-1"); err != nil {
+		t.Errorf("bob home: %v", err)
+	}
+}
+
+func TestCallDelivery(t *testing.T) {
+	h, _, _, _ := newTestHLR(t)
+	// Unattached: no delivery.
+	if _, err := h.CallDelivery("caller", "908-555-0001"); !errors.Is(err, ErrNotAttached) {
+		t.Errorf("unattached: %v", err)
+	}
+	h.LocationUpdate("imsi-alice", "vlr-ny", "cell-1")
+	rn, err := h.CallDelivery("caller", "908-555-0001")
+	if err != nil {
+		t.Fatalf("CallDelivery: %v", err)
+	}
+	if !strings.HasPrefix(rn, "msc-ny/roam/") {
+		t.Errorf("roaming number = %q", rn)
+	}
+	// Unknown number.
+	if _, err := h.CallDelivery("caller", "000"); !errors.Is(err, ErrNoSubscriber) {
+		t.Errorf("unknown: %v", err)
+	}
+	// Detached phone.
+	h.Detach("imsi-alice")
+	if _, err := h.CallDelivery("caller", "908-555-0001"); !errors.Is(err, ErrNotAttached) {
+		t.Errorf("off-air: %v", err)
+	}
+}
+
+func TestBarringAndForwarding(t *testing.T) {
+	h, _, _, _ := newTestHLR(t)
+	h.LocationUpdate("imsi-alice", "vlr-nj", "cell-1")
+	if err := h.Bar("imsi-alice", "telemarketer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CallDelivery("telemarketer", "908-555-0001"); !errors.Is(err, ErrBarred) {
+		t.Errorf("barred caller: %v", err)
+	}
+	if _, err := h.CallDelivery("friend", "908-555-0001"); err != nil {
+		t.Errorf("friend blocked: %v", err)
+	}
+	// Forwarding bypasses location.
+	if err := h.SetCallForwarding("imsi-alice", "908-555-9999"); err != nil {
+		t.Fatal(err)
+	}
+	rn, err := h.CallDelivery("friend", "908-555-0001")
+	if err != nil || rn != "fwd:908-555-9999" {
+		t.Errorf("forwarding: %q, %v", rn, err)
+	}
+	// Provisioning unknown subscribers fails.
+	if err := h.SetCallForwarding("imsi-ghost", "x"); err == nil {
+		t.Error("ghost forwarding accepted")
+	}
+	if err := h.Bar("imsi-ghost", "x"); err == nil {
+		t.Error("ghost bar accepted")
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	h, _, _, _ := newTestHLR(t)
+	if err := h.Authenticate("imsi-alice", "k1"); err != nil {
+		t.Errorf("auth: %v", err)
+	}
+	if err := h.Authenticate("imsi-alice", "wrong"); err == nil {
+		t.Error("bad key accepted")
+	}
+	if err := h.Authenticate("imsi-ghost", "k"); !errors.Is(err, ErrNoSubscriber) {
+		t.Errorf("ghost: %v", err)
+	}
+	if h.Stats().AuthRequests != 3 {
+		t.Errorf("auth count = %d", h.Stats().AuthRequests)
+	}
+}
+
+func TestDuplicateSubscriber(t *testing.T) {
+	h, _, _, _ := newTestHLR(t)
+	err := h.AddSubscriber(Subscriber{IMSI: "imsi-alice", MSISDN: "1"})
+	if err == nil {
+		t.Error("duplicate IMSI accepted")
+	}
+}
+
+func TestGUPComponents(t *testing.T) {
+	h, _, _, _ := newTestHLR(t)
+	if h.LocationComponent("imsi-alice") != nil {
+		t.Error("unattached location should be nil")
+	}
+	h.LocationUpdate("imsi-alice", "vlr-nj", "cell-07974")
+	loc := h.LocationComponent("imsi-alice")
+	if loc == nil || loc.Name != "location" {
+		t.Fatalf("loc = %v", loc)
+	}
+	if c, _ := loc.Attr("cell"); c != "cell-07974" {
+		t.Errorf("cell = %q", c)
+	}
+	if a, _ := loc.Attr("onair"); a != "true" {
+		t.Errorf("onair = %q", a)
+	}
+	dev := h.DeviceComponent("imsi-alice")
+	if dev.ChildText("number") != "908-555-0001" {
+		t.Errorf("device = %s", dev)
+	}
+	svc := h.ServicesComponent("imsi-alice")
+	if svc.Child("service") == nil {
+		t.Errorf("services = %s", svc)
+	}
+	if h.DeviceComponent("ghost") != nil || h.ServicesComponent("ghost") != nil {
+		t.Error("ghost components should be nil")
+	}
+}
+
+func TestOnMoveHook(t *testing.T) {
+	h, _, _, _ := newTestHLR(t)
+	var mu sync.Mutex
+	moves := 0
+	h.OnMove(func(imsi string, loc *xmltree.Node) {
+		mu.Lock()
+		moves++
+		mu.Unlock()
+		if loc == nil {
+			t.Error("hook got nil location")
+		}
+	})
+	h.LocationUpdate("imsi-alice", "vlr-nj", "c1")
+	h.LocationUpdate("imsi-alice", "vlr-ny", "c2")
+	mu.Lock()
+	defer mu.Unlock()
+	if moves != 2 {
+		t.Errorf("moves = %d", moves)
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	h := New()
+	for i := 0; i < 4; i++ {
+		h.AddVLR(fmt.Sprintf("vlr-%d", i), fmt.Sprintf("msc-%d", i), true)
+	}
+	for i := 0; i < 64; i++ {
+		h.AddSubscriber(Subscriber{
+			IMSI:   fmt.Sprintf("imsi-%d", i),
+			MSISDN: fmt.Sprintf("555-%04d", i),
+		})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				imsi := fmt.Sprintf("imsi-%d", (w*31+j)%64)
+				h.LocationUpdate(imsi, fmt.Sprintf("vlr-%d", j%4), "cell")
+				h.CallDelivery("x", fmt.Sprintf("555-%04d", (w*17+j)%64))
+				h.Locate(imsi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := h.Stats()
+	if st.LocationUpdates == 0 || st.CallDeliveries == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if h.Subscribers() != 64 {
+		t.Errorf("subscribers = %d", h.Subscribers())
+	}
+}

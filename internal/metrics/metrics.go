@@ -1,0 +1,212 @@
+// Package metrics provides the small measurement kit the benchmark harness
+// uses: latency histograms with percentiles, throughput windows, and an
+// aligned table renderer for reproducing the experiment tables in
+// EXPERIMENTS.md.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram accumulates duration samples. Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{}
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100); zero with no
+// samples.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	idx := int(p/100*float64(len(h.samples))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Mean returns the arithmetic mean; zero with no samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Min and Max return the extremes; zero with no samples.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[0]
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[len(h.samples)-1]
+}
+
+// Summary renders "mean / p50 / p99 / max" compactly.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("mean=%s p50=%s p99=%s max=%s",
+		round(h.Mean()), round(h.Percentile(50)), round(h.Percentile(99)), round(h.Max()))
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d > time.Second:
+		return d.Round(time.Millisecond)
+	case d > time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d.Round(time.Nanosecond)
+	}
+}
+
+// Throughput measures operations over a wall-clock window.
+type Throughput struct {
+	start time.Time
+	ops   int
+}
+
+// StartThroughput begins a window.
+func StartThroughput() *Throughput {
+	return &Throughput{start: time.Now()}
+}
+
+// Add counts completed operations.
+func (t *Throughput) Add(n int) { t.ops += n }
+
+// PerSecond reports the rate so far.
+func (t *Throughput) PerSecond() float64 {
+	el := time.Since(t.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.ops) / el
+}
+
+// Table renders aligned experiment tables.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable declares columns.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		case time.Duration:
+			row[i] = round(x).String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for pad := len(c); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

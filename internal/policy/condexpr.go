@@ -1,0 +1,243 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file gives conditions a compact textual form so privacy-shield rules
+// can be provisioned over the wire and stored:
+//
+//	always
+//	requester=bob
+//	role=family
+//	purpose=query
+//	hours(09:00,18:00)
+//	weekday(Mon,Fri)
+//	and(e1,e2,…)  or(e1,e2,…)  not(e)
+//
+// Encode and ParseCond round-trip every condition built from this package's
+// combinators.
+
+// ErrCondSyntax wraps condition-expression parse failures.
+var ErrCondSyntax = errors.New("policy: bad condition expression")
+
+// Encode renders a condition in the provisioning syntax. Unknown Condition
+// implementations encode as "always" (fail-open for encoding only; callers
+// building rules from custom conditions should keep them server-side).
+func Encode(c Condition) string {
+	switch v := c.(type) {
+	case nil:
+		return "always"
+	case Always:
+		return "always"
+	case RequesterIs:
+		return "requester=" + string(v)
+	case RoleIs:
+		return "role=" + string(v)
+	case PurposeIs:
+		return "purpose=" + string(v)
+	case TimeBetween:
+		return fmt.Sprintf("hours(%02d:%02d,%02d:%02d)", v.From/60, v.From%60, v.To/60, v.To%60)
+	case Weekdays:
+		parts := make([]string, len(v))
+		for i, d := range v {
+			parts[i] = d.String()[:3]
+		}
+		return "weekday(" + strings.Join(parts, ",") + ")"
+	case And:
+		return "and(" + encodeList(v) + ")"
+	case Or:
+		return "or(" + encodeList(v) + ")"
+	case Not:
+		return "not(" + Encode(v.C) + ")"
+	default:
+		return "always"
+	}
+}
+
+func encodeList(cs []Condition) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = Encode(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseCond parses the provisioning syntax. An empty string means Always.
+func ParseCond(expr string) (Condition, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return Always{}, nil
+	}
+	p := &condParser{in: expr}
+	c, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s in %q", ErrCondSyntax, err, expr)
+	}
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("%w: trailing input at %d in %q", ErrCondSyntax, p.pos, expr)
+	}
+	return c, nil
+}
+
+type condParser struct {
+	in  string
+	pos int
+}
+
+func (p *condParser) parse() (Condition, error) {
+	word := p.word()
+	switch {
+	case word == "always":
+		return Always{}, nil
+	case p.peek() == '=':
+		p.pos++
+		val := p.value()
+		switch word {
+		case "requester":
+			return RequesterIs(val), nil
+		case "role":
+			return RoleIs(val), nil
+		case "purpose":
+			return PurposeIs(val), nil
+		}
+		return nil, fmt.Errorf("unknown field %q", word)
+	case p.peek() == '(':
+		p.pos++
+		switch word {
+		case "and", "or":
+			var list []Condition
+			for {
+				c, err := p.parse()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, c)
+				if p.peek() == ',' {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if !p.eat(')') {
+				return nil, errors.New("missing ')'")
+			}
+			if word == "and" {
+				return And(list), nil
+			}
+			return Or(list), nil
+		case "not":
+			c, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			if !p.eat(')') {
+				return nil, errors.New("missing ')'")
+			}
+			return Not{C: c}, nil
+		case "hours":
+			from := p.value()
+			if !p.eat(',') {
+				return nil, errors.New("hours needs two times")
+			}
+			to := p.value()
+			if !p.eat(')') {
+				return nil, errors.New("missing ')'")
+			}
+			fm, err := parseMinutes(from)
+			if err != nil {
+				return nil, err
+			}
+			tm, err := parseMinutes(to)
+			if err != nil {
+				return nil, err
+			}
+			return TimeBetween{From: fm, To: tm}, nil
+		case "weekday":
+			var days Weekdays
+			for {
+				d := p.value()
+				wd, err := parseWeekday(d)
+				if err != nil {
+					return nil, err
+				}
+				days = append(days, wd)
+				if p.peek() == ',' {
+					p.pos++
+					continue
+				}
+				break
+			}
+			if !p.eat(')') {
+				return nil, errors.New("missing ')'")
+			}
+			return days, nil
+		}
+		return nil, fmt.Errorf("unknown function %q", word)
+	default:
+		return nil, fmt.Errorf("unexpected %q", word)
+	}
+}
+
+func parseMinutes(s string) (int, error) {
+	var h, m int
+	if _, err := fmt.Sscanf(s, "%d:%d", &h, &m); err != nil || h < 0 || h > 23 || m < 0 || m > 59 {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	return h*60 + m, nil
+}
+
+func parseWeekday(s string) (time.Weekday, error) {
+	for d := time.Sunday; d <= time.Saturday; d++ {
+		if strings.EqualFold(d.String()[:3], s) {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("bad weekday %q", s)
+}
+
+// word reads an identifier.
+func (p *condParser) word() string {
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.in[start:p.pos]
+}
+
+// value reads until a delimiter (comma, paren, whitespace). Values may not
+// contain spaces; identities with spaces should be escaped upstream.
+func (p *condParser) value() string {
+	start := p.pos
+	for p.pos < len(p.in) {
+		c := p.in[p.pos]
+		if c == ',' || c == ')' || c == '(' || c == ' ' || c == '\t' {
+			break
+		}
+		p.pos++
+	}
+	return p.in[start:p.pos]
+}
+
+func (p *condParser) eat(c byte) bool {
+	if p.pos < len(p.in) && p.in[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *condParser) peek() byte {
+	if p.pos < len(p.in) {
+		return p.in[p.pos]
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package policy
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	conds := []Condition{
+		Always{},
+		RequesterIs("bob"),
+		RoleIs("family"),
+		PurposeIs(PurposeCache),
+		TimeBetween{From: 540, To: 1080},
+		Weekdays{time.Monday, time.Friday},
+		And{RoleIs("co-worker"), TimeBetween{From: 540, To: 1080}},
+		Or{RoleIs("boss"), RoleIs("family")},
+		Not{RoleIs("third-party")},
+		And{Or{RoleIs("a"), Not{RequesterIs("b")}}, Weekdays{time.Sunday}, PurposeIs(PurposeQuery)},
+	}
+	samples := []Context{
+		{Requester: "bob", Role: "family", Purpose: PurposeQuery, Time: time.Date(2026, 7, 6, 10, 0, 0, 0, time.UTC)},
+		{Requester: "x", Role: "co-worker", Purpose: PurposeCache, Time: time.Date(2026, 7, 10, 20, 30, 0, 0, time.UTC)},
+		{Requester: "b", Role: "boss", Purpose: PurposeSubscribe, Time: time.Date(2026, 7, 5, 0, 0, 0, 0, time.UTC)},
+	}
+	for _, c := range conds {
+		enc := Encode(c)
+		back, err := ParseCond(enc)
+		if err != nil {
+			t.Errorf("ParseCond(%q): %v", enc, err)
+			continue
+		}
+		if got := Encode(back); got != enc {
+			t.Errorf("round trip: %q -> %q", enc, got)
+		}
+		// Behavioural equivalence on samples.
+		for _, ctx := range samples {
+			if c.Eval(ctx) != back.Eval(ctx) {
+				t.Errorf("%q: behaviour differs on %+v", enc, ctx)
+			}
+		}
+	}
+}
+
+func TestEncodeNilAndUnknown(t *testing.T) {
+	if Encode(nil) != "always" {
+		t.Error("nil should encode as always")
+	}
+	type custom struct{ Always }
+	if Encode(custom{}) != "always" {
+		t.Error("unknown type should encode as always")
+	}
+}
+
+func TestParseCondEmpty(t *testing.T) {
+	c, err := ParseCond("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.(Always); !ok {
+		t.Errorf("empty = %T", c)
+	}
+}
+
+func TestParseCondErrors(t *testing.T) {
+	bad := []string{
+		"nope",
+		"requester",
+		"colour=red",
+		"and(role=a",
+		"hours(09:00)",
+		"hours(25:00,09:00)",
+		"weekday(Funday)",
+		"not(role=a",
+		"zzz(role=a)",
+		"role=a extra",
+		"and()",
+	}
+	for _, b := range bad {
+		if _, err := ParseCond(b); err == nil {
+			t.Errorf("ParseCond(%q): want error", b)
+		}
+	}
+}
+
+func TestParseCondSpecificShapes(t *testing.T) {
+	c, err := ParseCond("and(role=family,hours(09:00,18:00))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := c.(And)
+	if !ok || len(and) != 2 {
+		t.Fatalf("parsed = %#v", c)
+	}
+	if _, ok := and[0].(RoleIs); !ok {
+		t.Errorf("first = %T", and[0])
+	}
+	tb, ok := and[1].(TimeBetween)
+	if !ok || tb.From != 540 || tb.To != 1080 {
+		t.Errorf("second = %#v", and[1])
+	}
+	wd, err := ParseCond("weekday(mon,TUE,Wed)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wd.(Weekdays)) != 3 {
+		t.Errorf("weekdays = %#v", wd)
+	}
+}

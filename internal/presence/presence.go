@@ -1,0 +1,120 @@
+// Package presence simulates an internet presence service (paper §2.2 —
+// "presence information (e.g., IM status …) from the Internet"): per-user
+// status with timestamps and notes, watcher callbacks, and export of the
+// GUP <presence> component. It is the dynamic, high-churn profile source
+// in the converged testbed, and the one driving benchmark E8 (push versus
+// poll).
+package presence
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gupster/internal/xmltree"
+)
+
+// Status enumerates IM-style presence states.
+type Status string
+
+// Presence states.
+const (
+	Available Status = "available"
+	Busy      Status = "busy"
+	Away      Status = "away"
+	Offline   Status = "offline"
+)
+
+// ErrNoUser is returned for users never seen by the service.
+var ErrNoUser = errors.New("presence: unknown user")
+
+// State is one user's presence record.
+type State struct {
+	User   string
+	Status Status
+	Since  time.Time
+	Note   string
+}
+
+// Server is the presence service. Safe for concurrent use.
+type Server struct {
+	mu       sync.RWMutex
+	states   map[string]State
+	watchers map[string][]func(State)
+	now      func() time.Time
+	updates  uint64
+}
+
+// New returns an empty presence server.
+func New() *Server {
+	return &Server{
+		states:   make(map[string]State),
+		watchers: make(map[string][]func(State)),
+		now:      time.Now,
+	}
+}
+
+// WithClock injects a clock for tests.
+func (s *Server) WithClock(now func() time.Time) *Server {
+	s.now = now
+	return s
+}
+
+// Set publishes a user's presence and fans out to watchers.
+func (s *Server) Set(user string, status Status, note string) {
+	s.mu.Lock()
+	st := State{User: user, Status: status, Since: s.now(), Note: note}
+	s.states[user] = st
+	s.updates++
+	var ws []func(State)
+	ws = append(ws, s.watchers[user]...)
+	s.mu.Unlock()
+	for _, w := range ws {
+		w(st)
+	}
+}
+
+// Get reads a user's presence.
+func (s *Server) Get(user string) (State, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.states[user]
+	if !ok {
+		return State{}, fmt.Errorf("%w: %s", ErrNoUser, user)
+	}
+	return st, nil
+}
+
+// Watch registers a callback for a user's presence changes. Callbacks run
+// on the publisher's goroutine and must not block.
+func (s *Server) Watch(user string, fn func(State)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.watchers[user] = append(s.watchers[user], fn)
+}
+
+// Updates reports the number of Set calls (benchmark bookkeeping).
+func (s *Server) Updates() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.updates
+}
+
+// Component exports the GUP <presence> component for a user; nil when the
+// user was never seen.
+func (s *Server) Component(user string) *xmltree.Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.states[user]
+	if !ok {
+		return nil
+	}
+	n := xmltree.New("presence").
+		SetAttr("status", string(st.Status)).
+		SetAttr("since", st.Since.UTC().Format(time.RFC3339))
+	if st.Note != "" {
+		n.Add(xmltree.NewText("note", st.Note))
+	}
+	return n
+}

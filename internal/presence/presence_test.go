@@ -1,0 +1,95 @@
+package presence
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 7, 6, 9, 30, 0, 0, time.UTC)
+
+func TestSetGet(t *testing.T) {
+	s := New().WithClock(func() time.Time { return t0 })
+	if _, err := s.Get("alice"); !errors.Is(err, ErrNoUser) {
+		t.Errorf("err = %v", err)
+	}
+	s.Set("alice", Available, "at desk")
+	st, err := s.Get("alice")
+	if err != nil || st.Status != Available || st.Note != "at desk" || !st.Since.Equal(t0) {
+		t.Errorf("state = %+v, %v", st, err)
+	}
+	s.Set("alice", Busy, "")
+	st, _ = s.Get("alice")
+	if st.Status != Busy {
+		t.Errorf("update lost: %+v", st)
+	}
+	if s.Updates() != 2 {
+		t.Errorf("updates = %d", s.Updates())
+	}
+}
+
+func TestWatchers(t *testing.T) {
+	s := New()
+	var mu sync.Mutex
+	var seen []Status
+	s.Watch("alice", func(st State) {
+		mu.Lock()
+		seen = append(seen, st.Status)
+		mu.Unlock()
+	})
+	s.Set("alice", Available, "")
+	s.Set("alice", Away, "")
+	s.Set("bob", Busy, "") // different user: no callback
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 || seen[0] != Available || seen[1] != Away {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestComponent(t *testing.T) {
+	s := New().WithClock(func() time.Time { return t0 })
+	if s.Component("ghost") != nil {
+		t.Error("ghost component should be nil")
+	}
+	s.Set("alice", Available, "wfh")
+	c := s.Component("alice")
+	if c.Name != "presence" {
+		t.Fatalf("component = %s", c)
+	}
+	if v, _ := c.Attr("status"); v != "available" {
+		t.Errorf("status = %q", v)
+	}
+	if v, _ := c.Attr("since"); v != "2026-07-06T09:30:00Z" {
+		t.Errorf("since = %q", v)
+	}
+	if c.ChildText("note") != "wfh" {
+		t.Errorf("note = %q", c.ChildText("note"))
+	}
+	// No note → no child.
+	s.Set("alice", Offline, "")
+	if s.Component("alice").Child("note") != nil {
+		t.Error("empty note serialized")
+	}
+}
+
+func TestConcurrentPresence(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				s.Set("u", Status([]Status{Available, Busy, Away, Offline}[j%4]), "")
+				s.Get("u")
+				s.Component("u")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Updates() != 1600 {
+		t.Errorf("updates = %d", s.Updates())
+	}
+}

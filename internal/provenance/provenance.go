@@ -1,0 +1,191 @@
+// Package provenance implements the third core challenge of the paper's
+// conclusion (§7): "the tracking of where data (and meta-data) have come
+// from, and where they have been used". Every grant or denial the MDM
+// renders is appended to an owner-queryable disclosure ledger, so a user
+// can ask exactly what the paper's e-commerce example demands: who has been
+// given access to which parts of my profile, when, under which rule, and
+// which stores served it.
+//
+// The ledger is a bounded in-memory ring (oldest records are evicted); a
+// production deployment would stream it to durable storage, which changes
+// nothing about the recorded schema.
+package provenance
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Outcome says how the MDM decided a request.
+type Outcome string
+
+// Outcomes.
+const (
+	Granted Outcome = "granted"
+	Denied  Outcome = "denied"
+)
+
+// Record is one disclosure event.
+type Record struct {
+	// Seq is a ledger-unique, monotonically increasing sequence number.
+	Seq uint64 `json:"seq"`
+	// Time is when the decision was rendered.
+	Time time.Time `json:"time"`
+	// Owner is whose profile data was requested.
+	Owner string `json:"owner"`
+	// Path is the requested expression.
+	Path string `json:"path"`
+	// Requester, Role and Purpose are the request context facets.
+	Requester string `json:"requester"`
+	Role      string `json:"role,omitempty"`
+	Purpose   string `json:"purpose,omitempty"`
+	// Verb is the operation the grant authorized.
+	Verb string `json:"verb"`
+	// Outcome is granted or denied.
+	Outcome Outcome `json:"outcome"`
+	// RuleID names the decisive privacy-shield rule ("" for defaults).
+	RuleID string `json:"rule_id,omitempty"`
+	// Grants are the (possibly narrowed) paths actually authorized.
+	Grants []string `json:"grants,omitempty"`
+	// Stores are the data stores the referral pointed at — where the data
+	// came from.
+	Stores []string `json:"stores,omitempty"`
+}
+
+// Ledger is the bounded disclosure log. Safe for concurrent use.
+type Ledger struct {
+	mu      sync.RWMutex
+	records []Record // ring buffer
+	start   int      // index of oldest record
+	count   int
+	nextSeq uint64
+}
+
+// NewLedger returns a ledger retaining the most recent capacity records.
+func NewLedger(capacity int) *Ledger {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Ledger{records: make([]Record, capacity)}
+}
+
+// Append records one event, stamping its sequence number. The record's
+// Time defaults to now when zero.
+func (l *Ledger) Append(r Record) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextSeq++
+	r.Seq = l.nextSeq
+	if r.Time.IsZero() {
+		r.Time = time.Now()
+	}
+	idx := (l.start + l.count) % len(l.records)
+	if l.count == len(l.records) {
+		// Full: overwrite the oldest.
+		l.records[l.start] = r
+		l.start = (l.start + 1) % len(l.records)
+	} else {
+		l.records[idx] = r
+		l.count++
+	}
+	return r.Seq
+}
+
+// Len reports the number of retained records.
+func (l *Ledger) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.count
+}
+
+// snapshot returns retained records oldest-first; caller holds no lock.
+func (l *Ledger) snapshot() []Record {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Record, 0, l.count)
+	for i := 0; i < l.count; i++ {
+		out = append(out, l.records[(l.start+i)%len(l.records)])
+	}
+	return out
+}
+
+// ByOwner returns the retained records concerning an owner's data, oldest
+// first, optionally bounded below by sinceSeq (exclusive).
+func (l *Ledger) ByOwner(owner string, sinceSeq uint64) []Record {
+	var out []Record
+	for _, r := range l.snapshot() {
+		if r.Owner == owner && r.Seq > sinceSeq {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ByRequester returns the retained records of one requester's accesses.
+func (l *Ledger) ByRequester(requester string, sinceSeq uint64) []Record {
+	var out []Record
+	for _, r := range l.snapshot() {
+		if r.Requester == requester && r.Seq > sinceSeq {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Disclosure summarizes who has been granted what of an owner's profile:
+// requester → distinct granted paths, with counts.
+type Disclosure struct {
+	Requester string
+	Paths     []string
+	Grants    int
+	Denials   int
+	LastSeen  time.Time
+}
+
+// Summary aggregates an owner's ledger into per-requester disclosures,
+// ordered by requester.
+func (l *Ledger) Summary(owner string) []Disclosure {
+	type agg struct {
+		paths   map[string]bool
+		grants  int
+		denials int
+		last    time.Time
+	}
+	byReq := map[string]*agg{}
+	for _, r := range l.snapshot() {
+		if r.Owner != owner {
+			continue
+		}
+		a := byReq[r.Requester]
+		if a == nil {
+			a = &agg{paths: map[string]bool{}}
+			byReq[r.Requester] = a
+		}
+		if r.Outcome == Granted {
+			a.grants++
+			for _, g := range r.Grants {
+				a.paths[g] = true
+			}
+		} else {
+			a.denials++
+		}
+		if r.Time.After(a.last) {
+			a.last = r.Time
+		}
+	}
+	out := make([]Disclosure, 0, len(byReq))
+	for req, a := range byReq {
+		paths := make([]string, 0, len(a.paths))
+		for p := range a.paths {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		out = append(out, Disclosure{
+			Requester: req, Paths: paths,
+			Grants: a.grants, Denials: a.denials, LastSeen: a.last,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Requester < out[j].Requester })
+	return out
+}

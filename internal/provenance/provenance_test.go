@@ -1,0 +1,148 @@
+package provenance
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(owner, requester, path string, out Outcome) Record {
+	return Record{
+		Owner: owner, Requester: requester, Path: path,
+		Verb: "fetch", Outcome: out,
+		Grants: grantsFor(out, path),
+	}
+}
+
+func grantsFor(out Outcome, path string) []string {
+	if out == Granted {
+		return []string{path}
+	}
+	return nil
+}
+
+func TestAppendAndQuery(t *testing.T) {
+	l := NewLedger(16)
+	l.Append(rec("alice", "bob", "/user[@id='alice']/presence", Granted))
+	l.Append(rec("alice", "eve", "/user[@id='alice']/wallet", Denied))
+	l.Append(rec("carol", "bob", "/user[@id='carol']/presence", Granted))
+
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	alice := l.ByOwner("alice", 0)
+	if len(alice) != 2 {
+		t.Fatalf("alice records = %d", len(alice))
+	}
+	if alice[0].Seq >= alice[1].Seq {
+		t.Error("records not oldest-first")
+	}
+	if alice[0].Time.IsZero() {
+		t.Error("time not stamped")
+	}
+	bob := l.ByRequester("bob", 0)
+	if len(bob) != 2 {
+		t.Fatalf("bob records = %d", len(bob))
+	}
+	// SinceSeq bounds.
+	if got := l.ByOwner("alice", alice[0].Seq); len(got) != 1 {
+		t.Errorf("since filter = %d records", len(got))
+	}
+	if got := l.ByOwner("nobody", 0); len(got) != 0 {
+		t.Errorf("unknown owner = %d records", len(got))
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := NewLedger(4)
+	for i := 0; i < 10; i++ {
+		l.Append(rec("u", fmt.Sprintf("r%d", i), "/user[@id='u']/presence", Granted))
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	got := l.ByOwner("u", 0)
+	if len(got) != 4 {
+		t.Fatalf("records = %d", len(got))
+	}
+	// The oldest retained record is #7 (seq continues monotonically).
+	if got[0].Seq != 7 || got[3].Seq != 10 {
+		t.Errorf("retained seqs = %d..%d", got[0].Seq, got[3].Seq)
+	}
+	if got[0].Requester != "r6" {
+		t.Errorf("oldest retained = %q", got[0].Requester)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	l := NewLedger(64)
+	l.Append(rec("alice", "bob", "/user[@id='alice']/presence", Granted))
+	l.Append(rec("alice", "bob", "/user[@id='alice']/presence", Granted))
+	l.Append(rec("alice", "bob", "/user[@id='alice']/calendar", Granted))
+	l.Append(rec("alice", "eve", "/user[@id='alice']/wallet", Denied))
+	l.Append(rec("other", "bob", "/user[@id='other']/presence", Granted))
+
+	s := l.Summary("alice")
+	if len(s) != 2 {
+		t.Fatalf("summaries = %+v", s)
+	}
+	if s[0].Requester != "bob" || s[1].Requester != "eve" {
+		t.Fatalf("order = %+v", s)
+	}
+	bob := s[0]
+	if bob.Grants != 3 || bob.Denials != 0 || len(bob.Paths) != 2 {
+		t.Errorf("bob = %+v", bob)
+	}
+	eve := s[1]
+	if eve.Grants != 0 || eve.Denials != 1 || len(eve.Paths) != 0 {
+		t.Errorf("eve = %+v", eve)
+	}
+	if bob.LastSeen.IsZero() {
+		t.Error("LastSeen not tracked")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	l := NewLedger(0)
+	l.Append(Record{Owner: "u"})
+	if l.Len() != 1 {
+		t.Error("default-capacity ledger unusable")
+	}
+}
+
+func TestExplicitTimePreserved(t *testing.T) {
+	l := NewLedger(4)
+	ts := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	l.Append(Record{Owner: "u", Time: ts})
+	if got := l.ByOwner("u", 0)[0].Time; !got.Equal(ts) {
+		t.Errorf("time = %v", got)
+	}
+}
+
+func TestConcurrentLedger(t *testing.T) {
+	l := NewLedger(128)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Append(rec("u", fmt.Sprintf("r%d", i), "/user[@id='u']/presence", Granted))
+				l.ByOwner("u", 0)
+				l.Summary("u")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if l.Len() != 128 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	// Sequence numbers are unique and monotonic within the retained window.
+	got := l.ByOwner("u", 0)
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("seq not monotonic: %d then %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+}

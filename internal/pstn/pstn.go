@@ -1,0 +1,230 @@
+// Package pstn simulates the data-management plane of a Class-5 PSTN
+// switch (paper §3.1.1, Figure 2): per-line profile data — call forwarding,
+// call barring, caller-id flags, speed dial, 800-number resolution — stored
+// inside the switch itself, which the paper points out makes it "hard to
+// access and extend": provisioning is operator-only, with a narrow keypad
+// self-service path for call forwarding.
+//
+// The switch exports line state as GUP components through an adapter so
+// the wireline network can join the GUPster federation.
+package pstn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gupster/internal/xmltree"
+)
+
+// Switch errors.
+var (
+	ErrNoLine       = errors.New("pstn: no such line")
+	ErrBarred       = errors.New("pstn: call barred")
+	ErrNotOperator  = errors.New("pstn: provisioning requires operator credentials")
+	ErrForwardCycle = errors.New("pstn: forwarding loop")
+)
+
+// LineProfile is the per-line profile record a switch holds.
+type LineProfile struct {
+	Number     string
+	Forwarding string
+	Barred     []string
+	CallerID   bool
+	SpeedDial  map[string]string // key → number
+	// Busy reflects current call status (the dynamic datum reach-me reads).
+	Busy bool
+}
+
+// CallStatus describes a line's current state.
+type CallStatus struct {
+	Busy   bool
+	Exists bool
+}
+
+// Switch is a Class-5 switch's profile store plus minimal call routing.
+type Switch struct {
+	ID string
+
+	mu       sync.RWMutex
+	lines    map[string]*LineProfile
+	tollFree map[string]string // 800 number → real number
+	operator string            // provisioning credential
+}
+
+// NewSwitch provisions a switch with an operator credential.
+func NewSwitch(id, operatorKey string) *Switch {
+	return &Switch{
+		ID:       id,
+		lines:    make(map[string]*LineProfile),
+		tollFree: make(map[string]string),
+		operator: operatorKey,
+	}
+}
+
+// checkOperator gates the provisioning interfaces — the paper's point that
+// PSTN provisioning "must be performed manually by network operators".
+func (s *Switch) checkOperator(key string) error {
+	if key != s.operator {
+		return ErrNotOperator
+	}
+	return nil
+}
+
+// ProvisionLine creates a line (operator only).
+func (s *Switch) ProvisionLine(operatorKey, number string) error {
+	if err := s.checkOperator(operatorKey); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.lines[number]; dup {
+		return fmt.Errorf("pstn: line %s exists", number)
+	}
+	s.lines[number] = &LineProfile{Number: number, CallerID: true, SpeedDial: make(map[string]string)}
+	return nil
+}
+
+// SetBarring provisions barred callers (operator only).
+func (s *Switch) SetBarring(operatorKey, number string, barred []string) error {
+	if err := s.checkOperator(operatorKey); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.lines[number]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoLine, number)
+	}
+	l.Barred = append([]string(nil), barred...)
+	return nil
+}
+
+// SetTollFree provisions an 800-number mapping (operator only).
+func (s *Switch) SetTollFree(operatorKey, tollFree, target string) error {
+	if err := s.checkOperator(operatorKey); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tollFree[tollFree] = target
+	return nil
+}
+
+// KeypadSetForwarding is the narrow self-provisioning path: the subscriber
+// can set call forwarding from the phone's keypad (*72 in practice). No
+// operator credential, but nothing else is reachable this way.
+func (s *Switch) KeypadSetForwarding(number, target string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.lines[number]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoLine, number)
+	}
+	l.Forwarding = target
+	return nil
+}
+
+// SetBusy toggles a line's call status (driven by the call plane).
+func (s *Switch) SetBusy(number string, busy bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.lines[number]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoLine, number)
+	}
+	l.Busy = busy
+	return nil
+}
+
+// Status reports a line's current call status.
+func (s *Switch) Status(number string) CallStatus {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lines[number]
+	if !ok {
+		return CallStatus{}
+	}
+	return CallStatus{Busy: l.Busy, Exists: true}
+}
+
+// Route resolves where a call from caller to callee should terminate,
+// applying 800-resolution, barring, and forwarding chains (bounded to
+// detect provisioning loops).
+func (s *Switch) Route(caller, callee string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if real, ok := s.tollFree[callee]; ok {
+		callee = real
+	}
+	seen := map[string]bool{}
+	for {
+		if seen[callee] {
+			return "", fmt.Errorf("%w: via %s", ErrForwardCycle, callee)
+		}
+		seen[callee] = true
+		l, ok := s.lines[callee]
+		if !ok {
+			return "", fmt.Errorf("%w: %s", ErrNoLine, callee)
+		}
+		for _, b := range l.Barred {
+			if b == caller {
+				return "", fmt.Errorf("%w: %s blocks %s", ErrBarred, callee, caller)
+			}
+		}
+		if l.Forwarding == "" {
+			return callee, nil
+		}
+		callee = l.Forwarding
+	}
+}
+
+// Line returns a copy of a line's profile.
+func (s *Switch) Line(number string) (LineProfile, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lines[number]
+	if !ok {
+		return LineProfile{}, fmt.Errorf("%w: %s", ErrNoLine, number)
+	}
+	cp := *l
+	cp.Barred = append([]string(nil), l.Barred...)
+	cp.SpeedDial = make(map[string]string, len(l.SpeedDial))
+	for k, v := range l.SpeedDial {
+		cp.SpeedDial[k] = v
+	}
+	return cp, nil
+}
+
+// DeviceComponent exports a line as a GUP <device>.
+func (s *Switch) DeviceComponent(number, deviceID string) *xmltree.Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lines[number]
+	if !ok {
+		return nil
+	}
+	dev := xmltree.New("device").
+		SetAttr("id", deviceID).
+		SetAttr("network", "pstn").
+		SetAttr("type", "phone")
+	dev.Add(xmltree.NewText("number", l.Number))
+	return dev
+}
+
+// ServicesComponent exports line features as a GUP <services> component.
+func (s *Switch) ServicesComponent(number string) *xmltree.Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	l, ok := s.lines[number]
+	if !ok {
+		return nil
+	}
+	svc := xmltree.New("services")
+	line := xmltree.New("service").SetAttr("name", "pstn-line").SetAttr("provider", s.ID)
+	if l.Forwarding != "" {
+		line.SetAttr("plan", "forwarded")
+	}
+	svc.Add(line)
+	return svc
+}

@@ -1,0 +1,157 @@
+package pstn
+
+import (
+	"errors"
+	"testing"
+)
+
+const op = "operator-secret"
+
+func newSwitch(t *testing.T) *Switch {
+	t.Helper()
+	s := NewSwitch("5ESS-murrayhill", op)
+	for _, n := range []string{"908-555-0001", "908-555-0002", "908-555-0003"} {
+		if err := s.ProvisionLine(op, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestOperatorGate(t *testing.T) {
+	s := newSwitch(t)
+	if err := s.ProvisionLine("wrong-key", "908-555-0009"); !errors.Is(err, ErrNotOperator) {
+		t.Errorf("err = %v", err)
+	}
+	if err := s.SetBarring("wrong-key", "908-555-0001", nil); !errors.Is(err, ErrNotOperator) {
+		t.Errorf("err = %v", err)
+	}
+	if err := s.SetTollFree("wrong-key", "800-555-1234", "908-555-0001"); !errors.Is(err, ErrNotOperator) {
+		t.Errorf("err = %v", err)
+	}
+	// Keypad self-provisioning needs no credential — the one narrow path.
+	if err := s.KeypadSetForwarding("908-555-0001", "908-555-0002"); err != nil {
+		t.Errorf("keypad forwarding: %v", err)
+	}
+}
+
+func TestProvisioningErrors(t *testing.T) {
+	s := newSwitch(t)
+	if err := s.ProvisionLine(op, "908-555-0001"); err == nil {
+		t.Error("duplicate line accepted")
+	}
+	if err := s.SetBarring(op, "000", nil); !errors.Is(err, ErrNoLine) {
+		t.Errorf("err = %v", err)
+	}
+	if err := s.KeypadSetForwarding("000", "x"); !errors.Is(err, ErrNoLine) {
+		t.Errorf("err = %v", err)
+	}
+	if err := s.SetBusy("000", true); !errors.Is(err, ErrNoLine) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRouteBasic(t *testing.T) {
+	s := newSwitch(t)
+	got, err := s.Route("caller", "908-555-0001")
+	if err != nil || got != "908-555-0001" {
+		t.Errorf("Route = %q, %v", got, err)
+	}
+	if _, err := s.Route("caller", "000"); !errors.Is(err, ErrNoLine) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRouteForwardingChain(t *testing.T) {
+	s := newSwitch(t)
+	s.KeypadSetForwarding("908-555-0001", "908-555-0002")
+	s.KeypadSetForwarding("908-555-0002", "908-555-0003")
+	got, err := s.Route("caller", "908-555-0001")
+	if err != nil || got != "908-555-0003" {
+		t.Errorf("chained route = %q, %v", got, err)
+	}
+	// Loop detection.
+	s.KeypadSetForwarding("908-555-0003", "908-555-0001")
+	if _, err := s.Route("caller", "908-555-0001"); !errors.Is(err, ErrForwardCycle) {
+		t.Errorf("loop: %v", err)
+	}
+}
+
+func TestRouteBarring(t *testing.T) {
+	s := newSwitch(t)
+	s.SetBarring(op, "908-555-0001", []string{"telemarketer"})
+	if _, err := s.Route("telemarketer", "908-555-0001"); !errors.Is(err, ErrBarred) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := s.Route("friend", "908-555-0001"); err != nil {
+		t.Errorf("friend blocked: %v", err)
+	}
+	// Barring applies mid-chain too.
+	s.KeypadSetForwarding("908-555-0002", "908-555-0001")
+	if _, err := s.Route("telemarketer", "908-555-0002"); !errors.Is(err, ErrBarred) {
+		t.Errorf("mid-chain barring: %v", err)
+	}
+}
+
+func TestTollFreeResolution(t *testing.T) {
+	s := newSwitch(t)
+	s.SetTollFree(op, "800-555-1234", "908-555-0003")
+	got, err := s.Route("caller", "800-555-1234")
+	if err != nil || got != "908-555-0003" {
+		t.Errorf("800 route = %q, %v", got, err)
+	}
+}
+
+func TestBusyStatus(t *testing.T) {
+	s := newSwitch(t)
+	if st := s.Status("908-555-0001"); !st.Exists || st.Busy {
+		t.Errorf("fresh line status = %+v", st)
+	}
+	s.SetBusy("908-555-0001", true)
+	if st := s.Status("908-555-0001"); !st.Busy {
+		t.Errorf("busy not recorded")
+	}
+	if st := s.Status("000"); st.Exists {
+		t.Errorf("ghost line exists")
+	}
+}
+
+func TestLineCopySemantics(t *testing.T) {
+	s := newSwitch(t)
+	s.SetBarring(op, "908-555-0001", []string{"x"})
+	l, err := s.Line("908-555-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Barred[0] = "MUTATED"
+	l2, _ := s.Line("908-555-0001")
+	if l2.Barred[0] != "x" {
+		t.Error("Line aliases switch memory")
+	}
+	if _, err := s.Line("000"); !errors.Is(err, ErrNoLine) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestGUPExports(t *testing.T) {
+	s := newSwitch(t)
+	dev := s.DeviceComponent("908-555-0001", "office")
+	if dev == nil || dev.ChildText("number") != "908-555-0001" {
+		t.Errorf("device = %v", dev)
+	}
+	if n, _ := dev.Attr("network"); n != "pstn" {
+		t.Errorf("network = %q", n)
+	}
+	svc := s.ServicesComponent("908-555-0001")
+	if svc == nil || svc.Child("service") == nil {
+		t.Errorf("services = %v", svc)
+	}
+	s.KeypadSetForwarding("908-555-0001", "908-555-0002")
+	svc = s.ServicesComponent("908-555-0001")
+	if p, _ := svc.Child("service").Attr("plan"); p != "forwarded" {
+		t.Errorf("plan = %q", p)
+	}
+	if s.DeviceComponent("000", "x") != nil || s.ServicesComponent("000") != nil {
+		t.Error("ghost exports should be nil")
+	}
+}

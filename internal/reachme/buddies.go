@@ -1,0 +1,70 @@
+package reachme
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"gupster/internal/xmltree"
+)
+
+// Buddy is one entry of a buddy-list join with live presence — the paper's
+// third canonical profile query (§2.3 requirement 5: "retrieve Alice's
+// buddies who are available").
+type Buddy struct {
+	Name   string
+	Group  string
+	Status string // "" when the buddy has no reachable presence component
+}
+
+// AvailableBuddies fetches the user's buddy list and joins it with each
+// buddy's presence (fetched concurrently, each under its owner's own
+// privacy shield), returning the buddies whose status is "available". The
+// full annotated list is returned alongside for display.
+func AvailableBuddies(ctx context.Context, profile Getter, user string) (available, all []Buddy, err error) {
+	doc, err := profile.Get(ctx, fmt.Sprintf("/user[@id='%s']/buddy-list", user))
+	if err != nil {
+		return nil, nil, fmt.Errorf("reachme: buddy list: %w", err)
+	}
+	list := doc
+	if doc.Name == "user" {
+		if list = doc.Child("buddy-list"); list == nil {
+			return nil, nil, fmt.Errorf("reachme: %s has no buddy list", user)
+		}
+	}
+	buddies := list.ChildrenNamed("buddy")
+	all = make([]Buddy, len(buddies))
+	var wg sync.WaitGroup
+	for i, b := range buddies {
+		name, _ := b.Attr("name")
+		group, _ := b.Attr("group")
+		all[i] = Buddy{Name: name, Group: group}
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			doc, err := profile.Get(ctx, fmt.Sprintf("/user[@id='%s']/presence", name))
+			if err != nil {
+				return // unreachable or denied: status stays ""
+			}
+			all[i].Status = presenceStatus(doc)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, b := range all {
+		if b.Status == "available" {
+			available = append(available, b)
+		}
+	}
+	return available, all, nil
+}
+
+func presenceStatus(doc *xmltree.Node) string {
+	comp := doc
+	if doc.Name == "user" {
+		if comp = doc.Child("presence"); comp == nil {
+			return ""
+		}
+	}
+	s, _ := comp.Attr("status")
+	return s
+}

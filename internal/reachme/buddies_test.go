@@ -1,0 +1,83 @@
+package reachme
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gupster/internal/xmltree"
+)
+
+// multiUserProfile serves per-user components keyed by "user/section".
+type multiUserProfile struct {
+	components map[string]string
+}
+
+func (f *multiUserProfile) Get(_ context.Context, path string) (*xmltree.Node, error) {
+	for key, xml := range f.components {
+		user := key[:strings.Index(key, "/")]
+		section := key[strings.Index(key, "/")+1:]
+		if strings.Contains(path, "'"+user+"'") && strings.HasSuffix(path, "/"+section) {
+			return xmltree.MustParse(xml), nil
+		}
+	}
+	return nil, fmt.Errorf("no component at %s", path)
+}
+
+func TestAvailableBuddies(t *testing.T) {
+	p := &multiUserProfile{components: map[string]string{
+		"alice/buddy-list": `<buddy-list>
+			<buddy name="rick" group="work"/>
+			<buddy name="dan" group="work"/>
+			<buddy name="ming" group="friends"/>
+			<buddy name="ghost"/>
+		</buddy-list>`,
+		"rick/presence": `<presence status="available"/>`,
+		"dan/presence":  `<presence status="busy"/>`,
+		"ming/presence": `<user id="ming"><presence status="available"/></user>`, // spine-rooted
+		// ghost has no presence component at all.
+	}}
+	available, all, err := AvailableBuddies(context.Background(), p, "alice")
+	if err != nil {
+		t.Fatalf("AvailableBuddies: %v", err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("all = %+v", all)
+	}
+	names := map[string]bool{}
+	for _, b := range available {
+		names[b.Name] = true
+	}
+	if len(available) != 2 || !names["rick"] || !names["ming"] {
+		t.Errorf("available = %+v", available)
+	}
+	for _, b := range all {
+		switch b.Name {
+		case "dan":
+			if b.Status != "busy" {
+				t.Errorf("dan = %+v", b)
+			}
+		case "ghost":
+			if b.Status != "" {
+				t.Errorf("ghost = %+v", b)
+			}
+		case "rick":
+			if b.Group != "work" {
+				t.Errorf("rick = %+v", b)
+			}
+		}
+	}
+}
+
+func TestAvailableBuddiesNoList(t *testing.T) {
+	p := &multiUserProfile{components: map[string]string{}}
+	if _, _, err := AvailableBuddies(context.Background(), p, "alice"); err == nil {
+		t.Error("missing buddy list accepted")
+	}
+	// A spine document without the component errors too.
+	p.components["alice/buddy-list"] = `<user id="alice"/>`
+	if _, _, err := AvailableBuddies(context.Background(), p, "alice"); err == nil {
+		t.Error("empty spine accepted")
+	}
+}

@@ -1,0 +1,256 @@
+package reachme
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gupster/internal/xmltree"
+)
+
+// fakeProfile serves components from a map keyed by section name.
+type fakeProfile struct {
+	components map[string]string
+	calls      atomic.Int64
+	delay      time.Duration
+}
+
+func (f *fakeProfile) Get(_ context.Context, path string) (*xmltree.Node, error) {
+	f.calls.Add(1)
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	for section, xml := range f.components {
+		if strings.HasSuffix(path, "/"+section) {
+			return xmltree.MustParse(xml), nil
+		}
+	}
+	return nil, fmt.Errorf("no component at %s", path)
+}
+
+// Alice's converged profile, per the paper's running example.
+func aliceProfile() *fakeProfile {
+	return &fakeProfile{components: map[string]string{
+		"presence": `<presence status="available"/>`,
+		"location": `<location cell="cell-07974" onair="true"/>`,
+		"calendar": `<calendar>
+			<event id="standup" day="Mon" start="09:00" end="09:30"><title>standup</title></event>
+		</calendar>`,
+		"devices": `<devices>
+			<device id="office" network="pstn"><number>908-555-0001</number></device>
+			<device id="softphone" network="voip"><number>sip:alice@host</number></device>
+			<device id="cell" network="wireless"><number>908-555-0002</number></device>
+			<device id="im" network="im"><number>alice@im</number></device>
+			<device id="home" network="pstn"><number>908-555-0003</number></device>
+		</devices>`,
+		"preferences": `<preferences>
+			<rule id="work-hours" when="and(hours(09:00,18:00),weekday(Mon,Tue,Wed,Thu))" action="call:office"/>
+			<rule id="commute" when="or(hours(08:00,09:00),hours(18:00,19:00))" action="call:cell"/>
+			<rule id="friday-wfh" when="weekday(Fri)" action="call:home"/>
+		</preferences>`,
+	}}
+}
+
+// monday returns 2026-07-06 (a Monday) at the given clock time.
+func monday(clock string) time.Time {
+	tt, err := time.Parse("15:04", clock)
+	if err != nil {
+		panic(err)
+	}
+	return time.Date(2026, 7, 6, tt.Hour(), tt.Minute(), 0, 0, time.UTC)
+}
+
+func friday(clock string) time.Time {
+	return monday(clock).AddDate(0, 0, 4)
+}
+
+func deviceOrder(d Decision) []string {
+	out := make([]string, len(d.Attempts))
+	for i, a := range d.Attempts {
+		out[i] = a.Device
+	}
+	return out
+}
+
+// The paper's scenario: during working hours with presence available, call
+// the office phone first, then try the soft phone.
+func TestWorkingHoursOfficeFirst(t *testing.T) {
+	svc := &Service{Profile: aliceProfile()}
+	d, err := svc.Decide(context.Background(), "alice", monday("10:00"))
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	order := deviceOrder(d)
+	if order[0] != "office" {
+		t.Errorf("first attempt = %q (order %v)", order[0], order)
+	}
+	if idx(order, "softphone") < 0 || idx(order, "softphone") > idx(order, "cell") {
+		t.Errorf("softphone should come before cell: %v", order)
+	}
+	if order[len(order)-1] != "voicemail" {
+		t.Errorf("voicemail should be last: %v", order)
+	}
+	if d.Sources != 5 {
+		t.Errorf("sources = %d", d.Sources)
+	}
+}
+
+// Commuting window: the cell leads.
+func TestCommuteCallsCell(t *testing.T) {
+	svc := &Service{Profile: aliceProfile()}
+	d, err := svc.Decide(context.Background(), "alice", monday("08:30"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deviceOrder(d)[0] != "cell" {
+		t.Errorf("order = %v", deviceOrder(d))
+	}
+}
+
+// Friday: working from home — home phone first.
+func TestFridayHomeFirst(t *testing.T) {
+	svc := &Service{Profile: aliceProfile()}
+	d, err := svc.Decide(context.Background(), "alice", friday("10:00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deviceOrder(d)[0] != "home" {
+		t.Errorf("order = %v", deviceOrder(d))
+	}
+}
+
+// Radio off-air: wireless attempts disappear entirely.
+func TestOffAirSkipsCell(t *testing.T) {
+	p := aliceProfile()
+	p.components["location"] = `<location cell="?" onair="false"/>`
+	svc := &Service{Profile: p}
+	d, err := svc.Decide(context.Background(), "alice", monday("08:30"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := deviceOrder(d)
+	if idx(order, "cell") >= 0 {
+		t.Errorf("off-air cell attempted: %v", order)
+	}
+	if order[0] != "office" { // commute rule targets cell, which is not viable
+		t.Errorf("order = %v", order)
+	}
+}
+
+// Calendar conflict: messaging is promoted above voice defaults.
+func TestBusyPrefersIM(t *testing.T) {
+	p := aliceProfile()
+	// Remove the preference rules so defaults drive the order.
+	p.components["preferences"] = `<preferences/>`
+	svc := &Service{Profile: p}
+	d, err := svc.Decide(context.Background(), "alice", monday("09:15")) // standup
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := deviceOrder(d)
+	if order[0] != "im" {
+		t.Errorf("busy user should be messaged first: %v", order)
+	}
+	if !strings.Contains(d.Attempts[0].Reason, "standup") {
+		t.Errorf("reason = %q", d.Attempts[0].Reason)
+	}
+}
+
+// Missing components degrade gracefully.
+func TestPartialProfile(t *testing.T) {
+	p := &fakeProfile{components: map[string]string{
+		"devices": `<devices><device id="cell" network="wireless"><number>1</number></device></devices>`,
+	}}
+	svc := &Service{Profile: p}
+	d, err := svc.Decide(context.Background(), "alice", monday("10:00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Sources != 1 {
+		t.Errorf("sources = %d", d.Sources)
+	}
+	// Without location data the radio state is unknown: attempt the cell.
+	if idx(deviceOrder(d), "cell") < 0 {
+		t.Errorf("order = %v", deviceOrder(d))
+	}
+}
+
+func TestNoProfileAtAll(t *testing.T) {
+	p := &fakeProfile{components: map[string]string{}}
+	svc := &Service{Profile: p}
+	if _, err := svc.Decide(context.Background(), "ghost", monday("10:00")); err == nil {
+		t.Error("decision without any data")
+	}
+}
+
+// Spine-rooted documents (as GUPster returns them) are handled too.
+func TestSpineRootedComponents(t *testing.T) {
+	p := &fakeProfile{components: map[string]string{
+		"presence": `<user id="alice"><presence status="available"/></user>`,
+		"devices":  `<user id="alice"><devices><device id="office" network="pstn"><number>1</number></device></devices></user>`,
+	}}
+	svc := &Service{Profile: p}
+	d, err := svc.Decide(context.Background(), "alice", monday("10:00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deviceOrder(d)[0] != "office" {
+		t.Errorf("order = %v", deviceOrder(d))
+	}
+}
+
+// Malformed preference rules are skipped rather than fatal.
+func TestMalformedRuleSkipped(t *testing.T) {
+	p := aliceProfile()
+	p.components["preferences"] = `<preferences>
+		<rule id="broken" when="hours(99:99)" action="call:office"/>
+		<rule id="ok" when="always" action="call:home"/>
+	</preferences>`
+	svc := &Service{Profile: p}
+	d, err := svc.Decide(context.Background(), "alice", monday("10:00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deviceOrder(d)[0] != "home" {
+		t.Errorf("order = %v", deviceOrder(d))
+	}
+}
+
+// Parallel gathering must beat sequential when sources are slow (the §2.2
+// fast-response requirement; benchmark E7 measures this at scale).
+func TestParallelGatherFaster(t *testing.T) {
+	mk := func() *fakeProfile {
+		p := aliceProfile()
+		p.delay = 20 * time.Millisecond
+		return p
+	}
+	par := &Service{Profile: mk()}
+	seq := &Service{Profile: mk(), Sequential: true}
+
+	dp, err := par.Decide(context.Background(), "alice", monday("10:00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := seq.Decide(context.Background(), "alice", monday("10:00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Elapsed >= ds.Elapsed {
+		t.Errorf("parallel %v not faster than sequential %v", dp.Elapsed, ds.Elapsed)
+	}
+	if ds.Elapsed < 5*20*time.Millisecond {
+		t.Errorf("sequential should pay all delays: %v", ds.Elapsed)
+	}
+}
+
+func idx(ss []string, want string) int {
+	for i, s := range ss {
+		if s == want {
+			return i
+		}
+	}
+	return -1
+}

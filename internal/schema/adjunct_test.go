@@ -1,0 +1,76 @@
+package schema
+
+import (
+	"testing"
+	"time"
+
+	"gupster/internal/xpath"
+)
+
+func TestAdjunctLookupComposition(t *testing.T) {
+	a := GUPAdjuncts()
+
+	// Address book: merge policy from its own entry, sensitivity inherited
+	// from /user.
+	adj, ok := a.Lookup(xpath.MustParse("/user[@id='u']/address-book"))
+	if !ok {
+		t.Fatal("no adjunct for address-book")
+	}
+	if adj.ReconcilePolicy != "merge" || adj.Sensitivity != "personal" || adj.PlacementHint != "portal" {
+		t.Errorf("address-book adjunct = %+v", adj)
+	}
+	if adj.CacheTTL != time.Minute {
+		t.Errorf("address-book TTL = %v", adj.CacheTTL)
+	}
+
+	// Corporate items: placement overridden at the deeper entry, policy
+	// still inherited from the book.
+	adj, ok = a.Lookup(xpath.MustParse("/user[@id='u']/address-book/item[@type='corporate']"))
+	if !ok {
+		t.Fatal("no adjunct for corporate items")
+	}
+	if adj.PlacementHint != "enterprise" || adj.ReconcilePolicy != "merge" {
+		t.Errorf("corporate adjunct = %+v", adj)
+	}
+
+	// Presence: NoCache sticks even though /user sets a TTL.
+	adj, ok = a.Lookup(xpath.MustParse("/user[@id='u']/presence"))
+	if !ok || !adj.NoCache {
+		t.Errorf("presence adjunct = %+v, %v", adj, ok)
+	}
+
+	// Wallet: financial overrides the personal default.
+	adj, _ = a.Lookup(xpath.MustParse("/user[@id='u']/wallet"))
+	if adj.Sensitivity != "financial" || !adj.NoCache {
+		t.Errorf("wallet adjunct = %+v", adj)
+	}
+
+	// A section with no specific entry inherits the profile defaults.
+	adj, ok = a.Lookup(xpath.MustParse("/user[@id='u']/buddy-list"))
+	if !ok || adj.ReconcilePolicy != "server-wins" || adj.CacheTTL != 30*time.Second {
+		t.Errorf("buddy-list adjunct = %+v, %v", adj, ok)
+	}
+
+	// A path outside the schema root has no adjunct.
+	if _, ok := a.Lookup(xpath.MustParse("/person")); ok {
+		t.Error("adjunct for foreign root")
+	}
+}
+
+func TestAdjunctSetReplaces(t *testing.T) {
+	a := NewAdjuncts()
+	p := xpath.MustParse("/user/presence")
+	a.Set(p, Adjunct{PlacementHint: "portal"})
+	a.Set(p, Adjunct{PlacementHint: "carrier"})
+	adj, ok := a.Lookup(xpath.MustParse("/user[@id='u']/presence"))
+	if !ok || adj.PlacementHint != "carrier" {
+		t.Errorf("adjunct = %+v, %v", adj, ok)
+	}
+}
+
+func TestAdjunctEmptySet(t *testing.T) {
+	a := NewAdjuncts()
+	if _, ok := a.Lookup(xpath.MustParse("/user")); ok {
+		t.Error("empty set matched")
+	}
+}

@@ -1,0 +1,131 @@
+package schema
+
+// GUP returns the standard Generic User Profile schema used throughout the
+// system. It follows the top-level outline sketched in §4.4 of the paper
+// (MySelf, MyDevices, MyContacts, MyLocations, MyEvents, MyWallet,
+// MyApplications) using the concrete element names the paper's coverage
+// examples employ (user, address-book, presence, buddy-list, …). Each
+// top-level section is a GUP component: a unit of storage and access
+// control (Figure 6).
+func GUP() *Schema {
+	leaf := func(name string) *Element {
+		return &Element{Name: name, TextAllowed: true}
+	}
+	return &Schema{
+		Version: 1,
+		Root: &Element{
+			Name:  "user",
+			Attrs: []AttrDef{{Name: "id", Required: true}},
+			Children: []*Element{
+				{
+					Name: "self", Component: true,
+					Children: []*Element{
+						leaf("name"), leaf("address"), leaf("email"),
+						leaf("phone"), leaf("employer"),
+					},
+				},
+				{
+					Name: "devices", Component: true,
+					Children: []*Element{{
+						Name: "device", Repeatable: true,
+						Attrs: []AttrDef{
+							{Name: "id", Required: true},
+							{Name: "network"}, {Name: "type"},
+						},
+						Children: []*Element{{
+							Name: "capability", Repeatable: true,
+							Attrs:       []AttrDef{{Name: "name", Required: true}},
+							TextAllowed: true,
+						}, leaf("number")},
+					}},
+				},
+				{
+					Name: "address-book", Component: true,
+					Children: []*Element{{
+						Name: "item", Repeatable: true,
+						Attrs: []AttrDef{
+							{Name: "name", Required: true},
+							{Name: "type"},
+						},
+						Children: []*Element{
+							leaf("phone"), leaf("email"), leaf("address"), leaf("note"),
+						},
+					}},
+				},
+				{
+					Name: "buddy-list", Component: true,
+					Children: []*Element{{
+						Name: "buddy", Repeatable: true,
+						Attrs: []AttrDef{
+							{Name: "name", Required: true},
+							{Name: "group"},
+						},
+					}},
+				},
+				{
+					Name: "presence", Component: true,
+					Attrs: []AttrDef{
+						{Name: "status"}, {Name: "since"},
+					},
+					Children: []*Element{leaf("note")},
+				},
+				{
+					Name: "location", Component: true,
+					Attrs: []AttrDef{
+						{Name: "cell"}, {Name: "lat"}, {Name: "lon"},
+						{Name: "onair"}, {Name: "updated"},
+					},
+				},
+				{
+					Name: "calendar", Component: true,
+					Children: []*Element{{
+						Name: "event", Repeatable: true,
+						Attrs: []AttrDef{
+							{Name: "id", Required: true},
+							{Name: "start"}, {Name: "end"}, {Name: "day"},
+						},
+						Children: []*Element{leaf("title"), leaf("where")},
+					}},
+				},
+				{
+					Name: "wallet", Component: true,
+					Children: []*Element{{
+						Name: "card", Repeatable: true,
+						Attrs: []AttrDef{
+							{Name: "id", Required: true},
+							{Name: "kind"},
+						},
+						Children: []*Element{leaf("number"), leaf("expiry")},
+					}},
+				},
+				{
+					Name: "preferences", Component: true,
+					Children: []*Element{{
+						Name: "rule", Repeatable: true,
+						Attrs: []AttrDef{
+							{Name: "id", Required: true},
+							{Name: "when"}, {Name: "action"},
+						},
+						TextAllowed: true,
+					}},
+				},
+				{
+					Name: "services", Component: true,
+					Children: []*Element{{
+						Name: "service", Repeatable: true,
+						Attrs: []AttrDef{
+							{Name: "name", Required: true},
+							{Name: "provider"}, {Name: "plan"},
+						},
+						Open: true,
+					}},
+				},
+				{
+					// Application-specific data is open by design — the
+					// paper's gaming example lives here.
+					Name: "applications", Component: true, Open: true,
+				},
+			},
+		},
+	}
+}

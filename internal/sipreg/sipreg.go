@@ -1,0 +1,148 @@
+// Package sipreg simulates the VoIP network's profile plane (paper §3.1.3,
+// Figure 4): a SIP registrar storing bindings from an address-of-record
+// (the VoIP phone number) to the contact addresses of the user's endpoints,
+// with expiry, plus the proxy-side lookup that routes calls. Per the paper,
+// VoIP keeps most intelligence at the endpoints; the registrar is the only
+// network-resident profile store, and it exports its bindings as GUP
+// components so the VoIP network can join the GUPster federation.
+package sipreg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gupster/internal/xmltree"
+)
+
+// Registrar errors.
+var (
+	ErrNoBinding = errors.New("sipreg: no active binding")
+)
+
+// Binding maps an AOR to one endpoint contact.
+type Binding struct {
+	AOR     string
+	Contact string // e.g. "sip:alice@192.168.1.7:5060"
+	Expires time.Time
+	Q       float64 // preference weight, higher first
+}
+
+// Registrar stores AOR → contact bindings. Safe for concurrent use.
+type Registrar struct {
+	mu       sync.Mutex
+	bindings map[string][]Binding // AOR → bindings
+	now      func() time.Time
+}
+
+// New returns an empty registrar.
+func New() *Registrar {
+	return &Registrar{bindings: make(map[string][]Binding), now: time.Now}
+}
+
+// WithClock injects a clock for tests.
+func (r *Registrar) WithClock(now func() time.Time) *Registrar {
+	r.now = now
+	return r
+}
+
+// Register adds or refreshes a binding with the given time-to-live. A TTL
+// of zero removes the binding (RFC 3261 semantics).
+func (r *Registrar) Register(aor, contact string, ttl time.Duration, q float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := r.bindings[aor]
+	// Remove any existing binding for the same contact.
+	kept := list[:0]
+	for _, b := range list {
+		if b.Contact != contact {
+			kept = append(kept, b)
+		}
+	}
+	if ttl > 0 {
+		kept = append(kept, Binding{AOR: aor, Contact: contact, Expires: r.now().Add(ttl), Q: q})
+	}
+	if len(kept) == 0 {
+		delete(r.bindings, aor)
+		return
+	}
+	r.bindings[aor] = kept
+}
+
+// Lookup returns the live bindings for an AOR, highest preference first.
+// Expired bindings are pruned as a side effect.
+func (r *Registrar) Lookup(aor string) ([]Binding, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := r.bindings[aor]
+	now := r.now()
+	kept := list[:0]
+	for _, b := range list {
+		if b.Expires.After(now) {
+			kept = append(kept, b)
+		}
+	}
+	if len(kept) == 0 {
+		delete(r.bindings, aor)
+		return nil, fmt.Errorf("%w: %s", ErrNoBinding, aor)
+	}
+	r.bindings[aor] = kept
+	out := append([]Binding(nil), kept...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Q > out[j].Q })
+	return out, nil
+}
+
+// Route is the proxy behaviour: resolve an AOR to the best contact.
+func (r *Registrar) Route(aor string) (string, error) {
+	bs, err := r.Lookup(aor)
+	if err != nil {
+		return "", err
+	}
+	return bs[0].Contact, nil
+}
+
+// Online reports whether the AOR has any live binding (the presence-ish
+// signal reach-me uses for VoIP).
+func (r *Registrar) Online(aor string) bool {
+	_, err := r.Lookup(aor)
+	return err == nil
+}
+
+// AORs lists registered addresses-of-record (live ones only).
+func (r *Registrar) AORs() []string {
+	r.mu.Lock()
+	now := r.now()
+	var out []string
+	for aor, list := range r.bindings {
+		for _, b := range list {
+			if b.Expires.After(now) {
+				out = append(out, aor)
+				break
+			}
+		}
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// DeviceComponent exports an AOR's endpoints as GUP <device> elements
+// wrapped in a <devices> fragment.
+func (r *Registrar) DeviceComponent(aor string) *xmltree.Node {
+	bs, err := r.Lookup(aor)
+	if err != nil {
+		return nil
+	}
+	devs := xmltree.New("devices")
+	for i, b := range bs {
+		dev := xmltree.New("device").
+			SetAttr("id", fmt.Sprintf("voip-%d", i)).
+			SetAttr("network", "voip").
+			SetAttr("type", "softphone")
+		dev.Add(xmltree.NewText("number", b.Contact))
+		devs.Add(dev)
+	}
+	return devs
+}

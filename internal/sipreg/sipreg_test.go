@@ -1,0 +1,113 @@
+package sipreg
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func fixed(t time.Time) func() time.Time { return func() time.Time { return t } }
+
+var t0 = time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+func TestRegisterAndLookup(t *testing.T) {
+	r := New().WithClock(fixed(t0))
+	r.Register("sip:alice@lucent.com", "sip:alice@10.0.0.7", time.Hour, 1.0)
+	r.Register("sip:alice@lucent.com", "sip:alice@laptop.local", time.Hour, 0.5)
+
+	bs, err := r.Lookup("sip:alice@lucent.com")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if len(bs) != 2 || bs[0].Contact != "sip:alice@10.0.0.7" {
+		t.Errorf("bindings = %+v", bs)
+	}
+	got, err := r.Route("sip:alice@lucent.com")
+	if err != nil || got != "sip:alice@10.0.0.7" {
+		t.Errorf("Route = %q, %v", got, err)
+	}
+	if !r.Online("sip:alice@lucent.com") {
+		t.Error("alice should be online")
+	}
+	if r.Online("sip:bob@lucent.com") {
+		t.Error("bob should be offline")
+	}
+}
+
+func TestRefreshReplacesBinding(t *testing.T) {
+	r := New().WithClock(fixed(t0))
+	r.Register("a", "contact1", time.Minute, 1.0)
+	r.Register("a", "contact1", time.Hour, 0.9) // refresh, not duplicate
+	bs, _ := r.Lookup("a")
+	if len(bs) != 1 {
+		t.Fatalf("bindings = %+v", bs)
+	}
+	if bs[0].Q != 0.9 || !bs[0].Expires.Equal(t0.Add(time.Hour)) {
+		t.Errorf("refresh did not replace: %+v", bs[0])
+	}
+}
+
+func TestZeroTTLDeregisters(t *testing.T) {
+	r := New().WithClock(fixed(t0))
+	r.Register("a", "c1", time.Hour, 1.0)
+	r.Register("a", "c1", 0, 0)
+	if _, err := r.Lookup("a"); !errors.Is(err, ErrNoBinding) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	clock := t0
+	r := New().WithClock(func() time.Time { return clock })
+	r.Register("a", "c-short", time.Minute, 1.0)
+	r.Register("a", "c-long", time.Hour, 0.5)
+
+	clock = t0.Add(30 * time.Minute)
+	bs, err := r.Lookup("a")
+	if err != nil || len(bs) != 1 || bs[0].Contact != "c-long" {
+		t.Errorf("after partial expiry: %+v, %v", bs, err)
+	}
+	clock = t0.Add(2 * time.Hour)
+	if _, err := r.Lookup("a"); !errors.Is(err, ErrNoBinding) {
+		t.Errorf("after full expiry: %v", err)
+	}
+	if r.Online("a") {
+		t.Error("expired AOR online")
+	}
+}
+
+func TestAORs(t *testing.T) {
+	clock := t0
+	r := New().WithClock(func() time.Time { return clock })
+	r.Register("b", "c1", time.Hour, 1)
+	r.Register("a", "c2", time.Minute, 1)
+	got := r.AORs()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("AORs = %v", got)
+	}
+	clock = t0.Add(10 * time.Minute)
+	got = r.AORs()
+	if len(got) != 1 || got[0] != "b" {
+		t.Errorf("AORs after expiry = %v", got)
+	}
+}
+
+func TestDeviceComponent(t *testing.T) {
+	r := New().WithClock(fixed(t0))
+	r.Register("a", "sip:a@host1", time.Hour, 1.0)
+	r.Register("a", "sip:a@host2", time.Hour, 0.2)
+	devs := r.DeviceComponent("a")
+	if devs == nil || len(devs.ChildrenNamed("device")) != 2 {
+		t.Fatalf("devices = %v", devs)
+	}
+	first := devs.ChildrenNamed("device")[0]
+	if first.ChildText("number") != "sip:a@host1" {
+		t.Errorf("preference order lost: %s", first)
+	}
+	if n, _ := first.Attr("network"); n != "voip" {
+		t.Errorf("network = %q", n)
+	}
+	if r.DeviceComponent("ghost") != nil {
+		t.Error("ghost component should be nil")
+	}
+}

@@ -1,0 +1,298 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gupster/internal/schema"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+func mp(s string) xpath.Path { return xpath.MustParse(s) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	e := NewEngine("s1")
+	book := xmltree.MustParse(`<address-book><item name="rick"><phone>111</phone></item></address-book>`)
+	v, err := e.Put("arnaud", mp("/user[@id='arnaud']/address-book"), book)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if v == 0 {
+		t.Error("version should advance")
+	}
+	doc, gv, err := e.Get("arnaud", mp("/user[@id='arnaud']/address-book"))
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if gv != v {
+		t.Errorf("get version = %d, want %d", gv, v)
+	}
+	if doc.Name != "user" {
+		t.Errorf("Get should return spine document, got <%s>", doc.Name)
+	}
+	if id, _ := doc.Attr("id"); id != "arnaud" {
+		t.Errorf("spine id = %q", id)
+	}
+	got := doc.Child("address-book")
+	if got == nil || !got.Equal(book) {
+		t.Errorf("component mismatch:\n%s", doc.Indent())
+	}
+	// Component-rooted accessor.
+	comp, _, err := e.GetComponent("arnaud", mp("/user[@id='arnaud']/address-book"))
+	if err != nil || !comp.Equal(book) {
+		t.Errorf("GetComponent: %v / %s", err, comp)
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	e := NewEngine("s1")
+	if _, _, err := e.Get("ghost", mp("/user/presence")); !errors.Is(err, ErrNoUser) {
+		t.Errorf("err = %v", err)
+	}
+	e.Put("u", mp("/user[@id='u']/presence"), xmltree.MustParse(`<presence status="on"/>`))
+	if _, _, err := e.Get("u", mp("/user[@id='u']/calendar")); !errors.Is(err, ErrNoComponent) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := e.GetComponent("ghost", mp("/user")); !errors.Is(err, ErrNoUser) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := e.GetComponent("u", mp("/user[@id='u']/calendar")); !errors.Is(err, ErrNoComponent) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	e := NewEngine("s1")
+	e.Schema = schema.GUP()
+	// Valid component accepted.
+	if _, err := e.Put("u", mp("/user[@id='u']/presence"), xmltree.MustParse(`<presence status="on"/>`)); err != nil {
+		t.Errorf("valid put: %v", err)
+	}
+	// Schema-invalid component rejected.
+	if _, err := e.Put("u", mp("/user[@id='u']/address-book"), xmltree.MustParse(`<address-book><item/></address-book>`)); err == nil {
+		t.Error("invalid component accepted")
+	}
+	// Fragment/path mismatch rejected.
+	if _, err := e.Put("u", mp("/user[@id='u']/presence"), xmltree.MustParse(`<calendar/>`)); err == nil {
+		t.Error("mismatched fragment accepted")
+	}
+	// Nil fragment / empty path rejected.
+	if _, err := e.Put("u", mp("/user[@id='u']/presence"), nil); err == nil {
+		t.Error("nil fragment accepted")
+	}
+	if _, err := e.Put("u", xpath.Path{}, xmltree.New("x")); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+func TestPutReplacesAndVersions(t *testing.T) {
+	e := NewEngine("s1")
+	p := mp("/user[@id='u']/presence")
+	v1, _ := e.Put("u", p, xmltree.MustParse(`<presence status="on"/>`))
+	v2, _ := e.Put("u", p, xmltree.MustParse(`<presence status="off"/>`))
+	if v2 <= v1 {
+		t.Errorf("versions not monotonic: %d then %d", v1, v2)
+	}
+	comp, _, _ := e.GetComponent("u", p)
+	if s, _ := comp.Attr("status"); s != "off" {
+		t.Errorf("replace did not apply: %s", comp)
+	}
+	// Only one presence element exists.
+	doc, _, _ := e.Get("u", mp("/user[@id='u']"))
+	if got := len(doc.ChildrenNamed("presence")); got != 1 {
+		t.Errorf("presence count = %d\n%s", got, doc.Indent())
+	}
+	if e.ComponentVersion("u", p) != v2 {
+		t.Errorf("ComponentVersion = %d", e.ComponentVersion("u", p))
+	}
+	if e.ComponentVersion("u", mp("/user[@id='u']/calendar")) != 0 {
+		t.Error("untouched component should be version 0")
+	}
+}
+
+func TestDeepPathPut(t *testing.T) {
+	e := NewEngine("s1")
+	// Writing a deep component creates the spine.
+	p := mp("/user[@id='u']/address-book/item[@name='rick']")
+	item := xmltree.MustParse(`<item name="rick"><phone>1</phone></item>`)
+	if _, err := e.Put("u", p, item); err != nil {
+		t.Fatalf("deep put: %v", err)
+	}
+	doc, _, err := e.Get("u", mp("/user[@id='u']/address-book"))
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if doc.Child("address-book").Child("item") == nil {
+		t.Errorf("spine not created:\n%s", doc.Indent())
+	}
+}
+
+func TestWholeProfilePut(t *testing.T) {
+	e := NewEngine("s1")
+	profile := xmltree.MustParse(`<user id="u"><presence status="on"/></user>`)
+	if _, err := e.Put("u", mp("/user[@id='u']"), profile); err != nil {
+		t.Fatalf("whole put: %v", err)
+	}
+	doc, _, _ := e.Get("u", mp("/user[@id='u']"))
+	if !doc.Equal(profile) {
+		t.Errorf("whole profile mismatch")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	e := NewEngine("s1")
+	e.Put("u", mp("/user[@id='u']/address-book"), xmltree.MustParse(
+		`<address-book><item name="a"/><item name="b"/></address-book>`))
+	n, err := e.Delete("u", mp("/user[@id='u']/address-book/item[@name='a']"))
+	if err != nil || n != 1 {
+		t.Fatalf("Delete = %d, %v", n, err)
+	}
+	comp, _, _ := e.GetComponent("u", mp("/user[@id='u']/address-book"))
+	if len(comp.ChildrenNamed("item")) != 1 {
+		t.Errorf("item not deleted: %s", comp)
+	}
+	if _, err := e.Delete("ghost", mp("/user")); !errors.Is(err, ErrNoUser) {
+		t.Errorf("err = %v", err)
+	}
+	if n, _ := e.Delete("u", mp("/user[@id='u']/zzz")); n != 0 {
+		t.Errorf("deleting nothing = %d", n)
+	}
+}
+
+func TestChangesSince(t *testing.T) {
+	e := NewEngine("s1")
+	p := mp("/user[@id='u']/address-book")
+	v1, _ := e.Put("u", p, xmltree.MustParse(`<address-book><item name="a"><phone>1</phone></item></address-book>`))
+	v2, _ := e.Put("u", p, xmltree.MustParse(`<address-book><item name="a"><phone>1</phone></item><item name="b"><phone>2</phone></item></address-book>`))
+	v3, _ := e.Put("u", p, xmltree.MustParse(`<address-book><item name="b"><phone>2</phone></item><item name="c"><phone>3</phone></item></address-book>`))
+
+	// Up to date.
+	ops, ok := e.ChangesSince("u", p, v3)
+	if !ok || len(ops) != 0 {
+		t.Errorf("up-to-date: ops=%v ok=%v", ops, ok)
+	}
+	// Since v1: add b, then remove a + add c.
+	ops, ok = e.ChangesSince("u", p, v1)
+	if !ok {
+		t.Fatal("fast sync refused")
+	}
+	kinds := map[xmltree.OpKind]int{}
+	for _, op := range ops {
+		kinds[op.Kind]++
+	}
+	if kinds[xmltree.OpAdd] != 2 || kinds[xmltree.OpRemove] != 1 {
+		t.Errorf("ops = %+v", ops)
+	}
+	// Since v2: only the third write.
+	ops, ok = e.ChangesSince("u", p, v2)
+	if !ok || len(ops) != 2 {
+		t.Errorf("since v2: %v, %v", ops, ok)
+	}
+	// Anchor 0 forces slow sync.
+	if _, ok = e.ChangesSince("u", p, 0); ok {
+		t.Error("anchor 0 should force slow sync")
+	}
+	// Future anchor refused.
+	if _, ok = e.ChangesSince("u", p, v3+10); ok {
+		t.Error("future anchor should force slow sync")
+	}
+}
+
+func TestChangesSinceLogEviction(t *testing.T) {
+	e := NewEngine("s1")
+	p := mp("/user[@id='u']/address-book")
+	v1, _ := e.Put("u", p, xmltree.MustParse(`<address-book><item name="base"><phone>0</phone></item></address-book>`))
+	// Push the log past its cap.
+	for i := 0; i < maxLogPerComponent+10; i++ {
+		book := xmltree.MustParse(fmt.Sprintf(`<address-book><item name="base"><phone>%d</phone></item></address-book>`, i))
+		e.Put("u", p, book)
+	}
+	if _, ok := e.ChangesSince("u", p, v1); ok {
+		t.Error("evicted anchor should force slow sync")
+	}
+}
+
+func TestDeleteInvalidatesLog(t *testing.T) {
+	e := NewEngine("s1")
+	p := mp("/user[@id='u']/address-book")
+	v1, _ := e.Put("u", p, xmltree.MustParse(`<address-book><item name="a"/></address-book>`))
+	e.Delete("u", mp("/user[@id='u']/address-book/item[@name='a']"))
+	e.Put("u", p, xmltree.MustParse(`<address-book><item name="b"/></address-book>`))
+	if _, ok := e.ChangesSince("u", p, v1); ok {
+		t.Error("fast sync across an unlogged delete must be refused")
+	}
+}
+
+func TestOnChangeHook(t *testing.T) {
+	e := NewEngine("s1")
+	type change struct {
+		user string
+		path string
+		v    uint64
+	}
+	var mu sync.Mutex
+	var got []change
+	e.OnChange(func(user string, path xpath.Path, frag *xmltree.Node, v uint64) {
+		mu.Lock()
+		got = append(got, change{user, path.String(), v})
+		mu.Unlock()
+	})
+	p := mp("/user[@id='u']/presence")
+	v, _ := e.Put("u", p, xmltree.MustParse(`<presence status="on"/>`))
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].user != "u" || got[0].v != v || got[0].path != p.String() {
+		t.Errorf("hook calls = %+v", got)
+	}
+}
+
+func TestUsersAndID(t *testing.T) {
+	e := NewEngine("gup.yahoo.com")
+	if e.ID() != "gup.yahoo.com" {
+		t.Errorf("ID = %q", e.ID())
+	}
+	e.Put("a", mp("/user[@id='a']/presence"), xmltree.MustParse(`<presence/>`))
+	e.Put("b", mp("/user[@id='b']/presence"), xmltree.MustParse(`<presence/>`))
+	if len(e.Users()) != 2 {
+		t.Errorf("Users = %v", e.Users())
+	}
+}
+
+func TestConcurrentEngine(t *testing.T) {
+	e := NewEngine("s1")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			user := fmt.Sprintf("u%d", i%4)
+			p := mp(fmt.Sprintf("/user[@id='%s']/presence", user))
+			for j := 0; j < 100; j++ {
+				e.Put(user, p, xmltree.MustParse(fmt.Sprintf(`<presence status="s%d"/>`, j)))
+				e.Get(user, p)
+				e.ChangesSince(user, p, uint64(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestPutDoesNotAliasCallerFragment(t *testing.T) {
+	e := NewEngine("s1")
+	frag := xmltree.MustParse(`<presence status="on"/>`)
+	e.Put("u", mp("/user[@id='u']/presence"), frag)
+	frag.SetAttr("status", "MUTATED")
+	comp, _, _ := e.GetComponent("u", mp("/user[@id='u']/presence"))
+	if s, _ := comp.Attr("status"); s != "on" {
+		t.Error("engine aliases caller's fragment")
+	}
+	// And Get results do not alias engine state.
+	comp.SetAttr("status", "HACKED")
+	comp2, _, _ := e.GetComponent("u", mp("/user[@id='u']/presence"))
+	if s, _ := comp2.Attr("status"); s != "on" {
+		t.Error("engine shares memory with readers")
+	}
+}

@@ -1,0 +1,137 @@
+package store
+
+import (
+	"testing"
+
+	"gupster/internal/schema"
+	"gupster/internal/xmltree"
+)
+
+// Scoped replace: a fragment rooted at the *parent* of the path's last step
+// replaces only the matching children — the write-side of Figure 9 splits.
+
+func TestScopedReplaceBasics(t *testing.T) {
+	e := NewEngine("s1")
+	bookPath := mp("/user[@id='u']/address-book")
+	e.Put("u", bookPath, xmltree.MustParse(`<address-book>
+		<item name="mom" type="personal"><phone>1</phone></item>
+		<item name="boss" type="corporate"><phone>2</phone></item>
+	</address-book>`))
+
+	// Replace the personal items only.
+	personalPath := mp("/user[@id='u']/address-book/item[@type='personal']")
+	newPersonal := xmltree.MustParse(`<address-book>
+		<item name="mom" type="personal"><phone>NEW</phone></item>
+		<item name="dentist" type="personal"><phone>3</phone></item>
+	</address-book>`)
+	if _, err := e.Put("u", personalPath, newPersonal); err != nil {
+		t.Fatalf("scoped put: %v", err)
+	}
+	comp, _, _ := e.GetComponent("u", bookPath)
+	byName := map[string]string{}
+	for _, it := range comp.ChildrenNamed("item") {
+		n, _ := it.Attr("name")
+		byName[n] = it.ChildText("phone")
+	}
+	if len(byName) != 3 {
+		t.Fatalf("items = %v", byName)
+	}
+	if byName["mom"] != "NEW" || byName["dentist"] != "3" {
+		t.Errorf("personal half not replaced: %v", byName)
+	}
+	if byName["boss"] != "2" {
+		t.Errorf("corporate half touched: %v", byName)
+	}
+}
+
+func TestScopedReplaceFiltersNonMatching(t *testing.T) {
+	e := NewEngine("s1")
+	bookPath := mp("/user[@id='u']/address-book")
+	e.Put("u", bookPath, xmltree.MustParse(`<address-book><item name="boss" type="corporate"><phone>2</phone></item></address-book>`))
+
+	// The container carries items of both types; only matching ones apply.
+	mixed := xmltree.MustParse(`<address-book>
+		<item name="mom" type="personal"><phone>1</phone></item>
+		<item name="intruder" type="corporate"><phone>9</phone></item>
+	</address-book>`)
+	if _, err := e.Put("u", mp("/user[@id='u']/address-book/item[@type='personal']"), mixed); err != nil {
+		t.Fatalf("scoped put: %v", err)
+	}
+	comp, _, _ := e.GetComponent("u", bookPath)
+	names := map[string]bool{}
+	for _, it := range comp.ChildrenNamed("item") {
+		n, _ := it.Attr("name")
+		names[n] = true
+	}
+	if !names["mom"] || !names["boss"] {
+		t.Errorf("items = %v", names)
+	}
+	if names["intruder"] {
+		t.Errorf("non-matching container child written: %v", names)
+	}
+}
+
+func TestScopedReplaceClearsWithEmptyContainer(t *testing.T) {
+	e := NewEngine("s1")
+	bookPath := mp("/user[@id='u']/address-book")
+	e.Put("u", bookPath, xmltree.MustParse(`<address-book>
+		<item name="mom" type="personal"><phone>1</phone></item>
+		<item name="boss" type="corporate"><phone>2</phone></item>
+	</address-book>`))
+	if _, err := e.Put("u", mp("/user[@id='u']/address-book/item[@type='personal']"), xmltree.New("address-book")); err != nil {
+		t.Fatalf("clearing put: %v", err)
+	}
+	comp, _, _ := e.GetComponent("u", bookPath)
+	items := comp.ChildrenNamed("item")
+	if len(items) != 1 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if n, _ := items[0].Attr("name"); n != "boss" {
+		t.Errorf("wrong survivor: %s", items[0])
+	}
+}
+
+func TestScopedReplaceCreatesSpine(t *testing.T) {
+	e := NewEngine("s1")
+	frag := xmltree.MustParse(`<address-book><item name="mom" type="personal"><phone>1</phone></item></address-book>`)
+	if _, err := e.Put("u", mp("/user[@id='u']/address-book/item[@type='personal']"), frag); err != nil {
+		t.Fatalf("scoped put on empty store: %v", err)
+	}
+	comp, _, err := e.GetComponent("u", mp("/user[@id='u']/address-book"))
+	if err != nil || len(comp.ChildrenNamed("item")) != 1 {
+		t.Errorf("spine not created: %v / %v", comp, err)
+	}
+}
+
+func TestScopedReplaceSchemaValidated(t *testing.T) {
+	e := NewEngine("s1")
+	e.Schema = schema.GUP()
+	bad := xmltree.MustParse(`<address-book><item type="personal"/></address-book>`) // no name
+	if _, err := e.Put("u", mp("/user[@id='u']/address-book/item[@type='personal']"), bad); err == nil {
+		t.Error("schema-invalid scoped container accepted")
+	}
+}
+
+func TestScopedReplaceRejectsUnrelatedFragment(t *testing.T) {
+	e := NewEngine("s1")
+	if _, err := e.Put("u", mp("/user[@id='u']/address-book/item[@type='x']"), xmltree.New("calendar")); err == nil {
+		t.Error("fragment matching neither step nor parent accepted")
+	}
+}
+
+func TestScopedReplaceChangeLogAtContainer(t *testing.T) {
+	e := NewEngine("s1")
+	bookPath := mp("/user[@id='u']/address-book")
+	v1, _ := e.Put("u", bookPath, xmltree.MustParse(`<address-book><item name="a" type="personal"><phone>1</phone></item></address-book>`))
+	// A scoped write logs item ops under the container path, so fast sync
+	// against the container works across it.
+	e.Put("u", mp("/user[@id='u']/address-book/item[@type='personal']"),
+		xmltree.MustParse(`<address-book><item name="a" type="personal"><phone>2</phone></item></address-book>`))
+	ops, ok := e.ChangesSince("u", bookPath, v1)
+	if !ok {
+		t.Fatal("fast sync refused across scoped write")
+	}
+	if len(ops) != 1 || ops[0].Kind != xmltree.OpModify {
+		t.Fatalf("ops = %+v", ops)
+	}
+}

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"gupster/internal/syncml"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// Server exposes an Engine over the wire protocol, enforcing the paper's
+// access discipline (§5.3): every operation must carry a query signed by
+// the MDM, addressed to this store, fresh, and with the right verb. The
+// store itself keeps no access-control policy — that is the point of the
+// signed-referral design.
+type Server struct {
+	Engine *Engine
+	Signer *token.Signer
+	sync   *syncml.Server
+	ws     *wire.Server
+}
+
+// NewServer wraps an engine. Call Start to begin serving.
+func NewServer(e *Engine, signer *token.Signer) *Server {
+	return &Server{
+		Engine: e,
+		Signer: signer,
+		sync:   &syncml.Server{Store: e, Keys: e.Keys, Adjuncts: e.Adjuncts},
+	}
+}
+
+// Start listens on addr ("127.0.0.1:0" picks a port).
+func (s *Server) Start(addr string) error {
+	ws, err := wire.Serve(addr, wire.HandlerFunc(s.serve))
+	if err != nil {
+		return err
+	}
+	s.ws = ws
+	return nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ws.Addr() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.ws.Close() }
+
+func (s *Server) serve(c *wire.ServerConn, m *wire.Message) {
+	var err error
+	switch m.Type {
+	case wire.TypeFetch:
+		err = s.handleFetch(c, m)
+	case wire.TypeUpdate:
+		err = s.handleUpdate(c, m)
+	case wire.TypeSyncStart:
+		err = s.handleSyncStart(c, m)
+	case wire.TypeSyncDelta:
+		err = s.handleSyncDelta(c, m)
+	case wire.TypeExec:
+		err = s.handleExec(c, m)
+	default:
+		err = fmt.Errorf("store: unknown message type %q", m.Type)
+	}
+	if err != nil {
+		_ = c.ReplyError(m, err)
+	}
+}
+
+// authorize verifies a signed query for a verb and returns its owner and
+// granted path.
+func (s *Server) authorize(q *token.SignedQuery, verb token.Verb) (string, xpath.Path, error) {
+	if err := s.Signer.Verify(q, s.Engine.ID(), verb); err != nil {
+		return "", xpath.Path{}, err
+	}
+	p, err := q.ParsedPath()
+	if err != nil {
+		return "", xpath.Path{}, err
+	}
+	return q.Owner, p, nil
+}
+
+func (s *Server) handleFetch(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.FetchRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	owner, path, err := s.authorize(&req.Query, token.VerbFetch)
+	if err != nil {
+		return err
+	}
+	doc, v, err := s.Engine.Get(owner, path)
+	if err != nil {
+		if errors.Is(err, ErrNoUser) || errors.Is(err, ErrNoComponent) {
+			// Registered but empty: answer with an empty result rather than
+			// an error so clients can merge across stores uniformly.
+			return c.Reply(m, wire.FetchResponse{})
+		}
+		return err
+	}
+	return c.Reply(m, wire.FetchResponse{XML: doc.String(), Version: v})
+}
+
+func (s *Server) handleUpdate(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.UpdateRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	owner, path, err := s.authorize(&req.Query, token.VerbUpdate)
+	if err != nil {
+		return err
+	}
+	frag, err := xmltree.ParseString(req.XML)
+	if err != nil {
+		return fmt.Errorf("store: update body: %w", err)
+	}
+	v, err := s.Engine.Put(owner, path, frag)
+	if err != nil {
+		return err
+	}
+	return c.Reply(m, wire.UpdateResponse{Version: v})
+}
+
+func (s *Server) handleSyncStart(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.SyncStartRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	// Synchronization reads and writes; it requires an update grant.
+	owner, path, err := s.authorize(&req.Query, token.VerbUpdate)
+	if err != nil {
+		return err
+	}
+	resp, err := s.sync.HandleStart(owner, path, req.LastAnchor)
+	if err != nil {
+		return err
+	}
+	return c.Reply(m, resp)
+}
+
+func (s *Server) handleSyncDelta(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.SyncDeltaRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	owner, path, err := s.authorize(&req.Query, token.VerbUpdate)
+	if err != nil {
+		return err
+	}
+	resp, err := s.sync.HandleDelta(owner, path, &req)
+	if err != nil {
+		return err
+	}
+	return c.Reply(m, resp)
+}
+
+// handleExec implements the recruiting pattern (§5.2): this store serves its
+// own piece, fetches the sibling pieces from their stores, merges, and
+// returns the result — the client makes one round trip.
+func (s *Server) handleExec(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.ExecRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	owner, path, err := s.authorize(&req.Primary.Query, token.VerbFetch)
+	if err != nil {
+		return err
+	}
+	var pieces []*xmltree.Node
+	if doc, _, gerr := s.Engine.Get(owner, path); gerr == nil {
+		pieces = append(pieces, doc)
+	}
+	for _, ref := range req.Siblings {
+		cli, derr := DialClient(ref.Address)
+		if derr != nil {
+			return fmt.Errorf("store: recruit %s: %w", ref.Address, derr)
+		}
+		doc, _, ferr := cli.Fetch(nil, ref.Query)
+		cli.Close()
+		if ferr != nil {
+			return fmt.Errorf("store: recruit fetch %s: %w", ref.Address, ferr)
+		}
+		if doc != nil {
+			pieces = append(pieces, doc)
+		}
+	}
+	merged := xmltree.MergeAll(s.Engine.Keys, pieces...)
+	resp := wire.ExecResponse{}
+	if merged != nil {
+		resp.XML = merged.String()
+	}
+	return c.Reply(m, resp)
+}

@@ -1,0 +1,94 @@
+package syncml_test
+
+import (
+	"context"
+	"testing"
+
+	"gupster/internal/schema"
+	"gupster/internal/store"
+	. "gupster/internal/syncml"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// The schema adjunct supplies the reconciliation policy when the device
+// does not name one: address books are annotated "merge", so a
+// doubly-modified item keeps both sides' fields.
+func TestAdjunctDefaultPolicy(t *testing.T) {
+	eng := store.NewEngine("s1")
+	srv := &Server{Store: eng, Keys: xmltree.DefaultKeys, Adjuncts: schema.GUPAdjuncts()}
+	path := xpath.MustParse("/user[@id='u']/address-book")
+	tr := &adjTransport{srv: srv, path: path}
+
+	eng.Put("u", path, xmltree.MustParse(
+		`<address-book><item name="rick"><phone>1</phone></item></address-book>`))
+	dev := NewDevice(xmltree.DefaultKeys)
+	// Policy "" → the server consults the adjunct.
+	if _, err := dev.Sync(context.Background(), tr, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Device adds an email; server changes the phone — a conflict.
+	dev.Edit(func(local *xmltree.Node) *xmltree.Node {
+		local.ChildrenNamed("item")[0].Add(xmltree.NewText("email", "r@x"))
+		return local
+	})
+	comp, _, _ := eng.GetComponent("u", path)
+	comp.ChildrenNamed("item")[0].Child("phone").Text = "2"
+	eng.Put("u", path, comp)
+
+	st, err := dev.Sync(context.Background(), tr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Conflicts != 1 {
+		t.Fatalf("conflicts = %d", st.Conflicts)
+	}
+	serverComp, _, _ := eng.GetComponent("u", path)
+	item := serverComp.ChildrenNamed("item")[0]
+	// Merge semantics (from the adjunct): both edits survive.
+	if item.ChildText("email") != "r@x" || item.ChildText("phone") != "2" {
+		t.Errorf("adjunct merge not applied: %s", item)
+	}
+}
+
+// An explicit request policy overrides the adjunct.
+func TestExplicitPolicyBeatsAdjunct(t *testing.T) {
+	eng := store.NewEngine("s1")
+	srv := &Server{Store: eng, Keys: xmltree.DefaultKeys, Adjuncts: schema.GUPAdjuncts()}
+	path := xpath.MustParse("/user[@id='u']/address-book")
+	tr := &adjTransport{srv: srv, path: path}
+
+	eng.Put("u", path, xmltree.MustParse(
+		`<address-book><item name="rick"><phone>ORIG</phone></item></address-book>`))
+	dev := NewDevice(xmltree.DefaultKeys)
+	dev.Sync(context.Background(), tr, ServerWins)
+	dev.Edit(func(local *xmltree.Node) *xmltree.Node {
+		local.ChildrenNamed("item")[0].Children[0].Text = "DEVICE"
+		return local
+	})
+	comp, _, _ := eng.GetComponent("u", path)
+	comp.ChildrenNamed("item")[0].Children[0].Text = "SERVER"
+	eng.Put("u", path, comp)
+
+	if _, err := dev.Sync(context.Background(), tr, ServerWins); err != nil {
+		t.Fatal(err)
+	}
+	serverComp, _, _ := eng.GetComponent("u", path)
+	if serverComp.ChildrenNamed("item")[0].ChildText("phone") != "SERVER" {
+		t.Errorf("explicit server-wins ignored: %s", serverComp)
+	}
+}
+
+type adjTransport struct {
+	srv  *Server
+	path xpath.Path
+}
+
+func (t *adjTransport) SyncStart(_ context.Context, lastAnchor uint64) (*wire.SyncStartResponse, error) {
+	return t.srv.HandleStart("u", t.path, lastAnchor)
+}
+
+func (t *adjTransport) SyncDelta(_ context.Context, req *wire.SyncDeltaRequest) (*wire.SyncDeltaResponse, error) {
+	return t.srv.HandleDelta("u", t.path, req)
+}

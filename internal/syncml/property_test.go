@@ -1,0 +1,187 @@
+package syncml_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"gupster/internal/store"
+	. "gupster/internal/syncml"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// Property: after any interleaving of random device-side edits, server-side
+// edits, and sync rounds, one final sync converges device and server to an
+// identical item set (server-wins policy). This is the core invariant of
+// §2.3 requirement 7.
+func TestQuickSyncConvergence(t *testing.T) {
+	path := xpath.MustParse("/user[@id='u']/address-book")
+
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := store.NewEngine("s")
+		srv := &Server{Store: eng, Keys: xmltree.DefaultKeys}
+		tr := &propTransport{srv: srv, path: path}
+
+		// Seed server state.
+		eng.Put("u", path, randBook(rng, 6))
+		dev := NewDevice(xmltree.DefaultKeys)
+		if _, err := dev.Sync(context.Background(), tr, ServerWins); err != nil {
+			return false
+		}
+
+		// Random interleaving of edits and syncs.
+		steps := 3 + rng.Intn(6)
+		for i := 0; i < steps; i++ {
+			switch rng.Intn(3) {
+			case 0: // device edit
+				dev.Edit(func(local *xmltree.Node) *xmltree.Node {
+					return mutateBook(rng, local)
+				})
+			case 1: // server edit
+				comp, _, err := eng.GetComponent("u", path)
+				if err != nil {
+					comp = xmltree.New("address-book")
+				}
+				eng.Put("u", path, mutateBook(rng, comp))
+			case 2: // sync
+				if _, err := dev.Sync(context.Background(), tr, ServerWins); err != nil {
+					return false
+				}
+			}
+		}
+		// Final reconciliation.
+		if _, err := dev.Sync(context.Background(), tr, ServerWins); err != nil {
+			return false
+		}
+		serverComp, _, err := eng.GetComponent("u", path)
+		if err != nil {
+			return false
+		}
+		return sameItems(dev.Local, serverComp)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: convergence also holds under the client-wins and merge
+// policies (the sides may disagree with server-wins outcomes, but never
+// with each other).
+func TestQuickSyncConvergenceAllPolicies(t *testing.T) {
+	path := xpath.MustParse("/user[@id='u']/address-book")
+	for _, pol := range []Policy{ServerWins, ClientWins, Merge} {
+		pol := pol
+		prop := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			eng := store.NewEngine("s")
+			srv := &Server{Store: eng, Keys: xmltree.DefaultKeys}
+			tr := &propTransport{srv: srv, path: path}
+			eng.Put("u", path, randBook(rng, 5))
+			dev := NewDevice(xmltree.DefaultKeys)
+			if _, err := dev.Sync(context.Background(), tr, pol); err != nil {
+				return false
+			}
+			// Conflicting edits on both sides.
+			dev.Edit(func(local *xmltree.Node) *xmltree.Node { return mutateBook(rng, local) })
+			comp, _, _ := eng.GetComponent("u", path)
+			eng.Put("u", path, mutateBook(rng, comp))
+			if _, err := dev.Sync(context.Background(), tr, pol); err != nil {
+				return false
+			}
+			serverComp, _, err := eng.GetComponent("u", path)
+			if err != nil {
+				return false
+			}
+			return sameItems(dev.Local, serverComp)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("policy %s: %v", pol, err)
+		}
+	}
+}
+
+type propTransport struct {
+	srv  *Server
+	path xpath.Path
+}
+
+func (t *propTransport) SyncStart(_ context.Context, lastAnchor uint64) (*wire.SyncStartResponse, error) {
+	return t.srv.HandleStart("u", t.path, lastAnchor)
+}
+
+func (t *propTransport) SyncDelta(_ context.Context, req *wire.SyncDeltaRequest) (*wire.SyncDeltaResponse, error) {
+	return t.srv.HandleDelta("u", t.path, req)
+}
+
+func randBook(rng *rand.Rand, maxItems int) *xmltree.Node {
+	book := xmltree.New("address-book")
+	used := map[string]bool{}
+	for i := 0; i < rng.Intn(maxItems+1); i++ {
+		name := fmt.Sprintf("p%d", rng.Intn(2*maxItems))
+		if used[name] {
+			continue
+		}
+		used[name] = true
+		item := xmltree.New("item").SetAttr("name", name)
+		item.Add(xmltree.NewText("phone", fmt.Sprintf("%05d", rng.Intn(100000))))
+		book.Add(item)
+	}
+	return book
+}
+
+// mutateBook adds, removes, or modifies a random item.
+func mutateBook(rng *rand.Rand, book *xmltree.Node) *xmltree.Node {
+	out := book.Clone()
+	items := out.ChildrenNamed("item")
+	switch op := rng.Intn(3); {
+	case op == 0 || len(items) == 0: // add
+		name := fmt.Sprintf("p%d", rng.Intn(20))
+		for _, it := range items {
+			if v, _ := it.Attr("name"); v == name {
+				name = fmt.Sprintf("new%d", rng.Intn(1000))
+				break
+			}
+		}
+		item := xmltree.New("item").SetAttr("name", name)
+		item.Add(xmltree.NewText("phone", fmt.Sprintf("%05d", rng.Intn(100000))))
+		out.Add(item)
+	case op == 1: // remove
+		out.RemoveChild(items[rng.Intn(len(items))])
+	default: // modify
+		it := items[rng.Intn(len(items))]
+		if len(it.Children) > 0 {
+			it.Children[0].Text = fmt.Sprintf("%05d", rng.Intn(100000))
+		}
+	}
+	return out
+}
+
+func sameItems(a, b *xmltree.Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	index := func(n *xmltree.Node) []string {
+		var out []string
+		for _, it := range n.ChildrenNamed("item") {
+			out = append(out, it.String())
+		}
+		sort.Strings(out)
+		return out
+	}
+	ia, ib := index(a), index(b)
+	if len(ia) != len(ib) {
+		return false
+	}
+	for i := range ia {
+		if ia[i] != ib[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,273 @@
+package syncml
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"gupster/internal/schema"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// ComponentStore is the storage interface the server half of the protocol
+// needs; *store.Engine satisfies it.
+type ComponentStore interface {
+	GetComponent(user string, path xpath.Path) (*xmltree.Node, uint64, error)
+	Put(user string, path xpath.Path, frag *xmltree.Node) (uint64, error)
+	ChangesSince(user string, path xpath.Path, since uint64) ([]xmltree.Op, bool)
+	ComponentVersion(user string, path xpath.Path) uint64
+}
+
+// Server is the store-side sync endpoint for one engine.
+type Server struct {
+	Store ComponentStore
+	Keys  xmltree.KeySpec
+	// Adjuncts, when non-nil, supplies the default reconciliation policy
+	// for components whose sync request names none — the Schema Adjunct
+	// Framework integration (paper requirement 8: meta-data carries "rules
+	// for data reconciliation").
+	Adjuncts *schema.Adjuncts
+}
+
+// policyFor resolves the effective reconciliation policy: an explicit
+// request policy wins; otherwise the schema adjunct for the component;
+// otherwise server-wins.
+func (s *Server) policyFor(path xpath.Path, requested string) (Policy, error) {
+	if requested != "" {
+		return ParsePolicy(requested)
+	}
+	if s.Adjuncts != nil {
+		if adj, ok := s.Adjuncts.Lookup(path); ok && adj.ReconcilePolicy != "" {
+			return ParsePolicy(adj.ReconcilePolicy)
+		}
+	}
+	return ServerWins, nil
+}
+
+// HandleStart answers a sync-start: fast (delta) when the change log covers
+// the device's anchor, slow (full transfer) otherwise.
+func (s *Server) HandleStart(user string, path xpath.Path, lastAnchor uint64) (*wire.SyncStartResponse, error) {
+	cur := s.Store.ComponentVersion(user, path)
+	if lastAnchor != 0 && cur != 0 {
+		if ops, ok := s.Store.ChangesSince(user, path, lastAnchor); ok {
+			return &wire.SyncStartResponse{
+				Slow:      false,
+				ServerOps: EncodeOps(ops),
+				Anchor:    cur,
+			}, nil
+		}
+	}
+	comp, v, err := s.Store.GetComponent(user, path)
+	if err != nil {
+		// Nothing stored yet: a slow sync against an empty component.
+		return &wire.SyncStartResponse{Slow: true, Anchor: cur}, nil
+	}
+	return &wire.SyncStartResponse{Slow: true, Anchor: v, XML: comp.String()}, nil
+}
+
+// HandleDelta concludes a session: it reconciles the device's edits (fast)
+// or full state (slow) with the store and persists the result.
+func (s *Server) HandleDelta(user string, path xpath.Path, req *wire.SyncDeltaRequest) (*wire.SyncDeltaResponse, error) {
+	pol, err := s.policyFor(path, req.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if req.XML != "" {
+		// Slow sync: full client state.
+		client, err := xmltree.ParseString(req.XML)
+		if err != nil {
+			return nil, fmt.Errorf("syncml: client state: %w", err)
+		}
+		server, _, gerr := s.Store.GetComponent(user, path)
+		var result *xmltree.Node
+		conflicts := 0
+		if gerr != nil {
+			result = client
+		} else {
+			result, conflicts = ReconcileSlow(server, client, pol, s.Keys)
+		}
+		v, err := s.Store.Put(user, path, result)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.SyncDeltaResponse{Anchor: v, XML: result.String(), Conflicts: conflicts}, nil
+	}
+
+	// Fast sync: item edits against the shared anchor.
+	clientOps, err := DecodeOps(req.Ops)
+	if err != nil {
+		return nil, err
+	}
+	serverOps, ok := s.Store.ChangesSince(user, path, req.LastAnchor)
+	if !ok {
+		return nil, errors.New("syncml: anchor no longer serviceable; restart with slow sync")
+	}
+	server, _, err := s.Store.GetComponent(user, path)
+	if err != nil {
+		return nil, err
+	}
+	// If another writer advanced the component after SyncStart, the device
+	// replayed a stale server-op stream; it must take our authoritative
+	// state instead of reconstructing its own.
+	raced := req.StartAnchor != 0 && s.Store.ComponentVersion(user, path) != req.StartAnchor
+	if len(clientOps) == 0 {
+		resp := &wire.SyncDeltaResponse{Anchor: s.Store.ComponentVersion(user, path)}
+		if raced {
+			resp.XML = server.String()
+		}
+		return resp, nil
+	}
+	result, conflicts := Reconcile(server, serverOps, clientOps, pol, s.Keys)
+	v, err := s.Store.Put(user, path, result)
+	if err != nil {
+		return nil, err
+	}
+	resp := &wire.SyncDeltaResponse{Anchor: v, Conflicts: conflicts}
+	if conflicts > 0 || raced {
+		// The device cannot predict the resolution; ship the full state.
+		resp.XML = result.String()
+	}
+	return resp, nil
+}
+
+// Transport abstracts how a device reaches its store; the store client
+// implements it over the wire protocol, and tests implement it in-process.
+type Transport interface {
+	SyncStart(ctx context.Context, lastAnchor uint64) (*wire.SyncStartResponse, error)
+	SyncDelta(ctx context.Context, req *wire.SyncDeltaRequest) (*wire.SyncDeltaResponse, error)
+}
+
+// Stats reports what one sync session did and cost.
+type Stats struct {
+	// Slow reports whether the session fell back to full transfer.
+	Slow bool
+	// Conflicts resolved by policy.
+	Conflicts int
+	// BytesUp and BytesDown approximate payload volume (serialized ops and
+	// component XML), the quantity benchmark E5 tracks.
+	BytesUp, BytesDown int
+	// OpsSent and OpsReceived count item edits exchanged.
+	OpsSent, OpsReceived int
+}
+
+// Device is the client half: it keeps the live local component, the shadow
+// copy from the last reconciliation, and the anchor.
+type Device struct {
+	// Keys drives item identity.
+	Keys xmltree.KeySpec
+	// Local is the device's live component state (may be edited freely
+	// between syncs).
+	Local *xmltree.Node
+	// base is the shadow: the reconciled state at Anchor.
+	base *xmltree.Node
+	// Anchor is the store version of the last reconciliation.
+	Anchor uint64
+}
+
+// NewDevice returns a device with empty state that will slow-sync first.
+func NewDevice(keys xmltree.KeySpec) *Device {
+	return &Device{Keys: keys}
+}
+
+// Edit applies fn to the device's local state.
+func (d *Device) Edit(fn func(local *xmltree.Node) *xmltree.Node) {
+	d.Local = fn(d.Local)
+}
+
+// Dirty reports whether local edits exist since the last reconciliation.
+func (d *Device) Dirty() bool {
+	return len(xmltree.Diff(d.base, d.Local, d.Keys)) > 0
+}
+
+// Sync runs one complete session over the transport and reconciles the
+// device to the store.
+func (d *Device) Sync(ctx context.Context, t Transport, pol Policy) (Stats, error) {
+	var st Stats
+	start, err := t.SyncStart(ctx, d.Anchor)
+	if err != nil {
+		return st, err
+	}
+	st.BytesDown += len(start.XML)
+	for _, op := range start.ServerOps {
+		st.BytesDown += len(op.XML) + len(op.Key) + len(op.Kind)
+	}
+	st.OpsReceived = len(start.ServerOps)
+
+	if start.Slow {
+		st.Slow = true
+		req := &wire.SyncDeltaRequest{LastAnchor: d.Anchor, Policy: string(pol)}
+		if d.Local != nil {
+			req.XML = d.Local.String()
+		} else if start.XML != "" {
+			// Nothing local: adopt server state without an upload.
+			server, perr := xmltree.ParseString(start.XML)
+			if perr != nil {
+				return st, perr
+			}
+			d.Local = server
+			d.base = server.Clone()
+			d.Anchor = start.Anchor
+			return st, nil
+		} else {
+			// Both sides empty.
+			d.Anchor = start.Anchor
+			return st, nil
+		}
+		st.BytesUp += len(req.XML)
+		resp, err := t.SyncDelta(ctx, req)
+		if err != nil {
+			return st, err
+		}
+		st.BytesDown += len(resp.XML)
+		st.Conflicts = resp.Conflicts
+		final, err := xmltree.ParseString(resp.XML)
+		if err != nil {
+			return st, fmt.Errorf("syncml: reconciled state: %w", err)
+		}
+		d.Local = final
+		d.base = final.Clone()
+		d.Anchor = resp.Anchor
+		return st, nil
+	}
+
+	// Fast sync.
+	serverOps, err := DecodeOps(start.ServerOps)
+	if err != nil {
+		return st, err
+	}
+	clientOps := xmltree.Diff(d.base, d.Local, d.Keys)
+	req := &wire.SyncDeltaRequest{
+		LastAnchor:  d.Anchor,
+		StartAnchor: start.Anchor,
+		Ops:         EncodeOps(clientOps),
+		Policy:      string(pol),
+	}
+	st.OpsSent = len(clientOps)
+	for _, op := range req.Ops {
+		st.BytesUp += len(op.XML) + len(op.Key) + len(op.Kind)
+	}
+	resp, err := t.SyncDelta(ctx, req)
+	if err != nil {
+		return st, err
+	}
+	st.BytesDown += len(resp.XML)
+	st.Conflicts = resp.Conflicts
+
+	var final *xmltree.Node
+	if resp.XML != "" {
+		final, err = xmltree.ParseString(resp.XML)
+		if err != nil {
+			return st, fmt.Errorf("syncml: reconciled state: %w", err)
+		}
+	} else {
+		// No conflicts: replay both edit streams over the shadow.
+		final = xmltree.Patch(d.base, serverOps, d.Keys)
+		final = xmltree.Patch(final, clientOps, d.Keys)
+	}
+	d.Local = final
+	d.base = final.Clone()
+	d.Anchor = resp.Anchor
+	return st, nil
+}

@@ -1,0 +1,198 @@
+// Package syncml implements GUPster's component synchronization protocol
+// (paper §2.3 requirement 7 and §3.2.2 — GUP adopted SyncML as its sync
+// transport, and §5.3 notes that the transport alone leaves the
+// "synchronization semantics" open; this package supplies them):
+//
+//   - anchor-based sessions: a device remembers the store version it last
+//     reconciled with; matching anchors enable a fast (delta) sync, anything
+//     else falls back to a slow (full transfer) sync,
+//   - two-way fast sync at item granularity, exchanging only the edits each
+//     side made since the shared anchor,
+//   - conflict detection (the same item edited on both sides) with
+//     user-provisionable reconciliation policies (§2.3 requirement 6).
+//
+// The server half operates over any ComponentStore (the data-store engine
+// satisfies it); the Device type is the client half, maintaining the shadow
+// copy a handheld would keep.
+package syncml
+
+import (
+	"errors"
+	"fmt"
+
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+)
+
+// Policy names a reconciliation policy for conflicting edits.
+type Policy string
+
+// Reconciliation policies (§5.3 "Reconciliation can be handled by
+// prioritizing sites or by some more sophisticated method").
+const (
+	// ServerWins drops the client's conflicting edit.
+	ServerWins Policy = "server-wins"
+	// ClientWins applies the client's conflicting edit over the server's.
+	ClientWins Policy = "client-wins"
+	// Merge deep-unions the two versions of a doubly-modified item; for
+	// add/remove conflicts it behaves like ServerWins.
+	Merge Policy = "merge"
+)
+
+// ErrBadPolicy rejects unknown policy names.
+var ErrBadPolicy = errors.New("syncml: unknown reconciliation policy")
+
+// ParsePolicy validates a wire policy string ("" means ServerWins).
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case "":
+		return ServerWins, nil
+	case ServerWins, ClientWins, Merge:
+		return Policy(s), nil
+	default:
+		return "", fmt.Errorf("%w: %q", ErrBadPolicy, s)
+	}
+}
+
+// EncodeOps converts item edits to their wire form.
+func EncodeOps(ops []xmltree.Op) []wire.SyncOp {
+	out := make([]wire.SyncOp, len(ops))
+	for i, op := range ops {
+		w := wire.SyncOp{Kind: op.Kind.String(), Key: op.Key}
+		if op.Node != nil {
+			w.XML = op.Node.String()
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// DecodeOps parses wire ops back into item edits.
+func DecodeOps(ws []wire.SyncOp) ([]xmltree.Op, error) {
+	out := make([]xmltree.Op, len(ws))
+	for i, w := range ws {
+		var kind xmltree.OpKind
+		switch w.Kind {
+		case "add":
+			kind = xmltree.OpAdd
+		case "remove":
+			kind = xmltree.OpRemove
+		case "modify":
+			kind = xmltree.OpModify
+		default:
+			return nil, fmt.Errorf("syncml: unknown op kind %q", w.Kind)
+		}
+		op := xmltree.Op{Kind: kind, Key: w.Key}
+		if w.XML != "" {
+			n, err := xmltree.ParseString(w.XML)
+			if err != nil {
+				return nil, fmt.Errorf("syncml: op %d: %w", i, err)
+			}
+			op.Node = n
+		}
+		out[i] = op
+	}
+	return out, nil
+}
+
+// opKeys collects the item keys an op list touches.
+func opKeys(ops []xmltree.Op) map[string]bool {
+	m := make(map[string]bool, len(ops))
+	for _, op := range ops {
+		m[op.Key] = true
+	}
+	return m
+}
+
+// Reconcile applies the client's ops onto the server state given the
+// server-side ops since the shared anchor, resolving conflicts by policy.
+// It returns the reconciled component and the number of conflicts resolved.
+// Neither input tree is modified.
+func Reconcile(server *xmltree.Node, serverOps, clientOps []xmltree.Op, pol Policy, keys xmltree.KeySpec) (*xmltree.Node, int) {
+	serverTouched := opKeys(serverOps)
+	result := server.Clone()
+	conflicts := 0
+	for _, op := range clientOps {
+		if serverTouched[op.Key] {
+			conflicts++
+			switch pol {
+			case ClientWins:
+				result = xmltree.Patch(result, []xmltree.Op{op}, keys)
+			case Merge:
+				if op.Kind == xmltree.OpModify && op.Node != nil {
+					merged := mergeItem(result, op, keys)
+					result = xmltree.Patch(result, []xmltree.Op{merged}, keys)
+				}
+				// add/remove conflicts: keep server's outcome.
+			default: // ServerWins: drop the client op.
+			}
+			continue
+		}
+		result = xmltree.Patch(result, []xmltree.Op{op}, keys)
+	}
+	return result, conflicts
+}
+
+// mergeItem deep-unions the server's current version of a doubly-modified
+// item with the client's version, server priority: fields the client left
+// untouched keep the server's edit, while fields only the client added or
+// set survive the union. (A field both sides changed resolves to the
+// server's value — a true three-way merge would need the shared base, which
+// the store no longer has.)
+func mergeItem(server *xmltree.Node, op xmltree.Op, keys xmltree.KeySpec) xmltree.Op {
+	for _, c := range server.Children {
+		if k, ok := keyOf(c, keys); ok && k == op.Key {
+			return xmltree.Op{
+				Kind: xmltree.OpModify,
+				Key:  op.Key,
+				Node: xmltree.DeepUnion(c, op.Node, keys),
+			}
+		}
+	}
+	return op
+}
+
+func keyOf(n *xmltree.Node, keys xmltree.KeySpec) (string, bool) {
+	attr, ok := keys[n.Name]
+	if !ok {
+		return "", false
+	}
+	v, ok := n.Attr(attr)
+	if !ok {
+		return "", false
+	}
+	return n.Name + "\x00" + v, true
+}
+
+// ReconcileSlow merges full client state with full server state by policy.
+// Conflicts are keyed items present on both sides with different content.
+func ReconcileSlow(server, client *xmltree.Node, pol Policy, keys xmltree.KeySpec) (*xmltree.Node, int) {
+	conflicts := countItemConflicts(server, client, keys)
+	switch pol {
+	case ClientWins, Merge:
+		return xmltree.DeepUnion(client, server, keys), conflicts
+	default:
+		return xmltree.DeepUnion(server, client, keys), conflicts
+	}
+}
+
+func countItemConflicts(a, b *xmltree.Node, keys xmltree.KeySpec) int {
+	if a == nil || b == nil {
+		return 0
+	}
+	index := make(map[string]*xmltree.Node)
+	for _, c := range a.Children {
+		if k, ok := keyOf(c, keys); ok {
+			index[k] = c
+		}
+	}
+	n := 0
+	for _, c := range b.Children {
+		if k, ok := keyOf(c, keys); ok {
+			if other, exists := index[k]; exists && !other.Equal(c) {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,443 @@
+// The tests live outside the package because they exercise the protocol
+// against the real store engine, which itself links syncml.
+package syncml_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gupster/internal/store"
+	. "gupster/internal/syncml"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+var bookPath = xpath.MustParse("/user[@id='alice']/address-book")
+
+// localTransport plugs a Device directly into a Server, in process.
+type localTransport struct {
+	srv  *Server
+	user string
+	path xpath.Path
+}
+
+func (t *localTransport) SyncStart(_ context.Context, lastAnchor uint64) (*wire.SyncStartResponse, error) {
+	return t.srv.HandleStart(t.user, t.path, lastAnchor)
+}
+
+func (t *localTransport) SyncDelta(_ context.Context, req *wire.SyncDeltaRequest) (*wire.SyncDeltaResponse, error) {
+	return t.srv.HandleDelta(t.user, t.path, req)
+}
+
+func newRig(t *testing.T) (*store.Engine, *localTransport) {
+	t.Helper()
+	eng := store.NewEngine("s1")
+	srv := &Server{Store: eng, Keys: xmltree.DefaultKeys}
+	return eng, &localTransport{srv: srv, user: "alice", path: bookPath}
+}
+
+func book(entries ...string) *xmltree.Node {
+	b := xmltree.New("address-book")
+	for i := 0; i < len(entries); i += 2 {
+		item := xmltree.New("item").SetAttr("name", entries[i])
+		item.Add(xmltree.NewText("phone", entries[i+1]))
+		b.Add(item)
+	}
+	return b
+}
+
+func names(b *xmltree.Node) map[string]string {
+	out := map[string]string{}
+	for _, it := range b.ChildrenNamed("item") {
+		n, _ := it.Attr("name")
+		out[n] = it.ChildText("phone")
+	}
+	return out
+}
+
+func TestFirstSyncAdoptsServerState(t *testing.T) {
+	eng, tr := newRig(t)
+	eng.Put("alice", bookPath, book("rick", "111", "dan", "222"))
+
+	d := NewDevice(xmltree.DefaultKeys)
+	st, err := d.Sync(context.Background(), tr, ServerWins)
+	if err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if !st.Slow {
+		t.Error("first sync should be slow")
+	}
+	if got := names(d.Local); len(got) != 2 || got["rick"] != "111" {
+		t.Errorf("device state = %v", got)
+	}
+	if d.Anchor == 0 {
+		t.Error("anchor not set")
+	}
+	if d.Dirty() {
+		t.Error("freshly synced device should be clean")
+	}
+}
+
+func TestFirstSyncUploadsDeviceState(t *testing.T) {
+	eng, tr := newRig(t)
+	d := NewDevice(xmltree.DefaultKeys)
+	d.Local = book("mom", "999")
+	st, err := d.Sync(context.Background(), tr, ServerWins)
+	if err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if !st.Slow || st.BytesUp == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	comp, _, err := eng.GetComponent("alice", bookPath)
+	if err != nil {
+		t.Fatalf("server state: %v", err)
+	}
+	if got := names(comp); got["mom"] != "999" {
+		t.Errorf("server state = %v", got)
+	}
+}
+
+func TestBothEmptySync(t *testing.T) {
+	_, tr := newRig(t)
+	d := NewDevice(xmltree.DefaultKeys)
+	st, err := d.Sync(context.Background(), tr, ServerWins)
+	if err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if !st.Slow || d.Local != nil {
+		t.Errorf("st=%+v local=%v", st, d.Local)
+	}
+}
+
+func TestFastSyncMovesOnlyDeltas(t *testing.T) {
+	eng, tr := newRig(t)
+	// Seed with a large book.
+	entries := []string{}
+	for i := 0; i < 100; i++ {
+		entries = append(entries, fmt.Sprintf("person%03d", i), fmt.Sprintf("555-%04d", i))
+	}
+	eng.Put("alice", bookPath, book(entries...))
+
+	d := NewDevice(xmltree.DefaultKeys)
+	first, _ := d.Sync(context.Background(), tr, ServerWins)
+
+	// Server adds one entry.
+	comp, _, _ := eng.GetComponent("alice", bookPath)
+	comp.Add(xmltree.New("item").SetAttr("name", "newguy").Add(xmltree.NewText("phone", "777")))
+	eng.Put("alice", bookPath, comp)
+
+	st, err := d.Sync(context.Background(), tr, ServerWins)
+	if err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+	if st.Slow {
+		t.Fatal("second sync should be fast")
+	}
+	if st.OpsReceived != 1 || st.OpsSent != 0 {
+		t.Errorf("ops = %+v", st)
+	}
+	if st.BytesDown >= first.BytesDown/4 {
+		t.Errorf("fast sync moved %d bytes; slow moved %d — deltas not small", st.BytesDown, first.BytesDown)
+	}
+	if got := names(d.Local); got["newguy"] != "777" || len(got) != 101 {
+		t.Errorf("device missed server add: %d entries", len(got))
+	}
+}
+
+func TestTwoWayFastSync(t *testing.T) {
+	eng, tr := newRig(t)
+	eng.Put("alice", bookPath, book("rick", "111", "dan", "222"))
+	d := NewDevice(xmltree.DefaultKeys)
+	d.Sync(context.Background(), tr, ServerWins)
+
+	// Device edits one item and adds another; server removes a third party.
+	d.Edit(func(local *xmltree.Node) *xmltree.Node {
+		for _, it := range local.ChildrenNamed("item") {
+			if n, _ := it.Attr("name"); n == "rick" {
+				it.Children[0].Text = "111-NEW"
+			}
+		}
+		local.Add(xmltree.New("item").SetAttr("name", "ming").Add(xmltree.NewText("phone", "333")))
+		return local
+	})
+	if !d.Dirty() {
+		t.Fatal("device should be dirty")
+	}
+	comp, _, _ := eng.GetComponent("alice", bookPath)
+	for _, it := range comp.ChildrenNamed("item") {
+		if n, _ := it.Attr("name"); n == "dan" {
+			comp.RemoveChild(it)
+		}
+	}
+	eng.Put("alice", bookPath, comp)
+
+	st, err := d.Sync(context.Background(), tr, ServerWins)
+	if err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if st.Slow || st.Conflicts != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	want := map[string]string{"rick": "111-NEW", "ming": "333"}
+	if got := names(d.Local); len(got) != 2 || got["rick"] != want["rick"] || got["ming"] != want["ming"] {
+		t.Errorf("device = %v", got)
+	}
+	serverComp, _, _ := eng.GetComponent("alice", bookPath)
+	if got := names(serverComp); len(got) != 2 || got["rick"] != "111-NEW" {
+		t.Errorf("server = %v", got)
+	}
+	// Device and server agree.
+	if !d.Local.Equal(serverComp) && fmt.Sprint(names(d.Local)) != fmt.Sprint(names(serverComp)) {
+		t.Errorf("divergence:\n%s\n%s", d.Local, serverComp)
+	}
+}
+
+func conflictRig(t *testing.T, pol Policy) (deviceVal, serverVal string, st Stats) {
+	t.Helper()
+	eng, tr := newRig(t)
+	eng.Put("alice", bookPath, book("rick", "ORIG"))
+	d := NewDevice(xmltree.DefaultKeys)
+	d.Sync(context.Background(), tr, pol)
+
+	// Both sides edit rick.
+	d.Edit(func(local *xmltree.Node) *xmltree.Node {
+		local.ChildrenNamed("item")[0].Children[0].Text = "DEVICE"
+		return local
+	})
+	comp, _, _ := eng.GetComponent("alice", bookPath)
+	comp.ChildrenNamed("item")[0].Children[0].Text = "SERVER"
+	eng.Put("alice", bookPath, comp)
+
+	st, err := d.Sync(context.Background(), tr, pol)
+	if err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	serverComp, _, _ := eng.GetComponent("alice", bookPath)
+	return names(d.Local)["rick"], names(serverComp)["rick"], st
+}
+
+func TestConflictServerWins(t *testing.T) {
+	dev, srv, st := conflictRig(t, ServerWins)
+	if st.Conflicts != 1 {
+		t.Errorf("conflicts = %d", st.Conflicts)
+	}
+	if dev != "SERVER" || srv != "SERVER" {
+		t.Errorf("dev=%q srv=%q", dev, srv)
+	}
+}
+
+func TestConflictClientWins(t *testing.T) {
+	dev, srv, st := conflictRig(t, ClientWins)
+	if st.Conflicts != 1 {
+		t.Errorf("conflicts = %d", st.Conflicts)
+	}
+	if dev != "DEVICE" || srv != "DEVICE" {
+		t.Errorf("dev=%q srv=%q", dev, srv)
+	}
+}
+
+func TestConflictMergeKeepsBothFields(t *testing.T) {
+	eng, tr := newRig(t)
+	eng.Put("alice", bookPath, xmltree.MustParse(
+		`<address-book><item name="rick"><phone>1</phone></item></address-book>`))
+	d := NewDevice(xmltree.DefaultKeys)
+	d.Sync(context.Background(), tr, Merge)
+
+	// Device adds an email to rick; server changes the phone.
+	d.Edit(func(local *xmltree.Node) *xmltree.Node {
+		local.ChildrenNamed("item")[0].Add(xmltree.NewText("email", "r@x"))
+		return local
+	})
+	comp, _, _ := eng.GetComponent("alice", bookPath)
+	comp.ChildrenNamed("item")[0].Child("phone").Text = "2"
+	eng.Put("alice", bookPath, comp)
+
+	st, err := d.Sync(context.Background(), tr, Merge)
+	if err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if st.Conflicts != 1 {
+		t.Errorf("conflicts = %d", st.Conflicts)
+	}
+	serverComp, _, _ := eng.GetComponent("alice", bookPath)
+	item := serverComp.ChildrenNamed("item")[0]
+	if item.ChildText("email") != "r@x" {
+		t.Errorf("merge lost device's email: %s", item)
+	}
+	if item.ChildText("phone") == "1" {
+		t.Errorf("merge lost server's phone change: %s", item)
+	}
+	if !d.Local.Equal(serverComp) {
+		t.Errorf("device and server diverged after merge:\n%s\n%s", d.Local.Indent(), serverComp.Indent())
+	}
+}
+
+func TestConcurrentWriterForcesAuthoritativeState(t *testing.T) {
+	eng, tr := newRig(t)
+	eng.Put("alice", bookPath, book("rick", "111"))
+	d := NewDevice(xmltree.DefaultKeys)
+	d.Sync(context.Background(), tr, ServerWins)
+	d.Edit(func(local *xmltree.Node) *xmltree.Node {
+		local.Add(xmltree.New("item").SetAttr("name", "dev").Add(xmltree.NewText("phone", "5")))
+		return local
+	})
+
+	// Interpose a transport that injects a server write between start and
+	// delta.
+	racy := &racingTransport{inner: tr, eng: eng}
+	_, err := d.Sync(context.Background(), racy, ServerWins)
+	if err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	serverComp, _, _ := eng.GetComponent("alice", bookPath)
+	if !d.Local.Equal(serverComp) {
+		t.Errorf("device diverged from server after race:\ndevice: %s\nserver: %s", d.Local, serverComp)
+	}
+	if got := names(d.Local); got["racer"] == "" || got["dev"] == "" {
+		t.Errorf("missing edits after race: %v", got)
+	}
+}
+
+type racingTransport struct {
+	inner *localTransport
+	eng   *store.Engine
+	raced bool
+}
+
+func (r *racingTransport) SyncStart(ctx context.Context, a uint64) (*wire.SyncStartResponse, error) {
+	return r.inner.SyncStart(ctx, a)
+}
+
+func (r *racingTransport) SyncDelta(ctx context.Context, req *wire.SyncDeltaRequest) (*wire.SyncDeltaResponse, error) {
+	if !r.raced {
+		r.raced = true
+		comp, _, _ := r.eng.GetComponent("alice", bookPath)
+		comp.Add(xmltree.New("item").SetAttr("name", "racer").Add(xmltree.NewText("phone", "9")))
+		r.eng.Put("alice", bookPath, comp)
+	}
+	return r.inner.SyncDelta(ctx, req)
+}
+
+func TestEncodeDecodeOps(t *testing.T) {
+	ops := []xmltree.Op{
+		{Kind: xmltree.OpAdd, Key: "item\x00x", Node: xmltree.MustParse(`<item name="x"/>`)},
+		{Kind: xmltree.OpRemove, Key: "item\x00y", Node: xmltree.MustParse(`<item name="y"/>`)},
+		{Kind: xmltree.OpModify, Key: "item\x00z", Node: xmltree.MustParse(`<item name="z"><phone>1</phone></item>`)},
+	}
+	back, err := DecodeOps(EncodeOps(ops))
+	if err != nil {
+		t.Fatalf("DecodeOps: %v", err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("len = %d", len(back))
+	}
+	for i := range ops {
+		if back[i].Kind != ops[i].Kind || back[i].Key != ops[i].Key || !back[i].Node.Equal(ops[i].Node) {
+			t.Errorf("op %d mismatch", i)
+		}
+	}
+	if _, err := DecodeOps([]wire.SyncOp{{Kind: "explode"}}); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if _, err := DecodeOps([]wire.SyncOp{{Kind: "add", XML: "<broken"}}); err == nil {
+		t.Error("bad XML accepted")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p, err := ParsePolicy(""); err != nil || p != ServerWins {
+		t.Errorf("empty policy: %v %v", p, err)
+	}
+	for _, s := range []string{"server-wins", "client-wins", "merge"} {
+		if _, err := ParsePolicy(s); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", s, err)
+		}
+	}
+	if _, err := ParsePolicy("coin-flip"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestHandleDeltaBadInputs(t *testing.T) {
+	eng, _ := newRig(t)
+	srv := &Server{Store: eng, Keys: xmltree.DefaultKeys}
+	if _, err := srv.HandleDelta("alice", bookPath, &wire.SyncDeltaRequest{Policy: "bogus"}); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if _, err := srv.HandleDelta("alice", bookPath, &wire.SyncDeltaRequest{XML: "<broken"}); err == nil {
+		t.Error("bad XML accepted")
+	}
+	if _, err := srv.HandleDelta("alice", bookPath, &wire.SyncDeltaRequest{
+		Ops: []wire.SyncOp{{Kind: "zap"}},
+	}); err == nil {
+		t.Error("bad ops accepted")
+	}
+}
+
+func TestRepeatedSyncIdempotent(t *testing.T) {
+	eng, tr := newRig(t)
+	eng.Put("alice", bookPath, book("a", "1", "b", "2"))
+	d := NewDevice(xmltree.DefaultKeys)
+	d.Sync(context.Background(), tr, ServerWins)
+	before := d.Local.String()
+	for i := 0; i < 3; i++ {
+		st, err := d.Sync(context.Background(), tr, ServerWins)
+		if err != nil {
+			t.Fatalf("sync %d: %v", i, err)
+		}
+		if st.Slow || st.OpsSent != 0 || st.OpsReceived != 0 {
+			t.Errorf("idle sync %d did work: %+v", i, st)
+		}
+	}
+	if d.Local.String() != before {
+		t.Error("idle syncs changed state")
+	}
+}
+
+// Slow sync with data on both sides exercises ReconcileSlow: overlapping
+// items count as conflicts and resolve by policy.
+func TestSlowSyncReconciliation(t *testing.T) {
+	for _, tc := range []struct {
+		pol       Policy
+		wantPhone string
+	}{
+		{ServerWins, "SERVER"},
+		{ClientWins, "CLIENT"},
+		{Merge, "CLIENT"}, // merge prefers the client side for slow sync
+	} {
+		eng, tr := newRig(t)
+		eng.Put("alice", bookPath, book("rick", "SERVER", "serverOnly", "1"))
+
+		d := NewDevice(xmltree.DefaultKeys)
+		d.Local = book("rick", "CLIENT", "clientOnly", "2")
+		// Anchor 0 forces the slow path even though the server has state.
+		st, err := d.Sync(context.Background(), tr, tc.pol)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.pol, err)
+		}
+		if !st.Slow {
+			t.Fatalf("%s: expected slow sync", tc.pol)
+		}
+		if st.Conflicts != 1 {
+			t.Errorf("%s: conflicts = %d, want 1 (rick)", tc.pol, st.Conflicts)
+		}
+		got := names(d.Local)
+		if len(got) != 3 {
+			t.Fatalf("%s: merged = %v", tc.pol, got)
+		}
+		if got["rick"] != tc.wantPhone {
+			t.Errorf("%s: rick = %q, want %q", tc.pol, got["rick"], tc.wantPhone)
+		}
+		if got["serverOnly"] != "1" || got["clientOnly"] != "2" {
+			t.Errorf("%s: union lost items: %v", tc.pol, got)
+		}
+		// Device and server agree after the slow sync.
+		serverComp, _, _ := eng.GetComponent("alice", bookPath)
+		if fmt.Sprint(names(serverComp)) != fmt.Sprint(got) {
+			t.Errorf("%s: divergence: %v vs %v", tc.pol, names(serverComp), got)
+		}
+	}
+}

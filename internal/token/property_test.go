@@ -1,0 +1,90 @@
+package token
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gupster/internal/xpath"
+)
+
+// Property: every signed query verifies at its own store/verb, and any
+// single-field mutation breaks the signature.
+func TestQuickSignVerifyAndTamper(t *testing.T) {
+	now := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	s := NewSigner([]byte("property-key")).WithClock(func() time.Time { return now })
+	paths := []xpath.Path{
+		xpath.MustParse("/user[@id='a']/presence"),
+		xpath.MustParse("/user/address-book/item[@type='personal']"),
+		xpath.MustParse("/user[@id='x']/devices/device/@id"),
+	}
+	verbs := []Verb{VerbFetch, VerbUpdate, VerbSubscribe}
+
+	prop := func(seed int64, storeIdx, ownerIdx, reqIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		store := []string{"s1", "gup.yahoo.com", "st-ü"}[int(storeIdx)%3]
+		owner := []string{"alice", "bob", "u00042"}[int(ownerIdx)%3]
+		requester := []string{"alice", "eve", "svc"}[int(reqIdx)%3]
+		p := paths[rng.Intn(len(paths))]
+		verb := verbs[rng.Intn(len(verbs))]
+		q := s.Sign(store, owner, p, verb, requester, time.Minute)
+
+		if err := s.Verify(&q, store, verb); err != nil {
+			return false
+		}
+		// Random single-field mutation must fail.
+		mutated := q
+		switch rng.Intn(6) {
+		case 0:
+			mutated.Owner += "x"
+		case 1:
+			mutated.Path += "x"
+		case 2:
+			mutated.Requester = "mallory"
+		case 3:
+			mutated.IssuedAt++
+		case 4:
+			mutated.TTL += 1
+		case 5:
+			if mutated.Verb == VerbFetch {
+				mutated.Verb = VerbUpdate
+			} else {
+				mutated.Verb = VerbFetch
+			}
+		}
+		err := s.Verify(&mutated, mutated.Store, mutated.Verb)
+		return errors.Is(err, ErrBadSignature)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: signatures are deterministic for identical inputs and distinct
+// across any differing field (no accidental collisions in a small sample).
+func TestQuickSignatureDistinctness(t *testing.T) {
+	now := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	s := NewSigner([]byte("property-key")).WithClock(func() time.Time { return now })
+	p := xpath.MustParse("/user[@id='a']/presence")
+	seen := map[string]string{}
+	identities := []string{"a", "b", "ab", "a,b", "a;b"}
+	for _, store := range identities {
+		for _, owner := range identities {
+			for _, req := range identities {
+				q := s.Sign(store, owner, p, VerbFetch, req, time.Minute)
+				key := store + "|" + owner + "|" + req
+				if prev, dup := seen[q.Sig]; dup {
+					t.Fatalf("signature collision: %q and %q", prev, key)
+				}
+				seen[q.Sig] = key
+				// Determinism.
+				q2 := s.Sign(store, owner, p, VerbFetch, req, time.Minute)
+				if q2.Sig != q.Sig {
+					t.Fatalf("nondeterministic signature for %q", key)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client is a connection to a wire server. It multiplexes concurrent calls
+// over one TCP connection and delivers server-pushed notifications to an
+// optional callback. Safe for concurrent use.
+type Client struct {
+	conn   net.Conn
+	nextID atomic.Uint64
+
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	pending  map[uint64]chan *Message
+	closed   bool
+	closeErr error
+
+	notifyMu sync.RWMutex
+	onNotify func(msgType string, payload []byte)
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, pending: make(map[uint64]chan *Message)}
+	go c.readLoop()
+	return c, nil
+}
+
+// OnNotify registers the callback for server-pushed messages. It must be
+// set before notifications can arrive (typically right after Dial). The
+// callback runs on the read loop; it must not block.
+func (c *Client) OnNotify(fn func(msgType string, payload []byte)) {
+	c.notifyMu.Lock()
+	c.onNotify = fn
+	c.notifyMu.Unlock()
+}
+
+// RemoteError is a failure reported by the server.
+type RemoteError struct {
+	Op  string
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("wire: remote %s: %s", e.Op, e.Msg) }
+
+// Call sends a request and decodes the response payload into resp (which
+// may be nil to discard it). It respects ctx cancellation and deadlines.
+func (c *Client) Call(ctx context.Context, msgType string, req any, resp any) error {
+	id := c.nextID.Add(1)
+	ch := make(chan *Message, 1)
+
+	c.mu.Lock()
+	if c.closed {
+		err := c.closeErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	m := &Message{Type: msgType, ID: id}
+	if req != nil {
+		m.Payload = Marshal(req)
+	}
+	c.writeMu.Lock()
+	err := WriteFrame(c.conn, m)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.forget(id)
+		return err
+	}
+
+	select {
+	case <-ctx.Done():
+		c.forget(id)
+		return ctx.Err()
+	case reply, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.closeErr
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			return err
+		}
+		if reply.Error != "" {
+			return &RemoteError{Op: msgType, Msg: reply.Error}
+		}
+		if resp != nil {
+			return Unmarshal(reply.Payload, resp)
+		}
+		return nil
+	}
+}
+
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Close tears down the connection; outstanding calls fail with ErrClosed.
+func (c *Client) Close() error {
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	var err error
+	for {
+		var m *Message
+		m, err = ReadFrame(c.conn)
+		if err != nil {
+			break
+		}
+		if m.ID == 0 {
+			c.notifyMu.RLock()
+			fn := c.onNotify
+			c.notifyMu.RUnlock()
+			if fn != nil {
+				fn(m.Type, m.Payload)
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[m.ID]
+		if ok {
+			delete(c.pending, m.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+	if err == io.EOF {
+		err = ErrClosed
+	}
+	c.mu.Lock()
+	c.closed = true
+	c.closeErr = err
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	c.conn.Close()
+}

@@ -1,0 +1,341 @@
+package wire
+
+import (
+	"gupster/internal/policy"
+	"gupster/internal/token"
+)
+
+// Message type names used by the GUPster protocol. Clients talk to the MDM
+// with Resolve/Subscribe/Provision; to data stores with Fetch/Update/Sync*;
+// stores talk to the MDM with Register/Unregister.
+const (
+	TypeResolve     = "resolve"
+	TypeFetch       = "fetch"
+	TypeUpdate      = "update"
+	TypeRegister    = "register"
+	TypeUnregister  = "unregister"
+	TypeSubscribe   = "subscribe"
+	TypeUnsubscribe = "unsubscribe"
+	TypeNotify      = "notify"
+	TypePutRule     = "put-rule"
+	TypeDeleteRule  = "delete-rule"
+	TypeSyncStart   = "sync-start"
+	TypeSyncDelta   = "sync-delta"
+	TypeWhoHas      = "who-has" // white pages: locate a user's MDM (§5.1.2)
+	TypeStats       = "stats"
+	// TypeChanged is sent by data stores to the MDM when a component
+	// changes, driving cache invalidation and subscriptions.
+	TypeChanged = "changed"
+	// TypeExec migrates a whole request to a data store (recruiting
+	// pattern, §5.2): the store gathers sibling pieces itself.
+	TypeExec = "exec"
+	// TypeProvenance asks the MDM for an owner's disclosure ledger (§7's
+	// data-provenance challenge).
+	TypeProvenance = "provenance"
+)
+
+// ProvenanceRequest asks for the disclosure records of an owner's profile.
+// Only the owner may read her own ledger.
+type ProvenanceRequest struct {
+	Owner     string `json:"owner"`
+	Requester string `json:"requester"`
+	// SinceSeq bounds the result to records after this sequence number.
+	SinceSeq uint64 `json:"since_seq,omitempty"`
+	// Summarize returns per-requester disclosure summaries instead of raw
+	// records.
+	Summarize bool `json:"summarize,omitempty"`
+}
+
+// ProvenanceRecord is the wire form of one disclosure event.
+type ProvenanceRecord struct {
+	Seq       uint64   `json:"seq"`
+	TimeUnix  int64    `json:"time_unix"`
+	Path      string   `json:"path"`
+	Requester string   `json:"requester"`
+	Role      string   `json:"role,omitempty"`
+	Purpose   string   `json:"purpose,omitempty"`
+	Verb      string   `json:"verb"`
+	Outcome   string   `json:"outcome"`
+	RuleID    string   `json:"rule_id,omitempty"`
+	Grants    []string `json:"grants,omitempty"`
+	Stores    []string `json:"stores,omitempty"`
+}
+
+// ProvenanceSummary is the wire form of a per-requester disclosure rollup.
+type ProvenanceSummary struct {
+	Requester string   `json:"requester"`
+	Paths     []string `json:"paths,omitempty"`
+	Grants    int      `json:"grants"`
+	Denials   int      `json:"denials"`
+	LastUnix  int64    `json:"last_unix"`
+}
+
+// ProvenanceResponse returns records or summaries.
+type ProvenanceResponse struct {
+	Records   []ProvenanceRecord  `json:"records,omitempty"`
+	Summaries []ProvenanceSummary `json:"summaries,omitempty"`
+}
+
+// ChangedNotice tells the MDM a component changed at a store.
+type ChangedNotice struct {
+	Store   string `json:"store"`
+	User    string `json:"user"`
+	Path    string `json:"path"`
+	XML     string `json:"xml"`
+	Version uint64 `json:"version"`
+}
+
+// ExecRequest migrates a query to a store (recruiting): the primary store
+// fetches the sibling referrals itself and returns the merged result.
+type ExecRequest struct {
+	// Primary is the piece this store serves itself.
+	Primary FetchRequest `json:"primary"`
+	// Siblings are referrals to the other pieces, fetched by this store.
+	Siblings []Referral `json:"siblings,omitempty"`
+}
+
+// ExecResponse returns the merged component.
+type ExecResponse struct {
+	XML string `json:"xml"`
+}
+
+// QueryPattern selects the distributed query pattern (§5.2, after ubQL).
+type QueryPattern string
+
+// The three patterns the paper names.
+const (
+	// PatternReferral: the MDM returns signed queries; the client fetches
+	// from the stores directly. The default.
+	PatternReferral QueryPattern = "referral"
+	// PatternChaining: the MDM fetches from the stores on the client's
+	// behalf, merges, and returns data.
+	PatternChaining QueryPattern = "chaining"
+	// PatternRecruiting: the MDM migrates the query to one data store,
+	// which gathers the remaining pieces from its peers and returns the
+	// merged result to the client.
+	PatternRecruiting QueryPattern = "recruiting"
+)
+
+// ResolveRequest asks the MDM to resolve a profile request.
+type ResolveRequest struct {
+	// Owner is the profile owner ("" derives it from the path's id
+	// predicate).
+	Owner string `json:"owner,omitempty"`
+	// Path is the requested XPath expression.
+	Path string `json:"path"`
+	// Context is the request's non-path facet, evaluated against the
+	// owner's privacy shield.
+	Context policy.Context `json:"context"`
+	// Verb is the intended operation (fetch/update/subscribe).
+	Verb token.Verb `json:"verb"`
+	// Pattern selects referral (default), chaining, or recruiting.
+	Pattern QueryPattern `json:"pattern,omitempty"`
+}
+
+// Referral is one way to satisfy (part of) a request: a signed query plus
+// the remainder path the client should evaluate over the fetched component.
+type Referral struct {
+	Query token.SignedQuery `json:"query"`
+	// Address is the store's dialable address.
+	Address string `json:"address"`
+}
+
+// Alternative is a set of referrals that together cover the request; the
+// pieces must be merged (deep union) client-side. A single-element
+// alternative needs no merge.
+type Alternative struct {
+	Referrals []Referral `json:"referrals"`
+	// Merge names the reconciliation to apply when len(Referrals) > 1;
+	// currently always "deep-union".
+	Merge string `json:"merge,omitempty"`
+}
+
+// ResolveResponse answers a referral-pattern resolve: alternatives are
+// choices (the paper's "||" operator, §4.3) — any one of them satisfies the
+// request.
+type ResolveResponse struct {
+	Alternatives []Alternative `json:"alternatives,omitempty"`
+	// Data carries the merged result directly for chaining/recruiting
+	// resolves, in which case Alternatives is empty.
+	Data string `json:"data,omitempty"`
+	// Cached reports that Data was served from the MDM cache.
+	Cached bool `json:"cached,omitempty"`
+	// Hops counts MDM-to-MDM forwards in federated deployments (§5.1):
+	// 0 means the first MDM answered itself.
+	Hops int `json:"hops,omitempty"`
+}
+
+// FetchRequest asks a data store for the component granted by Query.
+type FetchRequest struct {
+	Query token.SignedQuery `json:"query"`
+}
+
+// FetchResponse returns the component as GUP XML ("" when the store holds
+// nothing under the granted path).
+type FetchResponse struct {
+	XML string `json:"xml"`
+	// Version is the store's monotonic version of the component, used for
+	// cache invalidation and sync anchors.
+	Version uint64 `json:"version"`
+}
+
+// UpdateRequest writes a component at a data store.
+type UpdateRequest struct {
+	Query token.SignedQuery `json:"query"`
+	XML   string            `json:"xml"`
+}
+
+// UpdateResponse acknowledges a write.
+type UpdateResponse struct {
+	Version uint64 `json:"version"`
+}
+
+// RegisterRequest is a store announcing coverage to the MDM.
+type RegisterRequest struct {
+	Store   string `json:"store"`
+	Address string `json:"address"`
+	Path    string `json:"path"`
+}
+
+// UnregisterRequest withdraws coverage.
+type UnregisterRequest struct {
+	Store string `json:"store"`
+	Path  string `json:"path"`
+}
+
+// Empty is the body of acknowledgement-only responses.
+type Empty struct{}
+
+// SubscribeRequest asks the MDM for push notifications on a path (§5.2).
+type SubscribeRequest struct {
+	Owner   string         `json:"owner,omitempty"`
+	Path    string         `json:"path"`
+	Context policy.Context `json:"context"`
+}
+
+// SubscribeResponse acknowledges a subscription.
+type SubscribeResponse struct {
+	SubID uint64 `json:"sub_id"`
+}
+
+// UnsubscribeRequest cancels a subscription.
+type UnsubscribeRequest struct {
+	SubID uint64 `json:"sub_id"`
+}
+
+// Notification is pushed to subscribers when a covered component changes.
+type Notification struct {
+	SubID uint64 `json:"sub_id"`
+	Path  string `json:"path"`
+	// XML is the new component content (already shield-filtered).
+	XML string `json:"xml"`
+	// Version is the store version that triggered the notification.
+	Version uint64 `json:"version"`
+}
+
+// PutRuleRequest provisions one privacy-shield rule (self-provisioning,
+// requirement 11). Conditions travel in a compact serialized form.
+type PutRuleRequest struct {
+	Owner string      `json:"owner"`
+	Rule  RulePayload `json:"rule"`
+}
+
+// RulePayload is the wire form of a policy rule.
+type RulePayload struct {
+	ID       string `json:"id"`
+	Path     string `json:"path"`
+	Effect   string `json:"effect"` // "permit" | "deny"
+	Priority int    `json:"priority,omitempty"`
+	// Cond is a serialized condition expression; see policy/condexpr.
+	Cond string `json:"cond,omitempty"`
+}
+
+// DeleteRuleRequest removes a rule.
+type DeleteRuleRequest struct {
+	Owner  string `json:"owner"`
+	RuleID string `json:"rule_id"`
+}
+
+// SyncStartRequest opens a sync session for a component (§2.3 req 7,
+// SyncML-style anchors).
+type SyncStartRequest struct {
+	Query token.SignedQuery `json:"query"`
+	// LastAnchor is the store version the device saw at the end of its
+	// previous sync; 0 forces a slow sync.
+	LastAnchor uint64 `json:"last_anchor"`
+}
+
+// SyncStartResponse tells the device how to proceed.
+type SyncStartResponse struct {
+	// Slow instructs the device to send its full component (anchors did not
+	// match or there is no change log coverage).
+	Slow bool `json:"slow"`
+	// ServerOps are item edits the store saw since LastAnchor (two-way
+	// fast sync). Encoded item ops; see syncml.EncodeOps.
+	ServerOps []SyncOp `json:"server_ops,omitempty"`
+	// Anchor is the store's current version.
+	Anchor uint64 `json:"anchor"`
+	// XML carries the full server component on slow sync.
+	XML string `json:"xml,omitempty"`
+}
+
+// SyncOp is one item-granularity edit on the wire.
+type SyncOp struct {
+	Kind string `json:"kind"` // add | remove | modify
+	Key  string `json:"key,omitempty"`
+	XML  string `json:"xml,omitempty"`
+}
+
+// SyncDeltaRequest sends the device's local edits (or full state on slow
+// sync) back to the store.
+type SyncDeltaRequest struct {
+	Query token.SignedQuery `json:"query"`
+	// LastAnchor repeats the anchor from SyncStart so the store can detect
+	// conflicts (items changed on both sides since the anchor).
+	LastAnchor uint64 `json:"last_anchor"`
+	// StartAnchor is the Anchor the store reported in SyncStartResponse;
+	// if the component moved past it before the delta arrived, the store
+	// returns authoritative XML so the device cannot silently diverge.
+	StartAnchor uint64   `json:"start_anchor,omitempty"`
+	Ops         []SyncOp `json:"ops,omitempty"`
+	XML         string   `json:"xml,omitempty"` // slow sync full state
+	// Policy names the reconciliation policy for conflicts:
+	// "server-wins" | "client-wins" | "merge".
+	Policy string `json:"policy,omitempty"`
+}
+
+// SyncDeltaResponse concludes the session.
+type SyncDeltaResponse struct {
+	// Anchor is the new store version the device must remember.
+	Anchor uint64 `json:"anchor"`
+	// XML carries the authoritative reconciled component, but only when the
+	// device cannot reconstruct it itself — on slow syncs and on fast syncs
+	// that resolved conflicts. Empty otherwise (the common fast path moves
+	// deltas only).
+	XML string `json:"xml,omitempty"`
+	// Conflicts counts item conflicts resolved by policy.
+	Conflicts int `json:"conflicts"`
+}
+
+// WhoHasRequest asks the white pages which MDM manages a user (§5.1.2).
+type WhoHasRequest struct {
+	User string `json:"user"`
+}
+
+// WhoHasResponse returns the MDM address, or Unlisted.
+type WhoHasResponse struct {
+	Address  string `json:"address,omitempty"`
+	Unlisted bool   `json:"unlisted,omitempty"`
+}
+
+// StatsResponse exposes server counters for benchmarks and operations.
+type StatsResponse struct {
+	Resolves      uint64 `json:"resolves"`
+	Denied        uint64 `json:"denied"`
+	Spurious      uint64 `json:"spurious"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	Registrations int    `json:"registrations"`
+	Subscriptions int    `json:"subscriptions"`
+	BytesProxied  uint64 `json:"bytes_proxied"`
+}

@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"errors"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ServerConn is one accepted connection. Handlers reply through it and may
+// push unsolicited notifications at any time; writes are serialized
+// internally.
+type ServerConn struct {
+	conn    net.Conn
+	mu      sync.Mutex // guards writes
+	closed  atomic.Bool
+	onClose []func()
+}
+
+// Reply sends a success response to m with the given payload.
+func (c *ServerConn) Reply(m *Message, payload any) error {
+	return c.send(&Message{Type: m.Type, ID: m.ID, Payload: Marshal(payload)})
+}
+
+// ReplyError sends a failure response to m.
+func (c *ServerConn) ReplyError(m *Message, err error) error {
+	return c.send(&Message{Type: m.Type, ID: m.ID, Error: err.Error()})
+}
+
+// Notify pushes a server-initiated message (ID 0).
+func (c *ServerConn) Notify(msgType string, payload any) error {
+	return c.send(&Message{Type: msgType, Payload: Marshal(payload)})
+}
+
+func (c *ServerConn) send(m *Message) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return WriteFrame(c.conn, m)
+}
+
+// RemoteAddr reports the peer address.
+func (c *ServerConn) RemoteAddr() string { return c.conn.RemoteAddr().String() }
+
+// OnClose registers a function to run when the connection ends; used by the
+// MDM to tear down subscriptions.
+func (c *ServerConn) OnClose(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onClose = append(c.onClose, fn)
+}
+
+// Handler processes one inbound message. Implementations must send exactly
+// one reply per request message (via Reply or ReplyError) and may push
+// notifications. Handlers run sequentially per connection and concurrently
+// across connections.
+type Handler interface {
+	ServeWire(c *ServerConn, m *Message)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(c *ServerConn, m *Message)
+
+// ServeWire implements Handler.
+func (f HandlerFunc) ServeWire(c *ServerConn, m *Message) { f(c, m) }
+
+// Server accepts connections and dispatches frames to a handler.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]bool
+
+	// Logf, when set, receives connection-level errors; defaults to
+	// discarding them (they are routine at shutdown).
+	Logf func(format string, args ...any)
+}
+
+// Serve starts a server on addr ("127.0.0.1:0" picks a free port).
+func Serve(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address, e.g. for clients to dial.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes the listener and every active connection,
+// and waits for connection goroutines to drain.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.ln.Close()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if !s.closed.Load() {
+				s.logf("wire: accept: %v", err)
+			}
+			return
+		}
+		s.connMu.Lock()
+		if s.closed.Load() {
+			s.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	sc := &ServerConn{conn: conn}
+	defer func() {
+		sc.closed.Store(true)
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		sc.mu.Lock()
+		fns := sc.onClose
+		sc.mu.Unlock()
+		for _, fn := range fns {
+			fn()
+		}
+	}()
+	for {
+		m, err := ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && err.Error() != "EOF" {
+				s.logf("wire: read from %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					log.Printf("wire: handler panic: %v", r)
+					_ = sc.ReplyError(m, errors.New("internal error"))
+				}
+			}()
+			s.handler.ServeWire(sc, m)
+		}()
+	}
+}

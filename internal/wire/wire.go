@@ -1,0 +1,96 @@
+// Package wire implements the GUPster transport: length-prefixed JSON
+// envelopes over TCP. The paper leaves the concrete protocol open ("the
+// protocol will probably be SOAP or HTTP", §4.2 footnote 5); any
+// request/response transport with server push is compliant. This one is
+// small, allocation-conscious, and supports the three interaction styles
+// the framework needs: request/response (resolve, fetch, update), server
+// push (subscription notifications, §5.2), and streaming sync sessions.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single message. Profile components are small; anything
+// larger than this indicates a protocol error or abuse.
+const MaxFrame = 16 << 20
+
+// Message is the envelope every frame carries.
+type Message struct {
+	// Type names the operation ("resolve", "fetch", …) or notification.
+	Type string `json:"type"`
+	// ID correlates responses with requests. Server-initiated messages
+	// (notifications) carry ID 0.
+	ID uint64 `json:"id,omitempty"`
+	// Error carries a failure description on responses; empty on success.
+	Error string `json:"error,omitempty"`
+	// Payload is the operation-specific body.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Framing errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrClosed        = errors.New("wire: connection closed")
+)
+
+// WriteFrame writes one message to w: 4-byte big-endian length, then JSON.
+func WriteFrame(w io.Writer, m *Message) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one message from r.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return &m, nil
+}
+
+// Marshal encodes a payload struct into a raw message, panicking only on
+// unmarshalable Go values (programming error).
+func Marshal(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("wire: marshal payload: %v", err))
+	}
+	return b
+}
+
+// Unmarshal decodes a payload into v.
+func Unmarshal(raw json.RawMessage, v any) error {
+	if len(raw) == 0 {
+		return errors.New("wire: empty payload")
+	}
+	return json.Unmarshal(raw, v)
+}

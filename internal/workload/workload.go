@@ -1,0 +1,196 @@
+// Package workload provides the testbed and the synthetic workloads the
+// paper's conclusion calls for ("the development of testbeds and
+// benchmarks"): a deterministic profile-population generator with Zipf
+// access skew, component generators (address books, calendars, devices),
+// and ConvergedTestbed — an assembled converged network with the exact
+// profile placement of the paper's Figure 5, all behind one GUPster MDM.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gupster/internal/xmltree"
+)
+
+// Rand returns a deterministic source for a benchmark.
+func Rand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// UserID names the i-th synthetic user.
+func UserID(i int) string {
+	return fmt.Sprintf("u%05d", i)
+}
+
+// Population is a synthetic user base with Zipf-skewed access.
+type Population struct {
+	Users []string
+	zipf  *rand.Zipf
+	rng   *rand.Rand
+}
+
+// NewPopulation builds n users whose access frequency follows a Zipf
+// distribution with exponent s (s≈1 matches the classic web skew).
+func NewPopulation(n int, s float64, seed int64) *Population {
+	users := make([]string, n)
+	for i := range users {
+		users[i] = UserID(i)
+	}
+	rng := Rand(seed)
+	if s <= 1 {
+		s = 1.0001 // rand.Zipf requires s > 1
+	}
+	return &Population{
+		Users: users,
+		zipf:  rand.NewZipf(rng, s, 1, uint64(n-1)),
+		rng:   rng,
+	}
+}
+
+// Next draws a user according to the skew.
+func (p *Population) Next() string {
+	return p.Users[int(p.zipf.Uint64())]
+}
+
+// Uniform draws a user uniformly.
+func (p *Population) Uniform() string {
+	return p.Users[p.rng.Intn(len(p.Users))]
+}
+
+// firstNames and lastNames seed the synthetic contact data.
+var firstNames = []string{
+	"Arnaud", "Rick", "Daniel", "Ming", "Alice", "Bob", "Carol", "Dave",
+	"Erin", "Frank", "Grace", "Heidi", "Ivan", "Judy", "Mallory", "Niaj",
+}
+
+var lastNames = []string{
+	"Sahuguet", "Hull", "Lieuwen", "Xiong", "Smith", "Jones", "Chen",
+	"Garcia", "Kumar", "Moreau", "Okafor", "Popov", "Sato", "Weber",
+}
+
+// ContactName generates the i-th deterministic contact name.
+func ContactName(rng *rand.Rand) string {
+	return firstNames[rng.Intn(len(firstNames))] + " " +
+		lastNames[rng.Intn(len(lastNames))] + fmt.Sprintf(" %03d", rng.Intn(1000))
+}
+
+// AddressBook generates a schema-valid <address-book> with n items; about
+// a third of the items are personal, the rest corporate (the Figure 9
+// split).
+func AddressBook(n int, rng *rand.Rand) *xmltree.Node {
+	book := xmltree.New("address-book")
+	seen := make(map[string]bool, n)
+	for len(seen) < n {
+		name := ContactName(rng)
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		kind := "corporate"
+		if rng.Intn(3) == 0 {
+			kind = "personal"
+		}
+		item := xmltree.New("item").SetAttr("name", name).SetAttr("type", kind)
+		item.Add(xmltree.NewText("phone", fmt.Sprintf("908-%03d-%04d", rng.Intn(1000), rng.Intn(10000))))
+		if rng.Intn(2) == 0 {
+			item.Add(xmltree.NewText("email", fmt.Sprintf("%d@example.com", rng.Int63())))
+		}
+		book.Add(item)
+	}
+	return book
+}
+
+// SplitAddressBook partitions a book into its personal and corporate
+// halves (each a standalone <address-book>).
+func SplitAddressBook(book *xmltree.Node) (personal, corporate *xmltree.Node) {
+	personal = xmltree.New("address-book")
+	corporate = xmltree.New("address-book")
+	for _, item := range book.ChildrenNamed("item") {
+		if t, _ := item.Attr("type"); t == "personal" {
+			personal.Add(item.Clone())
+		} else {
+			corporate.Add(item.Clone())
+		}
+	}
+	return personal, corporate
+}
+
+// Calendar generates a schema-valid weekly <calendar> with n events.
+func Calendar(n int, rng *rand.Rand) *xmltree.Node {
+	days := []string{"Mon", "Tue", "Wed", "Thu", "Fri"}
+	cal := xmltree.New("calendar")
+	for i := 0; i < n; i++ {
+		start := 8*60 + rng.Intn(9*60)
+		dur := 30 + rng.Intn(90)
+		ev := xmltree.New("event").
+			SetAttr("id", fmt.Sprintf("e%03d", i)).
+			SetAttr("day", days[rng.Intn(len(days))]).
+			SetAttr("start", clock(start)).
+			SetAttr("end", clock(start+dur))
+		ev.Add(xmltree.NewText("title", fmt.Sprintf("meeting %d", i)))
+		cal.Add(ev)
+	}
+	return cal
+}
+
+func clock(min int) string {
+	if min >= 24*60 {
+		min = 24*60 - 1
+	}
+	return fmt.Sprintf("%02d:%02d", min/60, min%60)
+}
+
+// Devices generates the converged device set of the paper's Example 2: an
+// office PSTN line, a home PSTN line, a wireless cell, a VoIP softphone and
+// an IM handle.
+func Devices(user string) *xmltree.Node {
+	devs := xmltree.New("devices")
+	add := func(id, network, kind, number string) {
+		d := xmltree.New("device").SetAttr("id", id).SetAttr("network", network).SetAttr("type", kind)
+		d.Add(xmltree.NewText("number", number))
+		devs.Add(d)
+	}
+	add("office", "pstn", "phone", "908-555-1"+suffix(user))
+	add("home", "pstn", "phone", "908-555-2"+suffix(user))
+	add("cell", "wireless", "phone", "908-555-3"+suffix(user))
+	add("softphone", "voip", "softphone", "sip:"+user+"@voip.example.com")
+	add("im", "im", "client", user+"@im.example.com")
+	return devs
+}
+
+func suffix(user string) string {
+	if len(user) >= 3 {
+		return user[len(user)-3:]
+	}
+	return user
+}
+
+// ReachMePreferences generates the paper's example routing rules.
+func ReachMePreferences() *xmltree.Node {
+	prefs := xmltree.New("preferences")
+	add := func(id, when, action string) {
+		prefs.Add(xmltree.New("rule").SetAttr("id", id).SetAttr("when", when).SetAttr("action", action))
+	}
+	add("work-hours", "and(hours(09:00,18:00),weekday(Mon,Tue,Wed,Thu))", "call:office")
+	add("commute", "or(hours(08:00,09:00),hours(18:00,19:00))", "call:cell")
+	add("friday-wfh", "weekday(Fri)", "call:home")
+	return prefs
+}
+
+// AddressBookOfSize generates a schema-valid <address-book> whose compact
+// serialization is at least targetBytes long, for component-size sweeps.
+func AddressBookOfSize(targetBytes int, rng *rand.Rand) *xmltree.Node {
+	book := xmltree.New("address-book")
+	size := len(book.String())
+	for i := 0; size < targetBytes; i++ {
+		item := xmltree.New("item").
+			SetAttr("name", fmt.Sprintf("contact-%06d", i)).
+			SetAttr("type", []string{"personal", "corporate"}[i%2])
+		item.Add(xmltree.NewText("phone", fmt.Sprintf("908-%03d-%04d", rng.Intn(1000), rng.Intn(10000))))
+		item.Add(xmltree.NewText("note", fmt.Sprintf("synthetic entry %d for size sweeps", i)))
+		book.Add(item)
+		size += len(item.String())
+	}
+	return book
+}

@@ -1,0 +1,328 @@
+package xmltree
+
+import "sort"
+
+// KeySpec names, per element name, the attribute that identifies an element
+// instance for merging and diffing. This realizes the "Keys for XML" idea
+// the paper cites: two <item> elements denote the same logical entry when
+// their key attributes are equal.
+//
+// Elements without an entry in the spec are matched positionally by DeepUnion
+// and treated as atomic by Diff.
+type KeySpec map[string]string
+
+// DefaultKeys is the key spec used by GUP profile components: entries and
+// devices are identified by their id attribute, address book items by name.
+var DefaultKeys = KeySpec{
+	"item":    "name",
+	"entry":   "id",
+	"device":  "id",
+	"user":    "id",
+	"rule":    "id",
+	"contact": "name",
+	"event":   "id",
+}
+
+// keyOf returns the merge identity of a node under the spec: element name
+// plus the key attribute's value when the spec defines one. The second
+// result reports whether the node is keyed.
+func (ks KeySpec) keyOf(n *Node) (string, bool) {
+	attr, ok := ks[n.Name]
+	if !ok {
+		return "", false
+	}
+	v, ok := n.Attr(attr)
+	if !ok {
+		return "", false
+	}
+	return n.Name + "\x00" + v, true
+}
+
+// DeepUnion merges two component trees into a new tree, following the
+// deterministic model for semistructured data (Buneman, Deutsch, Tan): keyed
+// children with equal identity are merged recursively; all other children
+// are concatenated, a's first. On conflicting text or attribute values at a
+// merged node, a (the first argument) wins — callers encode source priority
+// by argument order.
+//
+// Neither input is modified.
+func DeepUnion(a, b *Node, keys KeySpec) *Node {
+	if a == nil {
+		return b.Clone()
+	}
+	if b == nil {
+		return a.Clone()
+	}
+	out := &Node{Name: a.Name, Text: a.Text}
+	if out.Text == "" {
+		out.Text = b.Text
+	}
+	for k, v := range b.Attrs {
+		out.SetAttr(k, v)
+	}
+	for k, v := range a.Attrs {
+		out.SetAttr(k, v) // a wins on conflict
+	}
+
+	merged := make(map[string]*Node)
+	var order []string
+	var unkeyedA, unkeyedB []*Node
+	for _, c := range a.Children {
+		if k, ok := keys.keyOf(c); ok {
+			if _, seen := merged[k]; !seen {
+				order = append(order, k)
+			}
+			merged[k] = c.Clone()
+		} else {
+			unkeyedA = append(unkeyedA, c)
+		}
+	}
+	for _, c := range b.Children {
+		if k, ok := keys.keyOf(c); ok {
+			if prev, seen := merged[k]; seen {
+				merged[k] = DeepUnion(prev, c, keys)
+			} else {
+				order = append(order, k)
+				merged[k] = c.Clone()
+			}
+		} else {
+			unkeyedB = append(unkeyedB, c)
+		}
+	}
+
+	// Unkeyed children with the same name that appear exactly once on each
+	// side are merged structurally (e.g. a singleton <preferences> section);
+	// everything else concatenates.
+	singlesA := singletonsByName(unkeyedA)
+	singlesB := singletonsByName(unkeyedB)
+	usedB := make(map[*Node]bool)
+	for _, c := range unkeyedA {
+		if m, ok := singlesA[c.Name]; ok && m == c {
+			if bc, ok := singlesB[c.Name]; ok {
+				out.Children = append(out.Children, DeepUnion(c, bc, keys))
+				usedB[bc] = true
+				continue
+			}
+		}
+		out.Children = append(out.Children, c.Clone())
+	}
+	for _, c := range unkeyedB {
+		if !usedB[c] {
+			out.Children = append(out.Children, c.Clone())
+		}
+	}
+	for _, k := range order {
+		out.Children = append(out.Children, merged[k])
+	}
+	return out
+}
+
+func singletonsByName(nodes []*Node) map[string]*Node {
+	count := make(map[string]int)
+	first := make(map[string]*Node)
+	for _, n := range nodes {
+		count[n.Name]++
+		if count[n.Name] == 1 {
+			first[n.Name] = n
+		}
+	}
+	for name, c := range count {
+		if c != 1 {
+			delete(first, name)
+		}
+	}
+	return first
+}
+
+// MergeAll deep-unions components in priority order: earlier arguments win
+// conflicts. Nil entries are skipped; the result is nil when all are nil.
+func MergeAll(keys KeySpec, components ...*Node) *Node {
+	var out *Node
+	for _, c := range components {
+		if c == nil {
+			continue
+		}
+		if out == nil {
+			out = c.Clone()
+			continue
+		}
+		out = DeepUnion(out, c, keys)
+	}
+	return out
+}
+
+// OpKind classifies a Diff edit.
+type OpKind int
+
+const (
+	// OpAdd means the item exists only in the newer tree.
+	OpAdd OpKind = iota
+	// OpRemove means the item exists only in the older tree.
+	OpRemove
+	// OpModify means a keyed item exists in both trees with different content.
+	OpModify
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "add"
+	case OpRemove:
+		return "remove"
+	case OpModify:
+		return "modify"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one item-granularity edit between two versions of a component. Key
+// is the merge identity ("" for unkeyed structural changes rooted at the
+// component itself); Node carries the new content for add/modify and the old
+// content for remove.
+type Op struct {
+	Kind OpKind
+	Key  string
+	Node *Node
+}
+
+// Diff computes item-granularity edits that transform old into new, matching
+// keyed children of the component root by identity. Unkeyed structural or
+// text changes are reported as a single OpModify with an empty key carrying
+// the whole new tree — the sync layer falls back to full transfer for those.
+func Diff(oldT, newT *Node, keys KeySpec) []Op {
+	var ops []Op
+	if oldT == nil && newT == nil {
+		return nil
+	}
+	if oldT == nil {
+		return []Op{{Kind: OpModify, Node: newT.Clone()}}
+	}
+	if newT == nil {
+		return []Op{{Kind: OpModify, Node: nil}}
+	}
+
+	oldKeyed, oldRest := splitKeyed(oldT, keys)
+	newKeyed, newRest := splitKeyed(newT, keys)
+
+	// Any difference outside the keyed children means the component shell
+	// changed; report as a full modify.
+	if !shellEqual(oldT, newT) || !unkeyedEqual(oldRest, newRest) {
+		return []Op{{Kind: OpModify, Node: newT.Clone()}}
+	}
+
+	var addedKeys []string
+	for k := range newKeyed {
+		if _, ok := oldKeyed[k]; !ok {
+			addedKeys = append(addedKeys, k)
+		}
+	}
+	sort.Strings(addedKeys)
+	for _, k := range addedKeys {
+		ops = append(ops, Op{Kind: OpAdd, Key: k, Node: newKeyed[k].Clone()})
+	}
+
+	var removedKeys, modifiedKeys []string
+	for k, o := range oldKeyed {
+		n, ok := newKeyed[k]
+		if !ok {
+			removedKeys = append(removedKeys, k)
+		} else if !o.Equal(n) {
+			modifiedKeys = append(modifiedKeys, k)
+		}
+	}
+	sort.Strings(removedKeys)
+	sort.Strings(modifiedKeys)
+	for _, k := range removedKeys {
+		ops = append(ops, Op{Kind: OpRemove, Key: k, Node: oldKeyed[k].Clone()})
+	}
+	for _, k := range modifiedKeys {
+		ops = append(ops, Op{Kind: OpModify, Key: k, Node: newKeyed[k].Clone()})
+	}
+	return ops
+}
+
+// Patch applies ops (as produced by Diff) to a clone of base and returns the
+// result. A full-modify op (empty key) replaces the entire tree.
+func Patch(base *Node, ops []Op, keys KeySpec) *Node {
+	out := base.Clone()
+	for _, op := range ops {
+		if op.Key == "" {
+			if op.Node == nil {
+				return nil
+			}
+			out = op.Node.Clone()
+			continue
+		}
+		switch op.Kind {
+		case OpAdd:
+			if out == nil {
+				out = &Node{Name: op.Node.Name}
+			}
+			out.Children = append(out.Children, op.Node.Clone())
+		case OpRemove:
+			removeKeyed(out, op.Key, keys)
+		case OpModify:
+			if !replaceKeyed(out, op.Key, op.Node, keys) {
+				out.Children = append(out.Children, op.Node.Clone())
+			}
+		}
+	}
+	return out
+}
+
+func splitKeyed(n *Node, keys KeySpec) (map[string]*Node, []*Node) {
+	keyed := make(map[string]*Node)
+	var rest []*Node
+	for _, c := range n.Children {
+		if k, ok := keys.keyOf(c); ok {
+			keyed[k] = c
+		} else {
+			rest = append(rest, c)
+		}
+	}
+	return keyed, rest
+}
+
+func shellEqual(a, b *Node) bool {
+	if a.Name != b.Name || a.Text != b.Text || len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for k, v := range a.Attrs {
+		if bv, ok := b.Attrs[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+func unkeyedEqual(a, b []*Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func removeKeyed(n *Node, key string, keys KeySpec) {
+	for i, c := range n.Children {
+		if k, ok := keys.keyOf(c); ok && k == key {
+			n.Children = append(n.Children[:i], n.Children[i+1:]...)
+			return
+		}
+	}
+}
+
+func replaceKeyed(n *Node, key string, repl *Node, keys KeySpec) bool {
+	for i, c := range n.Children {
+		if k, ok := keys.keyOf(c); ok && k == key {
+			n.Children[i] = repl.Clone()
+			return true
+		}
+	}
+	return false
+}

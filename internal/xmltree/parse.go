@@ -1,0 +1,76 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrEmpty is returned by Parse when the input contains no element.
+var ErrEmpty = errors.New("xmltree: no element in input")
+
+// Parse reads one XML element tree from r. Namespaces are flattened to local
+// names, comments and processing instructions are skipped, and text runs are
+// whitespace-trimmed and concatenated.
+func Parse(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, ErrEmpty
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: %w", err)
+		}
+		if start, ok := tok.(xml.StartElement); ok {
+			return parseElement(dec, start)
+		}
+	}
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse is ParseString that panics on malformed input; it is intended
+// for tests and static fixtures.
+func MustParse(s string) *Node {
+	n, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func parseElement(dec *xml.Decoder, start xml.StartElement) (*Node, error) {
+	n := &Node{Name: start.Name.Local}
+	for _, a := range start.Attr {
+		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+			continue
+		}
+		n.SetAttr(a.Name.Local, a.Value)
+	}
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: unterminated element <%s>: %w", n.Name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child, err := parseElement(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+		case xml.EndElement:
+			n.Text = strings.TrimSpace(text.String())
+			return n, nil
+		case xml.CharData:
+			text.Write(t)
+		}
+	}
+}

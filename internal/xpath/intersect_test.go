@@ -1,0 +1,103 @@
+package xpath
+
+import (
+	"testing"
+
+	"gupster/internal/xmltree"
+)
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want string // "" means no intersection
+	}{
+		// Identical paths.
+		{"/user/address-book", "/user/address-book", "/user/address-book"},
+		// Pinned vs unpinned: predicates merge.
+		{"/user[@id='a']/address-book", "/user/address-book", "/user[@id='a']/address-book"},
+		// Deep unpinned registration vs shallow pinned request — the
+		// testbed's devices placement.
+		{"/user/devices/device[@network='pstn']", "/user[@id='a']/devices",
+			"/user[@id='a']/devices/device[@network='pstn']"},
+		// Both sides contribute predicates at the same step.
+		{"/user/address-book/item[@type='personal']", "/user/address-book/item[@name='rick']",
+			"/user/address-book/item[@name='rick'][@type='personal']"},
+		// Wildcards resolve to the concrete name.
+		{"/user/*/item", "/user/address-book", "/user/address-book/item"},
+		{"/*", "/user", "/user"},
+		// Conflicting names: empty.
+		{"/user/presence", "/user/calendar", ""},
+		// Conflicting equality predicates: empty.
+		{"/user[@id='a']", "/user[@id='b']", ""},
+		{"/user/address-book/item[@type='x']", "/user/address-book/item[@type='y']", ""},
+		// Attribute axes: equal depth with same attr composes.
+		{"/user/@id", "/user[@id='a']/@id", "/user[@id='a']/@id"},
+		// Different attrs: empty.
+		{"/user/@id", "/user/@name", ""},
+		// Attribute axis on the shallower path cannot compose with a
+		// deeper element path.
+		{"/user/@id", "/user/devices", ""},
+		// Attribute axis on the deeper path survives.
+		{"/user/devices/device/@id", "/user[@id='a']", "/user[@id='a']/devices/device/@id"},
+	}
+	for _, c := range cases {
+		got, ok := Intersect(MustParse(c.p), MustParse(c.q))
+		if c.want == "" {
+			if ok {
+				t.Errorf("Intersect(%s, %s) = %s, want none", c.p, c.q, got)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("Intersect(%s, %s) = none, want %s", c.p, c.q, c.want)
+			continue
+		}
+		if got.String() != c.want {
+			t.Errorf("Intersect(%s, %s) = %s, want %s", c.p, c.q, got, c.want)
+		}
+		// Symmetry up to equivalence.
+		rev, ok2 := Intersect(MustParse(c.q), MustParse(c.p))
+		if !ok2 || !Equivalent(got, rev) {
+			t.Errorf("Intersect not symmetric for (%s, %s): %s vs %s", c.p, c.q, got, rev)
+		}
+	}
+}
+
+// Property: a node inside both subtrees is inside the intersection's
+// subtree, checked on a concrete document.
+func TestIntersectSoundOnDocument(t *testing.T) {
+	d := xmltree.MustParse(`
+<user id="a">
+  <devices>
+    <device id="cell" network="wireless"/>
+    <device id="office" network="pstn"/>
+  </devices>
+</user>`)
+	r := MustParse("/user/devices/device[@network='pstn']")
+	q := MustParse("/user[@id='a']/devices")
+	inter, ok := Intersect(r, q)
+	if !ok {
+		t.Fatal("no intersection")
+	}
+	sel := Select(d, inter)
+	if len(sel) != 1 {
+		t.Fatalf("intersection selected %d nodes", len(sel))
+	}
+	if v, _ := sel[0].Attr("id"); v != "office" {
+		t.Errorf("selected %s", sel[0])
+	}
+}
+
+func TestCoversMixedGenerality(t *testing.T) {
+	// Deep unpinned registration vs shallow pinned request: partial.
+	r := MustParse("/user/devices/device[@network='pstn']")
+	q := MustParse("/user[@id='a']/devices")
+	if got := Covers(r, q); got != CoverPartial {
+		t.Errorf("Covers = %v, want partial", got)
+	}
+	// And the reverse direction: shallow pinned registration fully covers
+	// deep pinned request for the same user.
+	if got := Covers(MustParse("/user[@id='a']"), MustParse("/user[@id='a']/devices/device[@network='pstn']")); got != CoverFull {
+		t.Errorf("reverse = %v, want full", got)
+	}
+}
