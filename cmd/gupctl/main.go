@@ -165,6 +165,9 @@ func main() {
 		fmt.Printf("registrations: %d\n", st.Registrations)
 		fmt.Printf("subscriptions: %d\n", st.Subscriptions)
 		fmt.Printf("bytes proxied: %d\n", st.BytesProxied)
+		fmt.Printf("retries:       %d\n", st.Retries)
+		fmt.Printf("breaker trips: %d\n", st.BreakerTrips)
+		fmt.Printf("short circuits: %d\n", st.ShortCircuits)
 	default:
 		log.Fatalf("gupctl: unknown command %q", cmd)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gupster/internal/policy"
+	"gupster/internal/resilience"
 	"gupster/internal/store"
 	"gupster/internal/syncml"
 	"gupster/internal/token"
@@ -46,6 +47,12 @@ type Client struct {
 	// "requests … will be routed to the closest store available").
 	latMu sync.Mutex
 	lat   map[string]time.Duration
+
+	// Resilience guards store fetches and updates: per-attempt timeouts,
+	// capped exponential backoff with jitter, and a per-store circuit
+	// breaker. DialMDM installs defaults; replace it before the first
+	// request to tune budgets.
+	Resilience *resilience.Group
 }
 
 // DialMDM connects a client identity to the MDM.
@@ -55,13 +62,14 @@ func DialMDM(addr, identity, role string) (*Client, error) {
 		return nil, err
 	}
 	return &Client{
-		mdm:      c,
-		Identity: identity,
-		Role:     role,
-		Keys:     xmltree.DefaultKeys,
-		pool:     make(map[string]*store.Client),
-		subs:     make(map[uint64]func(wire.Notification)),
-		lat:      make(map[string]time.Duration),
+		mdm:        c,
+		Identity:   identity,
+		Role:       role,
+		Keys:       xmltree.DefaultKeys,
+		pool:       make(map[string]*store.Client),
+		subs:       make(map[uint64]func(wire.Notification)),
+		lat:        make(map[string]time.Duration),
+		Resilience: resilience.NewGroup(resilience.Policy{}, resilience.BreakerConfig{}, nil),
 	}, nil
 }
 
@@ -182,7 +190,9 @@ func (c *Client) GetVia(ctx context.Context, path string, pattern wire.QueryPatt
 // FollowReferrals executes a referral-pattern response: alternatives are
 // tried in ascending order of observed store latency (closest replica
 // first, §5.3), pieces within an alternative fetched concurrently and
-// merged.
+// merged. Alternatives whose stores have tripped circuit breakers sink
+// to the back of the order — they stay reachable as a last resort, but a
+// healthy replica is always preferred (fallback-to-next-covering-store).
 func (c *Client) FollowReferrals(ctx context.Context, resp *wire.ResolveResponse) (*xmltree.Node, error) {
 	if resp.Data != "" {
 		return xmltree.ParseString(resp.Data)
@@ -193,12 +203,24 @@ func (c *Client) FollowReferrals(ctx context.Context, resp *wire.ResolveResponse
 			return c.latencyScore(alts[i]) < c.latencyScore(alts[j])
 		})
 	}
-	var lastErr error
+	var ready, tripped []wire.Alternative
 	for _, alt := range alts {
+		if c.altAvailable(alt) {
+			ready = append(ready, alt)
+		} else {
+			tripped = append(tripped, alt)
+		}
+	}
+	alts = append(ready, tripped...)
+	var lastErr error
+	for i, alt := range alts {
 		merged, err := c.fetchAlternative(ctx, alt)
 		if err != nil {
 			lastErr = err
 			continue
+		}
+		if i > 0 {
+			c.Resilience.Stats.Fallbacks.Add(1)
 		}
 		return merged, nil
 	}
@@ -206,6 +228,17 @@ func (c *Client) FollowReferrals(ctx context.Context, resp *wire.ResolveResponse
 		lastErr = ErrNoCoverage
 	}
 	return nil, lastErr
+}
+
+// altAvailable reports whether every store of an alternative currently
+// accepts traffic according to its breaker.
+func (c *Client) altAvailable(alt wire.Alternative) bool {
+	for _, ref := range alt.Referrals {
+		if !c.Resilience.Available(ref.Address) {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *Client) fetchAlternative(ctx context.Context, alt wire.Alternative) (*xmltree.Node, error) {
@@ -217,18 +250,24 @@ func (c *Client) fetchAlternative(ctx context.Context, alt wire.Alternative) (*x
 	results := make(chan result, len(alt.Referrals))
 	for i, ref := range alt.Referrals {
 		go func(i int, ref wire.Referral) {
-			sc, err := c.storeClient(ref.Address)
-			if err != nil {
-				results <- result{i, nil, err}
-				return
-			}
-			start := time.Now()
-			doc, _, err := sc.Fetch(ctx, ref.Query)
-			if err != nil {
-				c.dropStoreClient(ref.Address)
-			} else {
+			// Each attempt re-resolves the pooled connection so a retry
+			// after a failure dials afresh.
+			var doc *xmltree.Node
+			err := c.Resilience.Do(ctx, ref.Address, func(actx context.Context) error {
+				sc, err := c.storeClient(ref.Address)
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				d, _, err := sc.Fetch(actx, ref.Query)
+				if err != nil {
+					c.dropStoreClient(ref.Address)
+					return err
+				}
 				c.observeLatency(ref.Address, time.Since(start))
-			}
+				doc = d
+				return nil
+			})
 			results <- result{i, doc, err}
 		}(i, ref)
 	}
@@ -269,10 +308,6 @@ func (c *Client) Update(ctx context.Context, path string, frag *xmltree.Node) (i
 				continue
 			}
 			seen[key] = true
-			sc, err := c.storeClient(ref.Address)
-			if err != nil {
-				return written, err
-			}
 			// For partial referrals the store only holds a piece: extract
 			// the matching piece of the fragment if possible.
 			toWrite := frag
@@ -281,8 +316,20 @@ func (c *Client) Update(ctx context.Context, path string, frag *xmltree.Node) (i
 					toWrite = sub
 				}
 			}
-			if _, err := sc.Update(ctx, ref.Query, toWrite); err != nil {
-				c.dropStoreClient(ref.Address)
+			// Component writes are scoped replaces, so retrying one is
+			// idempotent.
+			err := c.Resilience.Do(ctx, ref.Address, func(actx context.Context) error {
+				sc, err := c.storeClient(ref.Address)
+				if err != nil {
+					return err
+				}
+				if _, err := sc.Update(actx, ref.Query, toWrite); err != nil {
+					c.dropStoreClient(ref.Address)
+					return err
+				}
+				return nil
+			})
+			if err != nil {
 				return written, err
 			}
 			written++

@@ -23,6 +23,7 @@ import (
 	"gupster/internal/coverage"
 	"gupster/internal/policy"
 	"gupster/internal/provenance"
+	"gupster/internal/resilience"
 	"gupster/internal/schema"
 	"gupster/internal/store"
 	"gupster/internal/token"
@@ -60,6 +61,11 @@ type Config struct {
 	// 8): components annotated NoCache bypass the chaining cache even when
 	// caching is enabled.
 	Adjuncts *schema.Adjuncts
+	// Retry and Breaker parameterize the MDM's resilience layer on the
+	// server-side query patterns (chaining and recruiting store fetches);
+	// zero values mean defaults.
+	Retry   resilience.Policy
+	Breaker resilience.BreakerConfig
 }
 
 // Stats are the MDM's observability counters.
@@ -92,6 +98,8 @@ type MDM struct {
 	cache *componentCache
 	subs  *subscriptions
 
+	res *resilience.Group
+
 	poolMu sync.Mutex
 	pool   map[string]*store.Client // address → connection (chaining)
 }
@@ -112,6 +120,7 @@ func New(cfg Config) *MDM {
 		PDP:      &policy.DecisionPoint{Repo: repo, DefaultOwnerAccess: true},
 		addrs:    make(map[coverage.StoreID]string),
 		subs:     newSubscriptions(),
+		res:      resilience.NewGroup(cfg.Retry, cfg.Breaker, nil),
 		pool:     make(map[string]*store.Client),
 	}
 	m.PAP = &policy.AdministrationPoint{Repo: repo}
@@ -335,11 +344,14 @@ func (m *MDM) chain(ctx context.Context, owner string, grants []xpath.Path, alts
 	}
 
 	var lastErr error
-	for _, alt := range alts {
+	for i, alt := range alts {
 		merged, err := m.fetchAlternative(ctx, alt)
 		if err != nil {
 			lastErr = err
 			continue
+		}
+		if i > 0 {
+			m.res.Stats.Fallbacks.Add(1)
 		}
 		xml := ""
 		if merged != nil {
@@ -373,16 +385,26 @@ func (m *MDM) cacheableGrants(grants []xpath.Path) bool {
 }
 
 // fetchAlternative retrieves and merges all referrals of one alternative.
+// Each store fetch runs under the MDM's resilience layer: per-attempt
+// timeouts, backoff retries, and the per-store breaker.
 func (m *MDM) fetchAlternative(ctx context.Context, alt wire.Alternative) (*xmltree.Node, error) {
 	var pieces []*xmltree.Node
 	for _, ref := range alt.Referrals {
-		c, err := m.storeClient(ref.Address)
+		var doc *xmltree.Node
+		err := m.res.Do(ctx, ref.Address, func(actx context.Context) error {
+			c, err := m.storeClient(ref.Address)
+			if err != nil {
+				return err
+			}
+			d, _, err := c.Fetch(actx, ref.Query)
+			if err != nil {
+				m.dropStoreClient(ref.Address)
+				return err
+			}
+			doc = d
+			return nil
+		})
 		if err != nil {
-			return nil, err
-		}
-		doc, _, err := c.Fetch(ctx, ref.Query)
-		if err != nil {
-			m.dropStoreClient(ref.Address)
 			return nil, err
 		}
 		if doc != nil {
@@ -401,14 +423,21 @@ func (m *MDM) recruit(ctx context.Context, alts []wire.Alternative) (*wire.Resol
 			continue
 		}
 		primary := alt.Referrals[0]
-		c, err := m.storeClient(primary.Address)
+		var merged *xmltree.Node
+		err := m.res.Do(ctx, primary.Address, func(actx context.Context) error {
+			c, err := m.storeClient(primary.Address)
+			if err != nil {
+				return err
+			}
+			mg, err := c.Exec(actx, wire.FetchRequest{Query: primary.Query}, alt.Referrals[1:])
+			if err != nil {
+				m.dropStoreClient(primary.Address)
+				return err
+			}
+			merged = mg
+			return nil
+		})
 		if err != nil {
-			lastErr = err
-			continue
-		}
-		merged, err := c.Exec(ctx, wire.FetchRequest{Query: primary.Query}, alt.Referrals[1:])
-		if err != nil {
-			m.dropStoreClient(primary.Address)
 			lastErr = err
 			continue
 		}
@@ -464,6 +493,11 @@ func (m *MDM) recordProvenance(owner string, req *wire.ResolveRequest, verb toke
 // Provenance exposes the ledger (nil when disabled).
 func (m *MDM) Provenance() *provenance.Ledger { return m.cfg.Provenance }
 
+// Resilience exposes the MDM's breaker/retry observability surface: per
+// store breaker states and retry counters for the server-side query
+// patterns.
+func (m *MDM) Resilience() *resilience.Group { return m.res }
+
 // HandleChanged ingests a component-change notice from a store: it
 // invalidates cache entries and fans out subscription notifications.
 func (m *MDM) HandleChanged(n *wire.ChangedNotice) {
@@ -513,6 +547,7 @@ func (m *MDM) ShieldSnapshot() []wire.PutRuleRequest {
 
 // Snapshot returns a point-in-time stats view.
 func (m *MDM) Snapshot() wire.StatsResponse {
+	rs := m.res.Snapshot()
 	return wire.StatsResponse{
 		Resolves:      m.Stats.Resolves.Load(),
 		Denied:        m.Stats.Denied.Load(),
@@ -522,6 +557,9 @@ func (m *MDM) Snapshot() wire.StatsResponse {
 		Registrations: m.Registry.Len(),
 		Subscriptions: m.subs.len(),
 		BytesProxied:  m.Stats.BytesProxied.Load(),
+		Retries:       rs.Retries,
+		BreakerTrips:  rs.BreakerTrips,
+		ShortCircuits: rs.ShortCircuits,
 	}
 }
 

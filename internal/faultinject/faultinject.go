@@ -1,0 +1,227 @@
+// Package faultinject is the chaos harness for the GUPster testbed: a
+// composable fault-injection layer that wraps any wire/store endpoint as
+// a TCP proxy. Tests point referrals at the proxy address and then turn
+// knobs at runtime:
+//
+//   - latency injection (fixed + jittered, per transferred chunk),
+//   - slow-drip reads (bandwidth throttling),
+//   - random connection severing (error injection),
+//   - on-demand mid-stream drops,
+//   - store blackouts (refuse new connections, kill active ones).
+//
+// All randomness comes from one seeded RNG so chaos runs are
+// deterministic and reproducible as ordinary Go tests.
+package faultinject
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// chunk is the transfer granularity; faults (latency, throttling, sever
+// checks) apply per chunk, so smaller chunks make slow-drip smoother.
+const chunk = 8 << 10
+
+// Proxy is a fault-injecting TCP proxy in front of one endpoint.
+// Safe for concurrent use.
+type Proxy struct {
+	target string
+	ln     net.Listener
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	latency  time.Duration
+	jitter   time.Duration
+	byteRate int // bytes/sec; 0 = unlimited
+	sever    float64
+	blackout bool
+	closed   bool
+	conns    map[net.Conn]net.Conn // accepted → upstream
+
+	// Counters for test assertions.
+	Accepted atomic.Uint64
+	Refused  atomic.Uint64
+	Severed  atomic.Uint64
+}
+
+// NewProxy listens on a fresh loopback port and forwards to target.
+func NewProxy(target string, seed int64) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		target: target,
+		ln:     ln,
+		rng:    rand.New(rand.NewSource(seed)),
+		conns:  make(map[net.Conn]net.Conn),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the dialable fault-injected address of the endpoint.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetLatency injects d (± up to jitter) of delay per transferred chunk
+// in each direction. Zero disables.
+func (p *Proxy) SetLatency(d, jitter time.Duration) {
+	p.mu.Lock()
+	p.latency, p.jitter = d, jitter
+	p.mu.Unlock()
+}
+
+// SetBandwidth throttles transfers to bytesPerSec (slow-drip reads);
+// 0 removes the limit.
+func (p *Proxy) SetBandwidth(bytesPerSec int) {
+	p.mu.Lock()
+	p.byteRate = bytesPerSec
+	p.mu.Unlock()
+}
+
+// SetSeverProb makes each transferred chunk sever the connection with
+// probability prob (error injection); 0 disables.
+func (p *Proxy) SetSeverProb(prob float64) {
+	p.mu.Lock()
+	p.sever = prob
+	p.mu.Unlock()
+}
+
+// Blackout turns the endpoint dark: new connections are refused and
+// active ones killed. Blackout(false) restores service.
+func (p *Proxy) Blackout(on bool) {
+	p.mu.Lock()
+	p.blackout = on
+	p.mu.Unlock()
+	if on {
+		p.DropActive()
+	}
+}
+
+// DropActive severs every active connection mid-stream, leaving the
+// listener up — the "connection drop" fault as opposed to a blackout.
+func (p *Proxy) DropActive() {
+	p.mu.Lock()
+	for c, up := range p.conns {
+		c.Close()
+		up.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close shuts the proxy down and waits for its goroutines.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.DropActive()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		dark := p.blackout || p.closed
+		p.mu.Unlock()
+		if dark {
+			p.Refused.Add(1)
+			conn.Close()
+			continue
+		}
+		up, err := net.DialTimeout("tcp", p.target, 2*time.Second)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			up.Close()
+			return
+		}
+		p.conns[conn] = up
+		p.mu.Unlock()
+		p.Accepted.Add(1)
+		p.wg.Add(2)
+		go p.pump(up, conn)
+		go p.pump(conn, up)
+	}
+}
+
+// faults samples the current knobs for one chunk: the injected delay and
+// whether to sever.
+func (p *Proxy) faults(n int) (delay time.Duration, sever bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delay = p.latency
+	if p.jitter > 0 {
+		delay += time.Duration(p.rng.Int63n(int64(2*p.jitter))) - p.jitter
+	}
+	if p.byteRate > 0 {
+		delay += time.Duration(float64(n) / float64(p.byteRate) * float64(time.Second))
+	}
+	if p.sever > 0 && p.rng.Float64() < p.sever {
+		sever = true
+	}
+	return delay, sever
+}
+
+func (p *Proxy) pump(dst, src net.Conn) {
+	defer p.wg.Done()
+	defer p.forget(src, dst)
+	buf := make([]byte, chunk)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			delay, sever := p.faults(n)
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if sever {
+				p.Severed.Add(1)
+				return
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			// Half-close: propagate EOF, keep the reverse pump alive.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}
+
+// forget closes both halves of a pairing and drops the bookkeeping.
+func (p *Proxy) forget(a, b net.Conn) {
+	a.Close()
+	b.Close()
+	p.mu.Lock()
+	delete(p.conns, a)
+	delete(p.conns, b)
+	p.mu.Unlock()
+}

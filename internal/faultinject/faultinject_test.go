@@ -1,0 +1,185 @@
+package faultinject
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes lines back.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "%s\n", sc.Text())
+				}
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func roundTrip(conn net.Conn, msg string) (string, error) {
+	if _, err := fmt.Fprintf(conn, "%s\n", msg); err != nil {
+		return "", err
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	return line, err
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn := dialProxy(t, p)
+	got, err := roundTrip(conn, "hello")
+	if err != nil || got != "hello\n" {
+		t.Fatalf("round trip = %q, %v", got, err)
+	}
+	if p.Accepted.Load() != 1 {
+		t.Errorf("accepted = %d, want 1", p.Accepted.Load())
+	}
+}
+
+func TestProxyLatencyInjection(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetLatency(40*time.Millisecond, 0)
+	conn := dialProxy(t, p)
+	start := time.Now()
+	if _, err := roundTrip(conn, "ping"); err != nil {
+		t.Fatal(err)
+	}
+	// Two directions, ≥ 40ms each.
+	if el := time.Since(start); el < 80*time.Millisecond {
+		t.Errorf("round trip took %v, want ≥ 80ms of injected latency", el)
+	}
+}
+
+func TestProxyBlackoutAndRestore(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn := dialProxy(t, p)
+	if _, err := roundTrip(conn, "up"); err != nil {
+		t.Fatal(err)
+	}
+
+	p.Blackout(true)
+	// The active connection was killed…
+	if _, err := roundTrip(conn, "dead"); err == nil {
+		t.Error("round trip succeeded over a blacked-out connection")
+	}
+	// …and new ones are refused (accepted then immediately closed).
+	if c2, err := net.Dial("tcp", p.Addr()); err == nil {
+		if _, err := roundTrip(c2, "refused"); err == nil {
+			t.Error("round trip succeeded during blackout")
+		}
+		c2.Close()
+	}
+
+	p.Blackout(false)
+	c3 := dialProxy(t, p)
+	if got, err := roundTrip(c3, "back"); err != nil || got != "back\n" {
+		t.Fatalf("round trip after restore = %q, %v", got, err)
+	}
+}
+
+func TestProxyDropActiveMidStream(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	conn := dialProxy(t, p)
+	if _, err := roundTrip(conn, "one"); err != nil {
+		t.Fatal(err)
+	}
+	p.DropActive()
+	if _, err := roundTrip(conn, "two"); err == nil {
+		t.Error("connection survived DropActive")
+	}
+	// The listener stays up: reconnects succeed.
+	c2 := dialProxy(t, p)
+	if _, err := roundTrip(c2, "three"); err != nil {
+		t.Fatalf("reconnect after drop: %v", err)
+	}
+}
+
+func TestProxySlowDrip(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetBandwidth(1 << 10) // 1 KiB/s
+	conn := dialProxy(t, p)
+	msg := make([]byte, 256)
+	for i := range msg {
+		msg[i] = 'x'
+	}
+	start := time.Now()
+	if _, err := roundTrip(conn, string(msg)); err != nil {
+		t.Fatal(err)
+	}
+	// 257 bytes each way at 1 KiB/s ≈ 250ms per direction.
+	if el := time.Since(start); el < 300*time.Millisecond {
+		t.Errorf("throttled round trip took %v, want ≥ 300ms", el)
+	}
+}
+
+func TestProxySeverInjection(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewProxy(ln.Addr().String(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetSeverProb(1.0) // every chunk severs
+	conn := dialProxy(t, p)
+	if _, err := roundTrip(conn, "doomed"); err == nil {
+		t.Error("round trip survived a 100% sever rate")
+	}
+	if p.Severed.Load() == 0 {
+		t.Error("no sever recorded")
+	}
+}

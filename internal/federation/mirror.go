@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"gupster/internal/core"
+	"gupster/internal/resilience"
 	"gupster/internal/wire"
 )
 
@@ -177,13 +179,18 @@ var ErrAllMirrorsDown = errors.New("federation: all mirrors unreachable")
 
 // MirrorClient is the application's logical single entry point to a
 // constellation: calls go to the current mirror and fail over to the next
-// on connection errors. Safe for concurrent use.
+// on connection errors. Per-mirror circuit breakers remember which
+// members are dead so reconnects skip them while any peer is healthy,
+// and full failover passes are separated by capped, jittered backoff so
+// a blinking constellation is not hammered. Safe for concurrent use.
 type MirrorClient struct {
 	addrs []string
+	res   *resilience.Group
 
-	mu   sync.Mutex
-	cur  int
-	conn *wire.Client
+	mu       sync.Mutex
+	cur      int
+	conn     *wire.Client
+	connAddr string
 }
 
 // DialMirrors creates a failover client over the constellation's addresses.
@@ -191,31 +198,55 @@ func DialMirrors(addrs []string) (*MirrorClient, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("federation: no mirror addresses")
 	}
-	mc := &MirrorClient{addrs: append([]string(nil), addrs...)}
-	if _, err := mc.connection(); err != nil {
+	mc := &MirrorClient{
+		addrs: append([]string(nil), addrs...),
+		res: resilience.NewGroup(
+			resilience.Policy{MaxAttempts: 2, BaseDelay: 20 * time.Millisecond, MaxDelay: 200 * time.Millisecond},
+			resilience.BreakerConfig{},
+			nil,
+		),
+	}
+	if _, _, err := mc.connection(); err != nil {
 		return nil, err
 	}
 	return mc, nil
 }
 
+// Resilience exposes the failover client's breaker states and retry
+// counters.
+func (mc *MirrorClient) Resilience() *resilience.Group { return mc.res }
+
 // connection returns the live connection, dialing forward through the
-// address list as needed.
-func (mc *MirrorClient) connection() (*wire.Client, error) {
+// address list as needed. Mirrors whose breakers are open are skipped
+// while at least one member still accepts traffic.
+func (mc *MirrorClient) connection() (*wire.Client, string, error) {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
 	if mc.conn != nil {
-		return mc.conn, nil
+		return mc.conn, mc.connAddr, nil
+	}
+	anyAvailable := false
+	for _, a := range mc.addrs {
+		if mc.res.Available(a) {
+			anyAvailable = true
+			break
+		}
 	}
 	for range mc.addrs {
 		addr := mc.addrs[mc.cur%len(mc.addrs)]
+		if anyAvailable && !mc.res.Available(addr) {
+			mc.cur++
+			continue
+		}
 		c, err := wire.Dial(addr)
 		if err == nil {
-			mc.conn = c
-			return c, nil
+			mc.conn, mc.connAddr = c, addr
+			return c, addr, nil
 		}
+		mc.res.Failure(addr)
 		mc.cur++
 	}
-	return nil, ErrAllMirrorsDown
+	return nil, "", ErrAllMirrorsDown
 }
 
 // drop discards the current connection and advances to the next mirror.
@@ -225,31 +256,47 @@ func (mc *MirrorClient) drop() {
 	if mc.conn != nil {
 		mc.conn.Close()
 		mc.conn = nil
+		mc.connAddr = ""
 	}
 	mc.cur++
 }
 
 // Call invokes one MDM operation with failover: connection-level failures
-// advance to the next mirror and retry (once per mirror). Application-level
-// errors (denials, spurious queries) are returned as-is — they would fail
-// identically everywhere.
+// advance to the next mirror and retry (once per mirror and pass, with
+// backoff between passes). Application-level errors (denials, spurious
+// queries) are returned as-is — they would fail identically everywhere.
 func (mc *MirrorClient) Call(ctx context.Context, msgType string, req, resp any) error {
 	var lastErr error
-	for attempt := 0; attempt < len(mc.addrs); attempt++ {
-		c, err := mc.connection()
-		if err != nil {
-			return err
+	for pass := 0; pass < mc.res.Policy.MaxAttempts; pass++ {
+		if pass > 0 {
+			mc.res.Stats.Retries.Add(1)
+			if resilience.Sleep(ctx, mc.res.Backoff(pass-1)) != nil {
+				return lastErr
+			}
 		}
-		err = c.Call(ctx, msgType, req, resp)
-		if err == nil {
-			return nil
+		for range mc.addrs {
+			c, addr, err := mc.connection()
+			if err != nil {
+				lastErr = err
+				break // everyone down this pass; back off and re-try
+			}
+			mc.res.Stats.Attempts.Add(1)
+			err = c.Call(ctx, msgType, req, resp)
+			if err == nil {
+				mc.res.Success(addr)
+				return nil
+			}
+			var remote *wire.RemoteError
+			if errors.As(err, &remote) {
+				return err // the MDM answered; failing over cannot help
+			}
+			lastErr = err
+			mc.res.Failure(addr)
+			mc.drop()
 		}
-		var remote *wire.RemoteError
-		if errors.As(err, &remote) {
-			return err // the MDM answered; failing over cannot help
+		if err := ctx.Err(); err != nil {
+			break
 		}
-		lastErr = err
-		mc.drop()
 	}
 	if lastErr == nil {
 		lastErr = ErrAllMirrorsDown

@@ -79,10 +79,19 @@ func (c *Client) Call(ctx context.Context, msgType string, req any, resp any) er
 		m.Payload = Marshal(req)
 	}
 	c.writeMu.Lock()
+	// A hung or slow peer must not block the writer forever: once the
+	// peer stops draining, the kernel buffer fills and Write blocks while
+	// holding writeMu, wedging every caller. Bound the frame write by the
+	// request context's deadline (zero time clears the deadline).
+	deadline, _ := ctx.Deadline()
+	c.conn.SetWriteDeadline(deadline)
 	err := WriteFrame(c.conn, m)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.forget(id)
+		// A failed write may have left a partial frame on the stream; the
+		// connection's framing is unrecoverable.
+		c.conn.Close()
 		return err
 	}
 

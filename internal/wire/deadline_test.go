@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCallWriteDeadlineUnblocksHungPeer is the regression test for the
+// missing write-deadline handling: a peer that accepts but never reads
+// lets the kernel send buffer fill, after which WriteFrame blocked
+// forever while holding the client's write lock. Call must instead fail
+// once the request context's deadline passes.
+func TestCallWriteDeadlineUnblocksHungPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		<-done // hold the connection open, never read a byte
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	// 4 MiB per frame overwhelms any loopback socket buffer within a few
+	// writes, so a write is guaranteed to block on the hung peer.
+	payload := strings.Repeat("x", 4<<20)
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		if err := c.Call(ctx, "op", map[string]string{"data": payload}, nil); err != nil {
+			if el := time.Since(start); el > 5*time.Second {
+				t.Fatalf("Call unblocked only after %v", el)
+			}
+			return // failed fast: the deadline freed the writer
+		}
+	}
+	t.Fatal("8 calls of 4MiB each all succeeded against a peer that never reads")
+}
+
+// TestCallDeadlineOnSilentPeer covers the read side: a peer that reads
+// requests but never answers must not block the caller past its context
+// deadline.
+func TestCallDeadlineOnSilentPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for { // drain requests, reply to none
+			if _, err := ReadFrame(conn); err != nil {
+				return
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = c.Call(ctx, "op", Empty{}, nil)
+	if err == nil {
+		t.Fatal("Call succeeded against a peer that never replies")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("Call returned only after %v", el)
+	}
+}

@@ -338,4 +338,9 @@ type StatsResponse struct {
 	Registrations int    `json:"registrations"`
 	Subscriptions int    `json:"subscriptions"`
 	BytesProxied  uint64 `json:"bytes_proxied"`
+	// Resilience counters for the server-side query patterns: retry
+	// attempts, breaker trips, and short-circuited store calls.
+	Retries       uint64 `json:"retries,omitempty"`
+	BreakerTrips  uint64 `json:"breaker_trips,omitempty"`
+	ShortCircuits uint64 `json:"short_circuits,omitempty"`
 }

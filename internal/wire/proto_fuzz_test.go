@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// FuzzFrameRoundTrip checks that every message the client can emit
+// survives encode → decode unchanged.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add("resolve", uint64(1), "", `{"path":"/user[@id='u']/presence"}`)
+	f.Add("fetch", uint64(1<<40), "", `{"query":{"store":"s","path":"/user"}}`)
+	f.Add("notify", uint64(0), "", `{"sub_id":7,"xml":"<presence/>"}`)
+	f.Add("resolve", uint64(2), "gupster: access denied", "")
+	f.Add("", uint64(0), "", "")
+	f.Add("stats", uint64(3), "", `{"nested":{"deep":[1,2,3,null,true]}}`)
+	f.Add("x", uint64(9), "unicode ✗ éλ", `"bare string payload"`)
+
+	f.Fuzz(func(t *testing.T, msgType string, id uint64, errStr string, payload string) {
+		var raw json.RawMessage
+		if payload != "" {
+			if !json.Valid([]byte(payload)) {
+				t.Skip() // Marshal-side contract: payloads are valid JSON
+			}
+			raw = json.RawMessage(payload)
+		}
+		m := &Message{Type: msgType, ID: id, Error: errStr, Payload: raw}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Skip() // e.g. invalid UTF-8 strings json cannot encode losslessly
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame of a written frame: %v", err)
+		}
+		// JSON strings round-trip through sanitization; compare the
+		// re-encoded form instead of raw input bytes.
+		wantJSON, _ := json.Marshal(m)
+		gotJSON, _ := json.Marshal(got)
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Fatalf("round trip mismatch:\n in: %s\nout: %s", wantJSON, gotJSON)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%d trailing bytes after one frame", buf.Len())
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary bytes to the frame decoder: it must
+// never panic, must reject oversized length prefixes, and anything it
+// accepts must re-encode.
+func FuzzReadFrame(f *testing.F) {
+	valid := func(m *Message) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(valid(&Message{Type: "resolve", ID: 1, Payload: json.RawMessage(`{"path":"/user"}`)}))
+	f.Add(valid(&Message{Type: "notify", Payload: json.RawMessage(`{"sub_id":1}`)}))
+	f.Add([]byte{})                          // immediate EOF
+	f.Add([]byte{0, 0, 0, 1})                // truncated body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})    // length prefix 4 GiB
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})      // empty JSON object body
+	f.Add([]byte{0, 0, 0, 3, 'x', 'y', 'z'}) // garbage body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		m, err := ReadFrame(r)
+		if err != nil {
+			if len(data) >= 4 {
+				if n := binary.BigEndian.Uint32(data[:4]); n > MaxFrame && err != ErrFrameTooLarge {
+					t.Fatalf("oversize frame (%d) rejected with %v, want ErrFrameTooLarge", n, err)
+				}
+			}
+			return
+		}
+		// Accepted frames must be re-encodable…
+		var buf bytes.Buffer
+		if werr := WriteFrame(&buf, m); werr != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", werr)
+		}
+		// …and decode back to the same message.
+		m2, rerr := ReadFrame(&buf)
+		if rerr != nil {
+			t.Fatalf("re-decode: %v", rerr)
+		}
+		j1, _ := json.Marshal(m)
+		j2, _ := json.Marshal(m2)
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("re-decode mismatch:\n in: %s\nout: %s", j1, j2)
+		}
+	})
+}
+
+// FuzzReadFrameTruncated checks that every prefix of a valid frame fails
+// cleanly (EOF-style errors) rather than yielding a bogus message.
+func FuzzReadFrameTruncated(f *testing.F) {
+	f.Add("resolve", `{"path":"/user[@id='u']/location"}`, 5)
+	f.Add("update", `{"xml":"<devices/>"}`, 1)
+	f.Add("changed", `{"store":"s"}`, 0)
+	f.Fuzz(func(t *testing.T, msgType, payload string, cut int) {
+		if !json.Valid([]byte(payload)) {
+			t.Skip()
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, &Message{Type: msgType, ID: 1, Payload: json.RawMessage(payload)}); err != nil {
+			t.Skip()
+		}
+		frame := buf.Bytes()
+		if cut < 0 {
+			cut = -cut
+		}
+		cut %= len(frame) // strictly shorter than the full frame
+		_, err := ReadFrame(bytes.NewReader(frame[:cut]))
+		if err == nil {
+			t.Fatalf("truncated frame (%d of %d bytes) decoded successfully", cut, len(frame))
+		}
+		if err == io.EOF && cut != 0 && cut < 4 {
+			// io.ReadFull converts mid-read EOF to ErrUnexpectedEOF; a bare
+			// EOF is only correct at a frame boundary (cut == 0).
+			t.Fatalf("mid-header truncation returned bare EOF")
+		}
+	})
+}

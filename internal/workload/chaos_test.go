@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"gupster/internal/resilience"
+)
+
+// TestChaosTestbedFaultInjection runs chaos against the full converged
+// testbed: with FaultInjection on, every store sits behind a fault proxy
+// and referrals carry the proxy addresses, so blackouts and latency
+// spikes hit the real query paths.
+func TestChaosTestbedFaultInjection(t *testing.T) {
+	tb, err := NewTestbed(TestbedOptions{Users: 3, FaultInjection: true, FaultSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+
+	if len(tb.Faults) != 5 {
+		t.Fatalf("fault proxies = %d, want one per store", len(tb.Faults))
+	}
+	user := tb.Users[0]
+	cli, err := tb.Client(user, "self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Resilience = resilience.NewGroup(
+		resilience.Policy{MaxAttempts: 3, PerAttempt: 250 * time.Millisecond,
+			BaseDelay: 5 * time.Millisecond, MaxDelay: 25 * time.Millisecond, Seed: 1},
+		resilience.BreakerConfig{Threshold: 3, Cooldown: 150 * time.Millisecond},
+		nil,
+	)
+	presPath := fmt.Sprintf("/user[@id='%s']/presence", user)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// Healthy baseline through the proxies.
+	if _, err := cli.Get(ctx, presPath); err != nil {
+		t.Fatalf("resolve through healthy proxies: %v", err)
+	}
+
+	// Latency spike on the portal (sole presence holder) under the
+	// per-attempt timeout: slower but still a success.
+	tb.Faults[StorePortal].SetLatency(50*time.Millisecond, 10*time.Millisecond)
+	start := time.Now()
+	if _, err := cli.Get(ctx, presPath); err != nil {
+		t.Fatalf("resolve under latency spike: %v", err)
+	}
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Errorf("latency injection had no effect: resolve in %v", el)
+	}
+	tb.Faults[StorePortal].SetLatency(0, 0)
+
+	// Blackout the portal: presence has no replica in this testbed, so
+	// resolves must fail fast (bounded by retries × per-attempt), not hang.
+	tb.Faults[StorePortal].Blackout(true)
+	start = time.Now()
+	if _, err := cli.Get(ctx, presPath); err == nil {
+		t.Fatal("resolve succeeded against a blacked-out sole replica")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("failed resolve took %v, want fast bounded failure", el)
+	}
+	if cli.Resilience.Stats.Retries.Load() == 0 {
+		t.Error("no retries recorded against the blacked-out store")
+	}
+
+	// Other stores stay unaffected: the HLR still answers location.
+	if _, err := cli.Get(ctx, fmt.Sprintf("/user[@id='%s']/location", user)); err != nil {
+		t.Fatalf("location resolve during portal blackout: %v", err)
+	}
+
+	// Restore; once the breaker's cooldown lapses, presence resolves again.
+	tb.Faults[StorePortal].Blackout(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err = cli.Get(ctx, presPath)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resolve never recovered after blackout lifted: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"gupster/internal/adapter"
 	"gupster/internal/calendarsvc"
 	"gupster/internal/core"
+	"gupster/internal/faultinject"
 	"gupster/internal/coverage"
 	"gupster/internal/hlr"
 	"gupster/internal/policy"
@@ -50,6 +51,13 @@ type TestbedOptions struct {
 	ExtraRulesPerUser int
 	// GrantTTL overrides the MDM's referral TTL.
 	GrantTTL time.Duration
+	// FaultInjection fronts every store with a faultinject.Proxy and
+	// points coverage registrations at the proxy addresses, so chaos
+	// scenarios (blackouts, latency spikes, connection drops) run as
+	// ordinary Go tests against the full converged network.
+	FaultInjection bool
+	// FaultSeed seeds the proxies' deterministic RNGs.
+	FaultSeed int64
 }
 
 // Testbed is a complete in-process converged network: all four networks'
@@ -69,6 +77,9 @@ type Testbed struct {
 	Contacts  *adapter.Table     // enterprise relational contacts
 
 	Stores map[string]*store.Server
+	// Faults holds the per-store fault proxies when the testbed was built
+	// with FaultInjection; referrals carry the proxy addresses.
+	Faults map[string]*faultinject.Proxy
 	Users  []string
 
 	clients []*core.Client
@@ -114,9 +125,10 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 		Directory: adapter.NewDirectory(),
 		Contacts:  adapter.NewTable("contacts", "owner", "name", "kind", "phone", "email"),
 		Stores:    make(map[string]*store.Server),
+		Faults:    make(map[string]*faultinject.Proxy),
 	}
 
-	for _, id := range []string{StoreHLR, StorePSTN, StoreSIP, StorePortal, StoreEnterprise} {
+	for i, id := range []string{StoreHLR, StorePSTN, StoreSIP, StorePortal, StoreEnterprise} {
 		eng := store.NewEngine(id)
 		eng.Schema = schema.GUP()
 		srv := store.NewServer(eng, signer)
@@ -131,6 +143,14 @@ func NewTestbed(opts TestbedOptions) (*Testbed, error) {
 			})
 		})
 		tb.Stores[id] = srv
+		if opts.FaultInjection {
+			px, err := faultinject.NewProxy(srv.Addr(), opts.FaultSeed+int64(i))
+			if err != nil {
+				tb.Close()
+				return nil, err
+			}
+			tb.Faults[id] = px
+		}
 	}
 
 	if err := tb.registerCoverage(); err != nil {
@@ -175,12 +195,21 @@ func (tb *Testbed) registerCoverage() error {
 	}
 	for id, paths := range regs {
 		for _, p := range paths {
-			if err := tb.MDM.Register(coverage.StoreID(id), tb.Stores[id].Addr(), xpath.MustParse(p)); err != nil {
+			if err := tb.MDM.Register(coverage.StoreID(id), tb.StoreAddr(id), xpath.MustParse(p)); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// StoreAddr is the address clients are referred to for a store — the
+// fault proxy's when fault injection is on, the store's own otherwise.
+func (tb *Testbed) StoreAddr(id string) string {
+	if px, ok := tb.Faults[id]; ok {
+		return px.Addr()
+	}
+	return tb.Stores[id].Addr()
 }
 
 // wireSubstrates connects the live simulators to their GUP stores so
@@ -397,6 +426,9 @@ func (tb *Testbed) Close() {
 	}
 	if tb.MDMServer != nil {
 		tb.MDMServer.Close()
+	}
+	for _, px := range tb.Faults {
+		px.Close()
 	}
 	for _, s := range tb.Stores {
 		s.Close()
