@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	gupbench [-iters N] [e1 e2 … e14 | fig5 | all]
+//	gupbench [-iters N] [e1 e2 … e16 | fig5 | all]
+//	gupbench resolve [-clients N] [-rounds N] [-json out.json] [-check baseline.json] [-p95-slack 0.25] [-min-speedup 2]
+//
+// The resolve subcommand runs the E16 resolve-pipeline benchmark on its
+// own flag set: -json writes the machine-readable report consumed by the
+// CI bench-regression job, and -check compares the fresh run against a
+// committed baseline, exiting non-zero on a p95 regression beyond the
+// slack or a within-run referral speedup below the floor.
 package main
 
 import (
@@ -20,6 +27,11 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "resolve" {
+		runResolve(os.Args[2:])
+		return
+	}
+
 	iters := flag.Int("iters", 0, "override per-cell iteration count (0 = experiment default)")
 	flag.Parse()
 
@@ -33,7 +45,7 @@ func main() {
 		{"e4", bench.RunE4}, {"e5", bench.RunE5}, {"e6", bench.RunE6},
 		{"e7", bench.RunE7}, {"e8", bench.RunE8}, {"e9", bench.RunE9},
 		{"e10", bench.RunE10}, {"e11", bench.RunE11}, {"e12", bench.RunE12},
-		{"e13", bench.RunE13}, {"e14", bench.RunE14},
+		{"e13", bench.RunE13}, {"e14", bench.RunE14}, {"e16", bench.RunE16},
 		{"fig5", func(bench.Options) (*metrics.Table, error) { return bench.RunFig5() }},
 	}
 
@@ -51,7 +63,7 @@ func main() {
 	for _, id := range want {
 		e, ok := byID[strings.ToLower(id)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "gupbench: unknown experiment %q (have e1..e14, fig5, all)\n", id)
+			fmt.Fprintf(os.Stderr, "gupbench: unknown experiment %q (have e1..e16, fig5, resolve, all)\n", id)
 			os.Exit(2)
 		}
 		t, err := e.run(opts)
@@ -59,5 +71,45 @@ func main() {
 			log.Fatalf("gupbench: %s: %v", e.id, err)
 		}
 		fmt.Println(t.String())
+	}
+}
+
+// runResolve is the E16 resolve-pipeline benchmark with its own flag set:
+// it emits the machine-readable report CI diffs against the committed
+// baseline.
+func runResolve(args []string) {
+	fs := flag.NewFlagSet("resolve", flag.ExitOnError)
+	clients := fs.Int("clients", 0, "concurrent clients (0 = default 64)")
+	rounds := fs.Int("rounds", 0, "referral rounds per client (0 = default)")
+	chainRounds := fs.Int("chain-rounds", 0, "chaining rounds per client (0 = default)")
+	batch := fs.Int("batch", 0, "batch width / store count (0 = default 8)")
+	jsonOut := fs.String("json", "", "write the machine-readable report here")
+	check := fs.String("check", "", "compare against this committed baseline report")
+	slack := fs.Float64("p95-slack", 0.25, "allowed p95 regression against the baseline (0.25 = +25%)")
+	minSpeedup := fs.Float64("min-speedup", 2, "required within-run referral speedup when -check is set (0 disables)")
+	_ = fs.Parse(args)
+
+	rep, err := bench.RunResolveReport(bench.ResolveOptions{
+		Clients: *clients, Rounds: *rounds, ChainRounds: *chainRounds, Batch: *batch,
+	})
+	if err != nil {
+		log.Fatalf("gupbench: resolve: %v", err)
+	}
+	fmt.Println(rep.Table().String())
+	if *jsonOut != "" {
+		if err := bench.WriteResolveReport(rep, *jsonOut); err != nil {
+			log.Fatalf("gupbench: resolve: write %s: %v", *jsonOut, err)
+		}
+	}
+	if *check != "" {
+		baseline, err := bench.ReadResolveReport(*check)
+		if err != nil {
+			log.Fatalf("gupbench: resolve: baseline %s: %v", *check, err)
+		}
+		if err := bench.CheckResolveRegression(baseline, rep, *slack, *minSpeedup); err != nil {
+			log.Fatalf("gupbench: resolve: %v", err)
+		}
+		fmt.Printf("bench-regression gate: ok (p95 within %.0f%% of %s, referral speedup %.2fx)\n",
+			*slack*100, *check, rep.SpeedupReferral)
 	}
 }

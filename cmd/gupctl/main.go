@@ -168,6 +168,16 @@ func main() {
 		fmt.Printf("retries:       %d\n", st.Retries)
 		fmt.Printf("breaker trips: %d\n", st.BreakerTrips)
 		fmt.Printf("short circuits: %d\n", st.ShortCircuits)
+		fmt.Printf("flights:       %d\n", st.Flights)
+		fmt.Printf("coalesce hits: %d", st.CoalesceHits)
+		if st.Flights+st.CoalesceHits > 0 {
+			fmt.Printf(" (%.0f%% hit rate)", 100*float64(st.CoalesceHits)/float64(st.Flights+st.CoalesceHits))
+		}
+		fmt.Println()
+		fmt.Printf("fan-outs:      %d\n", st.FanOuts)
+		fmt.Printf("fan-out calls: %d\n", st.FanOutCalls)
+		fmt.Printf("batch resolves: %d\n", st.BatchResolves)
+		fmt.Printf("batched queries: %d\n", st.BatchedQueries)
 	default:
 		log.Fatalf("gupctl: unknown command %q", cmd)
 	}

@@ -1,0 +1,457 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/coverage"
+	"gupster/internal/faultinject"
+	"gupster/internal/metrics"
+	"gupster/internal/resilience"
+	"gupster/internal/schema"
+	"gupster/internal/store"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/workload"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// E16 — the resolve-pipeline benchmark behind BENCH_resolve.json: a
+// 64-concurrent-client testbed comparing the pre-PR resolve path (one
+// round trip per resolve, serial MDM piece fetches, no coalescing) against
+// the pipelined path (batch resolves, bounded parallel fan-out, in-flight
+// coalescing). The report is machine-readable so CI can diff it against
+// the committed baseline and fail on p95 regressions.
+
+// ResolveOptions sizes the E16 testbed.
+type ResolveOptions struct {
+	// Clients is the number of concurrent clients; default 64.
+	Clients int
+	// Rounds is the referral-phase rounds per client (each round resolves
+	// Batch paths); default 15.
+	Rounds int
+	// ChainRounds is the chaining-phase rounds per client; default 20.
+	ChainRounds int
+	// Batch is the number of per-type address-book splits — the batch
+	// width and store count; default 8.
+	Batch int
+	// SizeBytes is the address-book payload size; default 4 KiB.
+	SizeBytes int
+	// Latency is the injected one-way link latency between every pair of
+	// components (client↔MDM, client↔store, MDM↔store), emulating the
+	// converged-network deployment the paper targets instead of bare
+	// loopback; default 2ms. Negative disables injection.
+	Latency time.Duration
+}
+
+func (o ResolveOptions) withDefaults() ResolveOptions {
+	if o.Clients <= 0 {
+		o.Clients = 64
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 8
+	}
+	if o.ChainRounds <= 0 {
+		o.ChainRounds = 5
+	}
+	if o.Batch <= 0 {
+		o.Batch = 8
+	}
+	if o.SizeBytes <= 0 {
+		o.SizeBytes = 4 << 10
+	}
+	if o.Latency == 0 {
+		o.Latency = 10 * time.Millisecond
+	}
+	if o.Latency < 0 {
+		o.Latency = 0
+	}
+	return o
+}
+
+// ResolveMode is one measured configuration of the resolve pipeline.
+type ResolveMode struct {
+	Name            string  `json:"name"`
+	Resolves        int     `json:"resolves"`
+	P50Micros       int64   `json:"p50_us"`
+	P95Micros       int64   `json:"p95_us"`
+	P99Micros       int64   `json:"p99_us"`
+	ResolvesPerSec  float64 `json:"resolves_per_sec"`
+	CoalesceHitRate float64 `json:"coalesce_hit_rate"`
+	FanOutCalls     uint64  `json:"fan_out_calls"`
+}
+
+// ResolveReport is the machine-readable output of the E16 benchmark.
+type ResolveReport struct {
+	Clients   int           `json:"clients"`
+	BatchSize int           `json:"batch_size"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Modes     []ResolveMode `json:"modes"`
+	// SpeedupReferral is batched resolves/sec over serial resolves/sec —
+	// the acceptance headline.
+	SpeedupReferral float64 `json:"speedup_referral"`
+	// SpeedupChaining is coalesced chaining resolves/sec over the
+	// uncoalesced serial-fan-out baseline.
+	SpeedupChaining float64 `json:"speedup_chaining"`
+}
+
+// Mode returns the named mode, or nil.
+func (r *ResolveReport) Mode(name string) *ResolveMode {
+	for i := range r.Modes {
+		if r.Modes[i].Name == name {
+			return &r.Modes[i]
+		}
+	}
+	return nil
+}
+
+// resolveRig is the E16 testbed: one MDM fronting Batch stores, each
+// holding one per-type split of a user's address book. baseline=true
+// configures the MDM the way the code behaved before the pipeline work:
+// no coalescing and serial piece fetches.
+type resolveRig struct {
+	mdm     *core.MDM
+	mdmSrv  *core.Server
+	mdmAddr string // through the latency proxy when injection is on
+	stores  []*store.Server
+	proxies []*faultinject.Proxy
+	paths   []string
+}
+
+// viaLatency wraps addr in a latency-injecting proxy when latency > 0,
+// emulating one network link of the converged deployment.
+func (r *resolveRig) viaLatency(addr string, latency time.Duration, seed int64) (string, error) {
+	if latency <= 0 {
+		return addr, nil
+	}
+	p, err := faultinject.NewProxy(addr, seed)
+	if err != nil {
+		return "", err
+	}
+	p.SetLatency(latency, 0)
+	r.proxies = append(r.proxies, p)
+	return p.Addr(), nil
+}
+
+func newResolveRig(o ResolveOptions, baseline bool) (*resolveRig, error) {
+	signer := token.NewSigner(benchKey)
+	cfg := core.Config{
+		Schema: schema.GUP(), Signer: signer, GrantTTL: time.Minute,
+		// Uncoalesced chaining at 64-way concurrency queues fetches behind
+		// the injected link latency; a wide per-attempt budget keeps the
+		// baseline measuring queuing, not tripping retries.
+		Retry: resilience.Policy{MaxAttempts: 2, PerAttempt: 30 * time.Second},
+	}
+	if baseline {
+		cfg.DisableCoalescing = true
+		cfg.FanOut = 1
+	}
+	mdm := core.New(cfg)
+	srv := core.NewServer(mdm)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	r := &resolveRig{mdm: mdm, mdmSrv: srv}
+	mdmAddr, err := r.viaLatency(srv.Addr(), o.Latency, 0)
+	if err != nil {
+		r.close()
+		return nil, err
+	}
+	r.mdmAddr = mdmAddr
+
+	book := workload.AddressBookOfSize(o.SizeBytes, workload.Rand(1))
+	pieces := make([]*xmltree.Node, o.Batch)
+	for i := range pieces {
+		pieces[i] = xmltree.New("address-book")
+	}
+	for i, item := range book.ChildrenNamed("item") {
+		it := item.Clone()
+		it.SetAttr("type", fmt.Sprintf("t%d", i%o.Batch))
+		pieces[i%o.Batch].Add(it)
+	}
+	for i := 0; i < o.Batch; i++ {
+		eng := store.NewEngine(fmt.Sprintf("store-%d", i))
+		ssrv := store.NewServer(eng, signer)
+		if err := ssrv.Start("127.0.0.1:0"); err != nil {
+			r.close()
+			return nil, err
+		}
+		r.stores = append(r.stores, ssrv)
+		if _, err := eng.Put("u", xpath.MustParse("/user[@id='u']/address-book"), pieces[i]); err != nil {
+			r.close()
+			return nil, err
+		}
+		storeAddr, err := r.viaLatency(ssrv.Addr(), o.Latency, int64(i+1))
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		reg := fmt.Sprintf("/user[@id='u']/address-book/item[@type='t%d']", i)
+		if err := mdm.Register(coverage.StoreID(eng.ID()), storeAddr, xpath.MustParse(reg)); err != nil {
+			r.close()
+			return nil, err
+		}
+		r.paths = append(r.paths, reg)
+	}
+	return r, nil
+}
+
+func (r *resolveRig) close() {
+	if r.mdm != nil {
+		r.mdm.Close()
+	}
+	if r.mdmSrv != nil {
+		r.mdmSrv.Close()
+	}
+	for _, s := range r.stores {
+		s.Close()
+	}
+	for _, p := range r.proxies {
+		p.Close()
+	}
+}
+
+// runClients runs fn concurrently on o.Clients fresh connections and
+// returns the wall-clock of the whole phase.
+func (r *resolveRig) runClients(o ResolveOptions, baseline bool, fn func(cli *core.Client) error) (time.Duration, error) {
+	var wg sync.WaitGroup
+	errCh := make(chan error, o.Clients)
+	start := time.Now()
+	for c := 0; c < o.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli, err := core.DialMDM(r.mdmAddr, "u", "self")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cli.Close()
+			if baseline {
+				cli.DisableCoalescing = true
+			}
+			if err := fn(cli); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+func modeRow(name string, h *metrics.Histogram, resolves int, elapsed time.Duration, hitRate float64, fanOutCalls uint64) ResolveMode {
+	return ResolveMode{
+		Name:            name,
+		Resolves:        resolves,
+		P50Micros:       h.Percentile(50).Microseconds(),
+		P95Micros:       h.Percentile(95).Microseconds(),
+		P99Micros:       h.Percentile(99).Microseconds(),
+		ResolvesPerSec:  float64(resolves) / elapsed.Seconds(),
+		CoalesceHitRate: hitRate,
+		FanOutCalls:     fanOutCalls,
+	}
+}
+
+// RunResolveReport executes the E16 benchmark and returns the report.
+func RunResolveReport(o ResolveOptions) (*ResolveReport, error) {
+	o = o.withDefaults()
+	report := &ResolveReport{Clients: o.Clients, BatchSize: o.Batch, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	ctx := context.Background()
+	hot := "/user[@id='u']/address-book"
+
+	for _, baseline := range []bool{true, false} {
+		rig, err := newResolveRig(o, baseline)
+		if err != nil {
+			return nil, err
+		}
+
+		// Referral phase: each round resolves every split path. The
+		// baseline makes one resolve + fetch round trip per path (the
+		// pre-PR client loop); the pipeline sends one batch-resolve frame
+		// and follows the referrals on the bounded pool.
+		h := metrics.NewHistogram()
+		elapsed, err := rig.runClients(o, baseline, func(cli *core.Client) error {
+			for i := 0; i < o.Rounds; i++ {
+				if baseline {
+					for _, p := range rig.paths {
+						t0 := time.Now()
+						if _, err := cli.Get(ctx, p); err != nil {
+							return err
+						}
+						h.Record(time.Since(t0))
+					}
+					continue
+				}
+				t0 := time.Now()
+				results, err := cli.GetBatch(ctx, rig.paths)
+				if err != nil {
+					return err
+				}
+				per := time.Since(t0) / time.Duration(len(rig.paths))
+				for _, res := range results {
+					if res.Err != nil {
+						return res.Err
+					}
+					h.Record(per)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			rig.close()
+			return nil, err
+		}
+		resolves := o.Clients * o.Rounds * o.Batch
+		name := "referral-serial"
+		if !baseline {
+			name = "referral-batched"
+		}
+		ps := rig.mdm.Pipeline().Snapshot()
+		report.Modes = append(report.Modes, modeRow(name, h, resolves, elapsed, 0, ps.FanOutCalls))
+
+		// Chaining phase: every client hammers the same hot path through
+		// the MDM. The pipeline coalesces the concurrent flights into one
+		// upstream fan-out; the baseline performs every fetch.
+		h = metrics.NewHistogram()
+		before := rig.mdm.Pipeline().Snapshot()
+		elapsed, err = rig.runClients(o, baseline, func(cli *core.Client) error {
+			for i := 0; i < o.ChainRounds; i++ {
+				t0 := time.Now()
+				if _, err := cli.GetVia(ctx, hot, wire.PatternChaining); err != nil {
+					return err
+				}
+				h.Record(time.Since(t0))
+			}
+			return nil
+		})
+		if err != nil {
+			rig.close()
+			return nil, err
+		}
+		after := rig.mdm.Pipeline().Snapshot()
+		resolves = o.Clients * o.ChainRounds
+		flights := after.Flights - before.Flights
+		hits := after.CoalesceHits - before.CoalesceHits
+		hitRate := 0.0
+		if flights+hits > 0 {
+			hitRate = float64(hits) / float64(flights+hits)
+		}
+		name = "chaining-serial"
+		if !baseline {
+			name = "chaining-coalesced"
+		}
+		report.Modes = append(report.Modes, modeRow(name, h, resolves, elapsed, hitRate, after.FanOutCalls-before.FanOutCalls))
+		rig.close()
+	}
+
+	if s, b := report.Mode("referral-serial"), report.Mode("referral-batched"); s != nil && b != nil && s.ResolvesPerSec > 0 {
+		report.SpeedupReferral = b.ResolvesPerSec / s.ResolvesPerSec
+	}
+	if s, c := report.Mode("chaining-serial"), report.Mode("chaining-coalesced"); s != nil && c != nil && s.ResolvesPerSec > 0 {
+		report.SpeedupChaining = c.ResolvesPerSec / s.ResolvesPerSec
+	}
+	return report, nil
+}
+
+// Table renders the report in the EXPERIMENTS.md house style.
+func (r *ResolveReport) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E16 — resolve pipeline: %d clients, batch %d (speedup: referral %.2fx, chaining %.2fx)",
+			r.Clients, r.BatchSize, r.SpeedupReferral, r.SpeedupChaining),
+		"mode", "resolves", "p50", "p95", "p99", "resolves/s", "coalesce hit", "fan-out calls")
+	for _, m := range r.Modes {
+		t.AddRow(m.Name, m.Resolves,
+			time.Duration(m.P50Micros)*time.Microsecond,
+			time.Duration(m.P95Micros)*time.Microsecond,
+			time.Duration(m.P99Micros)*time.Microsecond,
+			fmt.Sprintf("%.0f", m.ResolvesPerSec),
+			fmt.Sprintf("%.0f%%", m.CoalesceHitRate*100),
+			m.FanOutCalls)
+	}
+	return t
+}
+
+// RunE16 adapts the resolve benchmark to the experiment-driver signature:
+// Iters overrides the per-client round counts.
+func RunE16(o Options) (*metrics.Table, error) {
+	ro := ResolveOptions{}
+	if o.Iters > 0 {
+		ro.Rounds, ro.ChainRounds = o.Iters, o.Iters
+		ro.Clients = 8 // keep smoke runs small
+	}
+	rep, err := RunResolveReport(ro)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Table(), nil
+}
+
+// WriteResolveReport writes the report as indented JSON.
+func WriteResolveReport(r *ResolveReport, path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadResolveReport loads a committed report.
+func ReadResolveReport(path string) (*ResolveReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ResolveReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// CheckResolveRegression compares a fresh report against the committed
+// baseline: every mode present in both must keep its p95 within slack
+// (0.25 = +25%) of the baseline, and the within-run referral speedup —
+// which is machine-independent, both sides having run on the same host —
+// must not fall below minSpeedup. Returns nil when the run is acceptable.
+func CheckResolveRegression(baseline, current *ResolveReport, slack, minSpeedup float64) error {
+	var problems []string
+	for _, bm := range baseline.Modes {
+		cm := current.Mode(bm.Name)
+		if cm == nil {
+			problems = append(problems, fmt.Sprintf("mode %q missing from current run", bm.Name))
+			continue
+		}
+		if bm.P95Micros > 0 {
+			limit := float64(bm.P95Micros) * (1 + slack)
+			if float64(cm.P95Micros) > limit {
+				problems = append(problems, fmt.Sprintf(
+					"%s: p95 %dµs exceeds baseline %dµs by more than %.0f%%",
+					bm.Name, cm.P95Micros, bm.P95Micros, slack*100))
+			}
+		}
+	}
+	if minSpeedup > 0 && current.SpeedupReferral < minSpeedup {
+		problems = append(problems, fmt.Sprintf(
+			"referral speedup %.2fx below required %.2fx", current.SpeedupReferral, minSpeedup))
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	msg := "bench regression:"
+	for _, p := range problems {
+		msg += "\n  - " + p
+	}
+	return fmt.Errorf("%s", msg)
+}

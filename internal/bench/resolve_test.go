@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Smoke: the E16 driver must run end-to-end at a tiny size, produce all
+// four modes, coalesce on the chaining phase, and round-trip through the
+// JSON report used by the CI regression gate.
+func TestRunResolveReport(t *testing.T) {
+	rep, err := RunResolveReport(ResolveOptions{Clients: 8, Rounds: 2, ChainRounds: 4, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"referral-serial", "referral-batched", "chaining-serial", "chaining-coalesced"} {
+		m := rep.Mode(name)
+		if m == nil {
+			t.Fatalf("mode %q missing", name)
+		}
+		if m.Resolves == 0 || m.ResolvesPerSec <= 0 {
+			t.Errorf("%s: no throughput recorded: %+v", name, m)
+		}
+	}
+	if rep.Mode("chaining-serial").CoalesceHitRate != 0 {
+		t.Errorf("baseline rig coalesced: hit rate %f", rep.Mode("chaining-serial").CoalesceHitRate)
+	}
+	if rep.Mode("chaining-coalesced").CoalesceHitRate <= 0 {
+		t.Error("pipeline rig never coalesced on the hot chaining path")
+	}
+	if rep.SpeedupReferral <= 0 || rep.SpeedupChaining <= 0 {
+		t.Errorf("speedups not computed: %+v", rep)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_resolve.json")
+	if err := WriteResolveReport(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResolveReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Modes) != len(rep.Modes) || back.Clients != rep.Clients {
+		t.Fatalf("report did not round-trip: %+v", back)
+	}
+
+	// The regression gate: the report passes against itself, fails against
+	// an impossible baseline.
+	if err := CheckResolveRegression(back, rep, 0.25, 0); err != nil {
+		t.Errorf("self-comparison flagged a regression: %v", err)
+	}
+	tight := *back
+	tight.Modes = append([]ResolveMode(nil), back.Modes...)
+	for i := range tight.Modes {
+		tight.Modes[i].P95Micros = 1 // everything regresses against a 1µs baseline
+	}
+	if err := CheckResolveRegression(&tight, rep, 0.25, 0); err == nil {
+		t.Error("regression against an impossible baseline not detected")
+	}
+	if err := CheckResolveRegression(back, rep, 0.25, 1e9); err == nil {
+		t.Error("unreachable speedup floor not enforced")
+	}
+}
+
+func TestRunE16Table(t *testing.T) {
+	runAndCheck(t, "E16", RunE16, "mode", "resolves/s", "coalesce hit")
+}

@@ -17,6 +17,11 @@ type componentCache struct {
 	lru     *list.List               // front = most recent; values are *cacheEntry
 	entries map[string]*list.Element // key → element
 	byOwner map[string]map[string]bool
+	// gens counts invalidations per owner. A fill that started before an
+	// invalidation must not land after it (the flight would reinstate data
+	// the store just declared stale), so fillers snapshot gen() before
+	// fetching and insert through putIfFresh.
+	gens map[string]uint64
 }
 
 type cacheEntry struct {
@@ -31,7 +36,28 @@ func newComponentCache(capacity int) *componentCache {
 		lru:     list.New(),
 		entries: make(map[string]*list.Element),
 		byOwner: make(map[string]map[string]bool),
+		gens:    make(map[string]uint64),
 	}
+}
+
+// gen returns the owner's invalidation generation; snapshot it before a
+// fetch whose result will be offered to putIfFresh.
+func (c *componentCache) gen(owner string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gens[owner]
+}
+
+// putIfFresh inserts only when no invalidation for owner happened since
+// gen was snapshotted; it reports whether the entry was stored.
+func (c *componentCache) putIfFresh(key, owner, xml string, gen uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gens[owner] != gen {
+		return false
+	}
+	c.insert(key, owner, xml)
+	return true
 }
 
 func (c *componentCache) get(key string) (string, bool) {
@@ -48,6 +74,11 @@ func (c *componentCache) get(key string) (string, bool) {
 func (c *componentCache) put(key, owner, xml string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.insert(key, owner, xml)
+}
+
+// insert adds or refreshes an entry; caller holds the lock.
+func (c *componentCache) insert(key, owner, xml string) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).xml = xml
 		c.lru.MoveToFront(el)
@@ -82,10 +113,12 @@ func (c *componentCache) evict(el *list.Element) {
 	}
 }
 
-// invalidateOwner drops every entry for an owner (a component changed).
+// invalidateOwner drops every entry for an owner (a component changed)
+// and advances the owner's generation so in-flight fills cannot land.
 func (c *componentCache) invalidateOwner(owner string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.gens[owner]++
 	for key := range c.byOwner[owner] {
 		if el, ok := c.entries[key]; ok {
 			c.evict(el)

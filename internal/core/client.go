@@ -7,6 +7,8 @@ import (
 	"sync"
 	"time"
 
+	"gupster/internal/flight"
+	"gupster/internal/metrics"
 	"gupster/internal/policy"
 	"gupster/internal/resilience"
 	"gupster/internal/store"
@@ -53,6 +55,19 @@ type Client struct {
 	// breaker. DialMDM installs defaults; replace it before the first
 	// request to tune budgets.
 	Resilience *resilience.Group
+
+	// FanOut bounds the worker pool fetching the referrals of one
+	// alternative; 0 means flight.DefaultWorkers.
+	FanOut int
+	// DisableCoalescing turns off client-side coalescing of identical
+	// concurrent Gets (the benchmark ablation).
+	DisableCoalescing bool
+
+	// flights coalesces identical concurrent referral-pattern Gets: many
+	// goroutines asking for the same path at the same moment cost one
+	// resolve + fetch. pipe counts flights/hits/fan-outs client-side.
+	flights *flight.Group
+	pipe    *metrics.PipelineStats
 }
 
 // DialMDM connects a client identity to the MDM.
@@ -61,6 +76,7 @@ func DialMDM(addr, identity, role string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	pipe := &metrics.PipelineStats{}
 	return &Client{
 		mdm:        c,
 		Identity:   identity,
@@ -70,8 +86,13 @@ func DialMDM(addr, identity, role string) (*Client, error) {
 		subs:       make(map[uint64]func(wire.Notification)),
 		lat:        make(map[string]time.Duration),
 		Resilience: resilience.NewGroup(resilience.Policy{}, resilience.BreakerConfig{}, nil),
+		flights:    flight.NewGroup(pipe),
+		pipe:       pipe,
 	}, nil
 }
+
+// Pipeline exposes the client's resolve-pipeline counters.
+func (c *Client) Pipeline() *metrics.PipelineStats { return c.pipe }
 
 // observeLatency folds a fetch duration into the address's EWMA.
 func (c *Client) observeLatency(addr string, d time.Duration) {
@@ -156,17 +177,95 @@ func (c *Client) Get(ctx context.Context, path string) (*xmltree.Node, error) {
 	return c.GetAs(ctx, path, c.contextFor(policy.PurposeQuery))
 }
 
-// GetAs is Get with an explicit request context.
+// GetAs is Get with an explicit request context. Identical concurrent
+// calls (same path and context) coalesce into one resolve + fetch;
+// followers receive an independent clone of the shared tree, so callers
+// may mutate their result freely.
 func (c *Client) GetAs(ctx context.Context, path string, reqCtx policy.Context) (*xmltree.Node, error) {
-	resp, err := c.Resolve(ctx, &wire.ResolveRequest{
-		Path:    path,
-		Context: reqCtx,
-		Verb:    token.VerbFetch,
-	})
+	do := func() (*xmltree.Node, error) {
+		resp, err := c.Resolve(ctx, &wire.ResolveRequest{
+			Path:    path,
+			Context: reqCtx,
+			Verb:    token.VerbFetch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return c.FollowReferrals(ctx, resp)
+	}
+	if c.DisableCoalescing {
+		return do()
+	}
+	key := path + "\x00" + reqCtx.Requester + "\x00" + reqCtx.Role + "\x00" + string(reqCtx.Purpose)
+	v, shared, err := c.flights.Do(ctx, key, func() (any, error) { return do() })
 	if err != nil {
 		return nil, err
 	}
-	return c.FollowReferrals(ctx, resp)
+	doc, _ := v.(*xmltree.Node)
+	if shared && doc != nil {
+		doc = doc.Clone()
+	}
+	return doc, nil
+}
+
+// BatchResolve sends several resolves in one frame; the MDM answers the
+// entries concurrently and positionally (Results[i] ↔ Requests[i]).
+func (c *Client) BatchResolve(ctx context.Context, req *wire.BatchResolveRequest) (*wire.BatchResolveResponse, error) {
+	var resp wire.BatchResolveResponse
+	if err := c.mdm.Call(ctx, wire.TypeBatchResolve, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// BatchResult is the outcome of one path of a GetBatch.
+type BatchResult struct {
+	Doc *xmltree.Node
+	Err error
+}
+
+// GetBatch fetches several profile paths through one batch-resolve frame
+// (amortizing framing and MDM round trips) and follows each entry's
+// referrals on the client's bounded fan-out pool. Results are positional
+// and independent — one denied path does not fail its siblings.
+func (c *Client) GetBatch(ctx context.Context, paths []string) ([]BatchResult, error) {
+	reqs := make([]wire.ResolveRequest, len(paths))
+	for i, p := range paths {
+		reqs[i] = wire.ResolveRequest{
+			Path:    p,
+			Context: c.contextFor(policy.PurposeQuery),
+			Verb:    token.VerbFetch,
+		}
+	}
+	resp, err := c.BatchResolve(ctx, &wire.BatchResolveRequest{Requests: reqs})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(paths) {
+		return nil, fmt.Errorf("gupster: batch answered %d of %d entries", len(resp.Results), len(paths))
+	}
+	out := make([]BatchResult, len(paths))
+	if len(paths) > 1 {
+		c.pipe.FanOuts.Add(1)
+		c.pipe.FanOutCalls.Add(uint64(len(paths)))
+	}
+	_ = flight.ForEach(ctx, len(paths), c.FanOut, func(i int) error {
+		entry := resp.Results[i]
+		if entry.Error != "" {
+			out[i].Err = fmt.Errorf("gupster: %s", entry.Error)
+			return nil
+		}
+		if entry.Response == nil {
+			out[i].Err = fmt.Errorf("gupster: batch entry %d has no response", i)
+			return nil
+		}
+		out[i].Doc, out[i].Err = c.FollowReferrals(ctx, entry.Response)
+		return nil
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // GetVia fetches through a server-side pattern (chaining or recruiting):
@@ -241,47 +340,36 @@ func (c *Client) altAvailable(alt wire.Alternative) bool {
 	return true
 }
 
+// fetchAlternative fetches an alternative's pieces on a bounded worker
+// pool (Client.FanOut) and deep-unions them in referral order.
 func (c *Client) fetchAlternative(ctx context.Context, alt wire.Alternative) (*xmltree.Node, error) {
-	type result struct {
-		idx int
-		doc *xmltree.Node
-		err error
-	}
-	results := make(chan result, len(alt.Referrals))
-	for i, ref := range alt.Referrals {
-		go func(i int, ref wire.Referral) {
-			// Each attempt re-resolves the pooled connection so a retry
-			// after a failure dials afresh.
-			var doc *xmltree.Node
-			err := c.Resilience.Do(ctx, ref.Address, func(actx context.Context) error {
-				sc, err := c.storeClient(ref.Address)
-				if err != nil {
-					return err
-				}
-				start := time.Now()
-				d, _, err := sc.Fetch(actx, ref.Query)
-				if err != nil {
-					c.dropStoreClient(ref.Address)
-					return err
-				}
-				c.observeLatency(ref.Address, time.Since(start))
-				doc = d
-				return nil
-			})
-			results <- result{i, doc, err}
-		}(i, ref)
-	}
 	pieces := make([]*xmltree.Node, len(alt.Referrals))
-	var firstErr error
-	for range alt.Referrals {
-		r := <-results
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
-		}
-		pieces[r.idx] = r.doc
+	if len(alt.Referrals) > 1 {
+		c.pipe.FanOuts.Add(1)
+		c.pipe.FanOutCalls.Add(uint64(len(alt.Referrals)))
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	err := flight.ForEach(ctx, len(alt.Referrals), c.FanOut, func(i int) error {
+		ref := alt.Referrals[i]
+		// Each attempt re-resolves the pooled connection so a retry
+		// after a failure dials afresh.
+		return c.Resilience.Do(ctx, ref.Address, func(actx context.Context) error {
+			sc, err := c.storeClient(ref.Address)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			d, _, err := sc.Fetch(actx, ref.Query)
+			if err != nil {
+				c.dropStoreClient(ref.Address)
+				return err
+			}
+			c.observeLatency(ref.Address, time.Since(start))
+			pieces[i] = d
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
 	}
 	return xmltree.MergeAll(c.Keys, pieces...), nil
 }

@@ -1,0 +1,594 @@
+package core_test
+
+// Resolve-pipeline suite: in-flight coalescing, bounded fan-out, batch
+// resolves, and the cache's mid-flight invalidation guard. Like the
+// chaos suite, everything runs the real MDM, real stores, and real TCP,
+// with faultinject proxies supplying the latency that holds flights
+// open long enough to observe coalescing deterministically.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/policy"
+	"gupster/internal/resilience"
+	"gupster/internal/schema"
+	"gupster/internal/store"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// newPipelineRig builds a rig whose MDM uses a patient per-attempt
+// budget, so a proxy latency of a few hundred ms holds a flight open
+// without tripping timeouts.
+func newPipelineRig(t *testing.T, cacheEntries int) *rig {
+	t.Helper()
+	signer := token.NewSigner(key)
+	m := core.New(core.Config{
+		Schema:       schema.GUP(),
+		Signer:       signer,
+		GrantTTL:     time.Minute,
+		CacheEntries: cacheEntries,
+		Retry:        resilience.Policy{MaxAttempts: 3, PerAttempt: 10 * time.Second, BaseDelay: 5 * time.Millisecond, MaxDelay: 25 * time.Millisecond, Seed: 42},
+		Breaker:      chaosBreaker(),
+	})
+	srv := core.NewServer(m)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("MDM start: %v", err)
+	}
+	r := &rig{t: t, mdm: m, server: srv, stores: map[string]*store.Server{}, signer: signer}
+	t.Cleanup(func() {
+		m.Close()
+		srv.Close()
+		for _, s := range r.stores {
+			s.Close()
+		}
+	})
+	return r
+}
+
+func chainReq(pattern wire.QueryPattern) *wire.ResolveRequest {
+	return &wire.ResolveRequest{
+		Path:    presencePath,
+		Context: policy.Context{Requester: "arnaud", Role: "self"},
+		Verb:    token.VerbFetch,
+		Pattern: pattern,
+	}
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPipelineCoalescing100ResolvesOneFetch is the acceptance scenario:
+// 100 identical concurrent chaining resolves result in exactly one
+// upstream store fetch, and all 100 callers receive the correct answer.
+func TestPipelineCoalescing100ResolvesOneFetch(t *testing.T) {
+	r := newPipelineRig(t, 0)
+	p := r.addProxiedStore("a.gup.spcs.com", 11)
+	r.registerVia("a.gup.spcs.com", p.Addr(), presencePath)
+	r.seed("a.gup.spcs.com", "arnaud", presencePath, `<presence status="available"/>`)
+	// Hold the leader's store fetch open long enough for every follower
+	// to park on the flight.
+	p.SetLatency(750*time.Millisecond, 0)
+
+	const callers = 100
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	resps := make([]*wire.ResolveResponse, callers)
+
+	// Leader first, so the flight is provably up before followers launch.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resps[0], errs[0] = r.mdm.Resolve(context.Background(), chainReq(wire.PatternChaining))
+	}()
+	waitFor(t, "leader flight", func() bool { return r.mdm.Pipeline().Flights.Load() == 1 })
+
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = r.mdm.Resolve(context.Background(), chainReq(wire.PatternChaining))
+		}(i)
+	}
+	// All followers parked before the leader's 750ms fetch returns.
+	waitFor(t, "followers parked", func() bool { return r.mdm.Pipeline().CoalesceHits.Load() == callers-1 })
+	wg.Wait()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !strings.Contains(resps[i].Data, `status="available"`) {
+			t.Fatalf("caller %d: wrong answer %q", i, resps[i].Data)
+		}
+	}
+	rs := r.mdm.Resilience().Stats
+	if got := rs.Attempts.Load(); got != 1 {
+		t.Errorf("upstream store fetches = %d, want exactly 1", got)
+	}
+	ps := r.mdm.Pipeline().Snapshot()
+	if ps.Flights != 1 || ps.CoalesceHits != callers-1 {
+		t.Errorf("flights=%d hits=%d, want 1/%d", ps.Flights, ps.CoalesceHits, callers-1)
+	}
+	snap := r.mdm.Snapshot()
+	if snap.Resolves != callers {
+		t.Errorf("Resolves = %d, want %d (every caller counted)", snap.Resolves, callers)
+	}
+	if snap.Flights != 1 || snap.CoalesceHits != callers-1 {
+		t.Errorf("wire snapshot flights=%d hits=%d", snap.Flights, snap.CoalesceHits)
+	}
+}
+
+// TestPipelineCoalescingRespectsRequester: two principals asking for the
+// same component never share a flight (their grants and provenance
+// records differ even when the payload coincides).
+func TestPipelineCoalescingRespectsRequester(t *testing.T) {
+	r := newPipelineRig(t, 0)
+	p := r.addProxiedStore("a.gup.spcs.com", 12)
+	r.registerVia("a.gup.spcs.com", p.Addr(), presencePath)
+	r.seed("a.gup.spcs.com", "arnaud", presencePath, `<presence status="available"/>`)
+	if err := r.mdm.PAP.PutRule("arnaud", policy.Rule{
+		ID:     "family-presence",
+		Path:   xpath.MustParse(presencePath),
+		Cond:   policy.RoleIs("family"),
+		Effect: policy.Permit,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.SetLatency(400*time.Millisecond, 0)
+
+	var wg sync.WaitGroup
+	for _, who := range []struct{ id, role string }{{"arnaud", "self"}, {"mom", "family"}} {
+		wg.Add(1)
+		go func(id, role string) {
+			defer wg.Done()
+			req := &wire.ResolveRequest{
+				Path:    presencePath,
+				Context: policy.Context{Requester: id, Role: role},
+				Verb:    token.VerbFetch,
+				Pattern: wire.PatternChaining,
+			}
+			if _, err := r.mdm.Resolve(context.Background(), req); err != nil {
+				t.Errorf("%s: %v", id, err)
+			}
+		}(who.id, who.role)
+	}
+	wg.Wait()
+	ps := r.mdm.Pipeline().Snapshot()
+	if ps.CoalesceHits != 0 {
+		t.Errorf("cross-requester coalescing: hits=%d, want 0", ps.CoalesceHits)
+	}
+	if ps.Flights != 2 {
+		t.Errorf("flights=%d, want 2", ps.Flights)
+	}
+}
+
+// TestPipelineBreakerTripPropagates: the leader's attempts trip the
+// store's breaker; every coalesced follower receives the same error
+// without adding attempts or failures of their own — the breaker saw one
+// flight, not one hundred.
+func TestPipelineBreakerTripPropagates(t *testing.T) {
+	r := newChaosRig(t) // PerAttempt 250ms, breaker threshold 3
+	p := r.addProxiedStore("a.gup.spcs.com", 13)
+	r.registerVia("a.gup.spcs.com", p.Addr(), presencePath)
+	r.seed("a.gup.spcs.com", "arnaud", presencePath, `<presence status="available"/>`)
+	// Latency above PerAttempt: every attempt times out, so the leader
+	// burns its 3 attempts (~800ms) — ample parking time for followers.
+	p.SetLatency(400*time.Millisecond, 0)
+
+	const callers = 40
+	var wg sync.WaitGroup
+	var failed atomic.Uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := r.mdm.Resolve(context.Background(), chainReq(wire.PatternChaining)); err != nil {
+			failed.Add(1)
+		}
+	}()
+	waitFor(t, "leader flight", func() bool { return r.mdm.Pipeline().Flights.Load() == 1 })
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.mdm.Resolve(context.Background(), chainReq(wire.PatternChaining)); err != nil {
+				failed.Add(1)
+			}
+		}()
+	}
+	waitFor(t, "followers parked", func() bool { return r.mdm.Pipeline().CoalesceHits.Load() == callers-1 })
+	wg.Wait()
+
+	if got := failed.Load(); got != callers {
+		t.Errorf("%d of %d callers saw the failure", got, callers)
+	}
+	rs := r.mdm.Resilience().Stats
+	if got := rs.Failures.Load(); got != 3 {
+		t.Errorf("failure counter = %d, want 3 (the leader's attempts only)", got)
+	}
+	if got := rs.BreakerTrips.Load(); got != 1 {
+		t.Errorf("breaker trips = %d, want 1", got)
+	}
+	if got := rs.ShortCircuits.Load(); got != 0 {
+		t.Errorf("short circuits = %d, want 0 (followers never reached the breaker)", got)
+	}
+}
+
+// TestPipelineDisableCoalescing: the ablation switch really turns the
+// layer off — concurrent identical resolves each do their own fetch.
+func TestPipelineDisableCoalescing(t *testing.T) {
+	signer := token.NewSigner(key)
+	m := core.New(core.Config{
+		Schema: schema.GUP(), Signer: signer, GrantTTL: time.Minute,
+		Retry:             resilience.Policy{MaxAttempts: 3, PerAttempt: 10 * time.Second, BaseDelay: 5 * time.Millisecond, MaxDelay: 25 * time.Millisecond, Seed: 42},
+		DisableCoalescing: true,
+	})
+	srv := core.NewServer(m)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{t: t, mdm: m, server: srv, stores: map[string]*store.Server{}, signer: signer}
+	t.Cleanup(func() { m.Close(); srv.Close(); r.stores["s1"].Close() })
+	p := r.addProxiedStore("s1", 14)
+	r.registerVia("s1", p.Addr(), presencePath)
+	r.seed("s1", "arnaud", presencePath, `<presence status="available"/>`)
+	p.SetLatency(100*time.Millisecond, 0)
+
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := m.Resolve(context.Background(), chainReq(wire.PatternChaining)); err != nil {
+				t.Errorf("resolve: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if hits := m.Pipeline().CoalesceHits.Load(); hits != 0 {
+		t.Errorf("coalesce hits = %d with coalescing disabled", hits)
+	}
+	if got := m.Resilience().Stats.Attempts.Load(); got != callers {
+		t.Errorf("attempts = %d, want %d (one fetch per caller)", got, callers)
+	}
+}
+
+// TestPipelineMidFlightInvalidationNotCached is the regression for the
+// generation guard: a component change that lands while a chaining
+// flight is fetching must prevent that flight's (possibly stale) result
+// from being cached.
+func TestPipelineMidFlightInvalidationNotCached(t *testing.T) {
+	r := newPipelineRig(t, 64)
+	p := r.addProxiedStore("a.gup.spcs.com", 15)
+	r.registerVia("a.gup.spcs.com", p.Addr(), presencePath)
+	r.seed("a.gup.spcs.com", "arnaud", presencePath, `<presence status="available"/>`)
+	p.SetLatency(500*time.Millisecond, 0)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.mdm.Resolve(context.Background(), chainReq(wire.PatternChaining))
+		done <- err
+	}()
+	// The flight is up and past its cache miss; now the component changes.
+	waitFor(t, "flight up", func() bool { return r.mdm.Pipeline().Flights.Load() == 1 })
+	waitFor(t, "cache miss", func() bool { return r.mdm.Snapshot().CacheMisses == 1 })
+	r.mdm.HandleChanged(&wire.ChangedNotice{
+		Store: "a.gup.spcs.com", User: "arnaud", Path: presencePath,
+		XML: `<presence status="away"/>`, Version: 2,
+	})
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight resolve: %v", err)
+	}
+
+	// The flight's result must NOT have been reinstated into the cache:
+	// the next resolve misses and refetches.
+	p.SetLatency(0, 0)
+	if _, err := r.mdm.Resolve(context.Background(), chainReq(wire.PatternChaining)); err != nil {
+		t.Fatalf("post-invalidation resolve: %v", err)
+	}
+	snap := r.mdm.Snapshot()
+	if snap.CacheHits != 0 {
+		t.Errorf("cache served a flight result that was invalidated mid-flight (hits=%d)", snap.CacheHits)
+	}
+	if snap.CacheMisses != 2 {
+		t.Errorf("cache misses = %d, want 2", snap.CacheMisses)
+	}
+	// And with no further invalidation the fill does land: third resolve
+	// is a hit.
+	if _, err := r.mdm.Resolve(context.Background(), chainReq(wire.PatternChaining)); err != nil {
+		t.Fatal(err)
+	}
+	if snap = r.mdm.Snapshot(); snap.CacheHits != 1 {
+		t.Errorf("fresh fill did not land: hits=%d", snap.CacheHits)
+	}
+}
+
+// TestPipelineCacheRaceChaos hammers chaining resolves from many
+// goroutines while component changes invalidate the cache concurrently;
+// under -race this guards the cache's generation bookkeeping, and every
+// resolve must return a valid presence document.
+func TestPipelineCacheRaceChaos(t *testing.T) {
+	r := newPipelineRig(t, 64)
+	srv := r.addStore("a.gup.spcs.com")
+	r.registerVia("a.gup.spcs.com", srv.Addr(), presencePath)
+	r.seed("a.gup.spcs.com", "arnaud", presencePath, `<presence status="available"/>`)
+
+	stop := make(chan struct{})
+	var flips sync.WaitGroup
+	flips.Add(1)
+	go func() {
+		defer flips.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+				r.mdm.HandleChanged(&wire.ChangedNotice{
+					Store: "a.gup.spcs.com", User: "arnaud", Path: presencePath,
+					XML: `<presence status="available"/>`, Version: 1,
+				})
+			}
+		}
+	}()
+
+	const workers, perWorker = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < perWorker; n++ {
+				resp, err := r.mdm.Resolve(context.Background(), chainReq(wire.PatternChaining))
+				if err != nil {
+					t.Errorf("resolve under invalidation storm: %v", err)
+					return
+				}
+				if !strings.Contains(resp.Data, `status="available"`) {
+					t.Errorf("wrong answer under invalidation storm: %q", resp.Data)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	flips.Wait()
+}
+
+// batchPaths wires three users' components onto two stores and returns
+// the rig; used by the batch table tests.
+func batchRig(t *testing.T) *rig {
+	r := newRig(t, 0)
+	r.addStore("s1")
+	r.addStore("s2")
+	r.register("s1", "/user[@id='u1']/presence")
+	r.register("s1", "/user[@id='u2']/calendar")
+	r.register("s2", "/user[@id='u3']/address-book")
+	r.seed("s1", "u1", "/user[@id='u1']/presence", `<presence status="dnd"/>`)
+	r.seed("s1", "u2", "/user[@id='u2']/calendar", `<calendar><event id="e1"><title>standup</title></event></calendar>`)
+	r.seed("s2", "u3", "/user[@id='u3']/address-book", `<address-book><item name="rick"><phone>1</phone></item></address-book>`)
+	return r
+}
+
+// TestBatchResolveTable drives batches over the wire end to end: mixed
+// success, denial, spurious, and no-coverage entries answer positionally
+// and independently.
+func TestBatchResolveTable(t *testing.T) {
+	r := batchRig(t)
+	owner := func(id string) policy.Context { return policy.Context{Requester: id, Role: "self"} }
+
+	cases := []struct {
+		name    string
+		reqs    []wire.ResolveRequest
+		wantOK  []bool   // per entry
+		wantErr []string // substring of entry error; "" for OK entries
+	}{
+		{
+			name: "all-success",
+			reqs: []wire.ResolveRequest{
+				{Path: "/user[@id='u1']/presence", Context: owner("u1"), Verb: token.VerbFetch},
+				{Path: "/user[@id='u2']/calendar", Context: owner("u2"), Verb: token.VerbFetch},
+				{Path: "/user[@id='u3']/address-book", Context: owner("u3"), Verb: token.VerbFetch},
+			},
+			wantOK:  []bool{true, true, true},
+			wantErr: []string{"", "", ""},
+		},
+		{
+			name: "denied-entry-is-independent",
+			reqs: []wire.ResolveRequest{
+				{Path: "/user[@id='u1']/presence", Context: owner("u1"), Verb: token.VerbFetch},
+				{Path: "/user[@id='u1']/presence", Context: policy.Context{Requester: "eve", Role: "third-party"}, Verb: token.VerbFetch},
+			},
+			wantOK:  []bool{true, false},
+			wantErr: []string{"", "denied"},
+		},
+		{
+			name: "spurious-and-uncovered",
+			reqs: []wire.ResolveRequest{
+				{Path: "/user[@id='u1']/shoe-size", Context: owner("u1"), Verb: token.VerbFetch},
+				{Path: "/user[@id='u1']/wallet", Context: owner("u1"), Verb: token.VerbFetch},
+				{Path: "/user[@id='u1']/presence", Context: owner("u1"), Verb: token.VerbFetch},
+			},
+			wantOK:  []bool{false, false, true},
+			wantErr: []string{"schema", "covers", ""},
+		},
+		{
+			name: "chaining-entries",
+			reqs: []wire.ResolveRequest{
+				{Path: "/user[@id='u1']/presence", Context: owner("u1"), Verb: token.VerbFetch, Pattern: wire.PatternChaining},
+				{Path: "/user[@id='u2']/calendar", Context: owner("u2"), Verb: token.VerbFetch, Pattern: wire.PatternChaining},
+			},
+			wantOK:  []bool{true, true},
+			wantErr: []string{"", ""},
+		},
+	}
+
+	cli := r.client("u1", "self")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := cli.BatchResolve(context.Background(), &wire.BatchResolveRequest{Requests: tc.reqs})
+			if err != nil {
+				t.Fatalf("BatchResolve: %v", err)
+			}
+			if len(resp.Results) != len(tc.reqs) {
+				t.Fatalf("results = %d, want %d", len(resp.Results), len(tc.reqs))
+			}
+			for i, res := range resp.Results {
+				if tc.wantOK[i] {
+					if res.Error != "" || res.Response == nil {
+						t.Errorf("entry %d: error %q, want success", i, res.Error)
+					}
+				} else {
+					if res.Error == "" || !strings.Contains(res.Error, tc.wantErr[i]) {
+						t.Errorf("entry %d: error %q, want substring %q", i, res.Error, tc.wantErr[i])
+					}
+					if res.Response != nil {
+						t.Errorf("entry %d: failing entry carries a response", i)
+					}
+				}
+			}
+		})
+	}
+
+	// Empty batches are a protocol error, not a panic.
+	if _, err := cli.BatchResolve(context.Background(), &wire.BatchResolveRequest{}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	snap := r.mdm.Snapshot()
+	if snap.BatchResolves == 0 || snap.BatchedQueries < 10 {
+		t.Errorf("batch counters did not register: %d frames / %d queries", snap.BatchResolves, snap.BatchedQueries)
+	}
+}
+
+// TestBatchResolvePartialBlackout injects a real fault: one entry's only
+// covering store is blacked out, its chaining entry fails, and the
+// sibling entries still answer.
+func TestBatchResolvePartialBlackout(t *testing.T) {
+	r := newChaosRig(t)
+	pa := r.addProxiedStore("a.gup.spcs.com", 21)
+	pb := r.addProxiedStore("b.gup.vzw.com", 22)
+	r.registerVia("a.gup.spcs.com", pa.Addr(), "/user[@id='u1']/presence")
+	r.registerVia("b.gup.vzw.com", pb.Addr(), "/user[@id='u1']/calendar")
+	r.seed("a.gup.spcs.com", "u1", "/user[@id='u1']/presence", `<presence status="dnd"/>`)
+	r.seed("b.gup.vzw.com", "u1", "/user[@id='u1']/calendar", `<calendar><event id="e1"><title>standup</title></event></calendar>`)
+	pb.Blackout(true)
+
+	cli := r.client("u1", "self")
+	ctxv := policy.Context{Requester: "u1", Role: "self"}
+	resp, err := cli.BatchResolve(context.Background(), &wire.BatchResolveRequest{Requests: []wire.ResolveRequest{
+		{Path: "/user[@id='u1']/presence", Context: ctxv, Verb: token.VerbFetch, Pattern: wire.PatternChaining},
+		{Path: "/user[@id='u1']/calendar", Context: ctxv, Verb: token.VerbFetch, Pattern: wire.PatternChaining},
+	}})
+	if err != nil {
+		t.Fatalf("BatchResolve: %v", err)
+	}
+	if resp.Results[0].Error != "" || !strings.Contains(resp.Results[0].Response.Data, `status="dnd"`) {
+		t.Errorf("healthy entry: %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" {
+		t.Error("blacked-out entry succeeded")
+	}
+	// Recovery: once the store returns and the breaker's cooldown
+	// (150ms in the chaos config) elapses, the same entry succeeds via
+	// the half-open probe.
+	pb.Blackout(false)
+	time.Sleep(200 * time.Millisecond)
+	resp, err = cli.BatchResolve(context.Background(), &wire.BatchResolveRequest{Requests: []wire.ResolveRequest{
+		{Path: "/user[@id='u1']/calendar", Context: ctxv, Verb: token.VerbFetch, Pattern: wire.PatternChaining},
+	}})
+	if err != nil || resp.Results[0].Error != "" {
+		t.Errorf("post-recovery entry: %v / %+v", err, resp.Results[0])
+	}
+}
+
+// TestGetBatchFollowsReferrals uses the client-side convenience: one
+// frame resolves several paths, the client follows each entry's
+// referrals, and failures stay per-entry.
+func TestGetBatchFollowsReferrals(t *testing.T) {
+	r := batchRig(t)
+	cli := r.client("u1", "self")
+	results, err := cli.GetBatch(context.Background(), []string{
+		"/user[@id='u1']/presence",
+		"/user[@id='u1']/wallet", // uncovered — this entry fails
+	})
+	if err != nil {
+		t.Fatalf("GetBatch: %v", err)
+	}
+	if results[0].Err != nil || results[0].Doc == nil {
+		t.Errorf("entry 0: %v", results[0].Err)
+	} else if s, _ := results[0].Doc.Child("presence").Attr("status"); s != "dnd" {
+		t.Errorf("entry 0 doc: %s", results[0].Doc)
+	}
+	if results[1].Err == nil {
+		t.Error("uncovered entry succeeded")
+	}
+}
+
+// TestClientGetCoalescing: many goroutines of one client asking for the
+// same path share one resolve+fetch, and each gets an independent tree.
+func TestClientGetCoalescing(t *testing.T) {
+	r := newPipelineRig(t, 0)
+	p := r.addProxiedStore("a.gup.spcs.com", 23)
+	r.registerVia("a.gup.spcs.com", p.Addr(), presencePath)
+	r.seed("a.gup.spcs.com", "arnaud", presencePath, `<presence status="available"/>`)
+	p.SetLatency(400*time.Millisecond, 0)
+
+	cli := r.client("arnaud", "self")
+	const callers = 20
+	docs := make([]*xmltree.Node, callers)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		d, err := cli.Get(context.Background(), presencePath)
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+		docs[0] = d
+	}()
+	waitFor(t, "client flight", func() bool { return cli.Pipeline().Flights.Load() == 1 })
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := cli.Get(context.Background(), presencePath)
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+			}
+			docs[i] = d
+		}(i)
+	}
+	waitFor(t, "client followers", func() bool { return cli.Pipeline().CoalesceHits.Load() == callers-1 })
+	wg.Wait()
+
+	if got := cli.Resilience.Stats.Attempts.Load(); got != 1 {
+		t.Errorf("store fetches = %d, want 1", got)
+	}
+	// Shared results are clones: mutating one caller's tree must not
+	// bleed into another's.
+	docs[1].Child("presence").SetAttr("status", "mangled")
+	if s, _ := docs[2].Child("presence").Attr("status"); s != "available" {
+		t.Errorf("follower trees share memory: %q", s)
+	}
+	if s, _ := docs[0].Child("presence").Attr("status"); s != "available" {
+		t.Errorf("leader tree shares memory: %q", s)
+	}
+}

@@ -47,6 +47,8 @@ func (s *Server) serve(c *wire.ServerConn, m *wire.Message) {
 	switch m.Type {
 	case wire.TypeResolve:
 		err = s.handleResolve(c, m)
+	case wire.TypeBatchResolve:
+		err = s.handleBatchResolve(c, m)
 	case wire.TypeRegister:
 		err = s.handleRegister(c, m)
 	case wire.TypeUnregister:
@@ -79,6 +81,22 @@ func (s *Server) handleResolve(c *wire.ServerConn, m *wire.Message) error {
 		return err
 	}
 	resp, err := s.MDM.Resolve(context.Background(), &req)
+	if err != nil {
+		return err
+	}
+	return c.Reply(m, resp)
+}
+
+// handleBatchResolve answers every entry of a batch, resolving them
+// concurrently on the MDM's fan-out pool. Entries fail independently: a
+// denied or uncovered entry carries its error string while its siblings
+// still return data, so one bad query never poisons the frame.
+func (s *Server) handleBatchResolve(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.BatchResolveRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	resp, err := s.MDM.BatchResolve(context.Background(), &req)
 	if err != nil {
 		return err
 	}

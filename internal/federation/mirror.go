@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gupster/internal/core"
+	"gupster/internal/flight"
 	"gupster/internal/resilience"
 	"gupster/internal/wire"
 )
@@ -163,11 +164,14 @@ func (m *Mirror) handle(c *wire.ServerConn, msg *wire.Message) {
 				peers = append(peers, p)
 			}
 			m.mu.Unlock()
-			for _, p := range peers {
-				// Best-effort: a dead peer misses the update; stores
-				// re-register on reconnect.
-				_ = p.Call(context.Background(), msg.Type, msg.Payload, nil)
-			}
+			// Fan the mutation out to all peers concurrently (bounded pool)
+			// instead of peer by peer: convergence latency is the slowest
+			// peer, not the sum. Best-effort: a dead peer misses the update;
+			// stores re-register on reconnect.
+			_ = flight.ForEach(context.Background(), len(peers), flight.DefaultWorkers, func(i int) error {
+				_ = peers[i].Call(context.Background(), msg.Type, msg.Payload, nil)
+				return nil
+			})
 		}
 	}
 	// Apply locally (the local core server replies to the caller).

@@ -1,9 +1,11 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"gupster/internal/flight"
 	"gupster/internal/syncml"
 	"gupster/internal/token"
 	"gupster/internal/wire"
@@ -168,11 +170,15 @@ func (s *Server) handleExec(c *wire.ServerConn, m *wire.Message) error {
 	if err != nil {
 		return err
 	}
-	var pieces []*xmltree.Node
+	// The primary piece merges first; siblings are gathered concurrently
+	// on a bounded pool and merged in referral order, matching the serial
+	// loop this replaces.
+	pieces := make([]*xmltree.Node, 1+len(req.Siblings))
 	if doc, _, gerr := s.Engine.Get(owner, path); gerr == nil {
-		pieces = append(pieces, doc)
+		pieces[0] = doc
 	}
-	for _, ref := range req.Siblings {
+	err = flight.ForEach(context.Background(), len(req.Siblings), flight.DefaultWorkers, func(i int) error {
+		ref := req.Siblings[i]
 		cli, derr := DialClient(ref.Address)
 		if derr != nil {
 			return fmt.Errorf("store: recruit %s: %w", ref.Address, derr)
@@ -182,11 +188,19 @@ func (s *Server) handleExec(c *wire.ServerConn, m *wire.Message) error {
 		if ferr != nil {
 			return fmt.Errorf("store: recruit fetch %s: %w", ref.Address, ferr)
 		}
-		if doc != nil {
-			pieces = append(pieces, doc)
+		pieces[i+1] = doc
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	docs := make([]*xmltree.Node, 0, len(pieces))
+	for _, d := range pieces {
+		if d != nil {
+			docs = append(docs, d)
 		}
 	}
-	merged := xmltree.MergeAll(s.Engine.Keys, pieces...)
+	merged := xmltree.MergeAll(s.Engine.Keys, docs...)
 	resp := wire.ExecResponse{}
 	if merged != nil {
 		resp.XML = merged.String()

@@ -32,6 +32,10 @@ const (
 	// TypeProvenance asks the MDM for an owner's disclosure ledger (§7's
 	// data-provenance challenge).
 	TypeProvenance = "provenance"
+	// TypeBatchResolve carries several resolves in one frame; the MDM
+	// answers them concurrently and returns per-entry results, so thin
+	// clients amortize framing and round-trip latency.
+	TypeBatchResolve = "batch-resolve"
 )
 
 // ProvenanceRequest asks for the disclosure records of an owner's profile.
@@ -163,6 +167,27 @@ type ResolveResponse struct {
 	// Hops counts MDM-to-MDM forwards in federated deployments (§5.1):
 	// 0 means the first MDM answered itself.
 	Hops int `json:"hops,omitempty"`
+}
+
+// BatchResolveRequest bundles independent resolves into one frame. The
+// MDM resolves the entries concurrently (bounded by its fan-out width)
+// and never fails the batch wholesale: each entry succeeds or fails on
+// its own.
+type BatchResolveRequest struct {
+	Requests []ResolveRequest `json:"requests"`
+}
+
+// BatchResolveEntry is the outcome of one entry of a batch: exactly one
+// of Response or Error is meaningful (Error == "" means success).
+type BatchResolveEntry struct {
+	Response *ResolveResponse `json:"response,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// BatchResolveResponse answers a batch positionally: Results[i] is the
+// outcome of Requests[i].
+type BatchResolveResponse struct {
+	Results []BatchResolveEntry `json:"results"`
 }
 
 // FetchRequest asks a data store for the component granted by Query.
@@ -343,4 +368,13 @@ type StatsResponse struct {
 	Retries       uint64 `json:"retries,omitempty"`
 	BreakerTrips  uint64 `json:"breaker_trips,omitempty"`
 	ShortCircuits uint64 `json:"short_circuits,omitempty"`
+	// Resolve-pipeline counters: in-flight coalescing (flights executed
+	// vs. callers served by another caller's flight), bounded parallel
+	// fan-outs, and batch-resolve frames.
+	Flights        uint64 `json:"flights,omitempty"`
+	CoalesceHits   uint64 `json:"coalesce_hits,omitempty"`
+	FanOuts        uint64 `json:"fan_outs,omitempty"`
+	FanOutCalls    uint64 `json:"fan_out_calls,omitempty"`
+	BatchResolves  uint64 `json:"batch_resolves,omitempty"`
+	BatchedQueries uint64 `json:"batched_queries,omitempty"`
 }

@@ -1,0 +1,236 @@
+package xpath
+
+import (
+	"testing"
+)
+
+// Property tests over randomly generated paths. They complement the
+// semantics-based soundness tests in xpath_test.go with the algebraic laws
+// the resolve pipeline leans on: canonical printing is a fixpoint of Parse,
+// a prefix registration fully covers any extension of itself, Contains is
+// a preorder, CoverFull composes, and Intersect is sound from both sides.
+
+var (
+	propNames = []string{"a", "b", "c"}
+	propAttrs = []string{"x", "y"}
+	propVals  = []string{"1", "2"}
+)
+
+// randStep builds one location step; at most one predicate per attribute so
+// generated steps are always satisfiable.
+func randStep(rng *miniRand) Step {
+	s := Step{Name: propNames[rng.next()%len(propNames)]}
+	if rng.next()%4 == 0 {
+		s.Name = "*"
+	}
+	for _, attr := range propAttrs {
+		if rng.next()%3 != 0 {
+			continue
+		}
+		pr := Pred{Attr: attr}
+		if rng.next()%2 == 0 {
+			pr.HasValue = true
+			pr.Value = propVals[rng.next()%len(propVals)]
+		}
+		s.Preds = append(s.Preds, pr)
+	}
+	return s
+}
+
+// randPath builds a random path of depth 1..4, sometimes with a final
+// attribute axis.
+func randPath(rng *miniRand) Path {
+	depth := 1 + rng.next()%4
+	var p Path
+	for i := 0; i < depth; i++ {
+		p.Steps = append(p.Steps, randStep(rng))
+	}
+	if rng.next()%5 == 0 {
+		p.Attr = propAttrs[rng.next()%len(propAttrs)]
+	}
+	return p
+}
+
+// specialize returns a path contained in p: same depth and attribute axis,
+// with names pinned and predicates strengthened. By construction
+// Contains(p, specialize(p)) must hold.
+func specialize(p Path, rng *miniRand) Path {
+	out := Path{Steps: make([]Step, len(p.Steps)), Attr: p.Attr}
+	for i, s := range p.Steps {
+		ns := Step{Name: s.Name, Preds: append([]Pred(nil), s.Preds...)}
+		if ns.Name == "*" && rng.next()%2 == 0 {
+			ns.Name = propNames[rng.next()%len(propNames)]
+		}
+		if rng.next()%2 == 0 {
+			// Strengthening an existing existence test to an equality test,
+			// or adding a fresh predicate, both preserve containment. Reuse
+			// the already-pinned value for an attribute so the specialized
+			// step stays satisfiable.
+			pr := Pred{
+				Attr:     propAttrs[rng.next()%len(propAttrs)],
+				HasValue: true,
+				Value:    propVals[rng.next()%len(propVals)],
+			}
+			for _, existing := range ns.Preds {
+				if existing.Attr == pr.Attr && existing.HasValue {
+					pr.Value = existing.Value
+				}
+			}
+			ns.Preds = append(ns.Preds, pr)
+		}
+		out.Steps[i] = ns
+	}
+	return out
+}
+
+// extend returns a path whose subtree lies inside p's: a specialization of p
+// with zero or more extra steps below it. A path ending in an attribute axis
+// is never deepened — an attribute node has no subtree to descend into.
+func extend(p Path, rng *miniRand) Path {
+	out := specialize(p, rng)
+	if extra := rng.next() % 3; extra > 0 && p.Attr == "" {
+		for i := 0; i < extra; i++ {
+			out.Steps = append(out.Steps, randStep(rng))
+		}
+	}
+	return out
+}
+
+func TestParseStringFixpoint(t *testing.T) {
+	for seed := int64(1); seed <= 500; seed++ {
+		rng := newRand(seed)
+		p := randPath(rng)
+		s := p.String()
+		q, err := Parse(s)
+		if err != nil {
+			t.Fatalf("seed %d: Parse(%q): %v", seed, s, err)
+		}
+		if q.String() != s {
+			t.Fatalf("seed %d: String not a Parse fixpoint: %q -> %q", seed, s, q.String())
+		}
+		if !Equivalent(p, q) {
+			t.Fatalf("seed %d: reparse of %q not equivalent", seed, s)
+		}
+	}
+}
+
+func TestPrefixCoversExtension(t *testing.T) {
+	for seed := int64(1); seed <= 500; seed++ {
+		rng := newRand(seed)
+		p := randPath(rng)
+		for n := 1; n <= p.Depth(); n++ {
+			if got := Covers(p.Prefix(n), p); got != CoverFull {
+				t.Fatalf("seed %d: Covers(%s, %s) = %v, want full", seed, p.Prefix(n), p, got)
+			}
+		}
+	}
+}
+
+func TestContainsPreorder(t *testing.T) {
+	for seed := int64(1); seed <= 500; seed++ {
+		rng := newRand(seed)
+		p := randPath(rng)
+		q := specialize(p, rng)
+		r := specialize(q, rng)
+		if !Contains(p, p) {
+			t.Fatalf("seed %d: Contains not reflexive on %s", seed, p)
+		}
+		if !Contains(p, q) {
+			t.Fatalf("seed %d: specialization broke containment: %s !> %s", seed, p, q)
+		}
+		if !Contains(q, r) {
+			t.Fatalf("seed %d: specialization broke containment: %s !> %s", seed, q, r)
+		}
+		if !Contains(p, r) {
+			t.Fatalf("seed %d: Contains not transitive: %s > %s > %s", seed, p, q, r)
+		}
+	}
+}
+
+func TestCoversTransitive(t *testing.T) {
+	for seed := int64(1); seed <= 500; seed++ {
+		rng := newRand(seed)
+		a := randPath(rng)
+		b := extend(a, rng)
+		c := extend(b, rng)
+		if Covers(a, b) != CoverFull {
+			t.Fatalf("seed %d: extend broke coverage: Covers(%s, %s) != full", seed, a, b)
+		}
+		if Covers(b, c) != CoverFull {
+			t.Fatalf("seed %d: extend broke coverage: Covers(%s, %s) != full", seed, b, c)
+		}
+		if Covers(a, c) != CoverFull {
+			t.Fatalf("seed %d: CoverFull not transitive: %s, %s, %s", seed, a, b, c)
+		}
+	}
+}
+
+func TestIntersectCoveredBothSides(t *testing.T) {
+	hits := 0
+	for seed := int64(1); seed <= 2000; seed++ {
+		rng := newRand(seed)
+		p, q := randPath(rng), randPath(rng)
+		i, ok := Intersect(p, q)
+		if !ok {
+			continue
+		}
+		hits++
+		if i.Empty() {
+			t.Fatalf("seed %d: Intersect(%s, %s) returned empty path %s", seed, p, q, i)
+		}
+		if Covers(p, i) != CoverFull {
+			t.Fatalf("seed %d: Covers(%s, Intersect=%s) != full", seed, p, i)
+		}
+		if Covers(q, i) != CoverFull {
+			t.Fatalf("seed %d: Covers(%s, Intersect=%s) != full", seed, q, i)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("generator never produced intersecting paths; property vacuous")
+	}
+}
+
+// When a registration fully covers a request, intersecting the two gives
+// back the request: one referral answers it exactly.
+func TestCoverFullIntersectIsRequest(t *testing.T) {
+	hits := 0
+	for seed := int64(1); seed <= 2000; seed++ {
+		rng := newRand(seed)
+		r := randPath(rng)
+		q := extend(r, rng)
+		if Covers(r, q) != CoverFull {
+			t.Fatalf("seed %d: extend broke coverage", seed)
+		}
+		i, ok := Intersect(r, q)
+		if !ok {
+			t.Fatalf("seed %d: CoverFull but Intersect(%s, %s) failed", seed, r, q)
+		}
+		hits++
+		if !Equivalent(i, q) {
+			t.Fatalf("seed %d: Intersect(%s, %s) = %s, not equivalent to request", seed, r, q, i)
+		}
+	}
+	if hits == 0 {
+		t.Fatal("property vacuous")
+	}
+}
+
+// Remainder of a covering prefix re-roots the request at the registered
+// component: its depth is the request's depth minus the prefix's, plus the
+// shared root step.
+func TestRemainderDepth(t *testing.T) {
+	for seed := int64(1); seed <= 500; seed++ {
+		rng := newRand(seed)
+		q := randPath(rng)
+		for n := 1; n <= q.Depth(); n++ {
+			r := q.Prefix(n)
+			rem := Remainder(r, q)
+			if want := q.Depth() - n + 1; rem.Depth() != want {
+				t.Fatalf("seed %d: Remainder(%s, %s) depth = %d, want %d", seed, r, q, rem.Depth(), want)
+			}
+			if rem.Attr != q.Attr {
+				t.Fatalf("seed %d: Remainder dropped attribute axis", seed)
+			}
+		}
+	}
+}
