@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -244,5 +245,78 @@ func TestMirroredConstellation(t *testing.T) {
 	out, err = gupctl(t, addrB, "alice", "self", "get", "/user[@id='alice']/presence")
 	if err != nil || !strings.Contains(out, "mirrored") {
 		t.Fatalf("mirror B after A's death: %v\n%s", err, out)
+	}
+}
+
+// One traced chaining request through the real binaries: the trace ID that
+// gupctl prints must resolve, at the MDM's trace directory, to a span tree
+// covering all three hops — client (0), MDM (1), store (2).
+func TestTracedChainingThroughBinaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches real processes")
+	}
+	const key = "e2e-trace-key"
+	mdmAddr := freePort(t)
+	storeAddr := freePort(t)
+
+	startDaemon(t, "gupsterd", "-listen", mdmAddr, "-key", key)
+	waitFor(t, mdmAddr)
+
+	profile := filepath.Join(binDir, "carol.xml")
+	if err := os.WriteFile(profile, []byte(
+		`<user id="carol"><presence status="available"/></user>`,
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	startDaemon(t, "datastored",
+		"-id", "gup.traced.example", "-listen", storeAddr,
+		"-mdm", mdmAddr, "-key", key,
+		"-load", profile, "-user", "carol",
+		"-register", "/user[@id='carol']/presence",
+	)
+	waitFor(t, storeAddr)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		out, err := gupctl(t, mdmAddr, "carol", "self", "stats")
+		if err == nil && strings.Contains(out, "registrations: 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registration never appeared; stats:\n%s (%v)", out, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	out, err := gupctl(t, mdmAddr, "carol", "self", "get-via", "chaining", "/user[@id='carol']/presence")
+	if err != nil || !strings.Contains(out, `status="available"`) {
+		t.Fatalf("get-via chaining: %v\n%s", err, out)
+	}
+	m := regexp.MustCompile(`trace ([0-9a-f]+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no trace ID on stderr:\n%s", out)
+	}
+	id := m[1]
+
+	// The client's own spans arrive at the directory on a one-way report
+	// frame; poll until the tree is complete.
+	var tree string
+	for {
+		tree, err = gupctl(t, mdmAddr, "carol", "self", "trace", id)
+		if err == nil &&
+			strings.Contains(tree, "[client hop0]") &&
+			strings.Contains(tree, "[mdm hop1]") &&
+			strings.Contains(tree, "[store hop2]") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("span tree never completed (want client hop0, mdm hop1, store hop2):\n%s (%v)", tree, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// The per-hop aggregates surface in stats.
+	out, err = gupctl(t, mdmAddr, "carol", "self", "stats")
+	if err != nil || !strings.Contains(out, "mdm.resolve") {
+		t.Fatalf("stats lacks per-hop latencies: %v\n%s", err, out)
 	}
 }

@@ -5,14 +5,19 @@
 //
 // Usage:
 //
-//	gupbench [-iters N] [e1 e2 … e16 | fig5 | all]
+//	gupbench [-iters N] [e1 e2 … e17 | fig5 | all]
 //	gupbench resolve [-clients N] [-rounds N] [-json out.json] [-check baseline.json] [-p95-slack 0.25] [-min-speedup 2]
+//	gupbench trace-overhead [-clients N] [-rounds N] [-json out.json] [-max 0.05]
 //
 // The resolve subcommand runs the E16 resolve-pipeline benchmark on its
 // own flag set: -json writes the machine-readable report consumed by the
 // CI bench-regression job, and -check compares the fresh run against a
 // committed baseline, exiting non-zero on a p95 regression beyond the
 // slack or a within-run referral speedup below the floor.
+//
+// The trace-overhead subcommand runs the E17 tracing-overhead benchmark
+// (resolve p95 with tracing on vs off on the same rig) and, with -max,
+// exits non-zero when the traced p95 exceeds the budget.
 package main
 
 import (
@@ -31,6 +36,10 @@ func main() {
 		runResolve(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "trace-overhead" {
+		runTraceOverhead(os.Args[2:])
+		return
+	}
 
 	iters := flag.Int("iters", 0, "override per-cell iteration count (0 = experiment default)")
 	flag.Parse()
@@ -46,6 +55,7 @@ func main() {
 		{"e7", bench.RunE7}, {"e8", bench.RunE8}, {"e9", bench.RunE9},
 		{"e10", bench.RunE10}, {"e11", bench.RunE11}, {"e12", bench.RunE12},
 		{"e13", bench.RunE13}, {"e14", bench.RunE14}, {"e16", bench.RunE16},
+		{"e17", bench.RunE17},
 		{"fig5", func(bench.Options) (*metrics.Table, error) { return bench.RunFig5() }},
 	}
 
@@ -63,7 +73,7 @@ func main() {
 	for _, id := range want {
 		e, ok := byID[strings.ToLower(id)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "gupbench: unknown experiment %q (have e1..e16, fig5, resolve, all)\n", id)
+			fmt.Fprintf(os.Stderr, "gupbench: unknown experiment %q (have e1..e17, fig5, resolve, trace-overhead, all)\n", id)
 			os.Exit(2)
 		}
 		t, err := e.run(opts)
@@ -111,5 +121,52 @@ func runResolve(args []string) {
 		}
 		fmt.Printf("bench-regression gate: ok (p95 within %.0f%% of %s, referral speedup %.2fx)\n",
 			*slack*100, *check, rep.SpeedupReferral)
+	}
+}
+
+// runTraceOverhead is the E17 tracing-overhead benchmark with its own flag
+// set: it measures resolve p95 with client tracing on vs off and gates the
+// run when -max is set.
+func runTraceOverhead(args []string) {
+	fs := flag.NewFlagSet("trace-overhead", flag.ExitOnError)
+	clients := fs.Int("clients", 0, "concurrent clients (0 = default 64)")
+	rounds := fs.Int("rounds", 0, "referral rounds per client (0 = default)")
+	chainRounds := fs.Int("chain-rounds", 0, "chaining rounds per client (0 = default)")
+	batch := fs.Int("batch", 0, "batch width / store count (0 = default 8)")
+	jsonOut := fs.String("json", "", "write the machine-readable report here")
+	max := fs.Float64("max", 0, "allowed p95 overhead of tracing (0.05 = +5%; 0 disables the gate)")
+	_ = fs.Parse(args)
+
+	rep, err := bench.RunTraceOverheadReport(bench.ResolveOptions{
+		Clients: *clients, Rounds: *rounds, ChainRounds: *chainRounds, Batch: *batch,
+	})
+	if err != nil {
+		log.Fatalf("gupbench: trace-overhead: %v", err)
+	}
+	fmt.Println(rep.Table().String())
+	if *jsonOut != "" {
+		if err := bench.WriteTraceOverheadReport(rep, *jsonOut); err != nil {
+			log.Fatalf("gupbench: trace-overhead: write %s: %v", *jsonOut, err)
+		}
+	}
+	if *max > 0 {
+		if err := bench.CheckTraceOverhead(rep, *max); err != nil {
+			// Perf gates on shared machines flake; a true regression fails
+			// the confirmation run too.
+			fmt.Printf("trace-overhead gate: %v — confirming with a second run\n", err)
+			var rerr error
+			rep, rerr = bench.RunTraceOverheadReport(bench.ResolveOptions{
+				Clients: *clients, Rounds: *rounds, ChainRounds: *chainRounds, Batch: *batch,
+			})
+			if rerr != nil {
+				log.Fatalf("gupbench: trace-overhead: %v", rerr)
+			}
+			fmt.Println(rep.Table().String())
+			if err := bench.CheckTraceOverhead(rep, *max); err != nil {
+				log.Fatalf("gupbench: %v", err)
+			}
+		}
+		fmt.Printf("trace-overhead gate: ok (worst p95 overhead %+.1f%% within %.0f%% budget)\n",
+			rep.Overhead*100, *max*100)
 	}
 }

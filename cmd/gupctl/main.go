@@ -18,6 +18,11 @@
 //	provenance                         print my disclosure ledger
 //	provenance-summary                 per-requester disclosure rollup
 //	stats                              print MDM counters
+//	trace <trace-id>                   render a request's span tree
+//	slow [n]                           print recent slow-query traces
+//
+// get, get-via and update run traced: the request's trace ID is printed to
+// stderr ("trace <id>") so it can be fed to `gupctl trace`.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"gupster/internal/core"
 	"gupster/internal/policy"
 	"gupster/internal/token"
+	"gupster/internal/trace"
 	"gupster/internal/wire"
 	"gupster/internal/xmltree"
 	"gupster/internal/xpath"
@@ -59,14 +65,20 @@ func main() {
 	switch cmd := args[0]; cmd {
 	case "get":
 		need(args, 2, "get <path>")
-		doc, err := cli.Get(ctx, args[1])
+		tctx, id, finish := cli.NewTrace(ctx, "gupctl.get")
+		doc, err := cli.Get(tctx, args[1])
+		finish(err)
 		fatal(err)
 		printDoc(doc)
+		traceID(id)
 	case "get-via":
 		need(args, 3, "get-via <chaining|recruiting> <path>")
-		doc, err := cli.GetVia(ctx, args[2], wire.QueryPattern(args[1]))
+		tctx, id, finish := cli.NewTrace(ctx, "gupctl.get-via")
+		doc, err := cli.GetVia(tctx, args[2], wire.QueryPattern(args[1]))
+		finish(err)
 		fatal(err)
 		printDoc(doc)
+		traceID(id)
 	case "resolve":
 		need(args, 2, "resolve <path>")
 		resp, err := cli.Resolve(ctx, &wire.ResolveRequest{
@@ -92,9 +104,12 @@ func main() {
 		fatal(err)
 		frag, err := xmltree.ParseString(string(data))
 		fatal(err)
-		n, err := cli.Update(ctx, args[1], frag)
+		tctx, id, finish := cli.NewTrace(ctx, "gupctl.update")
+		n, err := cli.Update(tctx, args[1], frag)
+		finish(err)
 		fatal(err)
 		fmt.Printf("updated %d store(s)\n", n)
+		traceID(id)
 	case "put-rule":
 		need(args, 5, "put-rule <owner> <id> <permit|deny> <path> [cond]")
 		cond := ""
@@ -178,8 +193,50 @@ func main() {
 		fmt.Printf("fan-out calls: %d\n", st.FanOutCalls)
 		fmt.Printf("batch resolves: %d\n", st.BatchResolves)
 		fmt.Printf("batched queries: %d\n", st.BatchedQueries)
+		if len(st.Hops) > 0 {
+			fmt.Printf("trace spans:   %d (dropped %d)\n", st.TraceSpans, st.TraceDropped)
+			fmt.Println("per-hop latency (µs):")
+			for _, h := range st.Hops {
+				fmt.Printf("  %-14s n=%-7d p50=%-8d p95=%-8d p99=%-8d max=%d\n",
+					h.Name, h.Count, h.P50Micros, h.P95Micros, h.P99Micros, h.MaxMicros)
+			}
+		}
+	case "trace":
+		need(args, 2, "trace <trace-id>")
+		spans, err := cli.TraceSpans(ctx, args[1])
+		fatal(err)
+		if len(spans) == 0 {
+			fmt.Println("(trace unknown or evicted)")
+			return
+		}
+		fmt.Print(trace.RenderTree(spans))
+	case "slow":
+		max := 10
+		if len(args) > 1 {
+			fmt.Sscanf(args[1], "%d", &max)
+		}
+		slow, err := cli.SlowTraces(ctx, max)
+		fatal(err)
+		if len(slow) == 0 {
+			fmt.Println("(no slow traces)")
+			return
+		}
+		for _, st := range slow {
+			fmt.Printf("=== %s at %s (root %s)\n", st.TraceID,
+				time.Unix(0, st.At).Format(time.RFC3339),
+				time.Duration(st.RootMicros)*time.Microsecond)
+			fmt.Print(trace.RenderTree(st.Spans))
+		}
 	default:
 		log.Fatalf("gupctl: unknown command %q", cmd)
+	}
+}
+
+// traceID prints the request's trace ID to stderr, keeping stdout clean
+// for the actual result.
+func traceID(id string) {
+	if id != "" {
+		fmt.Fprintf(os.Stderr, "trace %s\n", id)
 	}
 }
 

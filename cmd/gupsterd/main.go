@@ -44,6 +44,7 @@ func main() {
 	cache := flag.Int("cache", 0, "component cache entries for chaining resolves (0 disables)")
 	ttl := flag.Duration("ttl", 30*time.Second, "referral grant time-to-live")
 	ledger := flag.Int("provenance", 4096, "disclosure-ledger capacity (0 disables)")
+	slow := flag.Duration("slow-threshold", 0, "slow-query trace threshold (0 = default 250ms, negative disables)")
 	var peers repeated
 	flag.Var(&peers, "peer", "address of a peer mirror (repeatable)")
 	flag.Parse()
@@ -54,11 +55,12 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Schema:       schema.GUP(),
-		Signer:       token.NewSigner([]byte(*key)),
-		GrantTTL:     *ttl,
-		CacheEntries: *cache,
-		Adjuncts:     schema.GUPAdjuncts(),
+		Schema:        schema.GUP(),
+		Signer:        token.NewSigner([]byte(*key)),
+		GrantTTL:      *ttl,
+		CacheEntries:  *cache,
+		Adjuncts:      schema.GUPAdjuncts(),
+		SlowThreshold: *slow,
 	}
 	if *ledger > 0 {
 		cfg.Provenance = provenance.NewLedger(*ledger)

@@ -90,10 +90,10 @@ type ResolveMode struct {
 
 // ResolveReport is the machine-readable output of the E16 benchmark.
 type ResolveReport struct {
-	Clients   int           `json:"clients"`
-	BatchSize int           `json:"batch_size"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Modes     []ResolveMode `json:"modes"`
+	Clients    int           `json:"clients"`
+	BatchSize  int           `json:"batch_size"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Modes      []ResolveMode `json:"modes"`
 	// SpeedupReferral is batched resolves/sec over serial resolves/sec —
 	// the acceptance headline.
 	SpeedupReferral float64 `json:"speedup_referral"`

@@ -19,9 +19,15 @@ type componentCache struct {
 	byOwner map[string]map[string]bool
 	// gens counts invalidations per owner. A fill that started before an
 	// invalidation must not land after it (the flight would reinstate data
-	// the store just declared stale), so fillers snapshot gen() before
-	// fetching and insert through putIfFresh.
+	// the store just declared stale), so fillers snapshot beginFill before
+	// fetching and insert through putIfFresh. An entry stays in gens only
+	// while the owner has cached entries or in-flight fills — otherwise the
+	// map would grow by one entry per owner ever invalidated, forever.
 	gens map[string]uint64
+	// fills refcounts in-flight fills per owner; a registered fill pins the
+	// owner's gens entry so a stale fill can never land against a pruned
+	// (hence zero, hence "fresh"-looking) generation.
+	fills map[string]int
 }
 
 type cacheEntry struct {
@@ -37,19 +43,46 @@ func newComponentCache(capacity int) *componentCache {
 		entries: make(map[string]*list.Element),
 		byOwner: make(map[string]map[string]bool),
 		gens:    make(map[string]uint64),
+		fills:   make(map[string]int),
 	}
 }
 
-// gen returns the owner's invalidation generation; snapshot it before a
-// fetch whose result will be offered to putIfFresh.
-func (c *componentCache) gen(owner string) uint64 {
+// beginFill snapshots the owner's invalidation generation and registers an
+// in-flight fill; the caller must pair it with endFill. While at least one
+// fill is registered the owner's generation cannot be pruned.
+func (c *componentCache) beginFill(owner string) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.fills[owner]++
 	return c.gens[owner]
 }
 
+// endFill concludes a fill begun by beginFill, pruning the owner's
+// generation when nothing keeps it alive anymore.
+func (c *componentCache) endFill(owner string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.fills[owner]; n > 1 {
+		c.fills[owner] = n - 1
+		return
+	}
+	delete(c.fills, owner)
+	c.maybePruneGen(owner)
+}
+
+// maybePruneGen drops the owner's generation counter once neither cached
+// entries nor in-flight fills reference it. Resetting to zero is safe
+// exactly because no fill holds a snapshot: the next beginFill re-reads
+// from zero and stays consistent. Caller holds the lock.
+func (c *componentCache) maybePruneGen(owner string) {
+	if c.fills[owner] == 0 && len(c.byOwner[owner]) == 0 {
+		delete(c.gens, owner)
+	}
+}
+
 // putIfFresh inserts only when no invalidation for owner happened since
-// gen was snapshotted; it reports whether the entry was stored.
+// gen was snapshotted by beginFill; it reports whether the entry was
+// stored.
 func (c *componentCache) putIfFresh(key, owner, xml string, gen uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -109,12 +142,15 @@ func (c *componentCache) evict(el *list.Element) {
 		delete(keys, e.key)
 		if len(keys) == 0 {
 			delete(c.byOwner, e.owner)
+			c.maybePruneGen(e.owner)
 		}
 	}
 }
 
 // invalidateOwner drops every entry for an owner (a component changed)
-// and advances the owner's generation so in-flight fills cannot land.
+// and advances the owner's generation so in-flight fills cannot land. With
+// no fills in flight the bumped generation is immediately prunable: every
+// entry is gone, and the next fill snapshots whatever it finds.
 func (c *componentCache) invalidateOwner(owner string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -124,4 +160,5 @@ func (c *componentCache) invalidateOwner(owner string) {
 			c.evict(el)
 		}
 	}
+	c.maybePruneGen(owner)
 }

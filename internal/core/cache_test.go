@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// checkCacheInvariants verifies the structural invariants that tie the
+// cache's four maps together. Callers must not hold the lock.
+func checkCacheInvariants(t *testing.T, c *componentCache) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lru.Len() != len(c.entries) {
+		t.Fatalf("lru has %d elements, entries map has %d", c.lru.Len(), len(c.entries))
+	}
+	if c.lru.Len() > c.cap {
+		t.Fatalf("cache holds %d entries, cap is %d", c.lru.Len(), c.cap)
+	}
+	// Every LRU element is indexed, and byOwner mirrors the entries exactly.
+	ownersSeen := map[string]map[string]bool{}
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		if c.entries[e.key] != el {
+			t.Fatalf("entry %q not indexed to its own element", e.key)
+		}
+		if !c.byOwner[e.owner][e.key] {
+			t.Fatalf("entry %q missing from byOwner[%q]", e.key, e.owner)
+		}
+		if ownersSeen[e.owner] == nil {
+			ownersSeen[e.owner] = map[string]bool{}
+		}
+		ownersSeen[e.owner][e.key] = true
+	}
+	for owner, keys := range c.byOwner {
+		if len(keys) == 0 {
+			t.Fatalf("byOwner[%q] retained empty set", owner)
+		}
+		for key := range keys {
+			if !ownersSeen[owner][key] {
+				t.Fatalf("byOwner[%q] lists %q which is not cached", owner, key)
+			}
+		}
+	}
+	// The leak fix: a generation entry exists only while cached entries or
+	// in-flight fills pin it.
+	for owner := range c.gens {
+		if len(c.byOwner[owner]) == 0 && c.fills[owner] == 0 {
+			t.Fatalf("gens[%q] leaked: owner has no entries and no fills", owner)
+		}
+	}
+	for owner, n := range c.fills {
+		if n <= 0 {
+			t.Fatalf("fills[%q] = %d, want > 0 or absent", owner, n)
+		}
+	}
+}
+
+// Regression for the unbounded-gens leak: churning invalidations across an
+// unbounded owner population must not grow the generation map forever.
+func TestCacheGensBounded(t *testing.T) {
+	c := newComponentCache(8)
+	for i := 0; i < 10000; i++ {
+		owner := fmt.Sprintf("u%d", i)
+		c.put("key-"+owner, owner, "<x/>")
+		c.invalidateOwner(owner)
+	}
+	c.mu.Lock()
+	gens, fills := len(c.gens), len(c.fills)
+	c.mu.Unlock()
+	if gens != 0 {
+		t.Fatalf("gens map holds %d owners after all entries were invalidated, want 0", gens)
+	}
+	if fills != 0 {
+		t.Fatalf("fills map holds %d owners with nothing in flight, want 0", fills)
+	}
+	// Invalidating owners that were never cached must not materialize
+	// generation entries either.
+	for i := 0; i < 100; i++ {
+		c.invalidateOwner(fmt.Sprintf("ghost%d", i))
+	}
+	c.mu.Lock()
+	gens = len(c.gens)
+	c.mu.Unlock()
+	if gens != 0 {
+		t.Fatalf("gens map holds %d entries for never-cached owners, want 0", gens)
+	}
+	checkCacheInvariants(t, c)
+}
+
+// A fill that began before an invalidation must not land after it, even
+// though the pruning resets pruned generations to zero.
+func TestCacheStaleFillCannotLand(t *testing.T) {
+	c := newComponentCache(8)
+	gen := c.beginFill("u")
+	c.invalidateOwner("u")
+	if c.putIfFresh("k", "u", "<stale/>", gen) {
+		t.Fatal("stale fill landed after an invalidation")
+	}
+	c.endFill("u")
+	if _, ok := c.get("k"); ok {
+		t.Fatal("stale data is visible")
+	}
+	checkCacheInvariants(t, c)
+
+	// A fresh fill (snapshotted after the invalidation) lands fine.
+	gen = c.beginFill("u")
+	if !c.putIfFresh("k", "u", "<fresh/>", gen) {
+		t.Fatal("fresh fill rejected")
+	}
+	c.endFill("u")
+	if xml, ok := c.get("k"); !ok || xml != "<fresh/>" {
+		t.Fatalf("get = %q, %v; want the fresh fill", xml, ok)
+	}
+	checkCacheInvariants(t, c)
+}
+
+// The generation pin: while any fill is in flight for an owner, the
+// owner's generation survives even with zero cached entries, so the
+// pruning reset can never make a stale snapshot look fresh.
+func TestCacheFillPinsGeneration(t *testing.T) {
+	c := newComponentCache(8)
+	gen := c.beginFill("u")
+	c.invalidateOwner("u") // bumps the gen; the fill keeps it alive
+	c.mu.Lock()
+	pinned := c.gens["u"]
+	c.mu.Unlock()
+	if pinned == 0 {
+		t.Fatal("in-flight fill did not pin the bumped generation")
+	}
+	if c.putIfFresh("k", "u", "<stale/>", gen) {
+		t.Fatal("stale fill landed against a pinned generation")
+	}
+	c.endFill("u")
+	checkCacheInvariants(t, c)
+}
+
+// Property test: the invariants hold under an arbitrary interleaving of
+// puts, gets, invalidations, and (possibly stale) fill cycles.
+func TestCachePropertyRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := newComponentCache(16)
+	owners := []string{"a", "b", "c", "d", "e"}
+	type flight struct {
+		owner string
+		gen   uint64
+	}
+	var inflight []flight
+	for i := 0; i < 5000; i++ {
+		owner := owners[rng.Intn(len(owners))]
+		key := fmt.Sprintf("%s/%d", owner, rng.Intn(10))
+		switch rng.Intn(6) {
+		case 0:
+			c.put(key, owner, "<x/>")
+		case 1:
+			c.get(key)
+		case 2:
+			c.invalidateOwner(owner)
+		case 3:
+			inflight = append(inflight, flight{owner, c.beginFill(owner)})
+		case 4:
+			if len(inflight) > 0 {
+				j := rng.Intn(len(inflight))
+				f := inflight[j]
+				c.putIfFresh(key, f.owner, "<x/>", f.gen)
+				c.endFill(f.owner)
+				inflight = append(inflight[:j], inflight[j+1:]...)
+			}
+		case 5:
+			// Entries for one owner never survive that owner's invalidation.
+			c.invalidateOwner(owner)
+			c.mu.Lock()
+			n := len(c.byOwner[owner])
+			c.mu.Unlock()
+			if n != 0 {
+				t.Fatalf("owner %q retains %d entries after invalidation", owner, n)
+			}
+		}
+		if i%97 == 0 {
+			checkCacheInvariants(t, c)
+		}
+	}
+	for _, f := range inflight {
+		c.endFill(f.owner)
+	}
+	for _, o := range owners {
+		c.invalidateOwner(o)
+	}
+	c.mu.Lock()
+	gens := len(c.gens)
+	c.mu.Unlock()
+	if gens != 0 {
+		t.Fatalf("gens map holds %d owners after draining everything, want 0", gens)
+	}
+	checkCacheInvariants(t, c)
+}

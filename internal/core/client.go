@@ -14,6 +14,7 @@ import (
 	"gupster/internal/store"
 	"gupster/internal/syncml"
 	"gupster/internal/token"
+	"gupster/internal/trace"
 	"gupster/internal/wire"
 	"gupster/internal/xmltree"
 	"gupster/internal/xpath"
@@ -24,7 +25,8 @@ import (
 // handling the choice ("||") and merge semantics of §4.3 transparently.
 // Safe for concurrent use.
 type Client struct {
-	mdm *wire.Client
+	mdm     *wire.Client
+	mdmAddr string
 	// Identity stamps the request context.
 	Identity string
 	// Role is the asserted relationship to profile owners.
@@ -68,6 +70,22 @@ type Client struct {
 	// resolve + fetch. pipe counts flights/hits/fan-outs client-side.
 	flights *flight.Group
 	pipe    *metrics.PipelineStats
+
+	// Tracer records request traces. DialMDM installs a default collector
+	// (tracing is cheap enough to stay on); set nil to disable.
+	Tracer *trace.Collector
+
+	// traceConn is a lazily dialed out-of-band connection for trace
+	// reports: telemetry frames must never queue ahead of request frames
+	// on the request connection (on a slow link one report delays the next
+	// resolve by a full store-and-forward hop). traceQ feeds one reporter
+	// goroutine; when it backs up reports are dropped — tracing is lossy
+	// under pressure by design, never a brake on requests.
+	traceMu   sync.Mutex
+	traceConn *wire.Client
+	traceQ    chan []trace.Span
+	traceQuit chan struct{}
+	traceOnce sync.Once
 }
 
 // DialMDM connects a client identity to the MDM.
@@ -79,6 +97,7 @@ func DialMDM(addr, identity, role string) (*Client, error) {
 	pipe := &metrics.PipelineStats{}
 	return &Client{
 		mdm:        c,
+		mdmAddr:    addr,
 		Identity:   identity,
 		Role:       role,
 		Keys:       xmltree.DefaultKeys,
@@ -88,7 +107,123 @@ func DialMDM(addr, identity, role string) (*Client, error) {
 		Resilience: resilience.NewGroup(resilience.Policy{}, resilience.BreakerConfig{}, nil),
 		flights:    flight.NewGroup(pipe),
 		pipe:       pipe,
+		Tracer:     trace.NewCollector("client", 0, 0),
+		traceQ:     make(chan []trace.Span, 64),
+		traceQuit:  make(chan struct{}),
 	}, nil
+}
+
+// startRoot begins a trace for a client operation: a fresh trace unless
+// ctx already carries one (nested client calls join the outer trace). The
+// returned finish closure completes the span and, when this call minted
+// the trace, reports the finished span set to the MDM so the whole
+// constellation's trace directory holds the tree.
+func (c *Client) startRoot(ctx context.Context, name string) (context.Context, func(err error)) {
+	tctx, sp, rr := trace.StartRoot(ctx, c.Tracer, name)
+	return tctx, func(err error) {
+		sp.Finish(err)
+		if rr != nil {
+			c.queueReport(rr.Drain())
+		}
+	}
+}
+
+// queueReport hands a finished trace to the background reporter,
+// non-blocking: marshalling and writing the report on the request path
+// would tax every resolve (E17 measures this).
+func (c *Client) queueReport(spans []trace.Span) {
+	if len(spans) == 0 {
+		return
+	}
+	c.traceOnce.Do(func() {
+		go func() {
+			for {
+				select {
+				case spans := <-c.traceQ:
+					c.reportTrace(spans)
+				case <-c.traceQuit:
+					return
+				}
+			}
+		}()
+	})
+	select {
+	case c.traceQ <- spans:
+	case <-c.traceQuit:
+	default: // reporter backed up; drop the trace
+	}
+}
+
+// reportTrace delivers a finished trace to the MDM, fire-and-forget: a
+// one-way frame, no response, errors ignored (tracing must never fail a
+// request). Reports go over a dedicated connection, dialed on first use,
+// so telemetry never queues ahead of request frames.
+func (c *Client) reportTrace(spans []trace.Span) {
+	if len(spans) == 0 {
+		return
+	}
+	conn, err := c.traceConnection()
+	if err != nil {
+		return
+	}
+	rctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := conn.Send(rctx, wire.TypeTraceReport, wire.TraceReportRequest{Spans: spans}); err != nil {
+		// Drop the dead connection; the next report redials.
+		c.traceMu.Lock()
+		if c.traceConn == conn {
+			c.traceConn = nil
+		}
+		c.traceMu.Unlock()
+		conn.Close()
+	}
+}
+
+// traceConnection returns the out-of-band reporting connection, dialing it
+// on first use.
+func (c *Client) traceConnection() (*wire.Client, error) {
+	c.traceMu.Lock()
+	defer c.traceMu.Unlock()
+	if c.traceConn != nil {
+		return c.traceConn, nil
+	}
+	conn, err := wire.Dial(c.mdmAddr)
+	if err != nil {
+		return nil, err
+	}
+	c.traceConn = conn
+	return conn, nil
+}
+
+// NewTrace explicitly begins a traced operation for callers (like gupctl)
+// that want the trace ID. finish completes the root span and reports the
+// trace to the MDM.
+func (c *Client) NewTrace(ctx context.Context, name string) (tctx context.Context, traceID string, finish func(err error)) {
+	tctx, sp, rr := trace.StartRoot(ctx, c.Tracer, name)
+	return tctx, sp.TraceID(), func(err error) {
+		sp.Finish(err)
+		if rr != nil {
+			c.reportTrace(rr.Drain())
+		}
+	}
+}
+
+// TraceSpans fetches one trace's spans from the MDM's trace directory.
+func (c *Client) TraceSpans(ctx context.Context, traceID string) ([]trace.Span, error) {
+	var resp wire.TraceResponse
+	if err := c.mdm.Call(ctx, wire.TypeTrace, &wire.TraceRequest{TraceID: traceID}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Spans, nil
+}
+
+// SlowTraces fetches recent slow-query traces from the MDM.
+func (c *Client) SlowTraces(ctx context.Context, max int) ([]trace.SlowTrace, error) {
+	var resp wire.SlowResponse
+	if err := c.mdm.Call(ctx, wire.TypeSlow, &wire.SlowRequest{Max: max}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
 }
 
 // Pipeline exposes the client's resolve-pipeline counters.
@@ -128,6 +263,19 @@ func (c *Client) Close() error {
 		delete(c.pool, addr)
 	}
 	c.poolMu.Unlock()
+	c.traceMu.Lock()
+	if c.traceConn != nil {
+		c.traceConn.Close()
+		c.traceConn = nil
+	}
+	if c.traceQuit != nil {
+		select {
+		case <-c.traceQuit:
+		default:
+			close(c.traceQuit)
+		}
+	}
+	c.traceMu.Unlock()
 	return c.mdm.Close()
 }
 
@@ -182,6 +330,13 @@ func (c *Client) Get(ctx context.Context, path string) (*xmltree.Node, error) {
 // followers receive an independent clone of the shared tree, so callers
 // may mutate their result freely.
 func (c *Client) GetAs(ctx context.Context, path string, reqCtx policy.Context) (*xmltree.Node, error) {
+	ctx, finish := c.startRoot(ctx, "client.get")
+	doc, err := c.getAs(ctx, path, reqCtx)
+	finish(err)
+	return doc, err
+}
+
+func (c *Client) getAs(ctx context.Context, path string, reqCtx policy.Context) (*xmltree.Node, error) {
 	do := func() (*xmltree.Node, error) {
 		resp, err := c.Resolve(ctx, &wire.ResolveRequest{
 			Path:    path,
@@ -229,6 +384,13 @@ type BatchResult struct {
 // referrals on the client's bounded fan-out pool. Results are positional
 // and independent — one denied path does not fail its siblings.
 func (c *Client) GetBatch(ctx context.Context, paths []string) ([]BatchResult, error) {
+	ctx, finish := c.startRoot(ctx, "client.get-batch")
+	out, err := c.getBatch(ctx, paths)
+	finish(err)
+	return out, err
+}
+
+func (c *Client) getBatch(ctx context.Context, paths []string) ([]BatchResult, error) {
 	reqs := make([]wire.ResolveRequest, len(paths))
 	for i, p := range paths {
 		reqs[i] = wire.ResolveRequest{
@@ -271,6 +433,13 @@ func (c *Client) GetBatch(ctx context.Context, paths []string) ([]BatchResult, e
 // GetVia fetches through a server-side pattern (chaining or recruiting):
 // one round trip, data comes back from the MDM.
 func (c *Client) GetVia(ctx context.Context, path string, pattern wire.QueryPattern) (*xmltree.Node, error) {
+	ctx, finish := c.startRoot(ctx, "client.resolve")
+	doc, err := c.getVia(ctx, path, pattern)
+	finish(err)
+	return doc, err
+}
+
+func (c *Client) getVia(ctx context.Context, path string, pattern wire.QueryPattern) (*xmltree.Node, error) {
 	resp, err := c.Resolve(ctx, &wire.ResolveRequest{
 		Path:    path,
 		Context: c.contextFor(policy.PurposeQuery),
@@ -348,6 +517,10 @@ func (c *Client) fetchAlternative(ctx context.Context, alt wire.Alternative) (*x
 		c.pipe.FanOuts.Add(1)
 		c.pipe.FanOutCalls.Add(uint64(len(alt.Referrals)))
 	}
+	// No per-fetch client span: the store's own span rides back on the
+	// fetch reply and the EWMA latency map already times each store from
+	// this side, so a span here would only duplicate both at measurable
+	// per-request cost (E17).
 	err := flight.ForEach(ctx, len(alt.Referrals), c.FanOut, func(i int) error {
 		ref := alt.Referrals[i]
 		// Each attempt re-resolves the pooled connection so a retry
@@ -379,6 +552,13 @@ func (c *Client) fetchAlternative(ctx context.Context, alt wire.Alternative) (*x
 // requirement 4; a write must reach all replicas). It returns the number of
 // stores written.
 func (c *Client) Update(ctx context.Context, path string, frag *xmltree.Node) (int, error) {
+	ctx, finish := c.startRoot(ctx, "client.update")
+	n, err := c.update(ctx, path, frag)
+	finish(err)
+	return n, err
+}
+
+func (c *Client) update(ctx context.Context, path string, frag *xmltree.Node) (int, error) {
 	resp, err := c.Resolve(ctx, &wire.ResolveRequest{
 		Path:    path,
 		Context: c.contextFor(policy.PurposeProvision),

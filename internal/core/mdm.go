@@ -29,6 +29,7 @@ import (
 	"gupster/internal/schema"
 	"gupster/internal/store"
 	"gupster/internal/token"
+	"gupster/internal/trace"
 	"gupster/internal/wire"
 	"gupster/internal/xmltree"
 	"gupster/internal/xpath"
@@ -76,6 +77,13 @@ type Config struct {
 	// chaining/recruiting resolves — the ablation measured by the resolve
 	// benchmark.
 	DisableCoalescing bool
+	// SlowThreshold flags traced resolves slower than this into the slow
+	// query log; 0 means trace.DefaultSlowThreshold, negative disables the
+	// log.
+	SlowThreshold time.Duration
+	// TraceSpans bounds the trace collector's retained spans; 0 means
+	// trace.DefaultSpanCap.
+	TraceSpans int
 }
 
 // Stats are the MDM's observability counters.
@@ -117,6 +125,10 @@ type MDM struct {
 	flights *flight.Group
 	pipe    *metrics.PipelineStats
 
+	// tracer records this MDM's spans and — because clients report their
+	// finished traces here — acts as the constellation's trace directory.
+	tracer *trace.Collector
+
 	poolMu sync.Mutex
 	pool   map[string]*store.Client // address → connection (chaining)
 }
@@ -142,6 +154,7 @@ func New(cfg Config) *MDM {
 	}
 	m.pipe = &metrics.PipelineStats{}
 	m.flights = flight.NewGroup(m.pipe)
+	m.tracer = trace.NewCollector("mdm", cfg.TraceSpans, cfg.SlowThreshold)
 	m.PAP = &policy.AdministrationPoint{Repo: repo}
 	if cfg.Schema != nil {
 		m.PAP.ValidatePath = cfg.Schema.ValidatePath
@@ -192,6 +205,16 @@ func ownerOf(req *wire.ResolveRequest, p xpath.Path) (string, error) {
 // For the referral pattern the response carries alternatives of signed
 // queries; for chaining and recruiting it carries merged data.
 func (m *MDM) Resolve(ctx context.Context, req *wire.ResolveRequest) (*wire.ResolveResponse, error) {
+	// The span finishes before Resolve returns so the serving layer can
+	// drain it onto the reply frame (a deferred finish would fire after the
+	// frame left).
+	ctx, sp := trace.Start(ctx, "mdm.resolve")
+	resp, err := m.resolve(ctx, sp, req)
+	sp.Finish(err)
+	return resp, err
+}
+
+func (m *MDM) resolve(ctx context.Context, sp *trace.Active, req *wire.ResolveRequest) (*wire.ResolveResponse, error) {
 	m.Stats.Resolves.Add(1)
 	p, err := xpath.Parse(req.Path)
 	if err != nil {
@@ -231,15 +254,18 @@ func (m *MDM) Resolve(ctx context.Context, req *wire.ResolveRequest) (*wire.Reso
 	case "", wire.PatternReferral:
 		// Referral planning is local CPU work (lookup + sign); coalescing
 		// would only serialize it.
+		sp.Annotate("pattern=referral")
 		return &wire.ResolveResponse{Alternatives: alts}, nil
 	case wire.PatternChaining:
+		sp.Annotate("pattern=chaining")
 		key := flightKey(wire.PatternChaining, owner, req.Context.Requester, verb, decision.Grants)
-		return m.coalesce(ctx, key, func() (*wire.ResolveResponse, error) {
+		return m.coalesce(ctx, key, sp, func() (*wire.ResolveResponse, error) {
 			return m.chain(ctx, owner, decision.Grants, alts)
 		})
 	case wire.PatternRecruiting:
+		sp.Annotate("pattern=recruiting")
 		key := flightKey(wire.PatternRecruiting, owner, req.Context.Requester, verb, decision.Grants)
-		return m.coalesce(ctx, key, func() (*wire.ResolveResponse, error) {
+		return m.coalesce(ctx, key, sp, func() (*wire.ResolveResponse, error) {
 			return m.recruit(ctx, alts)
 		})
 	default:
@@ -259,12 +285,16 @@ func flightKey(pattern wire.QueryPattern, owner, requester string, verb token.Ve
 // coalesce funnels fn through the MDM's flight group: concurrent
 // identical resolves execute once and share the result (and the error —
 // a breaker trip on the leader is the followers' verdict too, without
-// extra attempts inflating the failure counters).
-func (m *MDM) coalesce(ctx context.Context, key string, fn func() (*wire.ResolveResponse, error)) (*wire.ResolveResponse, error) {
+// extra attempts inflating the failure counters). Coalesced callers are
+// visible in traces: followers' spans carry a "coalesced" note.
+func (m *MDM) coalesce(ctx context.Context, key string, sp *trace.Active, fn func() (*wire.ResolveResponse, error)) (*wire.ResolveResponse, error) {
 	if m.cfg.DisableCoalescing {
 		return fn()
 	}
-	v, _, err := m.flights.Do(ctx, key, func() (any, error) { return fn() })
+	v, shared, err := m.flights.Do(ctx, key, func() (any, error) { return fn() })
+	if shared {
+		sp.Annotate("coalesced")
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -412,20 +442,27 @@ func cacheKey(owner string, grants []xpath.Path) string {
 // chain implements the chaining pattern: the MDM fetches the pieces itself,
 // merges, and returns data — for clients too limited to follow referrals
 // (§5.2). Results are cached when the cache is enabled.
-func (m *MDM) chain(ctx context.Context, owner string, grants []xpath.Path, alts []wire.Alternative) (*wire.ResolveResponse, error) {
+func (m *MDM) chain(ctx context.Context, owner string, grants []xpath.Path, alts []wire.Alternative) (resp *wire.ResolveResponse, err error) {
+	ctx, sp := trace.Start(ctx, "mdm.chain")
+	defer func() { sp.Finish(err) }()
 	key := cacheKey(owner, grants)
 	cacheable := m.cache != nil && m.cacheableGrants(grants)
 	var gen uint64
 	if cacheable {
 		if xml, ok := m.cache.get(key); ok {
 			m.Stats.CacheHits.Add(1)
+			sp.Annotate("cache-hit")
 			return &wire.ResolveResponse{Data: xml, Cached: true}, nil
 		}
 		m.Stats.CacheMisses.Add(1)
+		sp.Annotate("cache-miss")
 		// Snapshot the owner's invalidation generation before fetching: if a
 		// component changes while this flight is up, the stale result must
 		// not be reinstated into the cache (putIfFresh below refuses it).
-		gen = m.cache.gen(owner)
+		// beginFill also pins the owner's generation counter against
+		// pruning until the paired endFill.
+		gen = m.cache.beginFill(owner)
+		defer m.cache.endFill(owner)
 	}
 
 	var lastErr error
@@ -483,7 +520,9 @@ func (m *MDM) fetchAlternative(ctx context.Context, alt wire.Alternative) (*xmlt
 	}
 	err := flight.ForEach(ctx, len(alt.Referrals), m.cfg.FanOut, func(i int) error {
 		ref := alt.Referrals[i]
-		return m.res.Do(ctx, ref.Address, func(actx context.Context) error {
+		fctx, fsp := trace.Start(ctx, "mdm.fetch")
+		fsp.Annotate("store=" + ref.Query.Store)
+		ferr := m.res.Do(fctx, ref.Address, func(actx context.Context) error {
 			c, err := m.storeClient(ref.Address)
 			if err != nil {
 				return err
@@ -496,6 +535,8 @@ func (m *MDM) fetchAlternative(ctx context.Context, alt wire.Alternative) (*xmlt
 			pieces[i] = d
 			return nil
 		})
+		fsp.Finish(ferr)
+		return ferr
 	})
 	if err != nil {
 		return nil, err
@@ -518,8 +559,10 @@ func (m *MDM) recruit(ctx context.Context, alts []wire.Alternative) (*wire.Resol
 			continue
 		}
 		primary := alt.Referrals[0]
+		rctx, rsp := trace.Start(ctx, "mdm.recruit")
+		rsp.Annotate("store=" + primary.Query.Store)
 		var merged *xmltree.Node
-		err := m.res.Do(ctx, primary.Address, func(actx context.Context) error {
+		err := m.res.Do(rctx, primary.Address, func(actx context.Context) error {
 			c, err := m.storeClient(primary.Address)
 			if err != nil {
 				return err
@@ -532,6 +575,7 @@ func (m *MDM) recruit(ctx context.Context, alts []wire.Alternative) (*wire.Resol
 			merged = mg
 			return nil
 		})
+		rsp.Finish(err)
 		if err != nil {
 			lastErr = err
 			continue
@@ -644,6 +688,10 @@ func (m *MDM) ShieldSnapshot() []wire.PutRuleRequest {
 // batching).
 func (m *MDM) Pipeline() *metrics.PipelineStats { return m.pipe }
 
+// Tracer exposes the MDM's trace collector — the constellation's trace
+// directory, queried by `gupctl trace` and `gupctl slow`.
+func (m *MDM) Tracer() *trace.Collector { return m.tracer }
+
 // Snapshot returns a point-in-time stats view.
 func (m *MDM) Snapshot() wire.StatsResponse {
 	rs := m.res.Snapshot()
@@ -666,6 +714,9 @@ func (m *MDM) Snapshot() wire.StatsResponse {
 		FanOutCalls:    ps.FanOutCalls,
 		BatchResolves:  ps.BatchResolves,
 		BatchedQueries: ps.BatchedQueries,
+		Hops:           m.tracer.HopStats(),
+		TraceSpans:     m.tracer.SpanCount(),
+		TraceDropped:   m.tracer.Dropped(),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"gupster/internal/coverage"
 	"gupster/internal/policy"
+	"gupster/internal/trace"
 	"gupster/internal/wire"
 	"gupster/internal/xpath"
 )
@@ -49,6 +50,12 @@ func (s *Server) serve(c *wire.ServerConn, m *wire.Message) {
 		err = s.handleResolve(c, m)
 	case wire.TypeBatchResolve:
 		err = s.handleBatchResolve(c, m)
+	case wire.TypeTrace:
+		err = s.handleTrace(c, m)
+	case wire.TypeSlow:
+		err = s.handleSlow(c, m)
+	case wire.TypeTraceReport:
+		err = s.handleTraceReport(c, m)
 	case wire.TypeRegister:
 		err = s.handleRegister(c, m)
 	case wire.TypeUnregister:
@@ -75,16 +82,68 @@ func (s *Server) serve(c *wire.ServerConn, m *wire.Message) {
 	}
 }
 
+// traceCtx derives the serving context for a request: when the frame
+// carries a span header, spans recorded while serving join the caller's
+// trace in the MDM's collector. The MDM never piggybacks spans back down
+// to the requester — the trace directory lives here, the client reports
+// its own spans out-of-band, and span payload on the client-facing reply
+// would tax every response frame with data the directory already holds
+// (E17 measures exactly that: on a slow link the extra bytes cost the
+// coalesce leader a full store-and-forward hop).
+func (s *Server) traceCtx(m *wire.Message) context.Context {
+	ctx := context.Background()
+	if m.Trace == nil {
+		return ctx
+	}
+	return trace.WithRemote(ctx, m.Trace, "mdm", s.MDM.Tracer())
+}
+
 func (s *Server) handleResolve(c *wire.ServerConn, m *wire.Message) error {
 	var req wire.ResolveRequest
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
 		return err
 	}
-	resp, err := s.MDM.Resolve(context.Background(), &req)
+	resp, err := s.MDM.Resolve(s.traceCtx(m), &req)
 	if err != nil {
 		return err
 	}
 	return c.Reply(m, resp)
+}
+
+func (s *Server) handleTrace(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.TraceRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	return c.Reply(m, wire.TraceResponse{Spans: s.MDM.Tracer().Trace(req.TraceID)})
+}
+
+func (s *Server) handleSlow(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.SlowRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	return c.Reply(m, wire.SlowResponse{Traces: s.MDM.Tracer().Slow(req.Max)})
+}
+
+// handleTraceReport ingests a client's finished trace. Reports normally
+// arrive as one-way frames (ID 0) and get no reply; a regular request gets
+// an acknowledgement.
+func (s *Server) handleTraceReport(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.TraceReportRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		if m.ID == 0 {
+			return nil // nothing to reply to; drop the bad report
+		}
+		return err
+	}
+	// Clients report over a dedicated connection, so ingesting inline on
+	// the serve goroutine delays no resolves.
+	s.MDM.Tracer().Ingest(req.Spans)
+	if m.ID == 0 {
+		return nil
+	}
+	return c.Reply(m, wire.Empty{})
 }
 
 // handleBatchResolve answers every entry of a batch, resolving them
@@ -96,7 +155,7 @@ func (s *Server) handleBatchResolve(c *wire.ServerConn, m *wire.Message) error {
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
 		return err
 	}
-	resp, err := s.MDM.BatchResolve(context.Background(), &req)
+	resp, err := s.MDM.BatchResolve(s.traceCtx(m), &req)
 	if err != nil {
 		return err
 	}

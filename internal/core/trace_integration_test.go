@@ -1,0 +1,155 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gupster/internal/trace"
+	"gupster/internal/wire"
+)
+
+// chainRig builds a two-store split address book so a chaining resolve
+// crosses three processes: client (hop 0) → MDM (hop 1) → stores (hop 2).
+func chainRig(t *testing.T) *rig {
+	t.Helper()
+	r := newRig(t, 0)
+	r.addStore("gup.a.com")
+	r.addStore("gup.b.com")
+	r.register("gup.a.com", "/user[@id='u']/address-book/item[@type='personal']")
+	r.register("gup.b.com", "/user[@id='u']/address-book/item[@type='corporate']")
+	r.seed("gup.a.com", "u", "/user[@id='u']/address-book",
+		`<address-book><item name="mom" type="personal"><phone>1</phone></item></address-book>`)
+	r.seed("gup.b.com", "u", "/user[@id='u']/address-book",
+		`<address-book><item name="boss" type="corporate"><phone>2</phone></item></address-book>`)
+	return r
+}
+
+// The headline acceptance scenario: one chaining resolve, and the MDM — the
+// constellation's trace directory — holds a span tree spanning all three
+// hops under a single trace ID.
+func TestChainingTraceSpansThreeHops(t *testing.T) {
+	r := chainRig(t)
+	cli := r.client("u", "self")
+
+	ctx, traceID, finish := cli.NewTrace(context.Background(), "test.chain")
+	if traceID == "" {
+		t.Fatal("NewTrace returned no trace ID")
+	}
+	if _, err := cli.GetVia(ctx, "/user[@id='u']/address-book", wire.PatternChaining); err != nil {
+		t.Fatalf("GetVia: %v", err)
+	}
+	finish(nil)
+
+	// The MDM and store spans are in the directory before GetVia returns;
+	// the client's root span arrives on a one-way report frame, so poll
+	// briefly for the directory to converge.
+	var spans []trace.Span
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		spans = r.mdm.Tracer().Trace(traceID)
+		hops := trace.Hops(spans)
+		if len(hops) >= 3 && hops[0] == 0 && hops[1] == 1 && hops[2] == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace hops = %v, want at least {0,1,2} (client → MDM → store)", hops)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sites := map[string]int{}
+	for _, s := range spans {
+		if s.TraceID != traceID {
+			t.Fatalf("span %q carries trace %q, want %q", s.Name, s.TraceID, traceID)
+		}
+		sites[s.Site]++
+	}
+	for _, site := range []string{"client", "mdm", "store"} {
+		if sites[site] == 0 {
+			t.Errorf("no %s-side spans in the directory; sites = %v", site, sites)
+		}
+	}
+
+	// The store-side spans in the directory are the same spans the stores
+	// indexed locally — same trace ID at both sites.
+	var storeSpans int
+	for _, srv := range r.stores {
+		storeSpans += len(srv.Tracer.Trace(traceID))
+	}
+	if storeSpans == 0 {
+		t.Error("stores did not index their own share of the trace")
+	}
+
+	// And the tree renders with the client root on top.
+	tree := trace.RenderTree(spans)
+	if len(tree) == 0 || tree[:1] == "(" {
+		t.Fatalf("RenderTree: %q", tree)
+	}
+}
+
+// Ordinary client operations (no explicit NewTrace) report their finished
+// traces to the MDM in the background; the directory converges shortly
+// after the call returns.
+func TestBackgroundTraceReportReachesDirectory(t *testing.T) {
+	r := chainRig(t)
+	cli := r.client("u", "self")
+	if _, err := cli.Get(context.Background(), "/user[@id='u']/address-book"); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var clientSpans bool
+		for _, hs := range r.mdm.Tracer().HopStats() {
+			if hs.Name == "client.get" {
+				clientSpans = true
+			}
+		}
+		if clientSpans {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client's trace report never reached the MDM directory")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Tracing is opt-out per client and fully backward-compatible on the wire:
+// an untraced client's frames carry no span header and the fabric records
+// nothing.
+func TestUntracedClientLeavesNoSpans(t *testing.T) {
+	r := chainRig(t)
+	cli := r.client("u", "self")
+	cli.Tracer = nil
+	if _, err := cli.GetVia(context.Background(), "/user[@id='u']/address-book", wire.PatternChaining); err != nil {
+		t.Fatalf("GetVia: %v", err)
+	}
+	if n := r.mdm.Tracer().SpanCount(); n != 0 {
+		t.Fatalf("MDM recorded %d spans for an untraced client", n)
+	}
+}
+
+// A slow traced request lands in the MDM's slow-query log with its whole
+// span tree attached.
+func TestSlowTraceLandsInSlowLog(t *testing.T) {
+	r := chainRig(t)
+	r.mdm.Tracer().SetSlowThreshold(time.Nanosecond)
+	cli := r.client("u", "self")
+	ctx, traceID, finish := cli.NewTrace(context.Background(), "test.slow")
+	if _, err := cli.GetVia(ctx, "/user[@id='u']/address-book", wire.PatternChaining); err != nil {
+		t.Fatalf("GetVia: %v", err)
+	}
+	finish(nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, st := range r.mdm.Tracer().Slow(0) {
+			if st.TraceID == traceID && len(st.Spans) > 0 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never reached the slow log", traceID)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"gupster/internal/core"
 	"gupster/internal/flight"
 	"gupster/internal/resilience"
+	"gupster/internal/trace"
 	"gupster/internal/wire"
 )
 
@@ -164,14 +165,24 @@ func (m *Mirror) handle(c *wire.ServerConn, msg *wire.Message) {
 				peers = append(peers, p)
 			}
 			m.mu.Unlock()
+			// A traced mutation records the replication fan-out as a span in
+			// the local MDM's collector (recording directly there, not on the
+			// request frame — the local apply below owns the reply).
+			rctx := context.Background()
+			var rsp *trace.Active
+			if msg.Trace != nil {
+				rctx = trace.WithRemote(rctx, msg.Trace, "mirror", m.mdm.Tracer())
+				rctx, rsp = trace.Start(rctx, "mirror.replicate")
+			}
 			// Fan the mutation out to all peers concurrently (bounded pool)
 			// instead of peer by peer: convergence latency is the slowest
 			// peer, not the sum. Best-effort: a dead peer misses the update;
 			// stores re-register on reconnect.
-			_ = flight.ForEach(context.Background(), len(peers), flight.DefaultWorkers, func(i int) error {
-				_ = peers[i].Call(context.Background(), msg.Type, msg.Payload, nil)
+			_ = flight.ForEach(rctx, len(peers), flight.DefaultWorkers, func(i int) error {
+				_ = peers[i].Call(rctx, msg.Type, msg.Payload, nil)
 				return nil
 			})
+			rsp.Finish(nil)
 		}
 	}
 	// Apply locally (the local core server replies to the caller).

@@ -6,37 +6,88 @@ package metrics
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 )
 
-// Histogram accumulates duration samples. Safe for concurrent use.
+// DefaultReservoir bounds a histogram's retained samples. It comfortably
+// exceeds every finite bench run's sample count (the largest, E16's
+// referral phase, records 4096), so percentiles there stay exact; beyond
+// it the histogram switches to uniform reservoir sampling (Vitter's
+// algorithm R) so long-running uses — the per-hop trace percentiles —
+// hold memory constant forever.
+const DefaultReservoir = 1 << 15
+
+// Histogram accumulates duration samples with bounded memory: up to its
+// reservoir capacity every sample is kept (percentiles are exact), after
+// which samples are reservoir-sampled uniformly (percentiles are
+// estimates over a uniform subsample). Count, Mean, Min and Max stay
+// exact regardless. Safe for concurrent use.
 type Histogram struct {
 	mu      sync.Mutex
+	cap     int
 	samples []time.Duration
 	sorted  bool
+	n       uint64        // total observed
+	sum     time.Duration // exact running sum
+	min     time.Duration // exact extremes
+	max     time.Duration
+	rnd     *rand.Rand
 }
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram with the default reservoir.
 func NewHistogram() *Histogram {
-	return &Histogram{}
+	return NewHistogramCap(DefaultReservoir)
+}
+
+// NewHistogramCap returns an empty histogram retaining at most capacity
+// samples (<= 0 means DefaultReservoir).
+func NewHistogramCap(capacity int) *Histogram {
+	if capacity <= 0 {
+		capacity = DefaultReservoir
+	}
+	return &Histogram{cap: capacity}
 }
 
 // Record adds one sample.
 func (h *Histogram) Record(d time.Duration) {
 	h.mu.Lock()
-	h.samples = append(h.samples, d)
-	h.sorted = false
-	h.mu.Unlock()
+	defer h.mu.Unlock()
+	if h.cap == 0 {
+		h.cap = DefaultReservoir // zero-value Histograms keep working
+	}
+	h.n++
+	h.sum += d
+	if h.n == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+		h.sorted = false
+		return
+	}
+	// Reservoir full: keep each of the n samples with probability cap/n.
+	if h.rnd == nil {
+		h.rnd = rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(h.n)))
+	}
+	if j := h.rnd.Int63n(int64(h.n)); j < int64(h.cap) {
+		h.samples[j] = d
+		h.sorted = false
+	}
 }
 
-// Count returns the number of samples.
+// Count returns the total number of recorded samples (including any no
+// longer retained in the reservoir).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.n)
 }
 
 func (h *Histogram) ensureSorted() {
@@ -47,7 +98,8 @@ func (h *Histogram) ensureSorted() {
 }
 
 // Percentile returns the p-th percentile (0 < p ≤ 100); zero with no
-// samples.
+// samples. Exact while the sample count is within the reservoir, an
+// estimate over a uniform subsample beyond it.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -65,40 +117,62 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return h.samples[idx]
 }
 
-// Mean returns the arithmetic mean; zero with no samples.
+// Mean returns the arithmetic mean; zero with no samples. Always exact.
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, s := range h.samples {
-		sum += s
-	}
-	return sum / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.n)
 }
 
-// Min and Max return the extremes; zero with no samples.
+// Min returns the smallest sample; zero with no samples. Always exact.
 func (h *Histogram) Min() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.ensureSorted()
-	return h.samples[0]
+	return h.min
 }
 
-// Max returns the largest sample.
+// Max returns the largest sample. Always exact.
 func (h *Histogram) Max() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
+	return h.max
+}
+
+// Retained reports how many samples the reservoir currently holds (for
+// tests asserting boundedness).
+func (h *Histogram) Retained() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// HopStat is the aggregate latency view of one hop (one span name) of the
+// resolve fabric, folded into the pipeline stats output.
+type HopStat struct {
+	Name      string `json:"name"`
+	Count     uint64 `json:"count"`
+	P50Micros int64  `json:"p50_us"`
+	P95Micros int64  `json:"p95_us"`
+	P99Micros int64  `json:"p99_us"`
+	MaxMicros int64  `json:"max_us"`
+}
+
+// HopStat summarizes the histogram under a hop name.
+func (h *Histogram) HopStat(name string) HopStat {
+	h.mu.Lock()
+	n := h.n
+	h.mu.Unlock()
+	return HopStat{
+		Name:      name,
+		Count:     n,
+		P50Micros: h.Percentile(50).Microseconds(),
+		P95Micros: h.Percentile(95).Microseconds(),
+		P99Micros: h.Percentile(99).Microseconds(),
+		MaxMicros: h.Max().Microseconds(),
 	}
-	h.ensureSorted()
-	return h.samples[len(h.samples)-1]
 }
 
 // Summary renders "mean / p50 / p99 / max" compactly.

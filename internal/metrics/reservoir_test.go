@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression for the unbounded-histogram leak: a histogram fed forever —
+// the per-hop trace percentiles are — must hold memory constant while
+// keeping the exact aggregates exact.
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewHistogramCap(64)
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Retained(); got != 64 {
+		t.Fatalf("retained %d samples, want the 64-sample cap", got)
+	}
+	if got := h.Count(); got != n {
+		t.Fatalf("count %d, want %d (counts every sample, retained or not)", got, n)
+	}
+	if got := h.Min(); got != 1*time.Microsecond {
+		t.Fatalf("min %v, want 1µs exact", got)
+	}
+	if got := h.Max(); got != n*time.Microsecond {
+		t.Fatalf("max %v, want %dµs exact", got, n)
+	}
+	sum := time.Duration(n*(n+1)/2) * time.Microsecond
+	if got, want := h.Mean(), sum/n; got != want {
+		t.Fatalf("mean %v, want %v exact", got, want)
+	}
+}
+
+// Beyond the cap percentiles become estimates over a uniform subsample;
+// on a uniform input the median estimate must stay near the true median.
+func TestHistogramReservoirPercentileEstimate(t *testing.T) {
+	h := NewHistogramCap(1024)
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	p50 := h.Percentile(50)
+	lo, hi := time.Duration(n/10*3)*time.Microsecond, time.Duration(n/10*7)*time.Microsecond
+	if p50 < lo || p50 > hi {
+		t.Fatalf("reservoir p50 = %v, want within [%v, %v] of the true median %v", p50, lo, hi, time.Duration(n/2)*time.Microsecond)
+	}
+}
+
+// A zero-value Histogram must work (struct fields inside other structs).
+func TestHistogramZeroValue(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(time.Millisecond)
+	}
+	if h.Count() != 100 || h.Percentile(50) != time.Millisecond {
+		t.Fatalf("zero-value histogram: count %d p50 %v", h.Count(), h.Percentile(50))
+	}
+}
+
+func TestHistogramHopStat(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	hs := h.HopStat("store.fetch")
+	if hs.Name != "store.fetch" || hs.Count != 100 {
+		t.Fatalf("hop stat %+v", hs)
+	}
+	if hs.P50Micros <= 0 || hs.P95Micros < hs.P50Micros || hs.MaxMicros != 100000 {
+		t.Fatalf("hop stat percentiles inconsistent: %+v", hs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"gupster/internal/flight"
 	"gupster/internal/syncml"
 	"gupster/internal/token"
+	"gupster/internal/trace"
 	"gupster/internal/wire"
 	"gupster/internal/xmltree"
 	"gupster/internal/xpath"
@@ -23,6 +24,8 @@ type Server struct {
 	Signer *token.Signer
 	sync   *syncml.Server
 	ws     *wire.Server
+	// Tracer records the store's share of traced requests.
+	Tracer *trace.Collector
 }
 
 // NewServer wraps an engine. Call Start to begin serving.
@@ -31,7 +34,25 @@ func NewServer(e *Engine, signer *token.Signer) *Server {
 		Engine: e,
 		Signer: signer,
 		sync:   &syncml.Server{Store: e, Keys: e.Keys, Adjuncts: e.Adjuncts},
+		Tracer: trace.NewCollector("store", 0, 0),
 	}
+}
+
+// traceCtx derives the serving context and span for a traced request: when
+// the frame carries a span header the store's spans join the caller's
+// trace and ride back on the reply. The caller must Finish the span before
+// replying.
+func (s *Server) traceCtx(m *wire.Message, name string) (context.Context, *trace.Active) {
+	ctx := context.Background()
+	if m.Trace == nil {
+		return ctx, nil
+	}
+	rec := trace.NewRequestRecorder(s.Tracer)
+	m.SetSpanDrain(rec.Drain)
+	ctx = trace.WithRemote(ctx, m.Trace, "store", rec)
+	ctx, sp := trace.Start(ctx, name)
+	sp.Annotate("store=" + s.Engine.ID())
+	return ctx, sp
 }
 
 // Start listens on addr ("127.0.0.1:0" picks a port).
@@ -89,20 +110,31 @@ func (s *Server) handleFetch(c *wire.ServerConn, m *wire.Message) error {
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
 		return err
 	}
-	owner, path, err := s.authorize(&req.Query, token.VerbFetch)
+	// The span finishes before Reply so the drain sees it on the frame.
+	_, sp := s.traceCtx(m, "store.fetch")
+	resp, err := s.fetch(&req)
+	sp.Finish(err)
 	if err != nil {
 		return err
+	}
+	return c.Reply(m, resp)
+}
+
+func (s *Server) fetch(req *wire.FetchRequest) (wire.FetchResponse, error) {
+	owner, path, err := s.authorize(&req.Query, token.VerbFetch)
+	if err != nil {
+		return wire.FetchResponse{}, err
 	}
 	doc, v, err := s.Engine.Get(owner, path)
 	if err != nil {
 		if errors.Is(err, ErrNoUser) || errors.Is(err, ErrNoComponent) {
 			// Registered but empty: answer with an empty result rather than
 			// an error so clients can merge across stores uniformly.
-			return c.Reply(m, wire.FetchResponse{})
+			return wire.FetchResponse{}, nil
 		}
-		return err
+		return wire.FetchResponse{}, err
 	}
-	return c.Reply(m, wire.FetchResponse{XML: doc.String(), Version: v})
+	return wire.FetchResponse{XML: doc.String(), Version: v}, nil
 }
 
 func (s *Server) handleUpdate(c *wire.ServerConn, m *wire.Message) error {
@@ -110,19 +142,29 @@ func (s *Server) handleUpdate(c *wire.ServerConn, m *wire.Message) error {
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
 		return err
 	}
-	owner, path, err := s.authorize(&req.Query, token.VerbUpdate)
+	_, sp := s.traceCtx(m, "store.update")
+	resp, err := s.update(&req)
+	sp.Finish(err)
 	if err != nil {
 		return err
+	}
+	return c.Reply(m, resp)
+}
+
+func (s *Server) update(req *wire.UpdateRequest) (wire.UpdateResponse, error) {
+	owner, path, err := s.authorize(&req.Query, token.VerbUpdate)
+	if err != nil {
+		return wire.UpdateResponse{}, err
 	}
 	frag, err := xmltree.ParseString(req.XML)
 	if err != nil {
-		return fmt.Errorf("store: update body: %w", err)
+		return wire.UpdateResponse{}, fmt.Errorf("store: update body: %w", err)
 	}
 	v, err := s.Engine.Put(owner, path, frag)
 	if err != nil {
-		return err
+		return wire.UpdateResponse{}, err
 	}
-	return c.Reply(m, wire.UpdateResponse{Version: v})
+	return wire.UpdateResponse{Version: v}, nil
 }
 
 func (s *Server) handleSyncStart(c *wire.ServerConn, m *wire.Message) error {
@@ -166,24 +208,35 @@ func (s *Server) handleExec(c *wire.ServerConn, m *wire.Message) error {
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
 		return err
 	}
-	owner, path, err := s.authorize(&req.Primary.Query, token.VerbFetch)
+	ctx, sp := s.traceCtx(m, "store.exec")
+	resp, err := s.exec(ctx, &req)
+	sp.Finish(err)
 	if err != nil {
 		return err
 	}
+	return c.Reply(m, resp)
+}
+
+func (s *Server) exec(ctx context.Context, req *wire.ExecRequest) (wire.ExecResponse, error) {
+	owner, path, err := s.authorize(&req.Primary.Query, token.VerbFetch)
+	if err != nil {
+		return wire.ExecResponse{}, err
+	}
 	// The primary piece merges first; siblings are gathered concurrently
 	// on a bounded pool and merged in referral order, matching the serial
-	// loop this replaces.
+	// loop this replaces. The traced ctx rides into the sibling fetches so
+	// their stores' spans join the trace one hop deeper.
 	pieces := make([]*xmltree.Node, 1+len(req.Siblings))
 	if doc, _, gerr := s.Engine.Get(owner, path); gerr == nil {
 		pieces[0] = doc
 	}
-	err = flight.ForEach(context.Background(), len(req.Siblings), flight.DefaultWorkers, func(i int) error {
+	err = flight.ForEach(ctx, len(req.Siblings), flight.DefaultWorkers, func(i int) error {
 		ref := req.Siblings[i]
 		cli, derr := DialClient(ref.Address)
 		if derr != nil {
 			return fmt.Errorf("store: recruit %s: %w", ref.Address, derr)
 		}
-		doc, _, ferr := cli.Fetch(nil, ref.Query)
+		doc, _, ferr := cli.Fetch(ctx, ref.Query)
 		cli.Close()
 		if ferr != nil {
 			return fmt.Errorf("store: recruit fetch %s: %w", ref.Address, ferr)
@@ -192,7 +245,7 @@ func (s *Server) handleExec(c *wire.ServerConn, m *wire.Message) error {
 		return nil
 	})
 	if err != nil {
-		return err
+		return wire.ExecResponse{}, err
 	}
 	docs := make([]*xmltree.Node, 0, len(pieces))
 	for _, d := range pieces {
@@ -205,5 +258,5 @@ func (s *Server) handleExec(c *wire.ServerConn, m *wire.Message) error {
 	if merged != nil {
 		resp.XML = merged.String()
 	}
-	return c.Reply(m, resp)
+	return resp, nil
 }

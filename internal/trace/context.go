@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"context"
+	"time"
+)
+
+// tctx is the value carried in a context.Context: the current span
+// coordinates plus the recorder completed spans go to.
+type tctx struct {
+	traceID string
+	spanID  uint64 // current span — parent of children and outbound calls
+	hop     int
+	site    string
+	entry   bool // true until the first local span is started
+	rec     Recorder
+}
+
+type ctxKey struct{}
+
+func fromContext(ctx context.Context) *tctx {
+	if ctx == nil {
+		return nil
+	}
+	tc, _ := ctx.Value(ctxKey{}).(*tctx)
+	return tc
+}
+
+// Traced reports whether ctx carries a span context.
+func Traced(ctx context.Context) bool { return fromContext(ctx) != nil }
+
+// IDFromContext returns the trace ID carried by ctx ("" when untraced).
+func IDFromContext(ctx context.Context) string {
+	if tc := fromContext(ctx); tc != nil {
+		return tc.traceID
+	}
+	return ""
+}
+
+// Outbound returns the header to stamp on an outgoing wire frame (hop
+// advanced by one) and the recorder that should ingest spans the callee
+// piggybacks on its response. Both are nil/zero when ctx is untraced.
+func Outbound(ctx context.Context) (*Info, Recorder) {
+	tc := fromContext(ctx)
+	if tc == nil {
+		return nil, nil
+	}
+	return &Info{TraceID: tc.traceID, SpanID: tc.spanID, Hop: tc.hop + 1}, tc.rec
+}
+
+// WithRemote derives a context for serving a request that arrived over the
+// wire with header ti: spans started under it continue the caller's trace
+// at ti.Hop, parented on the caller's span. The first span started in the
+// returned context is marked Entry (the process's share of the request).
+// rec is where completed spans go — typically a RequestRecorder so they
+// also ride back on the response frame. A nil ti or rec returns ctx
+// unchanged (untraced).
+func WithRemote(ctx context.Context, ti *Info, site string, rec Recorder) context.Context {
+	if ti == nil || rec == nil || ti.TraceID == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, &tctx{
+		traceID: ti.TraceID,
+		spanID:  ti.SpanID,
+		hop:     ti.Hop,
+		site:    site,
+		entry:   true,
+		rec:     rec,
+	})
+}
+
+// Start begins a child span of the context's current span; the returned
+// context carries the new span so nested work and outbound calls parent
+// correctly. On an untraced ctx it returns (ctx, nil) — and a nil *Active
+// is safe to use — so call sites need no conditionals.
+func Start(ctx context.Context, name string) (context.Context, *Active) {
+	tc := fromContext(ctx)
+	if tc == nil {
+		return ctx, nil
+	}
+	a := &Active{
+		rec: tc.rec,
+		s: Span{
+			TraceID: tc.traceID,
+			SpanID:  nextSpanID(),
+			Parent:  tc.spanID,
+			Hop:     tc.hop,
+			Site:    tc.site,
+			Name:    name,
+			Entry:   tc.entry,
+			Start:   time.Now().UnixNano(),
+		},
+		start: time.Now(),
+	}
+	child := *tc
+	child.spanID = a.s.SpanID
+	child.entry = false
+	return context.WithValue(ctx, ctxKey{}, &child), a
+}
+
+// StartRoot mints a fresh trace rooted at name, recording through a
+// RequestRecorder over col so the request's spans (local and ingested from
+// downstream hops) can be drained afterwards — e.g. to report them to the
+// MDM. If ctx is already traced it behaves like Start (no new trace, no
+// recorder returned); if col is nil it is a no-op. The *RequestRecorder is
+// non-nil exactly when a new trace was minted here.
+func StartRoot(ctx context.Context, col *Collector, name string) (context.Context, *Active, *RequestRecorder) {
+	if tc := fromContext(ctx); tc != nil {
+		cctx, a := Start(ctx, name)
+		return cctx, a, nil
+	}
+	if col == nil {
+		return ctx, nil, nil
+	}
+	rr := NewRequestRecorder(col)
+	a := &Active{
+		rec: rr,
+		s: Span{
+			TraceID: NewTraceID(),
+			SpanID:  nextSpanID(),
+			Hop:     0,
+			Site:    col.Site(),
+			Name:    name,
+			Entry:   true,
+			Start:   time.Now().UnixNano(),
+		},
+		start: time.Now(),
+	}
+	return context.WithValue(ctx, ctxKey{}, &tctx{
+		traceID: a.s.TraceID,
+		spanID:  a.s.SpanID,
+		hop:     0,
+		site:    col.Site(),
+		rec:     rr,
+	}), a, rr
+}

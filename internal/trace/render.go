@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Hops returns the distinct hop numbers present in a span set, ascending.
+func Hops(spans []Span) []int {
+	seen := map[int]bool{}
+	for _, s := range spans {
+		seen[s.Hop] = true
+	}
+	out := make([]int, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RenderTree renders a span set as an indented tree, children under
+// parents, siblings in start order. Spans whose parent is absent (the
+// client root, or an orphan after ring eviction) render as roots. Each
+// line shows the offset from the tree's earliest span, the name, site,
+// hop, duration, notes, and error.
+func RenderTree(spans []Span) string {
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	byID := make(map[uint64]*Span, len(spans))
+	for i := range spans {
+		byID[spans[i].SpanID] = &spans[i]
+	}
+	children := make(map[uint64][]*Span)
+	var roots []*Span
+	for i := range spans {
+		s := &spans[i]
+		if s.Parent != 0 && byID[s.Parent] != nil {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	byStart := func(ss []*Span) {
+		sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+	}
+	byStart(roots)
+	for _, cs := range children {
+		byStart(cs)
+	}
+
+	t0 := spans[0].Start
+	for _, s := range spans {
+		if s.Start < t0 {
+			t0 = s.Start
+		}
+	}
+
+	var b strings.Builder
+	var render func(s *Span, depth int)
+	render = func(s *Span, depth int) {
+		off := time.Duration(s.Start - t0).Round(10 * time.Microsecond)
+		fmt.Fprintf(&b, "%9s  %s%s [%s hop%d] %s", "+"+off.String(),
+			strings.Repeat("  ", depth), s.Name, s.Site, s.Hop,
+			(time.Duration(s.DurMicros) * time.Microsecond).String())
+		if len(s.Notes) > 0 {
+			fmt.Fprintf(&b, " (%s)", strings.Join(s.Notes, ", "))
+		}
+		if s.Err != "" {
+			fmt.Fprintf(&b, " ERR=%s", s.Err)
+		}
+		b.WriteByte('\n')
+		for _, c := range children[s.SpanID] {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,311 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sink is a Recorder that just accumulates spans.
+type sink struct{ spans []Span }
+
+func (s *sink) Emit(sp Span)      { s.spans = append(s.spans, sp) }
+func (s *sink) Ingest(sps []Span) { s.spans = append(s.spans, sps...) }
+
+func TestStartRootMintsTrace(t *testing.T) {
+	col := NewCollector("client", 0, -1)
+	ctx, sp, rr := StartRoot(context.Background(), col, "client.get")
+	if sp == nil || rr == nil {
+		t.Fatal("StartRoot on an untraced ctx must mint a span and a recorder")
+	}
+	if !Traced(ctx) {
+		t.Fatal("returned ctx must carry the span context")
+	}
+	if id := IDFromContext(ctx); id == "" || id != sp.TraceID() {
+		t.Fatalf("ctx trace ID %q != span trace ID %q", id, sp.TraceID())
+	}
+	sp.Finish(nil)
+	got := rr.Drain()
+	if len(got) != 1 {
+		t.Fatalf("drained %d spans, want 1", len(got))
+	}
+	if !got[0].Entry {
+		t.Fatal("root span must be the process entry span")
+	}
+	if got[0].Hop != 0 || got[0].Site != "client" {
+		t.Fatalf("root span hop=%d site=%q, want hop 0 site client", got[0].Hop, got[0].Site)
+	}
+	if col.SpanCount() != 1 {
+		t.Fatalf("collector retained %d spans, want 1", col.SpanCount())
+	}
+}
+
+func TestStartRootOnTracedContextIsChild(t *testing.T) {
+	col := NewCollector("client", 0, -1)
+	ctx, root, rr := StartRoot(context.Background(), col, "root")
+	ctx2, child, rr2 := StartRoot(ctx, col, "nested")
+	if rr2 != nil {
+		t.Fatal("nested StartRoot must not mint a second recorder")
+	}
+	if child.TraceID() != root.TraceID() {
+		t.Fatal("nested StartRoot must stay in the same trace")
+	}
+	child.Finish(nil)
+	root.Finish(nil)
+	spans := rr.Drain()
+	if len(spans) != 2 {
+		t.Fatalf("drained %d spans, want 2", len(spans))
+	}
+	_ = ctx2
+}
+
+func TestStartParentsAndHops(t *testing.T) {
+	s := &sink{}
+	ctx := WithRemote(context.Background(), &Info{TraceID: "t1", SpanID: 7, Hop: 2}, "store", s)
+	ctx2, a := Start(ctx, "store.fetch")
+	_, b := Start(ctx2, "store.exec")
+	b.Finish(nil)
+	a.Finish(errors.New("boom"))
+	if len(s.spans) != 2 {
+		t.Fatalf("recorded %d spans, want 2", len(s.spans))
+	}
+	inner, outer := s.spans[0], s.spans[1]
+	if outer.Parent != 7 {
+		t.Fatalf("outer span parent %d, want the remote span 7", outer.Parent)
+	}
+	if inner.Parent != outer.SpanID {
+		t.Fatalf("inner span parent %d, want %d", inner.Parent, outer.SpanID)
+	}
+	if outer.Hop != 2 || inner.Hop != 2 {
+		t.Fatalf("hops %d/%d, want 2/2", outer.Hop, inner.Hop)
+	}
+	if !outer.Entry || inner.Entry {
+		t.Fatal("only the first span at a site is the entry span")
+	}
+	if outer.Err != "boom" {
+		t.Fatalf("outer err %q, want boom", outer.Err)
+	}
+}
+
+func TestOutboundAdvancesHop(t *testing.T) {
+	s := &sink{}
+	ctx := WithRemote(context.Background(), &Info{TraceID: "t1", SpanID: 3, Hop: 1}, "mdm", s)
+	ctx, a := Start(ctx, "mdm.resolve")
+	ti, rec := Outbound(ctx)
+	if ti == nil || rec == nil {
+		t.Fatal("traced ctx must yield an outbound header and recorder")
+	}
+	if ti.TraceID != "t1" || ti.Hop != 2 {
+		t.Fatalf("outbound %+v, want trace t1 hop 2", ti)
+	}
+	if ti.SpanID == 3 {
+		t.Fatal("outbound parent must be the current span, not the inbound one")
+	}
+	a.Finish(nil)
+
+	if ti, rec := Outbound(context.Background()); ti != nil || rec != nil {
+		t.Fatal("untraced ctx must yield no outbound header")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var a *Active
+	a.Annotate("ignored")
+	a.Finish(nil)
+	if a.TraceID() != "" {
+		t.Fatal("nil Active must read as empty")
+	}
+	ctx, a2 := Start(context.Background(), "op")
+	if a2 != nil || Traced(ctx) {
+		t.Fatal("Start on an untraced ctx must be a no-op")
+	}
+	var col *Collector
+	col.Emit(Span{TraceID: "x"})
+	if col.SpanCount() != 0 || col.Trace("x") != nil || col.Slow(0) != nil || col.HopStats() != nil {
+		t.Fatal("nil collector must read as empty")
+	}
+	var rr *RequestRecorder
+	rr.Emit(Span{})
+	rr.Ingest([]Span{{}})
+	if rr.Drain() != nil {
+		t.Fatal("nil recorder must read as empty")
+	}
+}
+
+func TestFinishIsIdempotent(t *testing.T) {
+	s := &sink{}
+	ctx := WithRemote(context.Background(), &Info{TraceID: "t", SpanID: 1, Hop: 1}, "mdm", s)
+	_, a := Start(ctx, "op")
+	a.Finish(nil)
+	a.Finish(errors.New("late"))
+	if len(s.spans) != 1 {
+		t.Fatalf("double Finish emitted %d spans, want 1", len(s.spans))
+	}
+	if s.spans[0].Err != "" {
+		t.Fatal("late Finish must not overwrite the emitted span")
+	}
+}
+
+func TestWithRemoteRejectsIncompleteHeaders(t *testing.T) {
+	s := &sink{}
+	if ctx := WithRemote(context.Background(), nil, "mdm", s); Traced(ctx) {
+		t.Fatal("nil header must leave ctx untraced")
+	}
+	if ctx := WithRemote(context.Background(), &Info{}, "mdm", s); Traced(ctx) {
+		t.Fatal("empty trace ID must leave ctx untraced")
+	}
+	if ctx := WithRemote(context.Background(), &Info{TraceID: "t"}, "mdm", nil); Traced(ctx) {
+		t.Fatal("nil recorder must leave ctx untraced")
+	}
+}
+
+func TestCollectorDedupsSpans(t *testing.T) {
+	col := NewCollector("mdm", 0, -1)
+	sp := Span{TraceID: "t", SpanID: 42, Name: "op", DurMicros: 5}
+	col.Emit(sp)
+	col.Emit(sp) // e.g. echoed back inside a client trace report
+	if n := col.SpanCount(); n != 1 {
+		t.Fatalf("retained %d spans, want 1 after dedup", n)
+	}
+}
+
+func TestCollectorEvictsWholeTracesFIFO(t *testing.T) {
+	col := NewCollector("mdm", 4, -1)
+	for i := 0; i < 6; i++ {
+		col.Emit(Span{TraceID: string(rune('a' + i)), SpanID: uint64(i + 1), Name: "op"})
+	}
+	if n := col.SpanCount(); n > 4 {
+		t.Fatalf("retained %d spans, cap is 4", n)
+	}
+	if col.Trace("a") != nil {
+		t.Fatal("oldest trace must be evicted first")
+	}
+	if col.Trace("f") == nil {
+		t.Fatal("newest trace must survive eviction")
+	}
+}
+
+func TestCollectorBoundsSpansPerTrace(t *testing.T) {
+	col := NewCollector("mdm", maxSpansPerTrace*4, -1)
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		col.Emit(Span{TraceID: "big", SpanID: uint64(i + 1), Name: "op"})
+	}
+	if n := len(col.Trace("big")); n != maxSpansPerTrace {
+		t.Fatalf("runaway trace retained %d spans, want %d", n, maxSpansPerTrace)
+	}
+	if col.Dropped() != 10 {
+		t.Fatalf("dropped %d spans, want 10", col.Dropped())
+	}
+}
+
+func TestCollectorSlowLog(t *testing.T) {
+	col := NewCollector("mdm", 0, 10*time.Millisecond)
+	col.Emit(Span{TraceID: "fast", SpanID: 1, Name: "op", Entry: true, DurMicros: 1000})
+	col.Emit(Span{TraceID: "slow", SpanID: 2, Name: "op.child", DurMicros: 30000})
+	col.Emit(Span{TraceID: "slow", SpanID: 3, Name: "op", Entry: true, DurMicros: 30000})
+	// Non-entry spans never trigger, however slow.
+	col.Emit(Span{TraceID: "slow2", SpanID: 4, Name: "op.child", DurMicros: 90000})
+	slow := col.Slow(0)
+	if len(slow) != 1 {
+		t.Fatalf("slow log has %d traces, want 1", len(slow))
+	}
+	st := slow[0]
+	if st.TraceID != "slow" || st.RootMicros != 30000 {
+		t.Fatalf("slow record %+v, want trace slow root 30000us", st)
+	}
+	if len(st.Spans) != 2 {
+		t.Fatalf("slow record copied %d spans, want the whole trace (2)", len(st.Spans))
+	}
+
+	// The log itself is bounded.
+	for i := 0; i < DefaultSlowCap+8; i++ {
+		id := "s" + string(rune('A'+i))
+		col.Emit(Span{TraceID: id, SpanID: uint64(100 + i), Name: "op", Entry: true, DurMicros: 20000})
+	}
+	if n := len(col.Slow(0)); n != DefaultSlowCap {
+		t.Fatalf("slow log grew to %d, cap is %d", n, DefaultSlowCap)
+	}
+	if n := len(col.Slow(3)); n != 3 {
+		t.Fatalf("Slow(3) returned %d records, want 3", n)
+	}
+}
+
+func TestCollectorHopStats(t *testing.T) {
+	col := NewCollector("mdm", 0, -1)
+	for i := 0; i < 10; i++ {
+		col.Emit(Span{TraceID: "t", SpanID: uint64(i + 1), Name: "mdm.resolve", DurMicros: int64(1000 * (i + 1))})
+		col.Emit(Span{TraceID: "t", SpanID: uint64(100 + i), Name: "store.fetch", DurMicros: 500})
+	}
+	hs := col.HopStats()
+	if len(hs) != 2 {
+		t.Fatalf("got %d hop stats, want 2", len(hs))
+	}
+	if hs[0].Name != "mdm.resolve" || hs[1].Name != "store.fetch" {
+		t.Fatalf("hop stats not sorted by name: %q, %q", hs[0].Name, hs[1].Name)
+	}
+	if hs[0].Count != 10 {
+		t.Fatalf("mdm.resolve count %d, want 10", hs[0].Count)
+	}
+}
+
+func TestRequestRecorderIngestBuffersOnly(t *testing.T) {
+	col := NewCollector("client", 0, -1)
+	rr := NewRequestRecorder(col)
+	rr.Emit(Span{TraceID: "t", SpanID: 1, Name: "client.get"})
+	rr.Ingest([]Span{{TraceID: "t", SpanID: 2, Name: "store.fetch"}})
+	if n := col.SpanCount(); n != 1 {
+		t.Fatalf("collector holds %d spans, want only the locally emitted one", n)
+	}
+	if n := len(rr.Drain()); n != 2 {
+		t.Fatalf("drained %d spans, want both local and ingested", n)
+	}
+}
+
+func TestRequestRecorderBounded(t *testing.T) {
+	rr := NewRequestRecorder(nil)
+	for i := 0; i < requestSpanCap+50; i++ {
+		rr.Emit(Span{TraceID: "t", SpanID: uint64(i + 1)})
+	}
+	if n := len(rr.Drain()); n != requestSpanCap {
+		t.Fatalf("buffered %d spans, cap is %d", n, requestSpanCap)
+	}
+}
+
+func TestHops(t *testing.T) {
+	spans := []Span{{Hop: 2}, {Hop: 0}, {Hop: 2}, {Hop: 1}}
+	got := Hops(spans)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("Hops = %v, want [0 1 2]", got)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	spans := []Span{
+		{TraceID: "t", SpanID: 1, Name: "client.get", Site: "client", Hop: 0, Start: 100, DurMicros: 5000, Notes: []string{"batch=8"}},
+		{TraceID: "t", SpanID: 2, Parent: 1, Name: "mdm.resolve", Site: "mdm", Hop: 1, Start: 200, DurMicros: 3000},
+		{TraceID: "t", SpanID: 3, Parent: 2, Name: "store.fetch", Site: "store", Hop: 2, Start: 300, DurMicros: 1000, Err: "denied"},
+		{TraceID: "t", SpanID: 4, Parent: 99, Name: "orphan", Site: "mdm", Hop: 1, Start: 400, DurMicros: 10},
+	}
+	out := RenderTree(spans)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "client.get") || !strings.Contains(lines[0], "(batch=8)") {
+		t.Fatalf("root line %q must name the root span and its notes", lines[0])
+	}
+	if !strings.Contains(lines[1], "  mdm.resolve") {
+		t.Fatalf("child line %q must be indented under the root", lines[1])
+	}
+	if !strings.Contains(lines[2], "    store.fetch") || !strings.Contains(lines[2], "ERR=denied") {
+		t.Fatalf("grandchild line %q must be doubly indented and carry the error", lines[2])
+	}
+	if !strings.Contains(lines[3], "orphan") {
+		t.Fatalf("orphan %q must render as a root", lines[3])
+	}
+	if RenderTree(nil) != "(no spans)\n" {
+		t.Fatal("empty span set must render a placeholder")
+	}
+}

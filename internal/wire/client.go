@@ -8,7 +8,15 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gupster/internal/trace"
 )
+
+// readGrace pads the read deadline past the latest pending call's context
+// deadline: the callers give up first (via ctx), and only then — if the
+// peer still has not produced a single byte — is the connection declared
+// half-dead and reaped.
+const readGrace = 250 * time.Millisecond
 
 // Client is a connection to a wire server. It multiplexes concurrent calls
 // over one TCP connection and delivers server-pushed notifications to an
@@ -21,6 +29,7 @@ type Client struct {
 
 	mu       sync.Mutex
 	pending  map[uint64]chan *Message
+	deadline map[uint64]time.Time // per-call ctx deadlines, for the read bound
 	closed   bool
 	closeErr error
 
@@ -34,7 +43,11 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	c := &Client{conn: conn, pending: make(map[uint64]chan *Message)}
+	c := &Client{
+		conn:     conn,
+		pending:  make(map[uint64]chan *Message),
+		deadline: make(map[uint64]time.Time),
+	}
 	go c.readLoop()
 	return c, nil
 }
@@ -61,6 +74,7 @@ func (e *RemoteError) Error() string { return fmt.Sprintf("wire: remote %s: %s",
 func (c *Client) Call(ctx context.Context, msgType string, req any, resp any) error {
 	id := c.nextID.Add(1)
 	ch := make(chan *Message, 1)
+	deadline, hasDeadline := ctx.Deadline()
 
 	c.mu.Lock()
 	if c.closed {
@@ -72,18 +86,27 @@ func (c *Client) Call(ctx context.Context, msgType string, req any, resp any) er
 		return err
 	}
 	c.pending[id] = ch
+	if hasDeadline {
+		c.deadline[id] = deadline
+	}
+	c.updateReadDeadlineLocked()
 	c.mu.Unlock()
 
 	m := &Message{Type: msgType, ID: id}
 	if req != nil {
 		m.Payload = Marshal(req)
 	}
+	// Stamp the caller's span context onto the frame so the receiver's
+	// spans join the trace; its response piggybacks them back for rec.
+	ti, rec := trace.Outbound(ctx)
+	if ti != nil {
+		m.Trace = ti
+	}
 	c.writeMu.Lock()
 	// A hung or slow peer must not block the writer forever: once the
 	// peer stops draining, the kernel buffer fills and Write blocks while
 	// holding writeMu, wedging every caller. Bound the frame write by the
 	// request context's deadline (zero time clears the deadline).
-	deadline, _ := ctx.Deadline()
 	c.conn.SetWriteDeadline(deadline)
 	err := WriteFrame(c.conn, m)
 	c.writeMu.Unlock()
@@ -109,6 +132,9 @@ func (c *Client) Call(ctx context.Context, msgType string, req any, resp any) er
 			}
 			return err
 		}
+		if rec != nil && len(reply.Spans) > 0 {
+			rec.Ingest(reply.Spans)
+		}
 		if reply.Error != "" {
 			return &RemoteError{Op: msgType, Msg: reply.Error}
 		}
@@ -119,10 +145,64 @@ func (c *Client) Call(ctx context.Context, msgType string, req any, resp any) er
 	}
 }
 
+// Send writes a one-way frame (ID 0) and returns without waiting for any
+// response; the server treats it as a notification-style message. Used for
+// fire-and-forget traffic such as trace reports.
+func (c *Client) Send(ctx context.Context, msgType string, req any) error {
+	c.mu.Lock()
+	if c.closed {
+		err := c.closeErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	c.mu.Unlock()
+
+	m := &Message{Type: msgType}
+	if req != nil {
+		m.Payload = Marshal(req)
+	}
+	deadline, _ := ctx.Deadline()
+	c.writeMu.Lock()
+	c.conn.SetWriteDeadline(deadline)
+	err := WriteFrame(c.conn, m)
+	c.writeMu.Unlock()
+	if err != nil {
+		// As in Call: a partial frame makes the stream unrecoverable.
+		c.conn.Close()
+	}
+	return err
+}
+
 func (c *Client) forget(id uint64) {
 	c.mu.Lock()
 	delete(c.pending, id)
+	delete(c.deadline, id)
+	c.updateReadDeadlineLocked()
 	c.mu.Unlock()
+}
+
+// updateReadDeadlineLocked bounds the connection read so a half-dead peer
+// (TCP up, application gone) cannot strand the read loop forever. The
+// bound is the latest pending call's context deadline plus readGrace — but
+// only when every pending call carries a deadline. If any call is
+// deadline-less, or nothing is pending (subscription connections sit idle
+// for hours legitimately), any stale deadline is cleared so it cannot fire
+// under a later long-running call. Callers hold c.mu.
+func (c *Client) updateReadDeadlineLocked() {
+	if len(c.pending) == 0 || len(c.deadline) < len(c.pending) {
+		c.conn.SetReadDeadline(time.Time{})
+		return
+	}
+	var latest time.Time
+	for _, d := range c.deadline {
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	c.conn.SetReadDeadline(latest.Add(readGrace))
 }
 
 // Close tears down the connection; outstanding calls fail with ErrClosed.
@@ -151,6 +231,8 @@ func (c *Client) readLoop() {
 		ch, ok := c.pending[m.ID]
 		if ok {
 			delete(c.pending, m.ID)
+			delete(c.deadline, m.ID)
+			c.updateReadDeadlineLocked()
 		}
 		c.mu.Unlock()
 		if ok {

@@ -1,8 +1,10 @@
 package wire
 
 import (
+	"gupster/internal/metrics"
 	"gupster/internal/policy"
 	"gupster/internal/token"
+	"gupster/internal/trace"
 )
 
 // Message type names used by the GUPster protocol. Clients talk to the MDM
@@ -36,7 +38,41 @@ const (
 	// answers them concurrently and returns per-entry results, so thin
 	// clients amortize framing and round-trip latency.
 	TypeBatchResolve = "batch-resolve"
+	// TypeTrace asks the MDM (the constellation's trace directory) for the
+	// span tree of one trace.
+	TypeTrace = "trace"
+	// TypeSlow asks for recent slow-query traces.
+	TypeSlow = "slow"
+	// TypeTraceReport is a one-way (ID 0) frame from a client delivering
+	// its finished trace — the root span plus everything piggybacked from
+	// downstream hops — to the MDM.
+	TypeTraceReport = "trace-report"
 )
+
+// TraceRequest asks for one trace's retained spans.
+type TraceRequest struct {
+	TraceID string `json:"trace_id"`
+}
+
+// TraceResponse returns them (empty when unknown or evicted).
+type TraceResponse struct {
+	Spans []trace.Span `json:"spans,omitempty"`
+}
+
+// SlowRequest asks for recent slow traces; Max <= 0 returns all retained.
+type SlowRequest struct {
+	Max int `json:"max,omitempty"`
+}
+
+// SlowResponse returns slow traces, most recent last.
+type SlowResponse struct {
+	Traces []trace.SlowTrace `json:"traces,omitempty"`
+}
+
+// TraceReportRequest carries a finished trace's spans to the MDM.
+type TraceReportRequest struct {
+	Spans []trace.Span `json:"spans"`
+}
 
 // ProvenanceRequest asks for the disclosure records of an owner's profile.
 // Only the owner may read her own ledger.
@@ -377,4 +413,11 @@ type StatsResponse struct {
 	FanOutCalls    uint64 `json:"fan_out_calls,omitempty"`
 	BatchResolves  uint64 `json:"batch_resolves,omitempty"`
 	BatchedQueries uint64 `json:"batched_queries,omitempty"`
+	// Hops carries per-hop latency percentiles aggregated from the server's
+	// trace collector, keyed by span name.
+	Hops []metrics.HopStat `json:"hops,omitempty"`
+	// TraceSpans and TraceDropped report the collector's retained/bounded
+	// span counts.
+	TraceSpans   int    `json:"trace_spans,omitempty"`
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
 }

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// deadlineOnlyCtx carries a deadline but never fires Done — it models a
+// caller that armed a deadline and then got stuck, leaving the read loop
+// alone with the half-dead connection.
+type deadlineOnlyCtx struct{ t time.Time }
+
+func (d deadlineOnlyCtx) Deadline() (time.Time, bool) { return d.t, true }
+func (deadlineOnlyCtx) Done() <-chan struct{}         { return nil }
+func (deadlineOnlyCtx) Err() error                    { return nil }
+func (deadlineOnlyCtx) Value(any) any                 { return nil }
+
+// TestReadLoopReapsHalfDeadConnection is the regression test for the
+// unbounded reader goroutine: against a peer that accepted the frame and
+// then went silent forever (TCP up, application gone), the read loop used
+// to block in ReadFrame with no deadline at all, stranding the goroutine
+// and the connection for the life of the process. The read bound must trip
+// shortly after the last pending call's deadline and tear the connection
+// down, failing the pending call.
+func TestReadLoopReapsHalfDeadConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for { // drain frames, answer none
+			if _, err := ReadFrame(conn); err != nil {
+				return
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	err = c.Call(deadlineOnlyCtx{time.Now().Add(200 * time.Millisecond)}, "op", Empty{}, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Call succeeded against a peer that never replies")
+	}
+	if elapsed < 200*time.Millisecond {
+		t.Fatalf("connection reaped after %v, before the call's deadline", elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("connection reaped only after %v, want ~deadline+%v", elapsed, readGrace)
+	}
+	// The reap killed the connection, not just the call.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := c.Call(ctx, "op", Empty{}, nil); err == nil {
+		t.Fatal("reaped connection accepted another call")
+	}
+}
+
+// TestReadDeadlineClearedBetweenCalls guards the other half of the fix: a
+// deadline armed for one call must not linger on the connection and shoot
+// down a later deadline-less call that legitimately takes longer than the
+// stale bound.
+func TestReadDeadlineClearedBetweenCalls(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		n := 0
+		for {
+			m, err := ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			n++
+			if n == 2 {
+				// Answer the second call only after the first call's stale
+				// deadline (100ms + grace) would have fired.
+				time.Sleep(150*time.Millisecond + readGrace)
+			}
+			if err := WriteFrame(conn, &Message{ID: m.ID, Type: m.Type, Payload: Marshal(Empty{})}); err != nil {
+				return
+			}
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	if err := c.Call(ctx, "op", Empty{}, nil); err != nil {
+		cancel()
+		t.Fatalf("first call: %v", err)
+	}
+	cancel()
+	// Deadline-less call that outlives the first call's bound: it must
+	// survive, proving the stale read deadline was cleared.
+	if err := c.Call(context.Background(), "op", Empty{}, nil); err != nil {
+		t.Fatalf("deadline-less call killed by a stale read deadline: %v", err)
+	}
+}

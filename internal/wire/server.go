@@ -18,14 +18,25 @@ type ServerConn struct {
 	onClose []func()
 }
 
-// Reply sends a success response to m with the given payload.
+// Reply sends a success response to m with the given payload. When a span
+// drain is registered on m (see Message.SetSpanDrain), the spans recorded
+// while serving the request ride back on the response frame.
 func (c *ServerConn) Reply(m *Message, payload any) error {
-	return c.send(&Message{Type: m.Type, ID: m.ID, Payload: Marshal(payload)})
+	out := &Message{Type: m.Type, ID: m.ID, Payload: Marshal(payload)}
+	if m.spanDrain != nil {
+		out.Spans = m.spanDrain()
+	}
+	return c.send(out)
 }
 
-// ReplyError sends a failure response to m.
+// ReplyError sends a failure response to m. Spans ride along as on Reply —
+// failed requests are the ones worth tracing.
 func (c *ServerConn) ReplyError(m *Message, err error) error {
-	return c.send(&Message{Type: m.Type, ID: m.ID, Error: err.Error()})
+	out := &Message{Type: m.Type, ID: m.ID, Error: err.Error()}
+	if m.spanDrain != nil {
+		out.Spans = m.spanDrain()
+	}
+	return c.send(out)
 }
 
 // Notify pushes a server-initiated message (ID 0).

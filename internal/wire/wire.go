@@ -13,6 +13,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"gupster/internal/trace"
 )
 
 // MaxFrame bounds a single message. Profile components are small; anything
@@ -30,7 +32,24 @@ type Message struct {
 	Error string `json:"error,omitempty"`
 	// Payload is the operation-specific body.
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// Trace, when present on a request, carries the caller's span context:
+	// the receiver's spans join the caller's trace at Trace.Hop, parented on
+	// Trace.SpanID. Absent on untraced traffic — old peers interoperate.
+	Trace *trace.Info `json:"trace,omitempty"`
+	// Spans, when present on a response, piggybacks the spans the receiver
+	// (and its own downstream hops) recorded while serving the request, so
+	// the caller ends up holding the whole tree.
+	Spans []trace.Span `json:"spans,omitempty"`
+
+	// spanDrain, when set by the serving layer, supplies the spans to attach
+	// to the reply frame. Unexported: never serialized, never copied across
+	// the wire.
+	spanDrain func() []trace.Span
 }
+
+// SetSpanDrain registers the function Reply/ReplyError call to collect the
+// request's recorded spans onto the response frame.
+func (m *Message) SetSpanDrain(fn func() []trace.Span) { m.spanDrain = fn }
 
 // Framing errors.
 var (

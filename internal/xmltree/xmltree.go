@@ -238,15 +238,18 @@ func (n *Node) write(b *strings.Builder, indent, depth int) {
 	nl()
 }
 
-func escapeText(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
-}
+// The replacers are package-level: a strings.Replacer builds its matching
+// machinery on first use, so constructing one per escape call rebuilt that
+// machinery for every attribute and text node serialized — pure allocation
+// churn on the fetch hot path.
+var (
+	textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+)
 
-func escapeAttr(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
-}
+func escapeText(s string) string { return textEscaper.Replace(s) }
+
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }
 
 // Size returns the length in bytes of the compact serialization. It is the
 // unit used by benchmarks when reporting bytes moved.
