@@ -8,10 +8,13 @@
 //	datastored -id gup.portal.example -listen 127.0.0.1:7101 \
 //	    -mdm 127.0.0.1:7000 -key shared-secret \
 //	    -register "/user/presence" -register "/user/calendar" \
-//	    [-load profile.xml -user alice]
+//	    [-load profile.xml -user alice] [-heartbeat 5s]
 //
 // -register may repeat; each path is announced as coverage. -load seeds the
-// store with a profile document for -user.
+// store with a profile document for -user. With -heartbeat the store renews
+// its registration lease at the MDM on that interval (keep it under the
+// MDM's -lease-ttl) and re-registers automatically if the MDM restarts
+// having forgotten the directory.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"gupster/internal/schema"
 	"gupster/internal/store"
@@ -44,6 +48,7 @@ func main() {
 	key := flag.String("key", "", "shared referral-signing key (required)")
 	load := flag.String("load", "", "optional profile XML file to seed")
 	user := flag.String("user", "", "user the seeded profile belongs to")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "registration-lease heartbeat interval (0 disables)")
 	var registers repeated
 	flag.Var(&registers, "register", "coverage path to announce (repeatable)")
 	flag.Parse()
@@ -100,21 +105,27 @@ func main() {
 		if _, err := xpath.Parse(reg); err != nil {
 			log.Fatalf("datastored: bad coverage path %q: %v", reg, err)
 		}
-		err := mdm.Call(context.Background(), wire.TypeRegister, &wire.RegisterRequest{
-			Store: *id, Address: srv.Addr(), Path: reg,
-		}, nil)
-		if err != nil {
-			log.Fatalf("datastored: register %q: %v", reg, err)
-		}
+	}
+	registrar := store.NewRegistrar(store.RegistrarConfig{
+		Store:    *id,
+		Addr:     srv.Addr(),
+		MDM:      *mdmAddr,
+		Coverage: registers,
+		Interval: *heartbeat,
+		Logf:     log.Printf,
+	})
+	if err := registrar.Start(context.Background()); err != nil {
+		log.Fatalf("datastored: %v", err)
+	}
+	for _, reg := range registers {
 		log.Printf("datastored: registered coverage %s", reg)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	for _, reg := range registers {
-		_ = mdm.Call(context.Background(), wire.TypeUnregister, &wire.UnregisterRequest{Store: *id, Path: reg}, nil)
-	}
+	_ = registrar.Deregister(context.Background())
+	registrar.Close()
 	log.Printf("datastored: shutting down")
 	srv.Close()
 }

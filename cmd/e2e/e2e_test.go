@@ -320,3 +320,97 @@ func TestTracedChainingThroughBinaries(t *testing.T) {
 		t.Fatalf("stats lacks per-hop latencies: %v\n%s", err, out)
 	}
 }
+
+// The acceptance test for the durable directory: kill -9 the MDM mid-
+// workload and restart it on the same -data-dir. Every registration and
+// shield rule must come back from the journal alone — the store's
+// heartbeat interval is set to an hour so re-registration cannot paper
+// over a recovery hole.
+func TestChaosKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and launches real processes")
+	}
+	const key = "e2e-chaos-key"
+	mdmAddr := freePort(t)
+	storeAddr := freePort(t)
+	dataDir := t.TempDir()
+
+	mdmArgs := []string{"-listen", mdmAddr, "-key", key, "-data-dir", dataDir, "-lease-ttl", "1h"}
+	daemon := startDaemon(t, "gupsterd", mdmArgs...)
+	waitFor(t, mdmAddr)
+
+	profile := filepath.Join(binDir, "dora.xml")
+	if err := os.WriteFile(profile, []byte(
+		`<user id="dora"><presence status="available"/><calendar/></user>`,
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	startDaemon(t, "datastored",
+		"-id", "gup.durable.example", "-listen", storeAddr,
+		"-mdm", mdmAddr, "-key", key,
+		"-load", profile, "-user", "dora",
+		"-register", "/user[@id='dora']/presence",
+		"-register", "/user[@id='dora']/calendar",
+		"-heartbeat", "1h", // recovery must come from the journal, not a heartbeat
+	)
+	waitFor(t, storeAddr)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		out, err := gupctl(t, mdmAddr, "dora", "self", "stats")
+		if err == nil && strings.Contains(out, "registrations: 2") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registrations never appeared; stats:\n%s (%v)", out, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if out, err := gupctl(t, mdmAddr, "dora", "self",
+		"put-rule", "dora", "fam", "permit", "/user[@id='dora']/presence", "role=family"); err != nil {
+		t.Fatalf("put-rule: %v\n%s", err, out)
+	}
+	if out, err := gupctl(t, mdmAddr, "eve", "family", "get", "/user[@id='dora']/presence"); err != nil {
+		t.Fatalf("family get before crash: %v\n%s", err, out)
+	}
+
+	// kill -9: no shutdown hook runs, the journal is all that survives.
+	daemon.Process.Kill()
+	daemon.Wait()
+
+	startDaemon(t, "gupsterd", mdmArgs...)
+	waitFor(t, mdmAddr)
+
+	// Zero re-registration: the store heartbeats hourly, so everything the
+	// restarted MDM knows came off disk. Poll only for the listener; the
+	// directory is recovered before it opens.
+	out, err := gupctl(t, mdmAddr, "dora", "self", "stats")
+	if err != nil {
+		t.Fatalf("stats after restart: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "registrations: 2") {
+		t.Fatalf("registrations lost in the crash:\n%s", out)
+	}
+
+	// The recovered directory actually serves: referrals reach the still-
+	// running store, and the shield rule still decides.
+	if out, err := gupctl(t, mdmAddr, "dora", "self", "get", "/user[@id='dora']/presence"); err != nil ||
+		!strings.Contains(out, `status="available"`) {
+		t.Fatalf("owner get after recovery: %v\n%s", err, out)
+	}
+	if out, err := gupctl(t, mdmAddr, "eve", "family", "get", "/user[@id='dora']/presence"); err != nil {
+		t.Fatalf("shield rule lost in the crash: %v\n%s", err, out)
+	}
+	if out, err := gupctl(t, mdmAddr, "mallory", "stranger", "get", "/user[@id='dora']/presence"); err == nil {
+		t.Fatalf("stranger got presence after recovery:\n%s", out)
+	}
+
+	// gupctl health reports the recovery and the store's lease.
+	out, err = gupctl(t, mdmAddr, "dora", "self", "health")
+	if err != nil || !strings.Contains(out, "recovered") {
+		t.Fatalf("health lacks journal recovery: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "gup.durable.example") {
+		t.Fatalf("health lacks the store's lease:\n%s", out)
+	}
+}

@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	gupbench [-iters N] [e1 e2 … e17 | fig5 | all]
+//	gupbench [-iters N] [e1 e2 … e18 | fig5 | all]
 //	gupbench resolve [-clients N] [-rounds N] [-json out.json] [-check baseline.json] [-p95-slack 0.25] [-min-speedup 2]
 //	gupbench trace-overhead [-clients N] [-rounds N] [-json out.json] [-max 0.05]
+//	gupbench recovery [-sizes 100,1000,5000] [-lease-ttl 150ms] [-lease-grace 150ms] [-json out.json] [-detect-slack 1.0]
 //
 // The resolve subcommand runs the E16 resolve-pipeline benchmark on its
 // own flag set: -json writes the machine-readable report consumed by the
@@ -18,6 +19,12 @@
 // The trace-overhead subcommand runs the E17 tracing-overhead benchmark
 // (resolve p95 with tracing on vs off on the same rig) and, with -max,
 // exits non-zero when the traced p95 exceeds the budget.
+//
+// The recovery subcommand runs the E18 crash-recovery benchmark: it
+// populates a journaled directory, abandons the MDM (crash), and measures
+// the restart path (replay, listen, first resolve) plus the lease-expiry
+// detection latency of a silent store. With -detect-slack it exits
+// non-zero when detection overruns the claimed TTL+grace budget.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
 	"gupster/internal/bench"
@@ -38,6 +46,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace-overhead" {
 		runTraceOverhead(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "recovery" {
+		runRecovery(os.Args[2:])
 		return
 	}
 
@@ -55,7 +67,7 @@ func main() {
 		{"e7", bench.RunE7}, {"e8", bench.RunE8}, {"e9", bench.RunE9},
 		{"e10", bench.RunE10}, {"e11", bench.RunE11}, {"e12", bench.RunE12},
 		{"e13", bench.RunE13}, {"e14", bench.RunE14}, {"e16", bench.RunE16},
-		{"e17", bench.RunE17},
+		{"e17", bench.RunE17}, {"e18", bench.RunE18},
 		{"fig5", func(bench.Options) (*metrics.Table, error) { return bench.RunFig5() }},
 	}
 
@@ -73,7 +85,7 @@ func main() {
 	for _, id := range want {
 		e, ok := byID[strings.ToLower(id)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "gupbench: unknown experiment %q (have e1..e17, fig5, resolve, trace-overhead, all)\n", id)
+			fmt.Fprintf(os.Stderr, "gupbench: unknown experiment %q (have e1..e18, fig5, resolve, trace-overhead, recovery, all)\n", id)
 			os.Exit(2)
 		}
 		t, err := e.run(opts)
@@ -168,5 +180,55 @@ func runTraceOverhead(args []string) {
 		}
 		fmt.Printf("trace-overhead gate: ok (worst p95 overhead %+.1f%% within %.0f%% budget)\n",
 			rep.Overhead*100, *max*100)
+	}
+}
+
+// runRecovery is the E18 crash-recovery benchmark with its own flag set:
+// CI runs it with -detect-slack to gate the liveness-detection claim.
+func runRecovery(args []string) {
+	fs := flag.NewFlagSet("recovery", flag.ExitOnError)
+	sizes := fs.String("sizes", "", "comma-separated directory sizes to measure (default 100,1000,5000)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "lease TTL for the detection phase (0 = default 150ms)")
+	leaseGrace := fs.Duration("lease-grace", 0, "lease grace for the detection phase (0 = lease TTL)")
+	jsonOut := fs.String("json", "", "write the machine-readable report here")
+	slack := fs.Float64("detect-slack", 0, "allowed detection overrun past TTL+grace (1.0 = 2x the claim; 0 disables the gate)")
+	_ = fs.Parse(args)
+
+	opts := bench.RecoveryOptions{LeaseTTL: *leaseTTL, LeaseGrace: *leaseGrace}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 1 {
+				log.Fatalf("gupbench: recovery: bad -sizes entry %q", s)
+			}
+			opts.Sizes = append(opts.Sizes, n)
+		}
+	}
+	rep, err := bench.RunRecoveryReport(opts)
+	if err != nil {
+		log.Fatalf("gupbench: recovery: %v", err)
+	}
+	fmt.Println(rep.Table().String())
+	if *jsonOut != "" {
+		if err := bench.WriteRecoveryReport(rep, *jsonOut); err != nil {
+			log.Fatalf("gupbench: recovery: write %s: %v", *jsonOut, err)
+		}
+	}
+	if *slack > 0 {
+		if err := bench.CheckRecovery(rep, *slack); err != nil {
+			// Detection latency is timer-driven; a loaded CI machine can
+			// overshoot once. A true miss fails the confirmation run too.
+			fmt.Printf("recovery gate: %v — confirming with a second run\n", err)
+			rep, err = bench.RunRecoveryReport(opts)
+			if err != nil {
+				log.Fatalf("gupbench: recovery: %v", err)
+			}
+			fmt.Println(rep.Table().String())
+			if err := bench.CheckRecovery(rep, *slack); err != nil {
+				log.Fatalf("gupbench: %v", err)
+			}
+		}
+		fmt.Printf("recovery gate: ok (detection %.0fms within %.0f%% of the %dms claim)\n",
+			rep.DetectMillis, (1+*slack)*100, rep.ClaimMillis)
 	}
 }

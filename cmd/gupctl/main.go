@@ -18,6 +18,7 @@
 //	provenance                         print my disclosure ledger
 //	provenance-summary                 per-requester disclosure rollup
 //	stats                              print MDM counters
+//	health                             print the store-liveness lease table
 //	trace <trace-id>                   render a request's span tree
 //	slow [n]                           print recent slow-query traces
 //
@@ -200,6 +201,28 @@ func main() {
 				fmt.Printf("  %-14s n=%-7d p50=%-8d p95=%-8d p99=%-8d max=%d\n",
 					h.Name, h.Count, h.P50Micros, h.P95Micros, h.P99Micros, h.MaxMicros)
 			}
+		}
+	case "health":
+		st, err := cli.Stats(ctx)
+		fatal(err)
+		if st.JournalAppends+st.JournalRecovered+st.JournalSyncs > 0 {
+			fmt.Printf("journal: %d appends in %d fsyncs, %d compactions, recovered %d records (%d torn bytes dropped)\n",
+				st.JournalAppends, st.JournalSyncs, st.JournalCompactions, st.JournalRecovered, st.JournalTornBytes)
+		}
+		fmt.Printf("liveness: %d renewals, %d quarantines, %d recoveries, %d plan exclusions, %d degraded resolves\n",
+			st.LeaseRenewals, st.Quarantines, st.LeaseRecoveries, st.PlanExclusions, st.DegradedResolves)
+		if len(st.Leases) == 0 {
+			fmt.Println("(no leases: MDM runs without -lease-ttl or no store registered)")
+			return
+		}
+		fmt.Printf("%-24s %-22s %-12s %-6s %s\n", "STORE", "ADDR", "LEASE", "REGS", "STATE")
+		for _, l := range st.Leases {
+			state := "live"
+			if l.Quarantined {
+				state = "QUARANTINED"
+			}
+			fmt.Printf("%-24s %-22s %-12s %-6d %s\n",
+				l.Store, l.Addr, time.Duration(l.RemainingMillis)*time.Millisecond, l.Registrations, state)
 		}
 	case "trace":
 		need(args, 2, "trace <trace-id>")

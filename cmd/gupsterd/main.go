@@ -6,11 +6,19 @@
 //
 //	gupsterd -listen 127.0.0.1:7000 -key shared-secret [-cache 1024] [-ttl 30s]
 //	         [-provenance 4096] [-peer 127.0.0.1:7001 -peer 127.0.0.1:7002]
+//	         [-data-dir /var/lib/gupster] [-lease-ttl 10s] [-lease-grace 10s]
 //
 // With -peer flags the daemon joins a mirrored constellation (§5.3
 // reliability): coverage registrations and privacy-shield changes replicate
-// to the peers, and any mirror can answer any resolve. Peers that are not
-// up yet are retried in the background.
+// to the peers, and any mirror can answer any resolve. Peers are kept with
+// anti-entropy: a peer that dies and restarts is re-peered and receives
+// this mirror's full meta-data snapshot.
+//
+// With -data-dir the meta-data directory is crash-safe: every registration
+// and shield rule is journaled (write-ahead log + periodic snapshot) and
+// recovered on boot, so a kill -9 loses nothing and no store has to
+// re-register. With -lease-ttl stores must heartbeat; one silent past
+// TTL+grace is quarantined out of query plans until it comes back.
 //
 // Data stores register coverage with `datastored -mdm <addr>`; clients use
 // `gupctl -mdm <addr>`.
@@ -28,6 +36,7 @@ import (
 
 	"gupster/internal/core"
 	"gupster/internal/federation"
+	"gupster/internal/journal"
 	"gupster/internal/provenance"
 	"gupster/internal/schema"
 	"gupster/internal/token"
@@ -45,6 +54,9 @@ func main() {
 	ttl := flag.Duration("ttl", 30*time.Second, "referral grant time-to-live")
 	ledger := flag.Int("provenance", 4096, "disclosure-ledger capacity (0 disables)")
 	slow := flag.Duration("slow-threshold", 0, "slow-query trace threshold (0 = default 250ms, negative disables)")
+	dataDir := flag.String("data-dir", "", "directory for the meta-data journal (empty = volatile directory)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "store lease TTL; stores must heartbeat within it (0 disables leases)")
+	leaseGrace := flag.Duration("lease-grace", 0, "extra silence tolerated past lease expiry before quarantine (0 = lease-ttl)")
 	var peers repeated
 	flag.Var(&peers, "peer", "address of a peer mirror (repeatable)")
 	flag.Parse()
@@ -61,11 +73,29 @@ func main() {
 		CacheEntries:  *cache,
 		Adjuncts:      schema.GUPAdjuncts(),
 		SlowThreshold: *slow,
+		LeaseTTL:      *leaseTTL,
+		LeaseGrace:    *leaseGrace,
 	}
 	if *ledger > 0 {
 		cfg.Provenance = provenance.NewLedger(*ledger)
 	}
 	mdm := core.New(cfg)
+
+	// Recover the durable directory before serving: once the listener is
+	// up, every registration and shield rule from before the crash is
+	// already back.
+	if *dataDir != "" {
+		rec, err := core.OpenDurable(mdm, *dataDir, journal.Options{})
+		if err != nil {
+			log.Fatalf("gupsterd: recover %s: %v", *dataDir, err)
+		}
+		snapN := 0
+		if rec.Snapshot != nil {
+			snapN = len(rec.Snapshot.Coverage) + len(rec.Snapshot.Shields)
+		}
+		log.Printf("gupsterd: recovered directory from %s (%d snapshot entries, %d log records, %d torn bytes dropped)",
+			*dataDir, snapN, len(rec.Records), rec.TornBytes)
+	}
 
 	var closeServer func() error
 	if len(peers) > 0 {
@@ -76,17 +106,10 @@ func main() {
 		}
 		closeServer = srv.Close
 		log.Printf("gupsterd: mirror listening on %s (cache=%d, ttl=%s, peers=%v)", srv.Addr(), *cache, *ttl, peers)
-		// Peers may come up later: retry in the background.
+		// Anti-entropy peering: late or restarted peers are (re-)peered and
+		// resynced from this mirror's snapshot.
 		for _, p := range peers {
-			go func(addr string) {
-				for {
-					if err := mirror.AddPeer(addr); err == nil {
-						log.Printf("gupsterd: peered with %s", addr)
-						return
-					}
-					time.Sleep(200 * time.Millisecond)
-				}
-			}(p)
+			mirror.KeepPeer(p, time.Second)
 		}
 		defer mirror.Close()
 	} else {

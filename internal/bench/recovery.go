@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/coverage"
+	"gupster/internal/journal"
+	"gupster/internal/metrics"
+	"gupster/internal/policy"
+	"gupster/internal/schema"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/xpath"
+)
+
+// E18 — crash recovery and liveness detection. Two claims to check:
+//
+//  1. A kill -9 of the MDM loses no meta-data: with -data-dir, restart
+//     recovers every registration and shield rule from the journal, and
+//     the first resolve succeeds without any store re-registering. The
+//     benchmark measures that recovery path — journal replay, listener
+//     up, first successful resolve — against directory size.
+//  2. A dead store is quarantined out of plans within one lease TTL +
+//     grace period. The benchmark measures the actual detection latency
+//     from the last renewal to the first resolve that excludes the store.
+//
+// The crash is simulated in-process by abandoning the MDM without Close:
+// group commit acknowledges an append only after fsync, so everything a
+// caller ever saw acknowledged is on disk — exactly the kill -9 contract.
+
+// RecoveryOptions tune the E18 run.
+type RecoveryOptions struct {
+	// Sizes are the directory sizes (registration counts) to measure; a
+	// shield rule rides along for every 10th registration.
+	Sizes []int
+	// LeaseTTL/LeaseGrace parameterize the detection-latency phase.
+	LeaseTTL   time.Duration
+	LeaseGrace time.Duration
+}
+
+// RecoveryRun is one measured crash-recovery cycle.
+type RecoveryRun struct {
+	Registrations int `json:"registrations"`
+	ShieldRules   int `json:"shield_rules"`
+	// WALBytes is the on-disk journal size replayed at boot.
+	WALBytes int64 `json:"wal_bytes"`
+	// ReplayMillis: journal open + replay into the directory.
+	// ListenMillis: TCP listener up. ResolveMillis: first successful
+	// resolve (dial included). TotalMillis: kill→first-resolve.
+	ReplayMillis  float64 `json:"replay_millis"`
+	ListenMillis  float64 `json:"listen_millis"`
+	ResolveMillis float64 `json:"resolve_millis"`
+	TotalMillis   float64 `json:"total_millis"`
+}
+
+// RecoveryReport is the machine-readable E18 result.
+type RecoveryReport struct {
+	Runs []RecoveryRun `json:"runs"`
+	// Lease-expiry detection: the claim is TTL+grace; Detect is measured
+	// from the store's last renewal to the first plan that excludes it.
+	LeaseTTLMillis   int64   `json:"lease_ttl_millis"`
+	LeaseGraceMillis int64   `json:"lease_grace_millis"`
+	ClaimMillis      int64   `json:"claim_millis"`
+	DetectMillis     float64 `json:"detect_millis"`
+}
+
+// RunRecoveryReport executes E18.
+func RunRecoveryReport(o RecoveryOptions) (*RecoveryReport, error) {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{100, 1000, 5000}
+	}
+	if o.LeaseTTL == 0 {
+		o.LeaseTTL = 150 * time.Millisecond
+	}
+	if o.LeaseGrace == 0 {
+		o.LeaseGrace = o.LeaseTTL
+	}
+	rep := &RecoveryReport{
+		LeaseTTLMillis:   o.LeaseTTL.Milliseconds(),
+		LeaseGraceMillis: o.LeaseGrace.Milliseconds(),
+		ClaimMillis:      (o.LeaseTTL + o.LeaseGrace).Milliseconds(),
+	}
+	for _, n := range o.Sizes {
+		run, err := recoveryCycle(n)
+		if err != nil {
+			return nil, fmt.Errorf("E18 size %d: %w", n, err)
+		}
+		rep.Runs = append(rep.Runs, *run)
+	}
+	detect, err := leaseDetectLatency(o.LeaseTTL, o.LeaseGrace)
+	if err != nil {
+		return nil, fmt.Errorf("E18 lease detection: %w", err)
+	}
+	rep.DetectMillis = float64(detect.Microseconds()) / 1000
+	return rep, nil
+}
+
+// recoveryCycle populates a durable directory with n registrations,
+// crashes the MDM (abandon, no Close), and measures the restart path.
+func recoveryCycle(n int) (*RecoveryRun, error) {
+	dir, err := os.MkdirTemp("", "gupbench-e18-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	signer := token.NewSigner(benchKey)
+	mkMDM := func() *core.MDM {
+		return core.New(core.Config{Schema: schema.GUP(), Signer: signer, GrantTTL: time.Minute})
+	}
+
+	// Populate. Real fsyncs: this is the durability whose recovery we
+	// measure.
+	m1 := mkMDM()
+	if _, err := core.OpenDurable(m1, dir, journal.Options{CompactEvery: -1}); err != nil {
+		return nil, err
+	}
+	shields := 0
+	for i := 0; i < n; i++ {
+		st := coverage.StoreID(fmt.Sprintf("store-%d", i%16))
+		path := fmt.Sprintf("/user[@id='u%d']/presence", i)
+		addr := fmt.Sprintf("127.0.0.1:%d", 7100+i%16)
+		if err := m1.Register(st, addr, xpath.MustParse(path)); err != nil {
+			return nil, err
+		}
+		if i%10 == 0 {
+			shields++
+			if err := m1.PutRule(fmt.Sprintf("u%d", i), &wire.PutRuleRequest{
+				Owner: fmt.Sprintf("u%d", i),
+				Rule: wire.RulePayload{
+					ID: "r", Path: fmt.Sprintf("/user[@id='u%d']/presence", i),
+					Effect: "permit", Cond: "role=friend",
+				},
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Crash: abandon m1. No Close, no flush — whatever was acknowledged
+	// is already fsynced, the rest is the torn tail recovery must drop.
+	info, err := os.Stat(dir + "/wal.log")
+	if err != nil {
+		return nil, err
+	}
+	run := &RecoveryRun{Registrations: n, ShieldRules: shields, WALBytes: info.Size()}
+
+	// Restart and measure.
+	t0 := time.Now()
+	m2 := mkMDM()
+	defer m2.Close()
+	if _, err := core.OpenDurable(m2, dir, journal.Options{CompactEvery: -1}); err != nil {
+		return nil, err
+	}
+	tReplay := time.Now()
+	srv := core.NewServer(m2)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	tListen := time.Now()
+	cli, err := core.DialMDM(srv.Addr(), "u1", "self")
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+	if _, err := cli.Resolve(context.Background(), &wire.ResolveRequest{
+		Path:    "/user[@id='u1']/presence",
+		Context: policy.Context{Requester: "u1", Role: "self"},
+	}); err != nil {
+		return nil, fmt.Errorf("first resolve after recovery: %w", err)
+	}
+	tResolve := time.Now()
+
+	run.ReplayMillis = float64(tReplay.Sub(t0).Microseconds()) / 1000
+	run.ListenMillis = float64(tListen.Sub(tReplay).Microseconds()) / 1000
+	run.ResolveMillis = float64(tResolve.Sub(tListen).Microseconds()) / 1000
+	run.TotalMillis = float64(tResolve.Sub(t0).Microseconds()) / 1000
+	if m2.Registry.Len() != n {
+		return nil, fmt.Errorf("recovered %d registrations, want %d", m2.Registry.Len(), n)
+	}
+	return run, nil
+}
+
+// leaseDetectLatency registers a store under a lease, lets it fall
+// silent, and measures how long until plans exclude it.
+func leaseDetectLatency(ttl, grace time.Duration) (time.Duration, error) {
+	m := core.New(core.Config{
+		Schema: schema.GUP(), Signer: token.NewSigner(benchKey),
+		GrantTTL: time.Minute, LeaseTTL: ttl, LeaseGrace: grace,
+	})
+	defer m.Close()
+	if err := m.Register("dead-store", "127.0.0.1:9", xpath.MustParse("/user[@id='u']/presence")); err != nil {
+		return 0, err
+	}
+	silentSince := time.Now() // the registration is the last renewal
+	req := &wire.ResolveRequest{
+		Path:    "/user[@id='u']/presence",
+		Context: policy.Context{Requester: "u"},
+	}
+	if _, err := m.Resolve(context.Background(), req); err != nil {
+		return 0, fmt.Errorf("resolve while leased: %w", err)
+	}
+	deadline := silentSince.Add(ttl + grace + 5*time.Second)
+	for {
+		_, err := m.Resolve(context.Background(), req)
+		if errors.Is(err, core.ErrNoCoverage) {
+			// The quarantined store is out of the plan.
+			return time.Since(silentSince), nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		if time.Now().After(deadline) {
+			return 0, errors.New("store never quarantined")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Table renders the report in the EXPERIMENTS.md house style.
+func (r *RecoveryReport) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E18 — crash recovery (kill -9 → first resolve) and liveness detection (lease %dms + grace %dms: claim ≤%dms, measured %.0fms)",
+			r.LeaseTTLMillis, r.LeaseGraceMillis, r.ClaimMillis, r.DetectMillis),
+		"registrations", "shield rules", "wal bytes", "replay", "listen", "first resolve", "total")
+	for _, run := range r.Runs {
+		t.AddRow(run.Registrations, run.ShieldRules, run.WALBytes,
+			fmt.Sprintf("%.1fms", run.ReplayMillis),
+			fmt.Sprintf("%.1fms", run.ListenMillis),
+			fmt.Sprintf("%.1fms", run.ResolveMillis),
+			fmt.Sprintf("%.1fms", run.TotalMillis))
+	}
+	return t
+}
+
+// RunE18 adapts the recovery benchmark to the experiment-driver
+// signature: Iters, when set, replaces the directory-size ladder (smoke
+// runs stay small).
+func RunE18(o Options) (*metrics.Table, error) {
+	ro := RecoveryOptions{}
+	if o.Iters > 0 {
+		ro.Sizes = []int{o.Iters}
+	}
+	rep, err := RunRecoveryReport(ro)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Table(), nil
+}
+
+// WriteRecoveryReport writes the report as indented JSON.
+func WriteRecoveryReport(r *RecoveryReport, path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckRecovery gates a CI run: recovery must actually have recovered
+// (asserted inside recoveryCycle) and detection must not exceed the
+// claimed TTL+grace by more than slack (1.0 = 2× the claim).
+func CheckRecovery(r *RecoveryReport, slack float64) error {
+	budget := float64(r.ClaimMillis) * (1 + slack)
+	if r.DetectMillis > budget {
+		return fmt.Errorf("lease detection took %.0fms, budget %.0fms (claim %dms + %.0f%% slack)",
+			r.DetectMillis, budget, r.ClaimMillis, slack*100)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"gupster/internal/coverage"
+	"gupster/internal/journal"
+	"gupster/internal/wire"
+	"gupster/internal/xpath"
+)
+
+// Durability. With a journal attached, every meta-data mutation —
+// coverage registration, unregistration, shield-rule provisioning — is
+// appended to the write-ahead log before the caller is acknowledged, and
+// OpenDurable replays snapshot+log at boot so a crashed MDM comes back
+// with its whole directory: no store has to re-register, no owner has to
+// re-provision shields (the ISSUE's "enter once" applied to meta-data
+// itself).
+//
+// The mutation is validated and applied in memory first, then journaled.
+// If the append fails the caller gets an error (and retries), while the
+// already-applied mutation merely anticipates the retry — replay is
+// idempotent, so this window never corrupts recovery.
+
+// journalAppend durably logs one mutation; a no-op without a journal.
+func (m *MDM) journalAppend(r journal.Record) error {
+	if m.journal == nil {
+		return nil
+	}
+	return m.journal.Append(r)
+}
+
+// AttachJournal wires a journal into the MDM so subsequent mutations are
+// durable, and installs the compaction snapshot callback. Call once,
+// after recovery has been applied and before the MDM starts serving.
+func (m *MDM) AttachJournal(j *journal.Journal) {
+	m.journal = j
+	j.SetSnapshotFunc(func() journal.Snapshot {
+		return journal.Snapshot{
+			Coverage: m.CoverageSnapshot(),
+			Shields:  m.ShieldSnapshot(),
+		}
+	})
+}
+
+// Journal exposes the attached journal (nil when the MDM is not durable).
+func (m *MDM) Journal() *journal.Journal { return m.journal }
+
+// RestoreSnapshot loads a recovered checkpoint into the directory without
+// journaling. Individual entries that fail to parse are skipped — a
+// snapshot is machine-written, so a bad entry is corruption best dropped,
+// not a reason to refuse boot.
+func (m *MDM) RestoreSnapshot(s *journal.Snapshot) {
+	if s == nil {
+		return
+	}
+	for _, reg := range s.Coverage {
+		p, err := xpath.Parse(reg.Path)
+		if err != nil {
+			continue
+		}
+		_ = m.applyRegister(coverage.StoreID(reg.Store), reg.Address, p)
+	}
+	for _, pr := range s.Shields {
+		rule, err := decodeRule(pr.Rule)
+		if err != nil {
+			continue
+		}
+		_ = m.PAP.PutRule(pr.Owner, rule)
+	}
+}
+
+// ApplyRecord replays one journaled mutation without re-journaling it.
+// Replay is idempotent and tolerant: re-registering is a no-op,
+// unregistering a missing entry or deleting a missing rule is ignored
+// (the snapshot/log overlap around compaction makes both normal).
+func (m *MDM) ApplyRecord(r journal.Record) error {
+	switch r.Op {
+	case journal.OpRegister:
+		if r.Register == nil {
+			return fmt.Errorf("gupster: %s record without payload", r.Op)
+		}
+		p, err := xpath.Parse(r.Register.Path)
+		if err != nil {
+			return err
+		}
+		return m.applyRegister(coverage.StoreID(r.Register.Store), r.Register.Address, p)
+	case journal.OpUnregister:
+		if r.Unregister == nil {
+			return fmt.Errorf("gupster: %s record without payload", r.Op)
+		}
+		p, err := xpath.Parse(r.Unregister.Path)
+		if err != nil {
+			return err
+		}
+		if err := m.applyUnregister(coverage.StoreID(r.Unregister.Store), p); err != nil && err != coverage.ErrNotRegistered {
+			return err
+		}
+		return nil
+	case journal.OpPutRule:
+		if r.PutRule == nil {
+			return fmt.Errorf("gupster: %s record without payload", r.Op)
+		}
+		rule, err := decodeRule(r.PutRule.Rule)
+		if err != nil {
+			return err
+		}
+		return m.PAP.PutRule(r.PutRule.Owner, rule)
+	case journal.OpDeleteRule:
+		if r.DeleteRule == nil {
+			return fmt.Errorf("gupster: %s record without payload", r.Op)
+		}
+		_ = m.PAP.DeleteRule(r.DeleteRule.Owner, r.DeleteRule.RuleID)
+		return nil
+	default:
+		return fmt.Errorf("gupster: unknown journal op %q", r.Op)
+	}
+}
+
+// OpenDurable opens (or recovers) the journal in dir, replays whatever it
+// holds into the MDM, and attaches it so new mutations are durable.
+// Replay errors on individual records are tolerated (see ApplyRecord);
+// only journal-level failures — unreadable files, corrupt snapshot —
+// refuse boot.
+func OpenDurable(m *MDM, dir string, opts journal.Options) (*journal.Recovered, error) {
+	j, rec, err := journal.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.RestoreSnapshot(rec.Snapshot)
+	for _, r := range rec.Records {
+		_ = m.ApplyRecord(r)
+	}
+	m.AttachJournal(j)
+	return rec, nil
+}
+
+// PutRule provisions a privacy-shield rule durably: applied to the
+// policy repository, then journaled. The serving layer goes through this
+// wrapper (not the PAP directly) so shield rules survive a crash exactly
+// like coverage registrations.
+func (m *MDM) PutRule(owner string, req *wire.PutRuleRequest) error {
+	rule, err := decodeRule(req.Rule)
+	if err != nil {
+		return err
+	}
+	if err := m.PAP.PutRule(owner, rule); err != nil {
+		return err
+	}
+	return m.journalAppend(journal.Record{Op: journal.OpPutRule, PutRule: &wire.PutRuleRequest{
+		Owner: owner, Rule: req.Rule,
+	}})
+}
+
+// DeleteRule withdraws a shield rule durably.
+func (m *MDM) DeleteRule(owner, ruleID string) error {
+	if err := m.PAP.DeleteRule(owner, ruleID); err != nil {
+		return err
+	}
+	return m.journalAppend(journal.Record{Op: journal.OpDeleteRule, DeleteRule: &wire.DeleteRuleRequest{
+		Owner: owner, RuleID: ruleID,
+	}})
+}

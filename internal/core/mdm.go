@@ -16,12 +16,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gupster/internal/coverage"
 	"gupster/internal/flight"
+	"gupster/internal/journal"
 	"gupster/internal/metrics"
 	"gupster/internal/policy"
 	"gupster/internal/provenance"
@@ -84,6 +86,16 @@ type Config struct {
 	// TraceSpans bounds the trace collector's retained spans; 0 means
 	// trace.DefaultSpanCap.
 	TraceSpans int
+	// LeaseTTL enables store-liveness leases: every registration and
+	// heartbeat grants the store a lease of this duration, and a store
+	// silent past LeaseTTL+LeaseGrace is quarantined out of query plans
+	// until it heartbeats or re-registers. 0 (the default) disables
+	// leases: registrations never expire, matching pre-lease behavior.
+	LeaseTTL time.Duration
+	// LeaseGrace is the extra silence tolerated past lease expiry before
+	// quarantine; 0 means LeaseTTL (i.e. a store is cut after two missed
+	// lease periods).
+	LeaseGrace time.Duration
 }
 
 // Stats are the MDM's observability counters.
@@ -131,6 +143,21 @@ type MDM struct {
 
 	poolMu sync.Mutex
 	pool   map[string]*store.Client // address → connection (chaining)
+
+	// journal, when attached, makes the meta-data directory crash-safe:
+	// every Register/Unregister/PutRule/DeleteRule appends a durable
+	// record before the caller is acknowledged. Set once via
+	// AttachJournal before the MDM starts serving.
+	journal *journal.Journal
+
+	// Store-liveness state (leases). leases is keyed by store; entries
+	// exist only while the store holds registrations and leases are
+	// enabled.
+	leaseMu   sync.Mutex
+	leases    map[coverage.StoreID]*lease
+	Liveness  *metrics.LivenessStats
+	sweepStop chan struct{}
+	sweepOnce sync.Once
 }
 
 // New assembles an MDM.
@@ -151,6 +178,8 @@ func New(cfg Config) *MDM {
 		subs:     newSubscriptions(),
 		res:      resilience.NewGroup(cfg.Retry, cfg.Breaker, nil),
 		pool:     make(map[string]*store.Client),
+		leases:   make(map[coverage.StoreID]*lease),
+		Liveness: &metrics.LivenessStats{},
 	}
 	m.pipe = &metrics.PipelineStats{}
 	m.flights = flight.NewGroup(m.pipe)
@@ -162,25 +191,80 @@ func New(cfg Config) *MDM {
 	if cfg.CacheEntries > 0 {
 		m.cache = newComponentCache(cfg.CacheEntries)
 	}
+	if cfg.LeaseTTL > 0 {
+		m.sweepStop = make(chan struct{})
+		go m.leaseSweeper()
+	}
 	return m
 }
 
-// Register records that a store (reachable at addr) covers path.
+// Register records that a store (reachable at addr) covers path. A
+// re-registration is authoritative about the address: a store that moved
+// replaces its previous address (the stale pooled connection is dropped),
+// and an empty addr clears it rather than silently preserving a dead one.
+// With a journal attached the registration is durable before Register
+// returns; with leases enabled it also grants/renews the store's lease.
 func (m *MDM) Register(storeID coverage.StoreID, addr string, path xpath.Path) error {
+	if err := m.applyRegister(storeID, addr, path); err != nil {
+		return err
+	}
+	return m.journalAppend(journal.Record{Op: journal.OpRegister, Register: &wire.RegisterRequest{
+		Store: string(storeID), Address: addr, Path: path.String(),
+	}})
+}
+
+func (m *MDM) applyRegister(storeID coverage.StoreID, addr string, path xpath.Path) error {
 	if err := m.Registry.Register(path, storeID); err != nil {
 		return err
 	}
 	m.mu.Lock()
-	if addr != "" {
+	old := m.addrs[storeID]
+	if addr == "" {
+		delete(m.addrs, storeID)
+	} else {
 		m.addrs[storeID] = addr
 	}
 	m.mu.Unlock()
+	if old != "" && old != addr {
+		m.dropStoreClient(old)
+	}
+	m.renewLease(storeID)
 	return nil
 }
 
-// Unregister withdraws a coverage registration.
+// Unregister withdraws a coverage registration. When the store's last
+// registration goes, its address, pooled connection, and lease go with it
+// — the directory forgets the store completely.
 func (m *MDM) Unregister(storeID coverage.StoreID, path xpath.Path) error {
-	return m.Registry.Unregister(path, storeID)
+	if err := m.applyUnregister(storeID, path); err != nil {
+		return err
+	}
+	return m.journalAppend(journal.Record{Op: journal.OpUnregister, Unregister: &wire.UnregisterRequest{
+		Store: string(storeID), Path: path.String(),
+	}})
+}
+
+func (m *MDM) applyUnregister(storeID coverage.StoreID, path xpath.Path) error {
+	if err := m.Registry.Unregister(path, storeID); err != nil {
+		return err
+	}
+	if m.Registry.StoreCount(storeID) == 0 {
+		m.forgetStore(storeID)
+	}
+	return nil
+}
+
+// forgetStore drops every per-store resource outside the registry: the
+// dialable address, the pooled chaining connection, and the lease.
+func (m *MDM) forgetStore(storeID coverage.StoreID) {
+	m.mu.Lock()
+	addr := m.addrs[storeID]
+	delete(m.addrs, storeID)
+	m.mu.Unlock()
+	if addr != "" {
+		m.dropStoreClient(addr)
+	}
+	m.dropLease(storeID)
 }
 
 // AddrOf returns a store's dialable address.
@@ -244,29 +328,41 @@ func (m *MDM) resolve(ctx context.Context, sp *trace.Active, req *wire.ResolveRe
 		return nil, fmt.Errorf("%w: %s for %s", ErrDenied, req.Path, req.Context.Requester)
 	}
 
-	alts, err := m.plan(owner, decision.Grants, verb, req.Context.Requester)
+	alts, degraded, err := m.plan(owner, decision.Grants, verb, req.Context.Requester)
 	if err != nil {
 		return nil, err
 	}
 	m.recordProvenance(owner, req, verb, decision, alts)
+	if len(degraded) > 0 {
+		m.Liveness.DegradedResolves.Add(1)
+		sp.Annotate("degraded=" + strings.Join(degraded, ","))
+	}
 
 	switch req.Pattern {
 	case "", wire.PatternReferral:
 		// Referral planning is local CPU work (lookup + sign); coalescing
 		// would only serialize it.
 		sp.Annotate("pattern=referral")
-		return &wire.ResolveResponse{Alternatives: alts}, nil
+		return &wire.ResolveResponse{Alternatives: alts, Degraded: degraded}, nil
 	case wire.PatternChaining:
 		sp.Annotate("pattern=chaining")
 		key := flightKey(wire.PatternChaining, owner, req.Context.Requester, verb, decision.Grants)
 		return m.coalesce(ctx, key, sp, func() (*wire.ResolveResponse, error) {
-			return m.chain(ctx, owner, decision.Grants, alts)
+			resp, err := m.chain(ctx, owner, decision.Grants, alts)
+			if resp != nil {
+				resp.Degraded = degraded
+			}
+			return resp, err
 		})
 	case wire.PatternRecruiting:
 		sp.Annotate("pattern=recruiting")
 		key := flightKey(wire.PatternRecruiting, owner, req.Context.Requester, verb, decision.Grants)
 		return m.coalesce(ctx, key, sp, func() (*wire.ResolveResponse, error) {
-			return m.recruit(ctx, alts)
+			resp, err := m.recruit(ctx, alts)
+			if resp != nil {
+				resp.Degraded = degraded
+			}
+			return resp, err
 		})
 	default:
 		return nil, fmt.Errorf("gupster: unknown query pattern %q", req.Pattern)
@@ -337,7 +433,14 @@ func (m *MDM) BatchResolve(ctx context.Context, req *wire.BatchResolveRequest) (
 // partial covers do, they form one multi-referral alternative whose pieces
 // the client merges (Figure 9). With several narrowed grants the per-grant
 // plans are combined into a single alternative (all pieces needed).
-func (m *MDM) plan(owner string, grants []xpath.Path, verb token.Verb, requester string) ([]wire.Alternative, error) {
+//
+// Quarantined stores (lease expired past the grace period) are excluded.
+// A grant whose every covering store is quarantined degrades: its path is
+// returned in degraded and the resolve proceeds with the remaining grants
+// as a partial result. A grant with no coverage at all — quarantine aside
+// — is still a hard ErrNoCoverage, as is the case where quarantine leaves
+// nothing to answer with.
+func (m *MDM) plan(owner string, grants []xpath.Path, verb token.Verb, requester string) ([]wire.Alternative, []string, error) {
 	sign := func(st coverage.StoreID, p xpath.Path) wire.Referral {
 		return wire.Referral{
 			Query:   m.cfg.Signer.Sign(string(st), owner, p, verb, requester, m.cfg.GrantTTL),
@@ -345,17 +448,26 @@ func (m *MDM) plan(owner string, grants []xpath.Path, verb token.Verb, requester
 		}
 	}
 
+	var degraded []string
 	perGrant := make([][]wire.Alternative, 0, len(grants))
 	for _, g := range grants {
 		matches := m.Registry.Lookup(g)
 		var full []coverage.Match
 		var partial []coverage.Match
+		excluded := 0
 		for _, mt := range matches {
+			if !m.storeLive(mt.Store) {
+				excluded++
+				continue
+			}
 			if mt.Rel == xpath.CoverFull {
 				full = append(full, mt)
 			} else {
 				partial = append(partial, mt)
 			}
+		}
+		if excluded > 0 {
+			m.Liveness.PlanExclusions.Add(uint64(excluded))
 		}
 		var alts []wire.Alternative
 		for _, f := range full {
@@ -380,13 +492,20 @@ func (m *MDM) plan(owner string, grants []xpath.Path, verb token.Verb, requester
 			}
 		}
 		if len(alts) == 0 {
-			return nil, fmt.Errorf("%w: %s", ErrNoCoverage, g)
+			if excluded > 0 {
+				degraded = append(degraded, g.String())
+				continue
+			}
+			return nil, nil, fmt.Errorf("%w: %s", ErrNoCoverage, g)
 		}
 		perGrant = append(perGrant, alts)
 	}
 
+	if len(perGrant) == 0 {
+		return nil, nil, fmt.Errorf("%w: every covering store is quarantined", ErrNoCoverage)
+	}
 	if len(perGrant) == 1 {
-		return perGrant[0], nil
+		return perGrant[0], degraded, nil
 	}
 	// Multiple narrowed grants: all pieces are needed together. Take the
 	// first alternative of each grant and combine.
@@ -394,7 +513,7 @@ func (m *MDM) plan(owner string, grants []xpath.Path, verb token.Verb, requester
 	for _, alts := range perGrant {
 		combined.Referrals = append(combined.Referrals, alts[0].Referrals...)
 	}
-	return []wire.Alternative{combined}, nil
+	return []wire.Alternative{combined}, degraded, nil
 }
 
 // storeClient returns a pooled connection to a store address.
@@ -696,7 +815,8 @@ func (m *MDM) Tracer() *trace.Collector { return m.tracer }
 func (m *MDM) Snapshot() wire.StatsResponse {
 	rs := m.res.Snapshot()
 	ps := m.pipe.Snapshot()
-	return wire.StatsResponse{
+	ls := m.Liveness.Snapshot()
+	resp := wire.StatsResponse{
 		Resolves:       m.Stats.Resolves.Load(),
 		Denied:         m.Stats.Denied.Load(),
 		Spurious:       m.Stats.Spurious.Load(),
@@ -717,15 +837,38 @@ func (m *MDM) Snapshot() wire.StatsResponse {
 		Hops:           m.tracer.HopStats(),
 		TraceSpans:     m.tracer.SpanCount(),
 		TraceDropped:   m.tracer.Dropped(),
+
+		Leases:           m.LeaseTable(),
+		LeaseRenewals:    ls.Renewals,
+		Quarantines:      ls.Quarantines,
+		LeaseRecoveries:  ls.Recoveries,
+		PlanExclusions:   ls.PlanExclusions,
+		DegradedResolves: ls.DegradedResolves,
 	}
+	if m.journal != nil {
+		js := m.journal.Stats()
+		resp.JournalAppends = js.Appends.Load()
+		resp.JournalSyncs = js.Syncs.Load()
+		resp.JournalCompactions = js.Compactions.Load()
+		resp.JournalRecovered = js.RecoveredRecords.Load()
+		resp.JournalTornBytes = js.TornBytes.Load()
+	}
+	return resp
 }
 
-// Close releases pooled store connections.
+// Close releases pooled store connections, stops the lease sweeper, and
+// closes the journal (flushing any pending appends).
 func (m *MDM) Close() {
+	if m.sweepStop != nil {
+		m.sweepOnce.Do(func() { close(m.sweepStop) })
+	}
 	m.poolMu.Lock()
-	defer m.poolMu.Unlock()
 	for addr, c := range m.pool {
 		c.Close()
 		delete(m.pool, addr)
+	}
+	m.poolMu.Unlock()
+	if m.journal != nil {
+		m.journal.Close()
 	}
 }

@@ -45,7 +45,7 @@ func TestQuickPlanNeverExceedsGrant(t *testing.T) {
 		for q := 0; q < 10; q++ {
 			grant := randomPath(rng, true)
 			owner, _ := coverage.UserOf(grant)
-			alts, err := m.plan(owner, []xpath.Path{grant}, token.VerbFetch, "requester")
+			alts, _, err := m.plan(owner, []xpath.Path{grant}, token.VerbFetch, "requester")
 			if err != nil {
 				continue // no coverage for this grant — nothing signed, nothing leaked
 			}

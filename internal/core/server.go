@@ -60,6 +60,8 @@ func (s *Server) serve(c *wire.ServerConn, m *wire.Message) {
 		err = s.handleRegister(c, m)
 	case wire.TypeUnregister:
 		err = s.handleUnregister(c, m)
+	case wire.TypeHeartbeat:
+		err = s.handleHeartbeat(c, m)
 	case wire.TypeSubscribe:
 		err = s.handleSubscribe(c, m)
 	case wire.TypeUnsubscribe:
@@ -192,6 +194,14 @@ func (s *Server) handleUnregister(c *wire.ServerConn, m *wire.Message) error {
 	return c.Reply(m, wire.Empty{})
 }
 
+func (s *Server) handleHeartbeat(c *wire.ServerConn, m *wire.Message) error {
+	var req wire.HeartbeatRequest
+	if err := wire.Unmarshal(m.Payload, &req); err != nil {
+		return err
+	}
+	return c.Reply(m, s.MDM.Heartbeat(&req))
+}
+
 func (s *Server) handleSubscribe(c *wire.ServerConn, m *wire.Message) error {
 	var req wire.SubscribeRequest
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
@@ -224,11 +234,7 @@ func (s *Server) handlePutRule(c *wire.ServerConn, m *wire.Message) error {
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
 		return err
 	}
-	rule, err := decodeRule(req.Rule)
-	if err != nil {
-		return err
-	}
-	if err := s.MDM.PAP.PutRule(req.Owner, rule); err != nil {
+	if err := s.MDM.PutRule(req.Owner, &req); err != nil {
 		return err
 	}
 	return c.Reply(m, wire.Empty{})
@@ -239,7 +245,7 @@ func (s *Server) handleDeleteRule(c *wire.ServerConn, m *wire.Message) error {
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
 		return err
 	}
-	if err := s.MDM.PAP.DeleteRule(req.Owner, req.RuleID); err != nil {
+	if err := s.MDM.DeleteRule(req.Owner, req.RuleID); err != nil {
 		return err
 	}
 	return c.Reply(m, wire.Empty{})

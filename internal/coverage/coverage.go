@@ -90,11 +90,18 @@ type Registry struct {
 	byUser map[string]map[string][]*entry
 	all    []*entry
 	count  int
+	// perStore counts live registrations per store, so callers can tell
+	// when a store's last registration disappears (address and lease
+	// cleanup) without scanning.
+	perStore map[StoreID]int
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{byUser: make(map[string]map[string][]*entry)}
+	return &Registry{
+		byUser:   make(map[string]map[string][]*entry),
+		perStore: make(map[StoreID]int),
+	}
 }
 
 // Register records that store holds the subtree at path. Registering the
@@ -125,6 +132,7 @@ func (r *Registry) Register(path xpath.Path, store StoreID) error {
 	bucket[section] = append(bucket[section], e)
 	r.all = append(r.all, e)
 	r.count++
+	r.perStore[store]++
 	return nil
 }
 
@@ -146,10 +154,19 @@ func (r *Registry) Unregister(path xpath.Path, store StoreID) error {
 			bucket[section] = append(list[:i], list[i+1:]...)
 			r.removeFromAll(e)
 			r.count--
+			r.decStore(store)
 			return nil
 		}
 	}
 	return ErrNotRegistered
+}
+
+func (r *Registry) decStore(store StoreID) {
+	if n := r.perStore[store]; n <= 1 {
+		delete(r.perStore, store)
+	} else {
+		r.perStore[store] = n - 1
+	}
 }
 
 func (r *Registry) removeFromAll(e *entry) {
@@ -189,8 +206,17 @@ func (r *Registry) DropStore(store StoreID) int {
 		}
 		r.all = keptAll
 		r.count -= removed
+		delete(r.perStore, store)
 	}
 	return removed
+}
+
+// StoreCount returns the number of live registrations a store holds; 0
+// means the directory has forgotten the store entirely.
+func (r *Registry) StoreCount(store StoreID) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.perStore[store]
 }
 
 // Lookup returns all registrations relevant to the request, full covers

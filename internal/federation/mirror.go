@@ -42,6 +42,10 @@ var mirroredTypes = map[string]bool{
 	wire.TypePutRule:    true,
 	wire.TypeDeleteRule: true,
 	wire.TypeChanged:    true,
+	// A heartbeat to any mirror renews the store's lease constellation-wide;
+	// otherwise each mirror would quarantine every store heartbeating a
+	// different member.
+	wire.TypeHeartbeat: true,
 }
 
 // Mirror is one member of an MDM constellation.
@@ -56,6 +60,11 @@ type Mirror struct {
 	peerMu    sync.Mutex
 	peerConns map[*wire.ServerConn]bool
 
+	// keepers are the KeepPeer anti-entropy goroutines.
+	keepStop chan struct{}
+	keepOnce sync.Once
+	keepG    sync.WaitGroup
+
 	ws *wire.Server
 }
 
@@ -66,6 +75,7 @@ func NewMirror(local *core.MDM) *Mirror {
 		local:     core.NewServer(local),
 		peers:     make(map[string]*wire.Client),
 		peerConns: make(map[*wire.ServerConn]bool),
+		keepStop:  make(chan struct{}),
 	}
 }
 
@@ -109,6 +119,57 @@ func (m *Mirror) AddPeer(addr string) error {
 	return nil
 }
 
+// KeepPeer maintains the peering with anti-entropy: it establishes the
+// link as soon as the peer is reachable, probes it every interval, and —
+// when the probe fails (the peer died or restarted) — re-peers and
+// replays this mirror's full meta-data snapshot, so a restarted peer
+// recovers the directory it lost without waiting for stores to
+// re-register. Runs until Close.
+func (m *Mirror) KeepPeer(addr string, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	m.keepG.Add(1)
+	go func() {
+		defer m.keepG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			m.ensurePeer(addr, interval)
+			select {
+			case <-m.keepStop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// ensurePeer probes an existing peer link, or (re-)establishes it. A dead
+// link is dropped and re-peered via AddPeer, whose snapshot replay is the
+// anti-entropy: idempotent at the receiver, complete for a peer that
+// restarted empty.
+func (m *Mirror) ensurePeer(addr string, timeout time.Duration) {
+	m.mu.Lock()
+	c := m.peers[addr]
+	m.mu.Unlock()
+	if c != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		err := c.Call(ctx, typePeerHello, wire.Empty{}, nil)
+		cancel()
+		if err == nil {
+			return
+		}
+		m.mu.Lock()
+		if m.peers[addr] == c {
+			delete(m.peers, addr)
+		}
+		m.mu.Unlock()
+		c.Close()
+	}
+	_ = m.AddPeer(addr)
+}
+
 // Join wires a set of mirrors into a full mesh.
 func Join(mirrors []*Mirror, addrs []string) error {
 	if len(mirrors) != len(addrs) {
@@ -127,8 +188,11 @@ func Join(mirrors []*Mirror, addrs []string) error {
 	return nil
 }
 
-// Close shuts down peer links (the listener is closed by its owner).
+// Close stops the KeepPeer goroutines and shuts down peer links (the
+// listener is closed by its owner).
 func (m *Mirror) Close() {
+	m.keepOnce.Do(func() { close(m.keepStop) })
+	m.keepG.Wait()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for addr, c := range m.peers {

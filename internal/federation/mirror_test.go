@@ -5,6 +5,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"gupster/internal/core"
 	"gupster/internal/federation"
@@ -170,5 +171,71 @@ func TestAllMirrorsDown(t *testing.T) {
 	}
 	if _, err := federation.DialMirrors(nil); err == nil {
 		t.Fatal("empty address list accepted")
+	}
+}
+
+// KeepPeer anti-entropy: a peer that dies and restarts empty is re-peered
+// and receives the surviving mirror's full meta-data snapshot, without any
+// store re-registering.
+func TestKeepPeerResyncsRestartedPeer(t *testing.T) {
+	mdmA := newMDM(t)
+	mirrorA := federation.NewMirror(mdmA)
+	srvA, err := mirrorA.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mirrorA.Close(); srvA.Close() })
+
+	mdmB := newMDM(t)
+	mirrorB := federation.NewMirror(mdmB)
+	srvB, err := mirrorB.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := srvB.Addr()
+
+	mirrorA.KeepPeer(addrB, 25*time.Millisecond)
+
+	// Coverage registered at A replicates to B once the peering is up.
+	if err := callAt(t, srvA.Addr(), wire.TypeRegister, &wire.RegisterRequest{
+		Store: "s1", Address: "127.0.0.1:7101", Path: "/user[@id='u']/presence",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "initial replication to B", func() bool {
+		return mdmB.Registry.StoreCount("s1") == 1
+	})
+
+	// B dies and restarts empty on the same address.
+	mirrorB.Close()
+	srvB.Close()
+	mdmB2 := newMDM(t)
+	mirrorB2 := federation.NewMirror(mdmB2)
+	var srvB2 *wire.Server
+	waitFor(t, "restart B's listener", func() bool {
+		s, err := mirrorB2.Serve(addrB)
+		if err != nil {
+			return false
+		}
+		srvB2 = s
+		return true
+	})
+	t.Cleanup(func() { mirrorB2.Close(); srvB2.Close() })
+
+	// KeepPeer notices the dead link, re-peers, and replays A's snapshot:
+	// B2 recovers the registration although no store re-registered.
+	waitFor(t, "anti-entropy resync of restarted B", func() bool {
+		return mdmB2.Registry.StoreCount("s1") == 1
+	})
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(15 * time.Millisecond)
 	}
 }

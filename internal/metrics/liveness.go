@@ -1,0 +1,44 @@
+package metrics
+
+import "sync/atomic"
+
+// LivenessStats counts the MDM's store-lease machinery: how often leases
+// are renewed, how many silent stores were quarantined out of query plans,
+// how many came back, and how often a resolve had to degrade to a partial
+// result because every store covering a grant was quarantined.
+type LivenessStats struct {
+	// Renewals counts lease grants and renewals (register + heartbeat).
+	Renewals atomic.Uint64
+	// Quarantines counts transitions into quarantine (lease expired past
+	// the grace period).
+	Quarantines atomic.Uint64
+	// Recoveries counts quarantined stores that heartbeat or re-registered
+	// their way back into plans.
+	Recoveries atomic.Uint64
+	// PlanExclusions counts registrations skipped during planning because
+	// their store was quarantined.
+	PlanExclusions atomic.Uint64
+	// DegradedResolves counts resolves that returned partial results
+	// (at least one grant had no live coverage).
+	DegradedResolves atomic.Uint64
+}
+
+// LivenessSnapshot is a point-in-time copy.
+type LivenessSnapshot struct {
+	Renewals         uint64
+	Quarantines      uint64
+	Recoveries       uint64
+	PlanExclusions   uint64
+	DegradedResolves uint64
+}
+
+// Snapshot copies the counters.
+func (s *LivenessStats) Snapshot() LivenessSnapshot {
+	return LivenessSnapshot{
+		Renewals:         s.Renewals.Load(),
+		Quarantines:      s.Quarantines.Load(),
+		Recoveries:       s.Recoveries.Load(),
+		PlanExclusions:   s.PlanExclusions.Load(),
+		DegradedResolves: s.DegradedResolves.Load(),
+	}
+}

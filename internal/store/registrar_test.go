@@ -1,0 +1,127 @@
+package store_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/schema"
+	"gupster/internal/store"
+	"gupster/internal/token"
+)
+
+func newLeasedMDM(t *testing.T, ttl, grace time.Duration) (*core.MDM, *core.Server) {
+	t.Helper()
+	m := core.New(core.Config{
+		Schema:     schema.GUP(),
+		Signer:     token.NewSigner([]byte("registrar-test-key")),
+		GrantTTL:   time.Minute,
+		LeaseTTL:   ttl,
+		LeaseGrace: grace,
+	})
+	srv := core.NewServer(m)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close(); srv.Close() })
+	return m, srv
+}
+
+// The registrar registers coverage, keeps the lease renewed with
+// heartbeats, and deregisters cleanly.
+func TestRegistrarHeartbeatsKeepLeaseAlive(t *testing.T) {
+	const ttl, grace = 60 * time.Millisecond, 30 * time.Millisecond
+	m, srv := newLeasedMDM(t, ttl, grace)
+
+	r := store.NewRegistrar(store.RegistrarConfig{
+		Store:    "s1",
+		Addr:     "127.0.0.1:7101",
+		MDM:      srv.Addr(),
+		Coverage: []string{"/user[@id='u']/presence", "/user[@id='u']/calendar"},
+		Interval: 20 * time.Millisecond,
+	})
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer r.Close()
+
+	if got := m.Registry.StoreCount("s1"); got != 2 {
+		t.Fatalf("registrations = %d, want 2", got)
+	}
+	// Outlive several lease periods: heartbeats must keep the store out of
+	// quarantine the whole time.
+	time.Sleep(4 * (ttl + grace))
+	for _, l := range m.LeaseTable() {
+		if l.Quarantined {
+			t.Fatalf("store quarantined despite heartbeats: %+v", l)
+		}
+	}
+	if r.Heartbeats.Load() == 0 {
+		t.Fatal("no heartbeats sent")
+	}
+
+	if err := r.Deregister(context.Background()); err != nil {
+		t.Fatalf("Deregister: %v", err)
+	}
+	if got := m.Registry.StoreCount("s1"); got != 0 {
+		t.Fatalf("registrations after Deregister = %d", got)
+	}
+}
+
+// When the MDM restarts without its journal (empty directory), the next
+// heartbeat comes back Known=false and the registrar replays the whole
+// coverage — the store heals a forgetful directory automatically.
+func TestRegistrarReregistersAfterMDMAmnesia(t *testing.T) {
+	m1, srv1 := newLeasedMDM(t, 60*time.Millisecond, 30*time.Millisecond)
+	addr := srv1.Addr()
+
+	r := store.NewRegistrar(store.RegistrarConfig{
+		Store:    "s1",
+		Addr:     "127.0.0.1:7101",
+		MDM:      addr,
+		Coverage: []string{"/user[@id='u']/presence"},
+		Interval: 20 * time.Millisecond,
+		Logf:     t.Logf,
+	})
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer r.Close()
+	if m1.Registry.StoreCount("s1") != 1 {
+		t.Fatal("initial registration missing")
+	}
+
+	// "Restart" the MDM empty on the same address.
+	m1.Close()
+	srv1.Close()
+	m2 := core.New(core.Config{
+		Schema:   schema.GUP(),
+		Signer:   token.NewSigner([]byte("registrar-test-key")),
+		LeaseTTL: 60 * time.Millisecond,
+	})
+	srv2 := core.NewServer(m2)
+	var err error
+	for i := 0; i < 50; i++ {
+		if err = srv2.Start(addr); err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond) // the old listener may linger
+	}
+	if err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+	t.Cleanup(func() { m2.Close(); srv2.Close() })
+
+	deadline := time.Now().Add(3 * time.Second)
+	for m2.Registry.StoreCount("s1") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("registrar never re-registered (heartbeats=%d, reregs=%d)",
+				r.Heartbeats.Load(), r.Reregistrations.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if r.Reregistrations.Load() == 0 {
+		t.Error("re-registration not counted")
+	}
+}

@@ -47,7 +47,45 @@ const (
 	// its finished trace — the root span plus everything piggybacked from
 	// downstream hops — to the MDM.
 	TypeTraceReport = "trace-report"
+	// TypeHeartbeat renews a store's registration lease at the MDM. Stores
+	// heartbeat on an interval; an MDM that stays silent about a store past
+	// the lease grace period quarantines it out of query plans.
+	TypeHeartbeat = "heartbeat"
 )
+
+// HeartbeatRequest renews a store's lease. Addr, when non-empty, is
+// authoritative: a store that moved updates its dialable address with the
+// heartbeat, not just with a full re-registration.
+type HeartbeatRequest struct {
+	Store string `json:"store"`
+	Addr  string `json:"addr,omitempty"`
+}
+
+// HeartbeatResponse acknowledges a lease renewal.
+type HeartbeatResponse struct {
+	// Known is false when the MDM holds no registration for the store —
+	// the signal that the MDM lost its directory (restart without a
+	// journal) and the store must re-register its coverage.
+	Known bool `json:"known"`
+	// TTLMillis is the lease duration granted; 0 when the MDM runs with
+	// leases disabled (registrations then never expire).
+	TTLMillis int64 `json:"ttl_millis,omitempty"`
+}
+
+// LeaseInfo is one row of the MDM's store-liveness table, surfaced through
+// StatsResponse for `gupctl health`.
+type LeaseInfo struct {
+	Store string `json:"store"`
+	Addr  string `json:"addr,omitempty"`
+	// RemainingMillis is time left on the lease; negative means the lease
+	// expired that long ago.
+	RemainingMillis int64 `json:"remaining_millis"`
+	// Quarantined stores are excluded from query plans until they
+	// heartbeat or re-register.
+	Quarantined bool `json:"quarantined,omitempty"`
+	// Registrations counts the store's live coverage registrations.
+	Registrations int `json:"registrations"`
+}
 
 // TraceRequest asks for one trace's retained spans.
 type TraceRequest struct {
@@ -203,6 +241,11 @@ type ResolveResponse struct {
 	// Hops counts MDM-to-MDM forwards in federated deployments (§5.1):
 	// 0 means the first MDM answered itself.
 	Hops int `json:"hops,omitempty"`
+	// Degraded lists granted paths that were left out of the plan because
+	// every store covering them is quarantined (lease expired). The rest
+	// of the response is a partial result: chaining/recruiting resolves
+	// return the live pieces instead of burning retries against corpses.
+	Degraded []string `json:"degraded,omitempty"`
 }
 
 // BatchResolveRequest bundles independent resolves into one frame. The
@@ -420,4 +463,22 @@ type StatsResponse struct {
 	// span counts.
 	TraceSpans   int    `json:"trace_spans,omitempty"`
 	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+	// Leases is the store-liveness table (present only when the MDM runs
+	// with leases enabled), one row per lease-managed store.
+	Leases []LeaseInfo `json:"leases,omitempty"`
+	// Liveness counters: lease renewals, quarantines, recoveries, stores
+	// excluded from plans, and resolves that degraded to partial results.
+	LeaseRenewals    uint64 `json:"lease_renewals,omitempty"`
+	Quarantines      uint64 `json:"quarantines,omitempty"`
+	LeaseRecoveries  uint64 `json:"lease_recoveries,omitempty"`
+	PlanExclusions   uint64 `json:"plan_exclusions,omitempty"`
+	DegradedResolves uint64 `json:"degraded_resolves,omitempty"`
+	// Journal counters (present only when the MDM runs with a durable
+	// meta-data journal): appended records, fsync batches, compactions,
+	// and what the last boot recovered.
+	JournalAppends     uint64 `json:"journal_appends,omitempty"`
+	JournalSyncs       uint64 `json:"journal_syncs,omitempty"`
+	JournalCompactions uint64 `json:"journal_compactions,omitempty"`
+	JournalRecovered   uint64 `json:"journal_recovered,omitempty"`
+	JournalTornBytes   uint64 `json:"journal_torn_bytes,omitempty"`
 }
