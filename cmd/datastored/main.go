@@ -8,7 +8,8 @@
 //	datastored -id gup.portal.example -listen 127.0.0.1:7101 \
 //	    -mdm 127.0.0.1:7000 -key shared-secret \
 //	    -register "/user/presence" -register "/user/calendar" \
-//	    [-load profile.xml -user alice] [-heartbeat 5s]
+//	    [-load profile.xml -user alice] [-heartbeat 5s] \
+//	    [-max-concurrency 32] [-queue-depth 64]
 //
 // -register may repeat; each path is announced as coverage. -load seeds the
 // store with a profile document for -user. With -heartbeat the store renews
@@ -28,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"gupster/internal/overload"
 	"gupster/internal/schema"
 	"gupster/internal/store"
 	"gupster/internal/token"
@@ -49,6 +51,8 @@ func main() {
 	load := flag.String("load", "", "optional profile XML file to seed")
 	user := flag.String("user", "", "user the seeded profile belongs to")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "registration-lease heartbeat interval (0 disables)")
+	maxConc := flag.Int("max-concurrency", 0, "admission control: max concurrently executing requests (0 disables)")
+	queueDepth := flag.Int("queue-depth", 0, "admission control: wait-queue depth (0 = 2x max-concurrency)")
 	var registers repeated
 	flag.Var(&registers, "register", "coverage path to announce (repeatable)")
 	flag.Parse()
@@ -61,6 +65,12 @@ func main() {
 	eng := store.NewEngine(*id)
 	eng.Schema = schema.GUP()
 	srv := store.NewServer(eng, token.NewSigner([]byte(*key)))
+	if *maxConc > 0 {
+		srv.Admission = overload.New(overload.Config{
+			MaxConcurrency: *maxConc,
+			QueueDepth:     *queueDepth,
+		}, nil)
+	}
 	if err := srv.Start(*listen); err != nil {
 		log.Fatalf("datastored: %v", err)
 	}

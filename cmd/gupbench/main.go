@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	gupbench [-iters N] [e1 e2 … e18 | fig5 | all]
+//	gupbench [-iters N] [e1 e2 … e19 | fig5 | all]
 //	gupbench resolve [-clients N] [-rounds N] [-json out.json] [-check baseline.json] [-p95-slack 0.25] [-min-speedup 2]
 //	gupbench trace-overhead [-clients N] [-rounds N] [-json out.json] [-max 0.05]
 //	gupbench recovery [-sizes 100,1000,5000] [-lease-ttl 150ms] [-lease-grace 150ms] [-json out.json] [-detect-slack 1.0]
+//	gupbench overload [-conns N] [-phase 2s] [-json out.json] [-check baseline.json] [-min-retention 0.8] [-max-off-retention 0.5]
 //
 // The resolve subcommand runs the E16 resolve-pipeline benchmark on its
 // own flag set: -json writes the machine-readable report consumed by the
@@ -25,6 +26,13 @@
 // the restart path (replay, listen, first resolve) plus the lease-expiry
 // detection latency of a silent store. With -detect-slack it exits
 // non-zero when detection overruns the claimed TTL+grace budget.
+//
+// The overload subcommand runs the E19 overload-protection benchmark: an
+// MDM with a bandwidth-throttled store link is driven at 0.8x and 2x its
+// calibrated capacity, with admission control + deadline budgets on and
+// off. With -check it exits non-zero unless shedding retains at least
+// -min-retention of the pre-saturation goodput at 2x load while the
+// unprotected run collapses below -max-off-retention.
 package main
 
 import (
@@ -52,6 +60,10 @@ func main() {
 		runRecovery(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "overload" {
+		runOverload(os.Args[2:])
+		return
+	}
 
 	iters := flag.Int("iters", 0, "override per-cell iteration count (0 = experiment default)")
 	flag.Parse()
@@ -67,7 +79,7 @@ func main() {
 		{"e7", bench.RunE7}, {"e8", bench.RunE8}, {"e9", bench.RunE9},
 		{"e10", bench.RunE10}, {"e11", bench.RunE11}, {"e12", bench.RunE12},
 		{"e13", bench.RunE13}, {"e14", bench.RunE14}, {"e16", bench.RunE16},
-		{"e17", bench.RunE17}, {"e18", bench.RunE18},
+		{"e17", bench.RunE17}, {"e18", bench.RunE18}, {"e19", bench.RunE19},
 		{"fig5", func(bench.Options) (*metrics.Table, error) { return bench.RunFig5() }},
 	}
 
@@ -85,7 +97,7 @@ func main() {
 	for _, id := range want {
 		e, ok := byID[strings.ToLower(id)]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "gupbench: unknown experiment %q (have e1..e18, fig5, resolve, trace-overhead, recovery, all)\n", id)
+			fmt.Fprintf(os.Stderr, "gupbench: unknown experiment %q (have e1..e19, fig5, resolve, trace-overhead, recovery, overload, all)\n", id)
 			os.Exit(2)
 		}
 		t, err := e.run(opts)
@@ -230,5 +242,58 @@ func runRecovery(args []string) {
 		}
 		fmt.Printf("recovery gate: ok (detection %.0fms within %.0f%% of the %dms claim)\n",
 			rep.DetectMillis, (1+*slack)*100, rep.ClaimMillis)
+	}
+}
+
+// runOverload is the E19 overload-protection benchmark with its own flag
+// set: CI runs it with -check against the committed BENCH_overload.json to
+// gate the goodput-retention claim.
+func runOverload(args []string) {
+	fs := flag.NewFlagSet("overload", flag.ExitOnError)
+	conns := fs.Int("conns", 0, "client connections carrying the open-loop load (0 = default 32)")
+	phase := fs.Duration("phase", 0, "send window per (protection, load) phase (0 = default 2s)")
+	jsonOut := fs.String("json", "", "write the machine-readable report here")
+	check := fs.String("check", "", "gate against this committed baseline report")
+	minOn := fs.Float64("min-retention", 0.8, "required goodput retention at 2x load with shedding on")
+	maxOff := fs.Float64("max-off-retention", 0.5, "retention above which the unprotected collapse is considered gone")
+	_ = fs.Parse(args)
+
+	opts := bench.OverloadOptions{Conns: *conns, PhaseDuration: *phase}
+	rep, err := bench.RunOverloadReport(opts)
+	if err != nil {
+		log.Fatalf("gupbench: overload: %v", err)
+	}
+	fmt.Println(rep.Table().String())
+	if *jsonOut != "" {
+		if err := bench.WriteOverloadReport(rep, *jsonOut); err != nil {
+			log.Fatalf("gupbench: overload: write %s: %v", *jsonOut, err)
+		}
+	}
+	if *check != "" {
+		baseline, err := bench.ReadOverloadReport(*check)
+		if err != nil {
+			log.Fatalf("gupbench: overload: baseline %s: %v", *check, err)
+		}
+		if err := bench.CheckOverloadRegression(baseline, rep, *minOn, *maxOff); err != nil {
+			// Goodput under saturation is scheduler-sensitive; a true
+			// regression fails the confirmation run too.
+			fmt.Printf("overload gate: %v — confirming with a second run\n", err)
+			var rerr error
+			rep, rerr = bench.RunOverloadReport(opts)
+			if rerr != nil {
+				log.Fatalf("gupbench: overload: %v", rerr)
+			}
+			fmt.Println(rep.Table().String())
+			if *jsonOut != "" {
+				if err := bench.WriteOverloadReport(rep, *jsonOut); err != nil {
+					log.Fatalf("gupbench: overload: write %s: %v", *jsonOut, err)
+				}
+			}
+			if err := bench.CheckOverloadRegression(baseline, rep, *minOn, *maxOff); err != nil {
+				log.Fatalf("gupbench: %v", err)
+			}
+		}
+		fmt.Printf("overload gate: ok (retention with shedding %.2f >= %.2f; unprotected %.2f <= %.2f)\n",
+			rep.RetentionOn, *minOn, rep.RetentionOff, *maxOff)
 	}
 }

@@ -194,6 +194,20 @@ func main() {
 		fmt.Printf("fan-out calls: %d\n", st.FanOutCalls)
 		fmt.Printf("batch resolves: %d\n", st.BatchResolves)
 		fmt.Printf("batched queries: %d\n", st.BatchedQueries)
+		// Admission/overload gauges appear only when the MDM runs with
+		// -max-concurrency: the disabled controller reports nothing.
+		if st.AdmissionAdmitted+st.AdmissionQueued+st.ShedHigh+st.ShedNormal+st.QueueTimeouts+st.BudgetExpired > 0 || st.Pressure > 0 || st.BrownoutActive {
+			fmt.Printf("admitted:      %d (%d queued first)\n", st.AdmissionAdmitted, st.AdmissionQueued)
+			fmt.Printf("shed:          %d high, %d normal (%d queue timeouts)\n", st.ShedHigh, st.ShedNormal, st.QueueTimeouts)
+			fmt.Printf("budget expired: %d\n", st.BudgetExpired)
+			fmt.Printf("pressure:      %.2f\n", st.Pressure)
+			brown := "off"
+			if st.BrownoutActive {
+				brown = "ACTIVE"
+			}
+			fmt.Printf("brownout:      %s (%d enters, %d exits, %d degraded answers)\n",
+				brown, st.BrownoutEnters, st.BrownoutExits, st.BrownoutServed)
+		}
 		if len(st.Hops) > 0 {
 			fmt.Printf("trace spans:   %d (dropped %d)\n", st.TraceSpans, st.TraceDropped)
 			fmt.Println("per-hop latency (µs):")

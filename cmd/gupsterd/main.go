@@ -7,6 +7,14 @@
 //	gupsterd -listen 127.0.0.1:7000 -key shared-secret [-cache 1024] [-ttl 30s]
 //	         [-provenance 4096] [-peer 127.0.0.1:7001 -peer 127.0.0.1:7002]
 //	         [-data-dir /var/lib/gupster] [-lease-ttl 10s] [-lease-grace 10s]
+//	         [-max-concurrency 64] [-queue-depth 128] [-brownout-threshold 0.8]
+//
+// With -max-concurrency the daemon gates the wire dispatch behind an
+// admission controller: at most that many requests execute at once, the
+// excess waits in a bounded LIFO queue (-queue-depth, default 2x), and
+// overflow is shed with a retry-after hint instead of piling up. With
+// -brownout-threshold, sustained pressure above the threshold degrades
+// chaining resolves to stale cached answers until pressure recedes.
 //
 // With -peer flags the daemon joins a mirrored constellation (§5.3
 // reliability): coverage registrations and privacy-shield changes replicate
@@ -37,6 +45,7 @@ import (
 	"gupster/internal/core"
 	"gupster/internal/federation"
 	"gupster/internal/journal"
+	"gupster/internal/overload"
 	"gupster/internal/provenance"
 	"gupster/internal/schema"
 	"gupster/internal/token"
@@ -57,6 +66,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for the meta-data journal (empty = volatile directory)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "store lease TTL; stores must heartbeat within it (0 disables leases)")
 	leaseGrace := flag.Duration("lease-grace", 0, "extra silence tolerated past lease expiry before quarantine (0 = lease-ttl)")
+	maxConc := flag.Int("max-concurrency", 0, "admission control: max concurrently executing requests (0 disables)")
+	queueDepth := flag.Int("queue-depth", 0, "admission control: wait-queue depth (0 = 2x max-concurrency)")
+	brownout := flag.Float64("brownout-threshold", 0, "pressure fraction that triggers degraded (stale-cache) answers (0 disables)")
 	var peers repeated
 	flag.Var(&peers, "peer", "address of a peer mirror (repeatable)")
 	flag.Parse()
@@ -75,6 +87,11 @@ func main() {
 		SlowThreshold: *slow,
 		LeaseTTL:      *leaseTTL,
 		LeaseGrace:    *leaseGrace,
+		Overload: overload.Config{
+			MaxConcurrency:    *maxConc,
+			QueueDepth:        *queueDepth,
+			BrownoutThreshold: *brownout,
+		},
 	}
 	if *ledger > 0 {
 		cfg.Provenance = provenance.NewLedger(*ledger)

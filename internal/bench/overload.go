@@ -1,0 +1,512 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/coverage"
+	"gupster/internal/faultinject"
+	"gupster/internal/metrics"
+	"gupster/internal/overload"
+	"gupster/internal/policy"
+	"gupster/internal/resilience"
+	"gupster/internal/schema"
+	"gupster/internal/store"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/workload"
+	"gupster/internal/xpath"
+)
+
+// E19 — the overload-protection benchmark behind BENCH_overload.json: an
+// MDM whose single store link is bandwidth-throttled (the choke point §5.3
+// worries about) is driven open-loop at 0.8× and then 2× its measured
+// capacity, once with admission control + deadline budgets on and once
+// with both off (the pre-PR behavior: no budget stamped, nothing shed).
+// Goodput is completions inside the per-request budget; the acceptance
+// claim is that shedding retains most of the pre-saturation goodput at 2×
+// load, while the unprotected server's goodput collapses as every request
+// queues past its budget.
+
+// OverloadOptions sizes the E19 testbed.
+type OverloadOptions struct {
+	// Conns is the number of client connections the open-loop load is
+	// spread across; default 32.
+	Conns int
+	// Users is the number of distinct profile owners (distinct cache-proof
+	// chaining targets); default 16.
+	Users int
+	// SizeBytes is the per-user address-book payload; default 2 KiB.
+	SizeBytes int
+	// BytesPerSec throttles the MDM→store link, setting the fabric's
+	// capacity at roughly BytesPerSec/SizeBytes resolves/sec; default
+	// 96 KiB/s.
+	BytesPerSec int
+	// PhaseDuration is the open-loop send window per phase; default 2s.
+	PhaseDuration time.Duration
+	// PresatFactor and SatFactor scale the calibrated capacity into the
+	// two offered loads; defaults 0.8 and 2.0.
+	PresatFactor float64
+	SatFactor    float64
+	// MaxConcurrency and QueueDepth configure the admission window in the
+	// shedding-on modes; defaults 4 and 8.
+	MaxConcurrency int
+	QueueDepth     int
+}
+
+func (o OverloadOptions) withDefaults() OverloadOptions {
+	if o.Conns <= 0 {
+		o.Conns = 32
+	}
+	if o.Users <= 0 {
+		o.Users = 16
+	}
+	if o.SizeBytes <= 0 {
+		o.SizeBytes = 2 << 10
+	}
+	if o.BytesPerSec <= 0 {
+		o.BytesPerSec = 96 << 10
+	}
+	if o.PhaseDuration <= 0 {
+		// Long enough that the unprotected mode's early winners — requests
+		// sent before the backlog outgrows the budget — are a small
+		// fraction of the phase.
+		o.PhaseDuration = 3 * time.Second
+	}
+	if o.PresatFactor <= 0 {
+		o.PresatFactor = 0.8
+	}
+	if o.SatFactor <= 0 {
+		o.SatFactor = 2.0
+	}
+	if o.MaxConcurrency <= 0 {
+		o.MaxConcurrency = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	return o
+}
+
+// OverloadMode is one measured (protection, load) cell.
+type OverloadMode struct {
+	Name string `json:"name"`
+	// Sent is the offered load of the phase.
+	Sent int `json:"sent"`
+	// InBudget counts completions inside the per-request budget — the
+	// goodput numerator. Late completions are wasted work, not goodput.
+	InBudget int `json:"in_budget"`
+	// Shed counts explicit wire.TypeOverloaded refusals.
+	Shed int `json:"shed"`
+	// Expired counts requests that burned their whole budget (client-side
+	// deadline) without an answer.
+	Expired int `json:"expired"`
+	// Errors counts everything else (should be ~0).
+	Errors        int     `json:"errors"`
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	// P99Micros is the p99 latency of in-budget completions.
+	P99Micros int64 `json:"p99_us"`
+}
+
+// OverloadReport is the machine-readable output of the E19 benchmark.
+type OverloadReport struct {
+	Conns      int `json:"conns"`
+	Users      int `json:"users"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// ServiceP50Micros is the calibrated unloaded service time; offered
+	// rates and budgets derive from it, so the run is machine-independent.
+	ServiceP50Micros int64 `json:"service_p50_us"`
+	BudgetMillis     int64 `json:"budget_ms"`
+	// RetentionOn is goodput at 2× saturation over pre-saturation goodput
+	// with shedding on — the acceptance headline (≥ 0.8 claimed).
+	RetentionOn float64 `json:"retention_on"`
+	// RetentionOff is the same ratio with protection off — the measured
+	// collapse.
+	RetentionOff float64        `json:"retention_off"`
+	Modes        []OverloadMode `json:"modes"`
+}
+
+// Mode returns the named mode, or nil.
+func (r *OverloadReport) Mode(name string) *OverloadMode {
+	for i := range r.Modes {
+		if r.Modes[i].Name == name {
+			return &r.Modes[i]
+		}
+	}
+	return nil
+}
+
+// overloadRig is one MDM + one throttled store + a fan of client
+// connections.
+type overloadRig struct {
+	mdm   *core.MDM
+	srv   *core.Server
+	st    *store.Server
+	proxy *faultinject.Proxy
+	conns []*wire.Client
+	users []string
+}
+
+func newOverloadRig(o OverloadOptions, shedding bool) (*overloadRig, error) {
+	signer := token.NewSigner(benchKey)
+	cfg := core.Config{
+		Schema: schema.GUP(), Signer: signer, GrantTTL: time.Minute,
+		// One attempt, no cache, no coalescing: every resolve is one real
+		// fetch over the choke link, so offered load is what the link sees.
+		DisableCoalescing: true,
+		Retry:             resilience.Policy{MaxAttempts: 1, PerAttempt: 60 * time.Second},
+	}
+	if shedding {
+		cfg.Overload = overload.Config{
+			MaxConcurrency: o.MaxConcurrency,
+			QueueDepth:     o.QueueDepth,
+		}
+	}
+	mdm := core.New(cfg)
+	srv := core.NewServer(mdm)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	r := &overloadRig{mdm: mdm, srv: srv}
+
+	eng := store.NewEngine("store-0")
+	st := store.NewServer(eng, signer)
+	if err := st.Start("127.0.0.1:0"); err != nil {
+		r.close()
+		return nil, err
+	}
+	r.st = st
+	proxy, err := faultinject.NewProxy(st.Addr(), 0)
+	if err != nil {
+		r.close()
+		return nil, err
+	}
+	proxy.SetBandwidth(o.BytesPerSec)
+	r.proxy = proxy
+
+	for i := 0; i < o.Users; i++ {
+		user := fmt.Sprintf("u%d", i)
+		book := workload.AddressBookOfSize(o.SizeBytes, workload.Rand(int64(i+1)))
+		p := xpath.MustParse(fmt.Sprintf("/user[@id='%s']/address-book", user))
+		if _, err := eng.Put(user, p, book); err != nil {
+			r.close()
+			return nil, err
+		}
+		if err := mdm.Register(coverage.StoreID(eng.ID()), proxy.Addr(), p); err != nil {
+			r.close()
+			return nil, err
+		}
+		r.users = append(r.users, user)
+	}
+
+	for i := 0; i < o.Conns; i++ {
+		c, err := wire.Dial(srv.Addr())
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.conns = append(r.conns, c)
+	}
+	return r, nil
+}
+
+func (r *overloadRig) close() {
+	for _, c := range r.conns {
+		c.Close()
+	}
+	if r.mdm != nil {
+		r.mdm.Close()
+	}
+	if r.srv != nil {
+		r.srv.Close()
+	}
+	if r.proxy != nil {
+		r.proxy.Close()
+	}
+	if r.st != nil {
+		r.st.Close()
+	}
+}
+
+// chainOnce issues one chaining resolve for user over conn.
+func (r *overloadRig) chainOnce(ctx context.Context, conn *wire.Client, user string) error {
+	var resp wire.ResolveResponse
+	return conn.Call(ctx, wire.TypeResolve, &wire.ResolveRequest{
+		Path:    fmt.Sprintf("/user[@id='%s']/address-book", user),
+		Context: policy.Context{Requester: user},
+		Verb:    token.VerbFetch,
+		Pattern: wire.PatternChaining,
+	}, &resp)
+}
+
+// calibrate measures the unloaded sequential service time (p50 of iters
+// chaining resolves) — the unit every rate and budget derives from.
+func (r *overloadRig) calibrate(iters int) (time.Duration, error) {
+	var samples []time.Duration
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if err := r.chainOnce(context.Background(), r.conns[0], r.users[i%len(r.users)]); err != nil {
+			return 0, err
+		}
+		samples = append(samples, time.Since(t0))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2], nil
+}
+
+// runPhase offers ratePerSec chaining resolves open-loop for
+// o.PhaseDuration, spread round-robin over the rig's connections, then
+// waits for every outstanding request. stamped=true gives each request a
+// context deadline of budget (propagated on the wire as its remaining
+// budget); stamped=false emulates a pre-budget client — no deadline is
+// stamped, and a completion is goodput only if it happened to finish
+// inside budget by the wall clock.
+func (r *overloadRig) runPhase(name string, ratePerSec float64, phase, budget time.Duration, stamped bool) (OverloadMode, error) {
+	n := int(ratePerSec * phase.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	interval := phase / time.Duration(n)
+	h := metrics.NewHistogram()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	mode := OverloadMode{Name: name, Sent: n}
+	var firstErr error
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			cancel := func() {}
+			if stamped {
+				ctx, cancel = context.WithTimeout(ctx, budget)
+			} else {
+				// Unstamped requests still need a liveness bound so the
+				// phase terminates; 60s never binds in practice.
+				ctx, cancel = context.WithTimeout(ctx, 60*time.Second)
+			}
+			defer cancel()
+			t0 := time.Now()
+			err := r.chainOnce(ctx, r.conns[i%len(r.conns)], r.users[i%len(r.users)])
+			elapsed := time.Since(t0)
+			var ov *wire.OverloadedError
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil && elapsed <= budget:
+				mode.InBudget++
+				h.Record(elapsed)
+			case err == nil:
+				mode.Expired++ // completed, but past its budget: wasted work
+			case errors.As(err, &ov):
+				mode.Shed++
+			case errors.Is(err, context.DeadlineExceeded):
+				mode.Expired++
+			case isRemoteExpiry(err):
+				// The budget ran out server-side mid-chain; the store's
+				// refusal races the client's own deadline, and either way
+				// it is the same outcome: budget burned, no answer.
+				mode.Expired++
+			default:
+				mode.Errors++
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if mode.InBudget+mode.Shed+mode.Expired == 0 && firstErr != nil {
+		return mode, fmt.Errorf("phase %s produced only errors: %w", name, firstErr)
+	}
+	mode.GoodputPerSec = float64(mode.InBudget) / phase.Seconds()
+	mode.P99Micros = h.Percentile(99).Microseconds()
+	return mode, nil
+}
+
+// isRemoteExpiry reports whether err is a remote refusal caused by the
+// propagated budget expiring on a downstream hop.
+func isRemoteExpiry(err error) bool {
+	var re *wire.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "deadline exceeded")
+}
+
+// RunOverloadReport executes the E19 benchmark and returns the report.
+func RunOverloadReport(o OverloadOptions) (*OverloadReport, error) {
+	o = o.withDefaults()
+	report := &OverloadReport{Conns: o.Conns, Users: o.Users, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	// Calibrate on an unprotected rig: S ≈ one resolve's unloaded service
+	// time, so capacity ≈ 1/S and the budget (10×S, clamped) gives every
+	// request an order of magnitude of slack before it counts as doomed.
+	rigOff, err := newOverloadRig(o, false)
+	if err != nil {
+		return nil, err
+	}
+	s, err := rigOff.calibrate(15)
+	if err != nil {
+		rigOff.close()
+		return nil, err
+	}
+	budget := 10 * s
+	if budget < 100*time.Millisecond {
+		budget = 100 * time.Millisecond
+	}
+	if budget > time.Second {
+		budget = time.Second
+	}
+	report.ServiceP50Micros = s.Microseconds()
+	report.BudgetMillis = budget.Milliseconds()
+	capacity := 1 / s.Seconds()
+	presat := o.PresatFactor * capacity
+	sat := o.SatFactor * capacity
+
+	// Unprotected first (the calibration rig is already unprotected).
+	for _, ph := range []struct {
+		name string
+		rate float64
+	}{{"shed-off-presat", presat}, {"shed-off-2x", sat}} {
+		m, err := rigOff.runPhase(ph.name, ph.rate, o.PhaseDuration, budget, false)
+		if err != nil {
+			rigOff.close()
+			return nil, err
+		}
+		report.Modes = append(report.Modes, m)
+	}
+	rigOff.close()
+
+	// Protected: admission on, budgets stamped. A short calibration warms
+	// the admission controller's p50 window so expired-on-arrival has a
+	// baseline from the start, as a long-running server would.
+	rigOn, err := newOverloadRig(o, true)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := rigOn.calibrate(15); err != nil {
+		rigOn.close()
+		return nil, err
+	}
+	for _, ph := range []struct {
+		name string
+		rate float64
+	}{{"shed-on-presat", presat}, {"shed-on-2x", sat}} {
+		m, err := rigOn.runPhase(ph.name, ph.rate, o.PhaseDuration, budget, true)
+		if err != nil {
+			rigOn.close()
+			return nil, err
+		}
+		report.Modes = append(report.Modes, m)
+	}
+	rigOn.close()
+
+	if pre, sat := report.Mode("shed-on-presat"), report.Mode("shed-on-2x"); pre != nil && sat != nil && pre.GoodputPerSec > 0 {
+		report.RetentionOn = sat.GoodputPerSec / pre.GoodputPerSec
+	}
+	if pre, sat := report.Mode("shed-off-presat"), report.Mode("shed-off-2x"); pre != nil && sat != nil && pre.GoodputPerSec > 0 {
+		report.RetentionOff = sat.GoodputPerSec / pre.GoodputPerSec
+	}
+	return report, nil
+}
+
+// Table renders the report in the EXPERIMENTS.md house style.
+func (r *OverloadReport) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("E19 — overload: svc p50 %s, budget %dms (goodput retention at 2×: shedding %.2f, unprotected %.2f)",
+			time.Duration(r.ServiceP50Micros)*time.Microsecond, r.BudgetMillis, r.RetentionOn, r.RetentionOff),
+		"mode", "sent", "in-budget", "shed", "expired", "errors", "goodput/s", "p99")
+	for _, m := range r.Modes {
+		t.AddRow(m.Name, m.Sent, m.InBudget, m.Shed, m.Expired, m.Errors,
+			fmt.Sprintf("%.1f", m.GoodputPerSec),
+			time.Duration(m.P99Micros)*time.Microsecond)
+	}
+	return t
+}
+
+// RunE19 adapts the overload benchmark to the experiment-driver signature.
+func RunE19(o Options) (*metrics.Table, error) {
+	oo := OverloadOptions{}
+	if o.Iters > 0 {
+		// Smoke runs shrink the send window, not the topology.
+		oo.PhaseDuration = time.Duration(o.Iters) * 100 * time.Millisecond
+	}
+	rep, err := RunOverloadReport(oo)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Table(), nil
+}
+
+// WriteOverloadReport writes the report as indented JSON.
+func WriteOverloadReport(r *OverloadReport, path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadOverloadReport loads a committed report.
+func ReadOverloadReport(path string) (*OverloadReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r OverloadReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// CheckOverloadRegression gates a fresh run: every mode of the committed
+// baseline must be present, the shedding modes must actually shed at 2×,
+// and the within-run retention ratios — machine-independent, both phases
+// having run on the same host against the same calibration — must show
+// protection working (RetentionOn ≥ minOn) and the unprotected collapse
+// it exists to prevent (RetentionOff ≤ maxOff). Returns nil when
+// acceptable.
+func CheckOverloadRegression(baseline, current *OverloadReport, minOn, maxOff float64) error {
+	var problems []string
+	if baseline != nil {
+		for _, bm := range baseline.Modes {
+			if current.Mode(bm.Name) == nil {
+				problems = append(problems, fmt.Sprintf("mode %q missing from current run", bm.Name))
+			}
+		}
+	}
+	if m := current.Mode("shed-on-2x"); m != nil && m.Shed == 0 {
+		problems = append(problems, "shed-on-2x shed nothing at 2× saturation")
+	}
+	if minOn > 0 && current.RetentionOn < minOn {
+		problems = append(problems, fmt.Sprintf(
+			"goodput retention with shedding %.2f below required %.2f", current.RetentionOn, minOn))
+	}
+	if maxOff > 0 && current.RetentionOff > maxOff {
+		problems = append(problems, fmt.Sprintf(
+			"unprotected retention %.2f above %.2f — overload no longer collapses the baseline, re-examine the testbed",
+			current.RetentionOff, maxOff))
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	msg := "overload regression:"
+	for _, p := range problems {
+		msg += "\n  - " + p
+	}
+	return fmt.Errorf("%s", msg)
+}

@@ -28,6 +28,15 @@ type componentCache struct {
 	// owner's gens entry so a stale fill can never land against a pruned
 	// (hence zero, hence "fresh"-looking) generation.
 	fills map[string]int
+	// The stale side-buffer holds the last known value of entries evicted
+	// by invalidation (not by capacity — cold entries are just cold). The
+	// live maps above never serve it; only staleGet does, and only the
+	// brownout path calls staleGet: under sustained overload a possibly
+	// outdated answer on the call-setup path beats a shed. A fresh insert
+	// for the same key supersedes the stale copy. Bounded by the same
+	// capacity as the live cache.
+	staleLRU *list.List
+	stale    map[string]*list.Element
 }
 
 type cacheEntry struct {
@@ -38,12 +47,14 @@ type cacheEntry struct {
 
 func newComponentCache(capacity int) *componentCache {
 	return &componentCache{
-		cap:     capacity,
-		lru:     list.New(),
-		entries: make(map[string]*list.Element),
-		byOwner: make(map[string]map[string]bool),
-		gens:    make(map[string]uint64),
-		fills:   make(map[string]int),
+		cap:      capacity,
+		lru:      list.New(),
+		entries:  make(map[string]*list.Element),
+		byOwner:  make(map[string]map[string]bool),
+		gens:     make(map[string]uint64),
+		fills:    make(map[string]int),
+		staleLRU: list.New(),
+		stale:    make(map[string]*list.Element),
 	}
 }
 
@@ -110,8 +121,49 @@ func (c *componentCache) put(key, owner, xml string) {
 	c.insert(key, owner, xml)
 }
 
+// staleGet serves the side-buffer: the last value an invalidation evicted
+// for key, if any. Only the brownout path reads it.
+func (c *componentCache) staleGet(key string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A live entry outranks its stale shadow (it shouldn't coexist with
+	// one, but serve the freshest thing we have regardless).
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).xml, true
+	}
+	el, ok := c.stale[key]
+	if !ok {
+		return "", false
+	}
+	c.staleLRU.MoveToFront(el)
+	return el.Value.(*cacheEntry).xml, true
+}
+
+// staleInsert parks an invalidated entry in the side-buffer; caller holds
+// the lock.
+func (c *componentCache) staleInsert(key, owner, xml string) {
+	if el, ok := c.stale[key]; ok {
+		el.Value.(*cacheEntry).xml = xml
+		c.staleLRU.MoveToFront(el)
+		return
+	}
+	el := c.staleLRU.PushFront(&cacheEntry{key: key, owner: owner, xml: xml})
+	c.stale[key] = el
+	for c.staleLRU.Len() > c.cap {
+		back := c.staleLRU.Back()
+		delete(c.stale, back.Value.(*cacheEntry).key)
+		c.staleLRU.Remove(back)
+	}
+}
+
 // insert adds or refreshes an entry; caller holds the lock.
 func (c *componentCache) insert(key, owner, xml string) {
+	// Fresh data supersedes any parked stale copy.
+	if el, ok := c.stale[key]; ok {
+		delete(c.stale, key)
+		c.staleLRU.Remove(el)
+	}
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).xml = xml
 		c.lru.MoveToFront(el)
@@ -157,6 +209,11 @@ func (c *componentCache) invalidateOwner(owner string) {
 	c.gens[owner]++
 	for key := range c.byOwner[owner] {
 		if el, ok := c.entries[key]; ok {
+			// Park the outgoing value in the stale side-buffer before
+			// evicting: brownout mode may serve it when fetching fresh data
+			// is exactly what the overloaded server cannot afford.
+			e := el.Value.(*cacheEntry)
+			c.staleInsert(e.key, e.owner, e.xml)
 			c.evict(el)
 		}
 	}

@@ -75,6 +75,11 @@ type Client struct {
 	// (tracing is cheap enough to stay on); set nil to disable.
 	Tracer *trace.Collector
 
+	// Budgets collects the client's deadline knobs; DialMDM installs
+	// defaults. Every timeout the client imposes on its own derives from
+	// here — no hard-coded durations on any call path.
+	Budgets Budgets
+
 	// traceConn is a lazily dialed out-of-band connection for trace
 	// reports: telemetry frames must never queue ahead of request frames
 	// on the request connection (on a slow link one report delays the next
@@ -86,6 +91,22 @@ type Client struct {
 	traceQ    chan []trace.Span
 	traceQuit chan struct{}
 	traceOnce sync.Once
+}
+
+// Budgets configures the client's deadline behavior. Budgets stamp
+// requests with a wire-level budget (Message.BudgetMillis) that every
+// downstream hop decrements and honors.
+type Budgets struct {
+	// TraceReport bounds the fire-and-forget trace-report write; 0 means
+	// the 2s default. Telemetry must never wedge the reporter goroutine
+	// behind a dead connection.
+	TraceReport time.Duration
+	// Op, when positive, is a default end-to-end deadline applied to
+	// high-level operations (GetAs, GetBatch, GetVia, Update) whose
+	// context carries no deadline of its own. A caller-supplied deadline
+	// always wins. Zero leaves undeadlined contexts untimed (the
+	// pre-budget behavior).
+	Op time.Duration
 }
 
 // DialMDM connects a client identity to the MDM.
@@ -108,9 +129,19 @@ func DialMDM(addr, identity, role string) (*Client, error) {
 		flights:    flight.NewGroup(pipe),
 		pipe:       pipe,
 		Tracer:     trace.NewCollector("client", 0, 0),
+		Budgets:    Budgets{TraceReport: 2 * time.Second},
 		traceQ:     make(chan []trace.Span, 64),
 		traceQuit:  make(chan struct{}),
 	}, nil
+}
+
+// withBudget applies the default operation deadline when the caller's
+// context has none.
+func (c *Client) withBudget(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok || c.Budgets.Op <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.Budgets.Op)
 }
 
 // startRoot begins a trace for a client operation: a fresh trace unless
@@ -166,7 +197,11 @@ func (c *Client) reportTrace(spans []trace.Span) {
 	if err != nil {
 		return
 	}
-	rctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	d := c.Budgets.TraceReport
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	rctx, cancel := context.WithTimeout(context.Background(), d)
 	defer cancel()
 	if err := conn.Send(rctx, wire.TypeTraceReport, wire.TraceReportRequest{Spans: spans}); err != nil {
 		// Drop the dead connection; the next report redials.
@@ -330,6 +365,8 @@ func (c *Client) Get(ctx context.Context, path string) (*xmltree.Node, error) {
 // followers receive an independent clone of the shared tree, so callers
 // may mutate their result freely.
 func (c *Client) GetAs(ctx context.Context, path string, reqCtx policy.Context) (*xmltree.Node, error) {
+	ctx, cancel := c.withBudget(ctx)
+	defer cancel()
 	ctx, finish := c.startRoot(ctx, "client.get")
 	doc, err := c.getAs(ctx, path, reqCtx)
 	finish(err)
@@ -384,6 +421,8 @@ type BatchResult struct {
 // referrals on the client's bounded fan-out pool. Results are positional
 // and independent — one denied path does not fail its siblings.
 func (c *Client) GetBatch(ctx context.Context, paths []string) ([]BatchResult, error) {
+	ctx, cancel := c.withBudget(ctx)
+	defer cancel()
 	ctx, finish := c.startRoot(ctx, "client.get-batch")
 	out, err := c.getBatch(ctx, paths)
 	finish(err)
@@ -433,6 +472,8 @@ func (c *Client) getBatch(ctx context.Context, paths []string) ([]BatchResult, e
 // GetVia fetches through a server-side pattern (chaining or recruiting):
 // one round trip, data comes back from the MDM.
 func (c *Client) GetVia(ctx context.Context, path string, pattern wire.QueryPattern) (*xmltree.Node, error) {
+	ctx, cancel := c.withBudget(ctx)
+	defer cancel()
 	ctx, finish := c.startRoot(ctx, "client.resolve")
 	doc, err := c.getVia(ctx, path, pattern)
 	finish(err)
@@ -552,6 +593,8 @@ func (c *Client) fetchAlternative(ctx context.Context, alt wire.Alternative) (*x
 // requirement 4; a write must reach all replicas). It returns the number of
 // stores written.
 func (c *Client) Update(ctx context.Context, path string, frag *xmltree.Node) (int, error) {
+	ctx, cancel := c.withBudget(ctx)
+	defer cancel()
 	ctx, finish := c.startRoot(ctx, "client.update")
 	n, err := c.update(ctx, path, frag)
 	finish(err)

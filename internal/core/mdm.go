@@ -25,6 +25,7 @@ import (
 	"gupster/internal/flight"
 	"gupster/internal/journal"
 	"gupster/internal/metrics"
+	"gupster/internal/overload"
 	"gupster/internal/policy"
 	"gupster/internal/provenance"
 	"gupster/internal/resilience"
@@ -96,6 +97,11 @@ type Config struct {
 	// quarantine; 0 means LeaseTTL (i.e. a store is cut after two missed
 	// lease periods).
 	LeaseGrace time.Duration
+	// Overload parameterizes the admission controller in front of the
+	// MDM's wire dispatch: bounded concurrency, the LIFO wait queue,
+	// priority classes, and the brownout detector. A zero MaxConcurrency
+	// disables admission control (pre-overload behavior).
+	Overload overload.Config
 }
 
 // Stats are the MDM's observability counters.
@@ -129,6 +135,10 @@ type MDM struct {
 	subs  *subscriptions
 
 	res *resilience.Group
+
+	// adm gates the wire dispatch (Server.serve) and drives brownout
+	// answers; always non-nil, disabled unless Config.Overload enables it.
+	adm *overload.Controller
 
 	// flights coalesces identical concurrent chaining/recruiting resolves
 	// (keyed on pattern+verb+requester+owner+grants) so N callers cost one
@@ -177,6 +187,7 @@ func New(cfg Config) *MDM {
 		addrs:    make(map[coverage.StoreID]string),
 		subs:     newSubscriptions(),
 		res:      resilience.NewGroup(cfg.Retry, cfg.Breaker, nil),
+		adm:      overload.New(cfg.Overload, nil),
 		pool:     make(map[string]*store.Client),
 		leases:   make(map[coverage.StoreID]*lease),
 		Liveness: &metrics.LivenessStats{},
@@ -350,7 +361,9 @@ func (m *MDM) resolve(ctx context.Context, sp *trace.Active, req *wire.ResolveRe
 		return m.coalesce(ctx, key, sp, func() (*wire.ResolveResponse, error) {
 			resp, err := m.chain(ctx, owner, decision.Grants, alts)
 			if resp != nil {
-				resp.Degraded = degraded
+				// Append, not overwrite: chain may have stamped its own
+				// degradation (brownout-stale paths) that must survive.
+				resp.Degraded = append(resp.Degraded, degraded...)
 			}
 			return resp, err
 		})
@@ -360,7 +373,7 @@ func (m *MDM) resolve(ctx context.Context, sp *trace.Active, req *wire.ResolveRe
 		return m.coalesce(ctx, key, sp, func() (*wire.ResolveResponse, error) {
 			resp, err := m.recruit(ctx, alts)
 			if resp != nil {
-				resp.Degraded = degraded
+				resp.Degraded = append(resp.Degraded, degraded...)
 			}
 			return resp, err
 		})
@@ -575,6 +588,22 @@ func (m *MDM) chain(ctx context.Context, owner string, grants []xpath.Path, alts
 		}
 		m.Stats.CacheMisses.Add(1)
 		sp.Annotate("cache-miss")
+		// Brownout: under sustained pressure a miss serves the stale
+		// side-buffer instead of dialing stores — a possibly outdated
+		// answer on the call-setup path beats a shed, and skipping the
+		// fetch is precisely what relieves the pressure. The response is
+		// stamped Stale and lists the grants whose fresh fetch was skipped.
+		if m.adm.Brownout() {
+			if xml, ok := m.cache.staleGet(key); ok {
+				m.adm.Stats.BrownoutServed.Add(1)
+				sp.Annotate("brownout-stale")
+				deg := make([]string, 0, len(grants))
+				for _, g := range grants {
+					deg = append(deg, g.String())
+				}
+				return &wire.ResolveResponse{Data: xml, Cached: true, Stale: true, Degraded: deg}, nil
+			}
+		}
 		// Snapshot the owner's invalidation generation before fetching: if a
 		// component changes while this flight is up, the stale result must
 		// not be reinstated into the cache (putIfFresh below refuses it).
@@ -672,12 +701,26 @@ func (m *MDM) fetchAlternative(ctx context.Context, alt wire.Alternative) (*xmlt
 // recruit implements the recruiting pattern: the query migrates to the
 // first referral's store, which gathers the sibling pieces itself.
 func (m *MDM) recruit(ctx context.Context, alts []wire.Alternative) (*wire.ResolveResponse, error) {
+	// Under brownout the recruit carries no sibling fan-out: the primary
+	// store serves only its own piece, and the skipped referrals are
+	// reported as degraded paths. Recruit fan-out multiplies one inbound
+	// request into N store-to-store fetches — the first amplification to
+	// cut when the fabric is drowning.
+	brown := m.adm.Brownout()
 	var lastErr error
 	for _, alt := range alts {
 		if len(alt.Referrals) == 0 {
 			continue
 		}
 		primary := alt.Referrals[0]
+		siblings := alt.Referrals[1:]
+		var skipped []string
+		if brown && len(siblings) > 0 {
+			for _, ref := range siblings {
+				skipped = append(skipped, ref.Query.Path)
+			}
+			siblings = nil
+		}
 		rctx, rsp := trace.Start(ctx, "mdm.recruit")
 		rsp.Annotate("store=" + primary.Query.Store)
 		var merged *xmltree.Node
@@ -686,7 +729,7 @@ func (m *MDM) recruit(ctx context.Context, alts []wire.Alternative) (*wire.Resol
 			if err != nil {
 				return err
 			}
-			mg, err := c.Exec(actx, wire.FetchRequest{Query: primary.Query}, alt.Referrals[1:])
+			mg, err := c.Exec(actx, wire.FetchRequest{Query: primary.Query}, siblings)
 			if err != nil {
 				m.dropStoreClient(primary.Address)
 				return err
@@ -706,7 +749,13 @@ func (m *MDM) recruit(ctx context.Context, alts []wire.Alternative) (*wire.Resol
 		// Recruiting moves only the final result through neither the MDM
 		// nor extra client round trips; the MDM just relays the response.
 		m.Stats.BytesProxied.Add(uint64(len(xml)))
-		return &wire.ResolveResponse{Data: xml}, nil
+		resp := &wire.ResolveResponse{Data: xml}
+		if len(skipped) > 0 {
+			m.adm.Stats.BrownoutServed.Add(1)
+			rsp.Annotate("brownout-skip-siblings")
+			resp.Degraded = skipped
+		}
+		return resp, nil
 	}
 	if lastErr == nil {
 		lastErr = ErrNoCoverage
@@ -755,6 +804,12 @@ func (m *MDM) Provenance() *provenance.Ledger { return m.cfg.Provenance }
 // store breaker states and retry counters for the server-side query
 // patterns.
 func (m *MDM) Resilience() *resilience.Group { return m.res }
+
+// Admission exposes the overload controller so the wire dispatch
+// (Server.serve) can gate requests before they reach a handler. Always
+// non-nil; disabled (admits everything) unless Config.Overload sets a
+// positive MaxConcurrency.
+func (m *MDM) Admission() *overload.Controller { return m.adm }
 
 // HandleChanged ingests a component-change notice from a store: it
 // invalidates cache entries and fans out subscription notifications.
@@ -852,6 +907,20 @@ func (m *MDM) Snapshot() wire.StatsResponse {
 		resp.JournalCompactions = js.Compactions.Load()
 		resp.JournalRecovered = js.RecoveredRecords.Load()
 		resp.JournalTornBytes = js.TornBytes.Load()
+	}
+	if m.adm.Enabled() {
+		os := m.adm.Stats.Snapshot()
+		resp.AdmissionAdmitted = os.Admitted
+		resp.AdmissionQueued = os.Queued
+		resp.ShedHigh = os.ShedHigh
+		resp.ShedNormal = os.ShedNormal
+		resp.QueueTimeouts = os.QueueTimeouts
+		resp.BudgetExpired = os.BudgetExpired
+		resp.BrownoutActive = m.adm.Brownout()
+		resp.BrownoutEnters = os.BrownoutEnters
+		resp.BrownoutExits = os.BrownoutExits
+		resp.BrownoutServed = os.BrownoutServed
+		resp.Pressure = m.adm.Pressure()
 	}
 	return resp
 }

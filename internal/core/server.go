@@ -2,9 +2,12 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"gupster/internal/coverage"
+	"gupster/internal/overload"
 	"gupster/internal/policy"
 	"gupster/internal/trace"
 	"gupster/internal/wire"
@@ -44,12 +47,40 @@ func (s *Server) Close() error { return s.ws.Close() }
 func (s *Server) Handle(c *wire.ServerConn, m *wire.Message) { s.serve(c, m) }
 
 func (s *Server) serve(c *wire.ServerConn, m *wire.Message) {
-	var err error
+	// The serving context carries the caller's remaining deadline budget
+	// (if the frame stamped one) so every downstream hop — store fetches,
+	// chained MDMs — inherits it and refuses work it cannot finish in time.
+	ctx, cancel := wire.BudgetContext(s.traceCtx(m), m)
+	defer cancel()
+
+	// Admission runs before dispatch, so shedding is all-or-nothing: a
+	// shed BatchResolve produces one overloaded frame, never a
+	// half-answered batch. Control traffic (stats, heartbeats,
+	// registrations) bypasses admission entirely — operators must be able
+	// to observe and steer an overloaded node.
+	class := overload.Classify(m.Type)
+	adm := s.MDM.Admission()
+	if ra, expired := adm.ExpiredOnArrival(ctx, class); expired {
+		s.shed(c, m, ra, "budget expired on arrival")
+		return
+	}
+	release, err := adm.Acquire(ctx, class)
+	if err != nil {
+		var shed *overload.ShedError
+		if errors.As(err, &shed) {
+			s.shed(c, m, shed.RetryAfter, shed.Reason)
+		} else {
+			s.shed(c, m, adm.RetryAfter(class), "request expired in admission queue")
+		}
+		return
+	}
+	defer release()
+
 	switch m.Type {
 	case wire.TypeResolve:
-		err = s.handleResolve(c, m)
+		err = s.handleResolve(ctx, c, m)
 	case wire.TypeBatchResolve:
-		err = s.handleBatchResolve(c, m)
+		err = s.handleBatchResolve(ctx, c, m)
 	case wire.TypeTrace:
 		err = s.handleTrace(c, m)
 	case wire.TypeSlow:
@@ -84,6 +115,16 @@ func (s *Server) serve(c *wire.ServerConn, m *wire.Message) {
 	}
 }
 
+// shed answers a refused request with a first-class overloaded frame so
+// new clients back off per the hint while old clients see a plain remote
+// error. One-way frames (ID 0) have nothing to reply to and drop silently.
+func (s *Server) shed(c *wire.ServerConn, m *wire.Message, retryAfter time.Duration, reason string) {
+	if m.ID == 0 {
+		return
+	}
+	_ = c.ReplyOverloaded(m, retryAfter, reason)
+}
+
 // traceCtx derives the serving context for a request: when the frame
 // carries a span header, spans recorded while serving join the caller's
 // trace in the MDM's collector. The MDM never piggybacks spans back down
@@ -100,12 +141,12 @@ func (s *Server) traceCtx(m *wire.Message) context.Context {
 	return trace.WithRemote(ctx, m.Trace, "mdm", s.MDM.Tracer())
 }
 
-func (s *Server) handleResolve(c *wire.ServerConn, m *wire.Message) error {
+func (s *Server) handleResolve(ctx context.Context, c *wire.ServerConn, m *wire.Message) error {
 	var req wire.ResolveRequest
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
 		return err
 	}
-	resp, err := s.MDM.Resolve(s.traceCtx(m), &req)
+	resp, err := s.MDM.Resolve(ctx, &req)
 	if err != nil {
 		return err
 	}
@@ -152,12 +193,12 @@ func (s *Server) handleTraceReport(c *wire.ServerConn, m *wire.Message) error {
 // concurrently on the MDM's fan-out pool. Entries fail independently: a
 // denied or uncovered entry carries its error string while its siblings
 // still return data, so one bad query never poisons the frame.
-func (s *Server) handleBatchResolve(c *wire.ServerConn, m *wire.Message) error {
+func (s *Server) handleBatchResolve(ctx context.Context, c *wire.ServerConn, m *wire.Message) error {
 	var req wire.BatchResolveRequest
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
 		return err
 	}
-	resp, err := s.MDM.BatchResolve(s.traceCtx(m), &req)
+	resp, err := s.MDM.BatchResolve(ctx, &req)
 	if err != nil {
 		return err
 	}

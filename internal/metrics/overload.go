@@ -1,0 +1,64 @@
+package metrics
+
+import "sync/atomic"
+
+// OverloadStats counts the admission controller's work: requests admitted
+// straight into a slot, requests that waited in the bounded queue, sheds by
+// priority class, queue-wait timeouts, requests refused because their
+// propagated budget was already below the observed service time
+// ("expired on arrival"), and the brownout detector's transitions. All
+// fields are atomic; the zero value is ready to use.
+type OverloadStats struct {
+	// Admitted counts requests that obtained an execution slot (directly
+	// or after queueing).
+	Admitted atomic.Uint64
+	// Queued counts requests that had to wait in the bounded LIFO queue
+	// before a slot freed up (a subset of Admitted + the queue sheds).
+	Queued atomic.Uint64
+	// ShedHigh and ShedNormal count requests refused with an overloaded
+	// reply, by priority class.
+	ShedHigh   atomic.Uint64
+	ShedNormal atomic.Uint64
+	// QueueTimeouts counts queued requests shed because no slot freed
+	// within the queue-wait bound (or their remaining budget).
+	QueueTimeouts atomic.Uint64
+	// BudgetExpired counts requests refused on arrival because their
+	// propagated deadline budget was below the class's observed p50
+	// service time — doomed work that would only have clogged the queue.
+	BudgetExpired atomic.Uint64
+	// BrownoutEnters and BrownoutExits count the hysteretic brownout
+	// detector's transitions.
+	BrownoutEnters atomic.Uint64
+	BrownoutExits  atomic.Uint64
+	// BrownoutServed counts resolves answered from stale cache (or with
+	// recruit fan-out skipped) while brownout was active.
+	BrownoutServed atomic.Uint64
+}
+
+// OverloadSnapshot is a point-in-time copy.
+type OverloadSnapshot struct {
+	Admitted       uint64
+	Queued         uint64
+	ShedHigh       uint64
+	ShedNormal     uint64
+	QueueTimeouts  uint64
+	BudgetExpired  uint64
+	BrownoutEnters uint64
+	BrownoutExits  uint64
+	BrownoutServed uint64
+}
+
+// Snapshot copies the counters.
+func (s *OverloadStats) Snapshot() OverloadSnapshot {
+	return OverloadSnapshot{
+		Admitted:       s.Admitted.Load(),
+		Queued:         s.Queued.Load(),
+		ShedHigh:       s.ShedHigh.Load(),
+		ShedNormal:     s.ShedNormal.Load(),
+		QueueTimeouts:  s.QueueTimeouts.Load(),
+		BudgetExpired:  s.BudgetExpired.Load(),
+		BrownoutEnters: s.BrownoutEnters.Load(),
+		BrownoutExits:  s.BrownoutExits.Load(),
+		BrownoutServed: s.BrownoutServed.Load(),
+	}
+}

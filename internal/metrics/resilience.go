@@ -27,6 +27,12 @@ type ResilienceStats struct {
 	// Fallbacks counts resolves served by a non-first referral
 	// alternative (a replica covered for a failed store).
 	Fallbacks atomic.Uint64
+	// OverloadBackoffs counts attempts the remote end shed under admission
+	// control. Sheds back off and retry but never count as failures — an
+	// overloaded store is alive, and tripping its breaker (or counting the
+	// shed toward Failures) would amplify the storm the shed exists to
+	// stop.
+	OverloadBackoffs atomic.Uint64
 }
 
 // BreakerInfo reports one endpoint's circuit breaker at snapshot time.
@@ -41,30 +47,32 @@ type BreakerInfo struct {
 // ResilienceSnapshot is a point-in-time view of ResilienceStats plus the
 // per-endpoint breaker states.
 type ResilienceSnapshot struct {
-	Attempts      uint64
-	Retries       uint64
-	Failures      uint64
-	BreakerTrips  uint64
-	BreakerProbes uint64
-	BreakerResets uint64
-	ShortCircuits uint64
-	Fallbacks     uint64
-	Breakers      []BreakerInfo
+	Attempts         uint64
+	Retries          uint64
+	Failures         uint64
+	BreakerTrips     uint64
+	BreakerProbes    uint64
+	BreakerResets    uint64
+	ShortCircuits    uint64
+	Fallbacks        uint64
+	OverloadBackoffs uint64
+	Breakers         []BreakerInfo
 }
 
 // Snapshot captures the counters together with the supplied breaker
 // states.
 func (s *ResilienceStats) Snapshot(breakers []BreakerInfo) ResilienceSnapshot {
 	return ResilienceSnapshot{
-		Attempts:      s.Attempts.Load(),
-		Retries:       s.Retries.Load(),
-		Failures:      s.Failures.Load(),
-		BreakerTrips:  s.BreakerTrips.Load(),
-		BreakerProbes: s.BreakerProbes.Load(),
-		BreakerResets: s.BreakerResets.Load(),
-		ShortCircuits: s.ShortCircuits.Load(),
-		Fallbacks:     s.Fallbacks.Load(),
-		Breakers:      breakers,
+		Attempts:         s.Attempts.Load(),
+		Retries:          s.Retries.Load(),
+		Failures:         s.Failures.Load(),
+		BreakerTrips:     s.BreakerTrips.Load(),
+		BreakerProbes:    s.BreakerProbes.Load(),
+		BreakerResets:    s.BreakerResets.Load(),
+		ShortCircuits:    s.ShortCircuits.Load(),
+		Fallbacks:        s.Fallbacks.Load(),
+		OverloadBackoffs: s.OverloadBackoffs.Load(),
+		Breakers:         breakers,
 	}
 }
 
@@ -79,6 +87,7 @@ func (s ResilienceSnapshot) Table() *Table {
 	t.AddRow("breaker-resets", s.BreakerResets)
 	t.AddRow("short-circuits", s.ShortCircuits)
 	t.AddRow("fallbacks", s.Fallbacks)
+	t.AddRow("overload-backoffs", s.OverloadBackoffs)
 	for _, b := range s.Breakers {
 		t.AddRow("breaker "+b.Endpoint, b.State)
 	}

@@ -1,0 +1,74 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gupster/internal/metrics"
+	"gupster/internal/wire"
+)
+
+// TestOverloadedIsBackoffNotFailure: a shed endpoint must be retried after
+// the hint without feeding its breaker — shedding is the server staying
+// alive, not the server dying.
+func TestOverloadedIsBackoffNotFailure(t *testing.T) {
+	stats := &metrics.ResilienceStats{}
+	g := NewGroup(Policy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		BreakerConfig{Threshold: 1}, stats) // hair-trigger breaker
+
+	calls := 0
+	start := time.Now()
+	err := g.Do(context.Background(), "store-1", func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return &wire.OverloadedError{Op: wire.TypeFetch, RetryAfter: 20 * time.Millisecond, Reason: "queue full"}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do after sheds: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (shed, shed, success)", calls)
+	}
+	// The retry-after hint (20ms, twice) outranks the ~1ms policy backoff.
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("retries ignored the retry-after hint: elapsed %v, want ≥40ms", elapsed)
+	}
+	if got := stats.OverloadBackoffs.Load(); got != 2 {
+		t.Fatalf("OverloadBackoffs = %d, want 2", got)
+	}
+	if got := stats.Failures.Load(); got != 0 {
+		t.Fatalf("Failures = %d after sheds, want 0 (shed counted as failure)", got)
+	}
+	if got := stats.BreakerTrips.Load(); got != 0 {
+		t.Fatalf("BreakerTrips = %d, want 0 — a shed tripped the breaker", got)
+	}
+	if st := g.State("store-1"); st != Closed {
+		t.Fatalf("breaker state after sheds = %v, want closed", st)
+	}
+}
+
+// TestOverloadedExhaustsAttempts: persistent shedding still terminates,
+// returning the typed error so callers can surface the hint.
+func TestOverloadedExhaustsAttempts(t *testing.T) {
+	g := NewGroup(Policy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		BreakerConfig{}, nil)
+	calls := 0
+	err := g.Do(context.Background(), "store-1", func(ctx context.Context) error {
+		calls++
+		return &wire.OverloadedError{Op: wire.TypeFetch, RetryAfter: time.Millisecond, Reason: "queue full"}
+	})
+	var ov *wire.OverloadedError
+	if !errors.As(err, &ov) {
+		t.Fatalf("got %v, want *wire.OverloadedError", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want MaxAttempts=2", calls)
+	}
+	if g.State("store-1") != Closed {
+		t.Fatal("exhausted sheds tripped the breaker")
+	}
+}

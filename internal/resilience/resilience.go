@@ -359,6 +359,26 @@ func (g *Group) Do(ctx context.Context, endpoint string, fn func(context.Context
 			return nil
 		}
 		lastErr = err
+		// An overloaded shed is backoff-not-failure: the endpoint is alive
+		// and explicitly asked us to come back later. Honor the hint (at
+		// least the normal backoff) without feeding the breaker — tripping
+		// it, or counting the shed as a failure, would turn load shedding
+		// into an outage and the retries into the storm it sheds against.
+		var ov *wire.OverloadedError
+		if errors.As(err, &ov) {
+			g.Stats.OverloadBackoffs.Add(1)
+			if attempt < g.Policy.MaxAttempts-1 {
+				g.Stats.Retries.Add(1)
+				delay := g.Backoff(attempt)
+				if ov.RetryAfter > delay {
+					delay = ov.RetryAfter
+				}
+				if Sleep(ctx, delay) != nil {
+					return lastErr
+				}
+			}
+			continue
+		}
 		if !g.transient(err) {
 			return err
 		}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"gupster/internal/flight"
+	"gupster/internal/overload"
 	"gupster/internal/syncml"
 	"gupster/internal/token"
 	"gupster/internal/trace"
@@ -26,6 +28,11 @@ type Server struct {
 	ws     *wire.Server
 	// Tracer records the store's share of traced requests.
 	Tracer *trace.Collector
+	// Admission gates the wire dispatch like the MDM's controller does:
+	// fetches and execs outrank updates and sync traffic, and both classes
+	// shed with a retry-after hint when saturated. Nil (the default)
+	// admits everything.
+	Admission *overload.Controller
 }
 
 // NewServer wraps an engine. Call Start to begin serving.
@@ -40,16 +47,17 @@ func NewServer(e *Engine, signer *token.Signer) *Server {
 
 // traceCtx derives the serving context and span for a traced request: when
 // the frame carries a span header the store's spans join the caller's
-// trace and ride back on the reply. The caller must Finish the span before
-// replying.
-func (s *Server) traceCtx(m *wire.Message, name string) (context.Context, *trace.Active) {
-	ctx := context.Background()
+// trace and ride back on the reply. The parent carries the request's
+// budget deadline, which the traced context inherits so sibling fetches
+// (exec) stay inside the caller's remaining time. The caller must Finish
+// the span before replying.
+func (s *Server) traceCtx(parent context.Context, m *wire.Message, name string) (context.Context, *trace.Active) {
 	if m.Trace == nil {
-		return ctx, nil
+		return parent, nil
 	}
 	rec := trace.NewRequestRecorder(s.Tracer)
 	m.SetSpanDrain(rec.Drain)
-	ctx = trace.WithRemote(ctx, m.Trace, "store", rec)
+	ctx := trace.WithRemote(parent, m.Trace, "store", rec)
 	ctx, sp := trace.Start(ctx, name)
 	sp.Annotate("store=" + s.Engine.ID())
 	return ctx, sp
@@ -72,24 +80,54 @@ func (s *Server) Addr() string { return s.ws.Addr() }
 func (s *Server) Close() error { return s.ws.Close() }
 
 func (s *Server) serve(c *wire.ServerConn, m *wire.Message) {
-	var err error
+	// The request's remaining budget (if stamped) bounds everything the
+	// store does on its behalf, including exec's sibling fetches.
+	ctx, cancel := wire.BudgetContext(context.Background(), m)
+	defer cancel()
+
+	class := overload.Classify(m.Type)
+	if ra, expired := s.Admission.ExpiredOnArrival(ctx, class); expired {
+		s.shed(c, m, ra, "budget expired on arrival")
+		return
+	}
+	release, err := s.Admission.Acquire(ctx, class)
+	if err != nil {
+		var shed *overload.ShedError
+		if errors.As(err, &shed) {
+			s.shed(c, m, shed.RetryAfter, shed.Reason)
+		} else {
+			s.shed(c, m, s.Admission.RetryAfter(class), "request expired in admission queue")
+		}
+		return
+	}
+	defer release()
+
 	switch m.Type {
 	case wire.TypeFetch:
-		err = s.handleFetch(c, m)
+		err = s.handleFetch(ctx, c, m)
 	case wire.TypeUpdate:
-		err = s.handleUpdate(c, m)
+		err = s.handleUpdate(ctx, c, m)
 	case wire.TypeSyncStart:
 		err = s.handleSyncStart(c, m)
 	case wire.TypeSyncDelta:
 		err = s.handleSyncDelta(c, m)
 	case wire.TypeExec:
-		err = s.handleExec(c, m)
+		err = s.handleExec(ctx, c, m)
 	default:
 		err = fmt.Errorf("store: unknown message type %q", m.Type)
 	}
 	if err != nil {
 		_ = c.ReplyError(m, err)
 	}
+}
+
+// shed answers a refused request with an overloaded frame; one-way frames
+// drop silently.
+func (s *Server) shed(c *wire.ServerConn, m *wire.Message, retryAfter time.Duration, reason string) {
+	if m.ID == 0 {
+		return
+	}
+	_ = c.ReplyOverloaded(m, retryAfter, reason)
 }
 
 // authorize verifies a signed query for a verb and returns its owner and
@@ -105,13 +143,13 @@ func (s *Server) authorize(q *token.SignedQuery, verb token.Verb) (string, xpath
 	return q.Owner, p, nil
 }
 
-func (s *Server) handleFetch(c *wire.ServerConn, m *wire.Message) error {
+func (s *Server) handleFetch(ctx context.Context, c *wire.ServerConn, m *wire.Message) error {
 	var req wire.FetchRequest
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
 		return err
 	}
 	// The span finishes before Reply so the drain sees it on the frame.
-	_, sp := s.traceCtx(m, "store.fetch")
+	_, sp := s.traceCtx(ctx, m, "store.fetch")
 	resp, err := s.fetch(&req)
 	sp.Finish(err)
 	if err != nil {
@@ -137,12 +175,12 @@ func (s *Server) fetch(req *wire.FetchRequest) (wire.FetchResponse, error) {
 	return wire.FetchResponse{XML: doc.String(), Version: v}, nil
 }
 
-func (s *Server) handleUpdate(c *wire.ServerConn, m *wire.Message) error {
+func (s *Server) handleUpdate(ctx context.Context, c *wire.ServerConn, m *wire.Message) error {
 	var req wire.UpdateRequest
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
 		return err
 	}
-	_, sp := s.traceCtx(m, "store.update")
+	_, sp := s.traceCtx(ctx, m, "store.update")
 	resp, err := s.update(&req)
 	sp.Finish(err)
 	if err != nil {
@@ -203,12 +241,12 @@ func (s *Server) handleSyncDelta(c *wire.ServerConn, m *wire.Message) error {
 // handleExec implements the recruiting pattern (§5.2): this store serves its
 // own piece, fetches the sibling pieces from their stores, merges, and
 // returns the result — the client makes one round trip.
-func (s *Server) handleExec(c *wire.ServerConn, m *wire.Message) error {
+func (s *Server) handleExec(ctx context.Context, c *wire.ServerConn, m *wire.Message) error {
 	var req wire.ExecRequest
 	if err := wire.Unmarshal(m.Payload, &req); err != nil {
 		return err
 	}
-	ctx, sp := s.traceCtx(m, "store.exec")
+	ctx, sp := s.traceCtx(ctx, m, "store.exec")
 	resp, err := s.exec(ctx, &req)
 	sp.Finish(err)
 	if err != nil {

@@ -69,6 +69,21 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string { return fmt.Sprintf("wire: remote %s: %s", e.Op, e.Msg) }
 
+// OverloadedError is the server shedding the request under admission
+// control (TypeOverloaded reply). It is not a failure of the operation —
+// the server is explicitly asking the caller to back off RetryAfter and
+// try again; the resilience layer honors the hint instead of counting a
+// breaker failure.
+type OverloadedError struct {
+	Op         string
+	RetryAfter time.Duration
+	Reason     string
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("wire: %s overloaded: %s (retry after %s)", e.Op, e.Reason, e.RetryAfter)
+}
+
 // Call sends a request and decodes the response payload into resp (which
 // may be nil to discard it). It respects ctx cancellation and deadlines.
 func (c *Client) Call(ctx context.Context, msgType string, req any, resp any) error {
@@ -101,6 +116,24 @@ func (c *Client) Call(ctx context.Context, msgType string, req any, resp any) er
 	ti, rec := trace.Outbound(ctx)
 	if ti != nil {
 		m.Trace = ti
+	}
+	// Stamp the remaining deadline budget so every hop downstream knows how
+	// long the answer still matters. Stamping happens at send time, so a
+	// hop that spent time queueing or working propagates only what is left.
+	// A budget already gone means the frame is not worth the wire: fail
+	// fast instead of shipping doomed work.
+	if hasDeadline {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			c.forget(id)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return context.DeadlineExceeded
+		}
+		if m.BudgetMillis = rem.Milliseconds(); m.BudgetMillis < 1 {
+			m.BudgetMillis = 1
+		}
 	}
 	c.writeMu.Lock()
 	// A hung or slow peer must not block the writer forever: once the
@@ -135,6 +168,20 @@ func (c *Client) Call(ctx context.Context, msgType string, req any, resp any) er
 		if rec != nil && len(reply.Spans) > 0 {
 			rec.Ingest(reply.Spans)
 		}
+		// An overloaded reply outranks its own Error text: new clients get
+		// the typed backoff signal; old clients (without this branch) saw
+		// only the Error string and failed cleanly.
+		if reply.Type == TypeOverloaded {
+			var op OverloadedPayload
+			if len(reply.Payload) > 0 {
+				_ = Unmarshal(reply.Payload, &op)
+			}
+			return &OverloadedError{
+				Op:         msgType,
+				RetryAfter: time.Duration(op.RetryAfterMillis) * time.Millisecond,
+				Reason:     op.Reason,
+			}
+		}
 		if reply.Error != "" {
 			return &RemoteError{Op: msgType, Msg: reply.Error}
 		}
@@ -165,6 +212,15 @@ func (c *Client) Send(ctx context.Context, msgType string, req any) error {
 		m.Payload = Marshal(req)
 	}
 	deadline, _ := ctx.Deadline()
+	// One-way frames carry the budget too: a receiver under pressure drops
+	// expired fire-and-forget work without replying.
+	if !deadline.IsZero() {
+		if rem := time.Until(deadline); rem > 0 {
+			if m.BudgetMillis = rem.Milliseconds(); m.BudgetMillis < 1 {
+				m.BudgetMillis = 1
+			}
+		}
+	}
 	c.writeMu.Lock()
 	c.conn.SetWriteDeadline(deadline)
 	err := WriteFrame(c.conn, m)

@@ -51,7 +51,24 @@ const (
 	// heartbeat on an interval; an MDM that stays silent about a store past
 	// the lease grace period quarantines it out of query plans.
 	TypeHeartbeat = "heartbeat"
+	// TypeOverloaded is a reply type: the server refused the request under
+	// admission control (queue full, queue wait exceeded, or the request's
+	// propagated budget was already below the observed service time). The
+	// payload carries a retry-after hint; the resilience layer treats the
+	// refusal as backoff-not-failure so retries cannot amplify the storm.
+	// Old clients that predate the type still terminate cleanly: the reply
+	// also sets Error, which they surface as a plain remote error.
+	TypeOverloaded = "overloaded"
 )
+
+// OverloadedPayload is the body of a TypeOverloaded reply.
+type OverloadedPayload struct {
+	// RetryAfterMillis hints when the server expects to have capacity.
+	RetryAfterMillis int64 `json:"retry_after_ms,omitempty"`
+	// Reason says why the request was refused ("admission queue full",
+	// "queue wait exceeded", "budget expired on arrival", …).
+	Reason string `json:"reason,omitempty"`
+}
 
 // HeartbeatRequest renews a store's lease. Addr, when non-empty, is
 // authoritative: a store that moved updates its dialable address with the
@@ -242,10 +259,16 @@ type ResolveResponse struct {
 	// 0 means the first MDM answered itself.
 	Hops int `json:"hops,omitempty"`
 	// Degraded lists granted paths that were left out of the plan because
-	// every store covering them is quarantined (lease expired). The rest
-	// of the response is a partial result: chaining/recruiting resolves
-	// return the live pieces instead of burning retries against corpses.
+	// every store covering them is quarantined (lease expired), or — under
+	// brownout — paths whose fresh fetch or recruit fan-out was skipped.
+	// The rest of the response is a partial result: chaining/recruiting
+	// resolves return the live pieces instead of burning retries against
+	// corpses.
 	Degraded []string `json:"degraded,omitempty"`
+	// Stale reports that Data came from the MDM's stale side-buffer while
+	// the server was in brownout: possibly outdated, better than nothing
+	// on the call-setup path.
+	Stale bool `json:"stale,omitempty"`
 }
 
 // BatchResolveRequest bundles independent resolves into one frame. The
@@ -481,4 +504,20 @@ type StatsResponse struct {
 	JournalCompactions uint64 `json:"journal_compactions,omitempty"`
 	JournalRecovered   uint64 `json:"journal_recovered,omitempty"`
 	JournalTornBytes   uint64 `json:"journal_torn_bytes,omitempty"`
+	// Overload-protection gauges and counters: the admission controller's
+	// work (admitted/queued/shed by class), budget-expired refusals, the
+	// brownout detector's state and transitions, and the instantaneous
+	// pressure fraction. Present only when the server runs with admission
+	// control enabled.
+	AdmissionAdmitted uint64  `json:"admission_admitted,omitempty"`
+	AdmissionQueued   uint64  `json:"admission_queued,omitempty"`
+	ShedHigh          uint64  `json:"shed_high,omitempty"`
+	ShedNormal        uint64  `json:"shed_normal,omitempty"`
+	QueueTimeouts     uint64  `json:"queue_timeouts,omitempty"`
+	BudgetExpired     uint64  `json:"budget_expired,omitempty"`
+	BrownoutActive    bool    `json:"brownout_active,omitempty"`
+	BrownoutEnters    uint64  `json:"brownout_enters,omitempty"`
+	BrownoutExits     uint64  `json:"brownout_exits,omitempty"`
+	BrownoutServed    uint64  `json:"brownout_served,omitempty"`
+	Pressure          float64 `json:"pressure,omitempty"`
 }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ServerConn is one accepted connection. Handlers reply through it and may
@@ -42,6 +43,24 @@ func (c *ServerConn) ReplyError(m *Message, err error) error {
 // Notify pushes a server-initiated message (ID 0).
 func (c *ServerConn) Notify(msgType string, payload any) error {
 	return c.send(&Message{Type: msgType, Payload: Marshal(payload)})
+}
+
+// ReplyOverloaded sends the first-class shed reply for m: the response
+// frame's Type is rewritten to TypeOverloaded so new clients get a typed
+// backoff signal with a retry-after hint, and Error is also set so old
+// clients that predate the type still terminate cleanly with a plain
+// remote error instead of hanging.
+func (c *ServerConn) ReplyOverloaded(m *Message, retryAfter time.Duration, reason string) error {
+	out := &Message{
+		Type:    TypeOverloaded,
+		ID:      m.ID,
+		Error:   "overloaded: " + reason,
+		Payload: Marshal(OverloadedPayload{RetryAfterMillis: retryAfter.Milliseconds(), Reason: reason}),
+	}
+	if m.spanDrain != nil {
+		out.Spans = m.spanDrain()
+	}
+	return c.send(out)
 }
 
 func (c *ServerConn) send(m *Message) error {
@@ -84,6 +103,7 @@ type Server struct {
 	handler Handler
 	wg      sync.WaitGroup
 	closed  atomic.Bool
+	quit    chan struct{}
 
 	connMu sync.Mutex
 	conns  map[net.Conn]bool
@@ -99,10 +119,16 @@ func Serve(addr string, h Handler) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]bool)}
+	return ServeListener(ln, h), nil
+}
+
+// ServeListener runs a server on an existing listener. Tests use it to
+// inject listeners that fail Accept in controlled ways.
+func ServeListener(ln net.Listener, h Handler) *Server {
+	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]bool), quit: make(chan struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listen address, e.g. for clients to dial.
@@ -114,6 +140,7 @@ func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	close(s.quit) // wakes an accept loop sleeping out a backoff
 	err := s.ln.Close()
 	s.connMu.Lock()
 	for c := range s.conns {
@@ -132,14 +159,31 @@ func (s *Server) logf(format string, args ...any) {
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			if !s.closed.Load() {
-				s.logf("wire: accept: %v", err)
+			if s.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
 			}
-			return
+			// Transient accept failures — EMFILE under fd exhaustion,
+			// ECONNABORTED races — must not kill the listener for good:
+			// back off (capped, reset on success) and keep accepting. A
+			// Close during the sleep returns promptly via the quit channel.
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+			s.logf("wire: accept: %v (retrying in %s)", err, backoff)
+			select {
+			case <-s.quit:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
+		backoff = 0
 		s.connMu.Lock()
 		if s.closed.Load() {
 			s.connMu.Unlock()

@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyListener wraps a real listener and fails the first n Accept calls
+// with a transient error, simulating fd exhaustion (EMFILE) or an
+// ECONNABORTED race.
+type flakyListener struct {
+	net.Listener
+	failures atomic.Int64 // remaining Accepts to fail
+	seen     atomic.Int64 // failed Accepts observed
+}
+
+var errTransient = errors.New("accept: too many open files")
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.failures.Add(-1) >= 0 {
+		l.seen.Add(1)
+		return nil, errTransient
+	}
+	return l.Listener.Accept()
+}
+
+// TestAcceptLoopSurvivesTransientErrors is the regression test for the
+// accept loop returning permanently on any transient Accept error: after a
+// burst of failures the server must still accept and serve connections.
+func TestAcceptLoopSurvivesTransientErrors(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: inner}
+	fl.failures.Store(5)
+
+	srv := ServeListener(fl, HandlerFunc(func(c *ServerConn, m *Message) {
+		_ = c.Reply(m, Empty{})
+	}))
+	defer srv.Close()
+
+	cli, err := Dial(inner.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after transient accept failures: %v", err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cli.Call(ctx, TypeStats, nil, nil); err != nil {
+		t.Fatalf("call after transient accept failures: %v", err)
+	}
+	if got := fl.seen.Load(); got != 5 {
+		t.Fatalf("injected failures consumed = %d, want 5", got)
+	}
+}
+
+// TestAcceptLoopCloseDuringBackoff verifies Close returns promptly while
+// the accept loop is sleeping out a backoff, instead of waiting the sleep
+// out (or worse, spinning on a listener that fails forever).
+func TestAcceptLoopCloseDuringBackoff(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := &flakyListener{Listener: inner}
+	fl.failures.Store(1 << 30) // effectively fails forever
+
+	srv := ServeListener(fl, HandlerFunc(func(c *ServerConn, m *Message) {}))
+	// Let the loop hit several failures so the backoff has grown.
+	deadline := time.Now().Add(2 * time.Second)
+	for fl.seen.Load() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close did not return while accept loop was backing off")
+	}
+}

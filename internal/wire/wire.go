@@ -8,11 +8,13 @@
 package wire
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"gupster/internal/trace"
 )
@@ -40,6 +42,15 @@ type Message struct {
 	// (and its own downstream hops) recorded while serving the request, so
 	// the caller ends up holding the whole tree.
 	Spans []trace.Span `json:"spans,omitempty"`
+	// BudgetMillis, when positive on a request, is the deadline budget the
+	// caller grants: how many milliseconds of work remain before the answer
+	// stops mattering. It is relative (like gRPC's grpc-timeout header), so
+	// no clock synchronization is needed; each hop restamps the remaining
+	// budget when it calls downstream, decrementing it by its own elapsed
+	// time. Zero/absent means untimed — old peers that never stamp the
+	// field interoperate, and old peers receiving it ignore the unknown
+	// JSON key.
+	BudgetMillis int64 `json:"budget_ms,omitempty"`
 
 	// spanDrain, when set by the serving layer, supplies the spans to attach
 	// to the reply frame. Unexported: never serialized, never copied across
@@ -50,6 +61,20 @@ type Message struct {
 // SetSpanDrain registers the function Reply/ReplyError call to collect the
 // request's recorded spans onto the response frame.
 func (m *Message) SetSpanDrain(fn func() []trace.Span) { m.spanDrain = fn }
+
+// BudgetContext threads a request's propagated deadline budget into the
+// serving context: a positive BudgetMillis yields a context that expires
+// when the caller's budget does, so every piece of work done on the
+// request's behalf — store fetches, chained resolves, queue waits — is
+// bounded by what the caller still cares about. Requests without a budget
+// (old clients) get the parent context unchanged. The cancel function is
+// never nil.
+func BudgetContext(parent context.Context, m *Message) (context.Context, context.CancelFunc) {
+	if m == nil || m.BudgetMillis <= 0 {
+		return parent, func() {}
+	}
+	return context.WithTimeout(parent, time.Duration(m.BudgetMillis)*time.Millisecond)
+}
 
 // Framing errors.
 var (
