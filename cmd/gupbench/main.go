@@ -10,6 +10,8 @@
 //	gupbench trace-overhead [-clients N] [-rounds N] [-json out.json] [-max 0.05]
 //	gupbench recovery [-sizes 100,1000,5000] [-lease-ttl 150ms] [-lease-grace 150ms] [-json out.json] [-detect-slack 1.0]
 //	gupbench overload [-conns N] [-phase 2s] [-json out.json] [-check baseline.json] [-min-retention 0.8] [-max-off-retention 0.5]
+//	gupbench scenario <name|file.yaml> [-fast] [-seed N] [-json out.json] [-check baseline.json] [-v]
+//	gupbench scenario -list
 //
 // The resolve subcommand runs the E16 resolve-pipeline benchmark on its
 // own flag set: -json writes the machine-readable report consumed by the
@@ -33,6 +35,13 @@
 // off. With -check it exits non-zero unless shedding retains at least
 // -min-retention of the pre-saturation goodput at 2x load while the
 // unprotected run collapses below -max-off-retention.
+//
+// The scenario subcommand runs a declarative scenario (a committed name
+// like e20_mixed, or a .yaml file path) through the unified harness in
+// internal/scenario: it builds the declared rigs, drives the phased
+// workload mix, evaluates the file's assertions and exits non-zero when
+// any fail. -fast shrinks the run for smoke testing (assertions become
+// informational); -check gates against a committed baseline report.
 package main
 
 import (
@@ -45,6 +54,7 @@ import (
 
 	"gupster/internal/bench"
 	"gupster/internal/metrics"
+	"gupster/internal/scenario"
 )
 
 func main() {
@@ -62,6 +72,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "overload" {
 		runOverload(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		runScenario(os.Args[2:])
 		return
 	}
 
@@ -243,6 +257,118 @@ func runRecovery(args []string) {
 		fmt.Printf("recovery gate: ok (detection %.0fms within %.0f%% of the %dms claim)\n",
 			rep.DetectMillis, (1+*slack)*100, rep.ClaimMillis)
 	}
+}
+
+// runScenario drives a declarative scenario through the unified harness:
+// committed scenarios by name, local files by path. Full runs gate on the
+// scenario's own assertions; -check additionally gates against a
+// committed baseline report (phase coverage + assertion count).
+func runScenario(args []string) {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	fast := fs.Bool("fast", false, "shrink the run for smoke testing (assertions become informational)")
+	seed := fs.Int64("seed", -1, "override the scenario's RNG seed (-1 = use the file's)")
+	jsonOut := fs.String("json", "", "write the machine-readable report here")
+	check := fs.String("check", "", "gate against this committed baseline report")
+	list := fs.Bool("list", false, "list the committed scenarios and exit")
+	verbose := fs.Bool("v", false, "narrate phases to stderr")
+	// Accept "scenario <name> -flags" as well as "scenario -flags <name>".
+	var target string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		target, args = args[0], args[1:]
+	}
+	_ = fs.Parse(args)
+
+	if *list {
+		for _, name := range scenario.List() {
+			sc, err := scenario.Load(name)
+			if err != nil {
+				log.Fatalf("gupbench: scenario: %s: %v", name, err)
+			}
+			fmt.Printf("%-16s %s\n", name, sc.Description)
+		}
+		return
+	}
+	if target == "" && fs.NArg() == 1 {
+		target = fs.Arg(0)
+	}
+	if target == "" {
+		log.Fatalf("gupbench: scenario: want exactly one scenario name or file (try -list)")
+	}
+	var sc *scenario.Scenario
+	if data, err := os.ReadFile(target); err == nil {
+		sc, err = scenario.Decode(data)
+		if err != nil {
+			log.Fatalf("gupbench: scenario: %s: %v", target, err)
+		}
+	} else {
+		var lerr error
+		sc, lerr = scenario.Load(target)
+		if lerr != nil {
+			log.Fatalf("gupbench: scenario: %v", lerr)
+		}
+	}
+
+	opts := scenario.RunOptions{Fast: *fast}
+	if *seed >= 0 {
+		opts.Seed = seed
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "scenario: "+format+"\n", args...)
+		}
+	}
+	run := func() *scenario.Report {
+		rep, err := scenario.Run(sc, opts)
+		if err != nil {
+			log.Fatalf("gupbench: scenario %s: %v", sc.Name, err)
+		}
+		return rep
+	}
+	rep := run()
+	fmt.Println(rep.Table().String())
+	for _, a := range rep.Assertions {
+		mark := "ok  "
+		if !a.Pass {
+			mark = "FAIL"
+		}
+		fmt.Printf("  %s %s(%s): %s\n", mark, a.Kind, a.Target, a.Detail)
+	}
+	if *jsonOut != "" {
+		if err := scenario.WriteReport(rep, *jsonOut); err != nil {
+			log.Fatalf("gupbench: scenario: write %s: %v", *jsonOut, err)
+		}
+	}
+	if *fast {
+		// A smoke run proves the scenario builds, drives and tears down;
+		// the shrunken load makes ratio assertions meaningless.
+		return
+	}
+	gate := func(rep *scenario.Report) error {
+		if *check != "" {
+			baseline, err := scenario.ReadReport(*check)
+			if err != nil {
+				return fmt.Errorf("baseline %s: %w", *check, err)
+			}
+			return scenario.CheckRegression(baseline, rep)
+		}
+		return scenario.CheckRegression(nil, rep)
+	}
+	if err := gate(rep); err != nil {
+		// Within-run ratios are scheduler-sensitive; a true regression
+		// fails the confirmation run too.
+		fmt.Printf("scenario gate: %v — confirming with a second run\n", err)
+		rep = run()
+		fmt.Println(rep.Table().String())
+		if *jsonOut != "" {
+			if werr := scenario.WriteReport(rep, *jsonOut); werr != nil {
+				log.Fatalf("gupbench: scenario: write %s: %v", *jsonOut, werr)
+			}
+		}
+		if err := gate(rep); err != nil {
+			log.Fatalf("gupbench: %v", err)
+		}
+	}
+	fmt.Printf("scenario gate: ok (%d assertions hold)\n", len(rep.Assertions))
 }
 
 // runOverload is the E19 overload-protection benchmark with its own flag

@@ -5,46 +5,31 @@ import (
 	"fmt"
 	"time"
 
-	"gupster/internal/core"
-	"gupster/internal/federation"
 	"gupster/internal/metrics"
 	"gupster/internal/policy"
-	"gupster/internal/schema"
+	"gupster/internal/scenario"
 	"gupster/internal/token"
 	"gupster/internal/wire"
 )
 
 // RunE13 — mirrored MDM constellation (§4.2, §5.3 reliability): what
 // replication costs on the mutation path, and that the read path is
-// unaffected by constellation size.
+// unaffected by constellation size. The constellation itself is built by
+// internal/scenario, the same assembly mixed scenarios use.
 func RunE13(o Options) (*metrics.Table, error) {
 	t := metrics.NewTable("E13 — mirrored MDM constellation (§5.3 reliability)",
 		"mirrors", "operation", "p50", "p99")
 	iters := o.iters(200)
-	signer := token.NewSigner(benchKey)
 
 	for _, n := range []int{1, 2, 4} {
-		mdms := make([]*core.MDM, n)
-		mirrors := make([]*federation.Mirror, n)
-		addrs := make([]string, n)
-		var cleanups []func()
-		for i := 0; i < n; i++ {
-			mdms[i] = core.New(core.Config{Schema: schema.GUP(), Signer: signer, GrantTTL: time.Minute})
-			mirrors[i] = federation.NewMirror(mdms[i])
-			srv, err := mirrors[i].Serve("127.0.0.1:0")
-			if err != nil {
-				return nil, err
-			}
-			addrs[i] = srv.Addr()
-			i := i
-			cleanups = append(cleanups, func() { srv.Close(); mirrors[i].Close(); mdms[i].Close() })
-		}
-		if err := federation.Join(mirrors, addrs); err != nil {
+		c, err := scenario.BuildConstellation(n)
+		if err != nil {
 			return nil, err
 		}
 
-		cli, err := wire.Dial(addrs[0])
+		cli, err := wire.Dial(c.Addrs[0])
 		if err != nil {
+			c.Close()
 			return nil, err
 		}
 
@@ -56,6 +41,8 @@ func RunE13(o Options) (*metrics.Table, error) {
 			if err := cli.Call(context.Background(), wire.TypeRegister, &wire.RegisterRequest{
 				Store: "s1", Address: "127.0.0.1:1", Path: p,
 			}, nil); err != nil {
+				cli.Close()
+				c.Close()
 				return nil, err
 			}
 			hMut.Record(time.Since(start))
@@ -73,6 +60,8 @@ func RunE13(o Options) (*metrics.Table, error) {
 			start := time.Now()
 			var resp wire.ResolveResponse
 			if err := cli.Call(context.Background(), wire.TypeResolve, req, &resp); err != nil {
+				cli.Close()
+				c.Close()
 				return nil, err
 			}
 			hRead.Record(time.Since(start))
@@ -81,14 +70,14 @@ func RunE13(o Options) (*metrics.Table, error) {
 
 		// Convergence check: the last mirror knows the first registration.
 		if n > 1 {
-			if _, err := mdms[n-1].Resolve(context.Background(), req); err != nil {
+			if _, err := c.MDMs[n-1].Resolve(context.Background(), req); err != nil {
+				cli.Close()
+				c.Close()
 				return nil, fmt.Errorf("bench: constellation did not converge: %w", err)
 			}
 		}
 		cli.Close()
-		for _, c := range cleanups {
-			c()
-		}
+		c.Close()
 	}
 	return t, nil
 }

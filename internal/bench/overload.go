@@ -1,30 +1,14 @@
 package bench
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
-	"strings"
-	"sync"
 	"time"
 
-	"gupster/internal/core"
-	"gupster/internal/coverage"
-	"gupster/internal/faultinject"
 	"gupster/internal/metrics"
-	"gupster/internal/overload"
-	"gupster/internal/policy"
-	"gupster/internal/resilience"
-	"gupster/internal/schema"
-	"gupster/internal/store"
-	"gupster/internal/token"
-	"gupster/internal/wire"
-	"gupster/internal/workload"
-	"gupster/internal/xpath"
+	"gupster/internal/scenario"
 )
 
 // E19 — the overload-protection benchmark behind BENCH_overload.json: an
@@ -35,7 +19,10 @@ import (
 // Goodput is completions inside the per-request budget; the acceptance
 // claim is that shedding retains most of the pre-saturation goodput at 2×
 // load, while the unprotected server's goodput collapses as every request
-// queues past its budget.
+// queues past its budget. The rigs, calibration and open-loop phase
+// runner live in internal/scenario (e19_overload.yaml is the same
+// experiment in declarative form); this file keeps the flag surface, the
+// report format and the CI gate.
 
 // OverloadOptions sizes the E19 testbed.
 type OverloadOptions struct {
@@ -145,275 +132,91 @@ func (r *OverloadReport) Mode(name string) *OverloadMode {
 	return nil
 }
 
-// overloadRig is one MDM + one throttled store + a fan of client
-// connections.
-type overloadRig struct {
-	mdm   *core.MDM
-	srv   *core.Server
-	st    *store.Server
-	proxy *faultinject.Proxy
-	conns []*wire.Client
-	users []string
-}
-
-func newOverloadRig(o OverloadOptions, shedding bool) (*overloadRig, error) {
-	signer := token.NewSigner(benchKey)
-	cfg := core.Config{
-		Schema: schema.GUP(), Signer: signer, GrantTTL: time.Minute,
-		// One attempt, no cache, no coalescing: every resolve is one real
-		// fetch over the choke link, so offered load is what the link sees.
-		DisableCoalescing: true,
-		Retry:             resilience.Policy{MaxAttempts: 1, PerAttempt: 60 * time.Second},
-	}
-	if shedding {
-		cfg.Overload = overload.Config{
-			MaxConcurrency: o.MaxConcurrency,
-			QueueDepth:     o.QueueDepth,
+// overloadScenario expresses the E19 experiment as a scenario: two
+// single-store sharded rigs behind a bandwidth choke, calibrated once,
+// then driven open-loop at the two factor rates. The unprotected rig's
+// phases are unstamped — no deadline on the wire, the pre-budget client.
+func overloadScenario(o OverloadOptions) *scenario.Scenario {
+	rig := func(name string, shedding bool) scenario.RigSpec {
+		spec := scenario.RigSpec{
+			Name:              name,
+			Layout:            scenario.LayoutSharded,
+			Stores:            1,
+			Users:             o.Users,
+			SizeBytes:         o.SizeBytes,
+			DisableCoalescing: true,
+			RetryAttempts:     1,
+			PerAttempt:        60 * time.Second,
+			Links:             scenario.LinkSet{Stores: &scenario.LinkSpec{Bandwidth: o.BytesPerSec}},
 		}
-	}
-	mdm := core.New(cfg)
-	srv := core.NewServer(mdm)
-	if err := srv.Start("127.0.0.1:0"); err != nil {
-		return nil, err
-	}
-	r := &overloadRig{mdm: mdm, srv: srv}
-
-	eng := store.NewEngine("store-0")
-	st := store.NewServer(eng, signer)
-	if err := st.Start("127.0.0.1:0"); err != nil {
-		r.close()
-		return nil, err
-	}
-	r.st = st
-	proxy, err := faultinject.NewProxy(st.Addr(), 0)
-	if err != nil {
-		r.close()
-		return nil, err
-	}
-	proxy.SetBandwidth(o.BytesPerSec)
-	r.proxy = proxy
-
-	for i := 0; i < o.Users; i++ {
-		user := fmt.Sprintf("u%d", i)
-		book := workload.AddressBookOfSize(o.SizeBytes, workload.Rand(int64(i+1)))
-		p := xpath.MustParse(fmt.Sprintf("/user[@id='%s']/address-book", user))
-		if _, err := eng.Put(user, p, book); err != nil {
-			r.close()
-			return nil, err
+		if shedding {
+			spec.MaxConcurrency = o.MaxConcurrency
+			spec.QueueDepth = o.QueueDepth
 		}
-		if err := mdm.Register(coverage.StoreID(eng.ID()), proxy.Addr(), p); err != nil {
-			r.close()
-			return nil, err
+		return spec
+	}
+	chain := []scenario.MixEntry{{Verb: scenario.VerbResolve, Pattern: "chaining", Users: scenario.UsersRoundRobin}}
+	unstamped := false
+	load := func(name, rigName string, factor float64, stamped bool) scenario.Phase {
+		p := scenario.Phase{
+			Name: name, Rig: rigName,
+			Rate:     scenario.Rate{Factor: factor},
+			Duration: o.PhaseDuration,
+			Conns:    o.Conns,
+			Budget:   scenario.Budget{Factor: 10},
+			Mix:      chain,
 		}
-		r.users = append(r.users, user)
-	}
-
-	for i := 0; i < o.Conns; i++ {
-		c, err := wire.Dial(srv.Addr())
-		if err != nil {
-			r.close()
-			return nil, err
+		if !stamped {
+			p.Stamped = &unstamped
 		}
-		r.conns = append(r.conns, c)
+		return p
 	}
-	return r, nil
-}
-
-func (r *overloadRig) close() {
-	for _, c := range r.conns {
-		c.Close()
-	}
-	if r.mdm != nil {
-		r.mdm.Close()
-	}
-	if r.srv != nil {
-		r.srv.Close()
-	}
-	if r.proxy != nil {
-		r.proxy.Close()
-	}
-	if r.st != nil {
-		r.st.Close()
+	return &scenario.Scenario{
+		Name: "e19_overload",
+		Seed: 19,
+		Topology: scenario.Topology{Rigs: []scenario.RigSpec{
+			rig("shed-off", false),
+			rig("shed-on", true),
+		}},
+		Phases: []scenario.Phase{
+			{Name: "calibrate-off", Rig: "shed-off", Calibrate: 15},
+			load("shed-off-presat", "shed-off", o.PresatFactor, false),
+			load("shed-off-2x", "shed-off", o.SatFactor, false),
+			{Name: "calibrate-on", Rig: "shed-on", Calibrate: 15},
+			load("shed-on-presat", "shed-on", o.PresatFactor, true),
+			load("shed-on-2x", "shed-on", o.SatFactor, true),
+		},
 	}
 }
 
-// chainOnce issues one chaining resolve for user over conn.
-func (r *overloadRig) chainOnce(ctx context.Context, conn *wire.Client, user string) error {
-	var resp wire.ResolveResponse
-	return conn.Call(ctx, wire.TypeResolve, &wire.ResolveRequest{
-		Path:    fmt.Sprintf("/user[@id='%s']/address-book", user),
-		Context: policy.Context{Requester: user},
-		Verb:    token.VerbFetch,
-		Pattern: wire.PatternChaining,
-	}, &resp)
-}
-
-// calibrate measures the unloaded sequential service time (p50 of iters
-// chaining resolves) — the unit every rate and budget derives from.
-func (r *overloadRig) calibrate(iters int) (time.Duration, error) {
-	var samples []time.Duration
-	for i := 0; i < iters; i++ {
-		t0 := time.Now()
-		if err := r.chainOnce(context.Background(), r.conns[0], r.users[i%len(r.users)]); err != nil {
-			return 0, err
-		}
-		samples = append(samples, time.Since(t0))
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	return samples[len(samples)/2], nil
-}
-
-// runPhase offers ratePerSec chaining resolves open-loop for
-// o.PhaseDuration, spread round-robin over the rig's connections, then
-// waits for every outstanding request. stamped=true gives each request a
-// context deadline of budget (propagated on the wire as its remaining
-// budget); stamped=false emulates a pre-budget client — no deadline is
-// stamped, and a completion is goodput only if it happened to finish
-// inside budget by the wall clock.
-func (r *overloadRig) runPhase(name string, ratePerSec float64, phase, budget time.Duration, stamped bool) (OverloadMode, error) {
-	n := int(ratePerSec * phase.Seconds())
-	if n < 1 {
-		n = 1
-	}
-	interval := phase / time.Duration(n)
-	h := metrics.NewHistogram()
-
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	mode := OverloadMode{Name: name, Sent: n}
-	var firstErr error
-
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
-			time.Sleep(d)
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			ctx := context.Background()
-			cancel := func() {}
-			if stamped {
-				ctx, cancel = context.WithTimeout(ctx, budget)
-			} else {
-				// Unstamped requests still need a liveness bound so the
-				// phase terminates; 60s never binds in practice.
-				ctx, cancel = context.WithTimeout(ctx, 60*time.Second)
-			}
-			defer cancel()
-			t0 := time.Now()
-			err := r.chainOnce(ctx, r.conns[i%len(r.conns)], r.users[i%len(r.users)])
-			elapsed := time.Since(t0)
-			var ov *wire.OverloadedError
-			mu.Lock()
-			defer mu.Unlock()
-			switch {
-			case err == nil && elapsed <= budget:
-				mode.InBudget++
-				h.Record(elapsed)
-			case err == nil:
-				mode.Expired++ // completed, but past its budget: wasted work
-			case errors.As(err, &ov):
-				mode.Shed++
-			case errors.Is(err, context.DeadlineExceeded):
-				mode.Expired++
-			case isRemoteExpiry(err):
-				// The budget ran out server-side mid-chain; the store's
-				// refusal races the client's own deadline, and either way
-				// it is the same outcome: budget burned, no answer.
-				mode.Expired++
-			default:
-				mode.Errors++
-				if firstErr == nil {
-					firstErr = err
-				}
-			}
-		}(i)
-	}
-	wg.Wait()
-	if mode.InBudget+mode.Shed+mode.Expired == 0 && firstErr != nil {
-		return mode, fmt.Errorf("phase %s produced only errors: %w", name, firstErr)
-	}
-	mode.GoodputPerSec = float64(mode.InBudget) / phase.Seconds()
-	mode.P99Micros = h.Percentile(99).Microseconds()
-	return mode, nil
-}
-
-// isRemoteExpiry reports whether err is a remote refusal caused by the
-// propagated budget expiring on a downstream hop.
-func isRemoteExpiry(err error) bool {
-	var re *wire.RemoteError
-	return errors.As(err, &re) && strings.Contains(re.Msg, "deadline exceeded")
-}
-
-// RunOverloadReport executes the E19 benchmark and returns the report.
+// RunOverloadReport executes the E19 benchmark through the scenario
+// engine and returns the report.
 func RunOverloadReport(o OverloadOptions) (*OverloadReport, error) {
 	o = o.withDefaults()
-	report := &OverloadReport{Conns: o.Conns, Users: o.Users, GOMAXPROCS: runtime.GOMAXPROCS(0)}
-
-	// Calibrate on an unprotected rig: S ≈ one resolve's unloaded service
-	// time, so capacity ≈ 1/S and the budget (10×S, clamped) gives every
-	// request an order of magnitude of slack before it counts as doomed.
-	rigOff, err := newOverloadRig(o, false)
+	run, err := scenario.Run(overloadScenario(o), scenario.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
-	s, err := rigOff.calibrate(15)
-	if err != nil {
-		rigOff.close()
-		return nil, err
+	report := &OverloadReport{
+		Conns: o.Conns, Users: o.Users, GOMAXPROCS: runtime.GOMAXPROCS(0),
+		ServiceP50Micros: run.ServiceP50Micros,
+		BudgetMillis:     run.BudgetMillis,
 	}
-	budget := 10 * s
-	if budget < 100*time.Millisecond {
-		budget = 100 * time.Millisecond
-	}
-	if budget > time.Second {
-		budget = time.Second
-	}
-	report.ServiceP50Micros = s.Microseconds()
-	report.BudgetMillis = budget.Milliseconds()
-	capacity := 1 / s.Seconds()
-	presat := o.PresatFactor * capacity
-	sat := o.SatFactor * capacity
-
-	// Unprotected first (the calibration rig is already unprotected).
-	for _, ph := range []struct {
-		name string
-		rate float64
-	}{{"shed-off-presat", presat}, {"shed-off-2x", sat}} {
-		m, err := rigOff.runPhase(ph.name, ph.rate, o.PhaseDuration, budget, false)
-		if err != nil {
-			rigOff.close()
-			return nil, err
+	for _, p := range run.Phases {
+		if p.Kind == "calibrate" {
+			continue
 		}
-		report.Modes = append(report.Modes, m)
+		report.Modes = append(report.Modes, OverloadMode{
+			Name:          p.Name,
+			Sent:          p.Sent,
+			InBudget:      p.InBudget,
+			Shed:          p.Shed,
+			Expired:       p.Expired,
+			Errors:        p.Errors,
+			GoodputPerSec: p.GoodputPerSec,
+			P99Micros:     p.P99Micros,
+		})
 	}
-	rigOff.close()
-
-	// Protected: admission on, budgets stamped. A short calibration warms
-	// the admission controller's p50 window so expired-on-arrival has a
-	// baseline from the start, as a long-running server would.
-	rigOn, err := newOverloadRig(o, true)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := rigOn.calibrate(15); err != nil {
-		rigOn.close()
-		return nil, err
-	}
-	for _, ph := range []struct {
-		name string
-		rate float64
-	}{{"shed-on-presat", presat}, {"shed-on-2x", sat}} {
-		m, err := rigOn.runPhase(ph.name, ph.rate, o.PhaseDuration, budget, true)
-		if err != nil {
-			rigOn.close()
-			return nil, err
-		}
-		report.Modes = append(report.Modes, m)
-	}
-	rigOn.close()
-
 	if pre, sat := report.Mode("shed-on-presat"), report.Mode("shed-on-2x"); pre != nil && sat != nil && pre.GoodputPerSec > 0 {
 		report.RetentionOn = sat.GoodputPerSec / pre.GoodputPerSec
 	}

@@ -13,8 +13,7 @@ import (
 	"gupster/internal/journal"
 	"gupster/internal/metrics"
 	"gupster/internal/policy"
-	"gupster/internal/schema"
-	"gupster/internal/token"
+	"gupster/internal/scenario"
 	"gupster/internal/wire"
 	"gupster/internal/xpath"
 )
@@ -110,9 +109,10 @@ func recoveryCycle(n int) (*RecoveryRun, error) {
 	}
 	defer os.RemoveAll(dir)
 
-	signer := token.NewSigner(benchKey)
+	// A bare spec: the recovery cycle measures the journal, not the
+	// topology, so the MDM is configured exactly as a scenario rig's.
 	mkMDM := func() *core.MDM {
-		return core.New(core.Config{Schema: schema.GUP(), Signer: signer, GrantTTL: time.Minute})
+		return core.New(scenario.MDMConfig(&scenario.RigSpec{}, scenario.NewSigner()))
 	}
 
 	// Populate. Real fsyncs: this is the durability whose recovery we
@@ -190,10 +190,7 @@ func recoveryCycle(n int) (*RecoveryRun, error) {
 // leaseDetectLatency registers a store under a lease, lets it fall
 // silent, and measures how long until plans exclude it.
 func leaseDetectLatency(ttl, grace time.Duration) (time.Duration, error) {
-	m := core.New(core.Config{
-		Schema: schema.GUP(), Signer: token.NewSigner(benchKey),
-		GrantTTL: time.Minute, LeaseTTL: ttl, LeaseGrace: grace,
-	})
+	m := core.New(scenario.MDMConfig(&scenario.RigSpec{LeaseTTL: ttl, LeaseGrace: grace}, scenario.NewSigner()))
 	defer m.Close()
 	if err := m.Register("dead-store", "127.0.0.1:9", xpath.MustParse("/user[@id='u']/presence")); err != nil {
 		return 0, err

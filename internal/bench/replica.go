@@ -2,78 +2,15 @@ package bench
 
 import (
 	"context"
-	"io"
-	"net"
 	"time"
 
 	"gupster/internal/core"
+	"gupster/internal/faultinject"
 	"gupster/internal/metrics"
+	"gupster/internal/scenario"
 	"gupster/internal/store"
-	"gupster/internal/token"
 	"gupster/internal/xpath"
 )
-
-// delayProxy forwards TCP to a backend with added per-chunk latency — a
-// WAN-distant replica.
-type delayProxy struct {
-	ln      net.Listener
-	backend string
-	delay   time.Duration
-}
-
-func newDelayProxy(backend string, delay time.Duration) (*delayProxy, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
-	}
-	p := &delayProxy{ln: ln, backend: backend, delay: delay}
-	go p.run()
-	return p, nil
-}
-
-func (p *delayProxy) addr() string { return p.ln.Addr().String() }
-func (p *delayProxy) close()       { p.ln.Close() }
-
-func (p *delayProxy) run() {
-	for {
-		conn, err := p.ln.Accept()
-		if err != nil {
-			return
-		}
-		go p.serve(conn)
-	}
-}
-
-func (p *delayProxy) serve(client net.Conn) {
-	defer client.Close()
-	backend, err := net.Dial("tcp", p.backend)
-	if err != nil {
-		return
-	}
-	defer backend.Close()
-	done := make(chan struct{}, 2)
-	go func() {
-		defer func() { done <- struct{}{} }()
-		buf := make([]byte, 32<<10)
-		for {
-			n, err := client.Read(buf)
-			if n > 0 {
-				time.Sleep(p.delay)
-				if _, werr := backend.Write(buf[:n]); werr != nil {
-					return
-				}
-			}
-			if err != nil {
-				return
-			}
-		}
-	}()
-	go func() {
-		defer func() { done <- struct{}{} }()
-		io.Copy(client, backend)
-	}()
-	<-done
-}
 
 // RunE14 — closest-replica routing (§5.3: "requests … will be routed to the
 // closest store available"): a component replicated at a near and a far
@@ -91,8 +28,10 @@ func RunE14(o Options) (*metrics.Table, error) {
 				return nil, err
 			}
 			// Far replica: same content, identity sorting before "store-0",
-			// reached through the delay proxy.
-			signer := token.NewSigner(benchKey)
+			// reached through a latency-injecting proxy (the same injector
+			// scenario rigs use, which closes its active conns on Close
+			// instead of leaking them).
+			signer := scenario.NewSigner()
 			farEng := store.NewEngine("a-far-replica")
 			farSrv := store.NewServer(farEng, signer)
 			if err := farSrv.Start("127.0.0.1:0"); err != nil {
@@ -110,17 +49,18 @@ func RunE14(o Options) (*metrics.Table, error) {
 				farSrv.Close()
 				return nil, err
 			}
-			proxy, err := newDelayProxy(farSrv.Addr(), delay)
+			proxy, err := faultinject.NewProxy(farSrv.Addr(), 14)
 			if err != nil {
 				r.close()
 				farSrv.Close()
 				return nil, err
 			}
-			if err := r.mdm.Register("a-far-replica", proxy.addr(),
+			proxy.SetLatency(delay, 0)
+			if err := r.mdm.Register("a-far-replica", proxy.Addr(),
 				xpath.MustParse("/user[@id='u']/address-book")); err != nil {
 				r.close()
 				farSrv.Close()
-				proxy.close()
+				proxy.Close()
 				return nil, err
 			}
 
@@ -128,7 +68,7 @@ func RunE14(o Options) (*metrics.Table, error) {
 			if err != nil {
 				r.close()
 				farSrv.Close()
-				proxy.close()
+				proxy.Close()
 				return nil, err
 			}
 			cli.DisableLatencyRouting = disabled
@@ -141,7 +81,7 @@ func RunE14(o Options) (*metrics.Table, error) {
 					cli.Close()
 					r.close()
 					farSrv.Close()
-					proxy.close()
+					proxy.Close()
 					return nil, err
 				}
 				_ = doc
@@ -155,7 +95,7 @@ func RunE14(o Options) (*metrics.Table, error) {
 			cli.Close()
 			r.close()
 			farSrv.Close()
-			proxy.close()
+			proxy.Close()
 		}
 	}
 	return t, nil

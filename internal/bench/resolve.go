@@ -1,43 +1,33 @@
 package bench
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
-	"sync"
 	"time"
 
-	"gupster/internal/core"
-	"gupster/internal/coverage"
-	"gupster/internal/faultinject"
 	"gupster/internal/metrics"
-	"gupster/internal/resilience"
-	"gupster/internal/schema"
-	"gupster/internal/store"
-	"gupster/internal/token"
-	"gupster/internal/wire"
-	"gupster/internal/workload"
-	"gupster/internal/xmltree"
-	"gupster/internal/xpath"
+	"gupster/internal/scenario"
 )
 
 // E16 — the resolve-pipeline benchmark behind BENCH_resolve.json: a
 // 64-concurrent-client testbed comparing the pre-PR resolve path (one
 // round trip per resolve, serial MDM piece fetches, no coalescing) against
 // the pipelined path (batch resolves, bounded parallel fan-out, in-flight
-// coalescing). The report is machine-readable so CI can diff it against
-// the committed baseline and fail on p95 regressions.
+// coalescing). The rig construction and phase loops live in
+// internal/scenario (the committed e16_resolve.yaml is the same
+// experiment in declarative form); this file keeps the flag surface, the
+// machine-readable report format and the CI regression gate.
 
 // ResolveOptions sizes the E16 testbed.
 type ResolveOptions struct {
 	// Clients is the number of concurrent clients; default 64.
 	Clients int
 	// Rounds is the referral-phase rounds per client (each round resolves
-	// Batch paths); default 15.
+	// Batch paths); default 8.
 	Rounds int
-	// ChainRounds is the chaining-phase rounds per client; default 20.
+	// ChainRounds is the chaining-phase rounds per client; default 5.
 	ChainRounds int
 	// Batch is the number of per-type address-book splits — the batch
 	// width and store count; default 8.
@@ -112,250 +102,92 @@ func (r *ResolveReport) Mode(name string) *ResolveMode {
 	return nil
 }
 
-// resolveRig is the E16 testbed: one MDM fronting Batch stores, each
-// holding one per-type split of a user's address book. baseline=true
-// configures the MDM the way the code behaved before the pipeline work:
-// no coalescing and serial piece fetches.
-type resolveRig struct {
-	mdm     *core.MDM
-	mdmSrv  *core.Server
-	mdmAddr string // through the latency proxy when injection is on
-	stores  []*store.Server
-	proxies []*faultinject.Proxy
-	paths   []string
-}
-
-// viaLatency wraps addr in a latency-injecting proxy when latency > 0,
-// emulating one network link of the converged deployment.
-func (r *resolveRig) viaLatency(addr string, latency time.Duration, seed int64) (string, error) {
-	if latency <= 0 {
-		return addr, nil
+// resolveRigSpec is the E16/E17 testbed rig: one MDM fronting Batch
+// split-book stores behind latency-proxied links. baseline=true
+// configures the pre-pipeline behavior (no coalescing, serial fetches,
+// uncoalesced clients).
+func resolveRigSpec(o ResolveOptions, name string, baseline bool) scenario.RigSpec {
+	spec := scenario.RigSpec{
+		Name:          name,
+		Layout:        scenario.LayoutSplit,
+		Stores:        o.Batch,
+		SizeBytes:     o.SizeBytes,
+		Baseline:      baseline,
+		RetryAttempts: 2,
+		PerAttempt:    30 * time.Second,
 	}
-	p, err := faultinject.NewProxy(addr, seed)
-	if err != nil {
-		return "", err
-	}
-	p.SetLatency(latency, 0)
-	r.proxies = append(r.proxies, p)
-	return p.Addr(), nil
-}
-
-func newResolveRig(o ResolveOptions, baseline bool) (*resolveRig, error) {
-	signer := token.NewSigner(benchKey)
-	cfg := core.Config{
-		Schema: schema.GUP(), Signer: signer, GrantTTL: time.Minute,
-		// Uncoalesced chaining at 64-way concurrency queues fetches behind
-		// the injected link latency; a wide per-attempt budget keeps the
-		// baseline measuring queuing, not tripping retries.
-		Retry: resilience.Policy{MaxAttempts: 2, PerAttempt: 30 * time.Second},
-	}
-	if baseline {
-		cfg.DisableCoalescing = true
-		cfg.FanOut = 1
-	}
-	mdm := core.New(cfg)
-	srv := core.NewServer(mdm)
-	if err := srv.Start("127.0.0.1:0"); err != nil {
-		return nil, err
-	}
-	r := &resolveRig{mdm: mdm, mdmSrv: srv}
-	mdmAddr, err := r.viaLatency(srv.Addr(), o.Latency, 0)
-	if err != nil {
-		r.close()
-		return nil, err
-	}
-	r.mdmAddr = mdmAddr
-
-	book := workload.AddressBookOfSize(o.SizeBytes, workload.Rand(1))
-	pieces := make([]*xmltree.Node, o.Batch)
-	for i := range pieces {
-		pieces[i] = xmltree.New("address-book")
-	}
-	for i, item := range book.ChildrenNamed("item") {
-		it := item.Clone()
-		it.SetAttr("type", fmt.Sprintf("t%d", i%o.Batch))
-		pieces[i%o.Batch].Add(it)
-	}
-	for i := 0; i < o.Batch; i++ {
-		eng := store.NewEngine(fmt.Sprintf("store-%d", i))
-		ssrv := store.NewServer(eng, signer)
-		if err := ssrv.Start("127.0.0.1:0"); err != nil {
-			r.close()
-			return nil, err
+	if o.Latency > 0 {
+		spec.Links = scenario.LinkSet{
+			MDM:    &scenario.LinkSpec{Latency: o.Latency},
+			Stores: &scenario.LinkSpec{Latency: o.Latency},
 		}
-		r.stores = append(r.stores, ssrv)
-		if _, err := eng.Put("u", xpath.MustParse("/user[@id='u']/address-book"), pieces[i]); err != nil {
-			r.close()
-			return nil, err
+	}
+	return spec
+}
+
+// resolveScenario expresses the E16 experiment as a scenario: two
+// split-profile rigs (serial baseline, pipelined) behind latency-proxied
+// links, a referral phase and a chaining phase each.
+func resolveScenario(o ResolveOptions) *scenario.Scenario {
+	referral := func(name, rigName string, batch bool) scenario.Phase {
+		rounds := o.Rounds
+		if !batch {
+			// The serial baseline resolves one split path per round; give
+			// it Rounds passes over all Batch paths so both sides measure
+			// the same number of per-path resolves.
+			rounds = o.Rounds * o.Batch
 		}
-		storeAddr, err := r.viaLatency(ssrv.Addr(), o.Latency, int64(i+1))
-		if err != nil {
-			r.close()
-			return nil, err
+		return scenario.Phase{
+			Name: name, Rig: rigName, Clients: o.Clients, Rounds: rounds,
+			Mix: []scenario.MixEntry{{Verb: scenario.VerbResolve, Pattern: "referral", Batch: batch}},
 		}
-		reg := fmt.Sprintf("/user[@id='u']/address-book/item[@type='t%d']", i)
-		if err := mdm.Register(coverage.StoreID(eng.ID()), storeAddr, xpath.MustParse(reg)); err != nil {
-			r.close()
-			return nil, err
+	}
+	chaining := func(name, rigName string) scenario.Phase {
+		return scenario.Phase{
+			Name: name, Rig: rigName, Clients: o.Clients, Rounds: o.ChainRounds,
+			Mix: []scenario.MixEntry{{Verb: scenario.VerbResolve, Pattern: "chaining"}},
 		}
-		r.paths = append(r.paths, reg)
 	}
-	return r, nil
-}
-
-func (r *resolveRig) close() {
-	if r.mdm != nil {
-		r.mdm.Close()
-	}
-	if r.mdmSrv != nil {
-		r.mdmSrv.Close()
-	}
-	for _, s := range r.stores {
-		s.Close()
-	}
-	for _, p := range r.proxies {
-		p.Close()
+	return &scenario.Scenario{
+		Name: "e16_resolve",
+		Seed: 16,
+		Topology: scenario.Topology{Rigs: []scenario.RigSpec{
+			resolveRigSpec(o, "serial", true),
+			resolveRigSpec(o, "pipelined", false),
+		}},
+		Phases: []scenario.Phase{
+			referral("referral-serial", "serial", false),
+			chaining("chaining-serial", "serial"),
+			referral("referral-batched", "pipelined", true),
+			chaining("chaining-coalesced", "pipelined"),
+		},
 	}
 }
 
-// runClients runs fn concurrently on o.Clients fresh connections and
-// returns the wall-clock of the whole phase.
-func (r *resolveRig) runClients(o ResolveOptions, baseline bool, fn func(cli *core.Client) error) (time.Duration, error) {
-	var wg sync.WaitGroup
-	errCh := make(chan error, o.Clients)
-	start := time.Now()
-	for c := 0; c < o.Clients; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cli, err := core.DialMDM(r.mdmAddr, "u", "self")
-			if err != nil {
-				errCh <- err
-				return
-			}
-			defer cli.Close()
-			if baseline {
-				cli.DisableCoalescing = true
-			}
-			if err := fn(cli); err != nil {
-				errCh <- err
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	close(errCh)
-	if err := <-errCh; err != nil {
-		return 0, err
-	}
-	return elapsed, nil
-}
-
-func modeRow(name string, h *metrics.Histogram, resolves int, elapsed time.Duration, hitRate float64, fanOutCalls uint64) ResolveMode {
-	return ResolveMode{
-		Name:            name,
-		Resolves:        resolves,
-		P50Micros:       h.Percentile(50).Microseconds(),
-		P95Micros:       h.Percentile(95).Microseconds(),
-		P99Micros:       h.Percentile(99).Microseconds(),
-		ResolvesPerSec:  float64(resolves) / elapsed.Seconds(),
-		CoalesceHitRate: hitRate,
-		FanOutCalls:     fanOutCalls,
-	}
-}
-
-// RunResolveReport executes the E16 benchmark and returns the report.
+// RunResolveReport executes the E16 benchmark through the scenario
+// engine and returns the report.
 func RunResolveReport(o ResolveOptions) (*ResolveReport, error) {
 	o = o.withDefaults()
-	report := &ResolveReport{Clients: o.Clients, BatchSize: o.Batch, GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	ctx := context.Background()
-	hot := "/user[@id='u']/address-book"
-
-	for _, baseline := range []bool{true, false} {
-		rig, err := newResolveRig(o, baseline)
-		if err != nil {
-			return nil, err
-		}
-
-		// Referral phase: each round resolves every split path. The
-		// baseline makes one resolve + fetch round trip per path (the
-		// pre-PR client loop); the pipeline sends one batch-resolve frame
-		// and follows the referrals on the bounded pool.
-		h := metrics.NewHistogram()
-		elapsed, err := rig.runClients(o, baseline, func(cli *core.Client) error {
-			for i := 0; i < o.Rounds; i++ {
-				if baseline {
-					for _, p := range rig.paths {
-						t0 := time.Now()
-						if _, err := cli.Get(ctx, p); err != nil {
-							return err
-						}
-						h.Record(time.Since(t0))
-					}
-					continue
-				}
-				t0 := time.Now()
-				results, err := cli.GetBatch(ctx, rig.paths)
-				if err != nil {
-					return err
-				}
-				per := time.Since(t0) / time.Duration(len(rig.paths))
-				for _, res := range results {
-					if res.Err != nil {
-						return res.Err
-					}
-					h.Record(per)
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			rig.close()
-			return nil, err
-		}
-		resolves := o.Clients * o.Rounds * o.Batch
-		name := "referral-serial"
-		if !baseline {
-			name = "referral-batched"
-		}
-		ps := rig.mdm.Pipeline().Snapshot()
-		report.Modes = append(report.Modes, modeRow(name, h, resolves, elapsed, 0, ps.FanOutCalls))
-
-		// Chaining phase: every client hammers the same hot path through
-		// the MDM. The pipeline coalesces the concurrent flights into one
-		// upstream fan-out; the baseline performs every fetch.
-		h = metrics.NewHistogram()
-		before := rig.mdm.Pipeline().Snapshot()
-		elapsed, err = rig.runClients(o, baseline, func(cli *core.Client) error {
-			for i := 0; i < o.ChainRounds; i++ {
-				t0 := time.Now()
-				if _, err := cli.GetVia(ctx, hot, wire.PatternChaining); err != nil {
-					return err
-				}
-				h.Record(time.Since(t0))
-			}
-			return nil
-		})
-		if err != nil {
-			rig.close()
-			return nil, err
-		}
-		after := rig.mdm.Pipeline().Snapshot()
-		resolves = o.Clients * o.ChainRounds
-		flights := after.Flights - before.Flights
-		hits := after.CoalesceHits - before.CoalesceHits
-		hitRate := 0.0
-		if flights+hits > 0 {
-			hitRate = float64(hits) / float64(flights+hits)
-		}
-		name = "chaining-serial"
-		if !baseline {
-			name = "chaining-coalesced"
-		}
-		report.Modes = append(report.Modes, modeRow(name, h, resolves, elapsed, hitRate, after.FanOutCalls-before.FanOutCalls))
-		rig.close()
+	run, err := scenario.Run(resolveScenario(o), scenario.RunOptions{})
+	if err != nil {
+		return nil, err
 	}
-
+	report := &ResolveReport{Clients: o.Clients, BatchSize: o.Batch, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, p := range run.Phases {
+		if p.Errors > 0 {
+			return nil, fmt.Errorf("e16: phase %s had %d resolve errors", p.Name, p.Errors)
+		}
+		report.Modes = append(report.Modes, ResolveMode{
+			Name:            p.Name,
+			Resolves:        p.Sent,
+			P50Micros:       p.P50Micros,
+			P95Micros:       p.P95Micros,
+			P99Micros:       p.P99Micros,
+			ResolvesPerSec:  p.ThroughputPerSec,
+			CoalesceHitRate: p.CoalesceHitRate,
+			FanOutCalls:     p.FanOutCalls,
+		})
+	}
 	if s, b := report.Mode("referral-serial"), report.Mode("referral-batched"); s != nil && b != nil && s.ResolvesPerSec > 0 {
 		report.SpeedupReferral = b.ResolvesPerSec / s.ResolvesPerSec
 	}

@@ -1,16 +1,15 @@
 package bench
 
 import (
-	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
-	"gupster/internal/core"
 	"gupster/internal/metrics"
-	"gupster/internal/wire"
+	"gupster/internal/scenario"
 )
 
 // E17 — the tracing-overhead benchmark: the resolve testbed of E16 run
@@ -19,7 +18,9 @@ import (
 // designed to be cheap enough to leave on in production — one span per
 // hop, a short critical section per span, spans piggybacked on frames the
 // request sends anyway — so the acceptance gate requires the traced p95 to
-// stay within a small fraction of the untraced one.
+// stay within a small fraction of the untraced one. The wave pairs are
+// expressed as alternating phases of one scenario on one shared rig; this
+// file keeps the paired-ratio statistics, the report format and the gate.
 
 // TraceMode is one measured configuration of the overhead comparison.
 type TraceMode struct {
@@ -68,6 +69,51 @@ func (r *TraceOverheadReport) Mode(name string) *TraceMode {
 // back-to-back monolithic passes would attribute it all to one mode.
 const overheadWaves = 6
 
+// traceScenario expresses E17 as one scenario: a single pipelined E16
+// rig carrying overheadWaves alternating wave-pairs, each pair a traced
+// and an untraced referral + chaining phase, order flipped per wave to
+// cancel warm-up bias.
+func traceScenario(o ResolveOptions) *scenario.Scenario {
+	sc := &scenario.Scenario{
+		Name: "e17_trace",
+		Seed: 17,
+		Topology: scenario.Topology{Rigs: []scenario.RigSpec{
+			resolveRigSpec(o, "pipelined", false),
+		}},
+	}
+	perWave := func(total int) int {
+		n := total / overheadWaves
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	tag := map[bool]string{false: "off", true: "on"}
+	for wave := 0; wave < overheadWaves; wave++ {
+		order := []bool{false, true}
+		if wave%2 == 1 { // cancel warm-up order bias
+			order = []bool{true, false}
+		}
+		for _, traced := range order {
+			traced := traced
+			sc.Phases = append(sc.Phases,
+				scenario.Phase{
+					Name: fmt.Sprintf("w%d-referral-%s", wave, tag[traced]),
+					Rig:  "pipelined", Clients: o.Clients, Rounds: perWave(o.Rounds),
+					Trace: &traced,
+					Mix:   []scenario.MixEntry{{Verb: scenario.VerbResolve, Pattern: "referral", Batch: true}},
+				},
+				scenario.Phase{
+					Name: fmt.Sprintf("w%d-chaining-%s", wave, tag[traced]),
+					Rig:  "pipelined", Clients: o.Clients, Rounds: perWave(o.ChainRounds),
+					Trace: &traced,
+					Mix:   []scenario.MixEntry{{Verb: scenario.VerbResolve, Pattern: "chaining"}},
+				})
+		}
+	}
+	return sc
+}
+
 // RunTraceOverheadReport executes E17: referral-batched and
 // chaining-coalesced phases, traced vs untraced, on one shared rig (same
 // stores, same injected latency) so the only variable is tracing. Unlike
@@ -86,136 +132,75 @@ func RunTraceOverheadReport(o ResolveOptions) (*TraceOverheadReport, error) {
 		o.ChainRounds = 24
 	}
 	o = o.withDefaults()
-	report := &TraceOverheadReport{Clients: o.Clients, BatchSize: o.Batch, GOMAXPROCS: runtime.GOMAXPROCS(0)}
-	ctx := context.Background()
-	hot := "/user[@id='u']/address-book"
-
-	rig, err := newResolveRig(o, false)
+	run, err := scenario.Run(traceScenario(o), scenario.RunOptions{})
 	if err != nil {
 		return nil, err
 	}
-	defer rig.close()
+	report := &TraceOverheadReport{Clients: o.Clients, BatchSize: o.Batch, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	report.MDMSpans = run.MDMSpans
 
-	// Per-mode pooled samples and elapsed time across all waves.
+	// Pool the wave phases per mode and collect the per-wave paired p95s.
 	type pool struct {
-		h       *metrics.Histogram
-		elapsed time.Duration
-		n       int
+		n                int
+		elapsed          time.Duration
+		p50s, p95s, p99s []int64
 	}
 	pools := map[string]*pool{}
+	wp := make(map[string]int64) // "<wave>-<phase>-<mode>" p95s
+	for i := range run.Phases {
+		p := &run.Phases[i]
+		if p.Errors > 0 {
+			return nil, fmt.Errorf("e17: phase %s had %d resolve errors", p.Name, p.Errors)
+		}
+		var wave int
+		var phase, mode string
+		if _, err := fmt.Sscanf(p.Name, "w%d-", &wave); err != nil {
+			return nil, fmt.Errorf("e17: unexpected phase name %q", p.Name)
+		}
+		rest := p.Name[len(fmt.Sprintf("w%d-", wave)):]
+		for _, ph := range []string{"referral", "chaining"} {
+			for _, m := range []string{"off", "on"} {
+				if rest == ph+"-"+m {
+					phase, mode = ph, m
+				}
+			}
+		}
+		key := phase + "-" + mode
+		pl := pools[key]
+		if pl == nil {
+			pl = &pool{}
+			pools[key] = pl
+		}
+		pl.n += p.Sent
+		pl.elapsed += time.Duration(p.DurationMillis) * time.Millisecond
+		pl.p50s = append(pl.p50s, p.P50Micros)
+		pl.p95s = append(pl.p95s, p.P95Micros)
+		pl.p99s = append(pl.p99s, p.P99Micros)
+		wp[p.Name] = p.P95Micros
+	}
 	for _, k := range []string{"referral-off", "chaining-off", "referral-on", "chaining-on"} {
-		pools[k] = &pool{h: metrics.NewHistogram()}
-	}
-	key := func(phase string, traced bool) string {
-		if traced {
-			return phase + "-on"
+		pl := pools[k]
+		if pl == nil {
+			continue
 		}
-		return phase + "-off"
+		report.Modes = append(report.Modes, TraceMode{
+			Name: k, Traced: k[len(k)-3:] == "-on", Resolves: pl.n,
+			P50Micros:      medianInt64(pl.p50s),
+			P95Micros:      medianInt64(pl.p95s),
+			P99Micros:      medianInt64(pl.p99s),
+			ResolvesPerSec: float64(pl.n) / pl.elapsed.Seconds(),
+		})
 	}
 
-	// referral and chaining run one wave in one mode, pooling samples for
-	// the report table and returning the wave's own p95 for the paired
-	// per-wave comparison.
-	referral := func(traced bool, rounds int) (int64, error) {
-		p := pools[key("referral", traced)]
-		wh := metrics.NewHistogram()
-		elapsed, err := rig.runClients(o, false, func(cli *core.Client) error {
-			if !traced {
-				cli.Tracer = nil
-			}
-			for i := 0; i < rounds; i++ {
-				t0 := time.Now()
-				results, err := cli.GetBatch(ctx, rig.paths)
-				if err != nil {
-					return err
-				}
-				per := time.Since(t0) / time.Duration(len(rig.paths))
-				for _, res := range results {
-					if res.Err != nil {
-						return res.Err
-					}
-					p.h.Record(per)
-					wh.Record(per)
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			return 0, err
-		}
-		p.elapsed += elapsed
-		p.n += o.Clients * rounds * o.Batch
-		return wh.Percentile(95).Microseconds(), nil
-	}
-	chaining := func(traced bool, rounds int) (int64, error) {
-		p := pools[key("chaining", traced)]
-		wh := metrics.NewHistogram()
-		elapsed, err := rig.runClients(o, false, func(cli *core.Client) error {
-			if !traced {
-				cli.Tracer = nil
-			}
-			for i := 0; i < rounds; i++ {
-				t0 := time.Now()
-				if _, err := cli.GetVia(ctx, hot, wire.PatternChaining); err != nil {
-					return err
-				}
-				p.h.Record(time.Since(t0))
-				wh.Record(time.Since(t0))
-			}
-			return nil
-		})
-		if err != nil {
-			return 0, err
-		}
-		p.elapsed += elapsed
-		p.n += o.Clients * rounds
-		return wh.Percentile(95).Microseconds(), nil
-	}
-
-	perWave := func(total int) int {
-		n := total / overheadWaves
-		if n < 1 {
-			n = 1
-		}
-		return n
-	}
 	var refRatios, chainRatios []float64
 	for wave := 0; wave < overheadWaves; wave++ {
-		flip := wave%2 == 1 // cancel warm-up order bias
-		wp := map[string]int64{}
-		order := []bool{false, true}
-		if flip {
-			order = []bool{true, false}
+		if off := wp[fmt.Sprintf("w%d-referral-off", wave)]; off > 0 {
+			refRatios = append(refRatios, float64(wp[fmt.Sprintf("w%d-referral-on", wave)])/float64(off))
 		}
-		for _, traced := range order {
-			p95, err := referral(traced, perWave(o.Rounds))
-			if err != nil {
-				return nil, err
-			}
-			wp[key("referral", traced)] = p95
-			if p95, err = chaining(traced, perWave(o.ChainRounds)); err != nil {
-				return nil, err
-			}
-			wp[key("chaining", traced)] = p95
-		}
-		if off := wp["referral-off"]; off > 0 {
-			refRatios = append(refRatios, float64(wp["referral-on"])/float64(off))
-		}
-		if off := wp["chaining-off"]; off > 0 {
-			chainRatios = append(chainRatios, float64(wp["chaining-on"])/float64(off))
+		if off := wp[fmt.Sprintf("w%d-chaining-off", wave)]; off > 0 {
+			chainRatios = append(chainRatios, float64(wp[fmt.Sprintf("w%d-chaining-on", wave)])/float64(off))
 		}
 	}
-	for _, k := range []string{"referral-off", "chaining-off", "referral-on", "chaining-on"} {
-		p := pools[k]
-		report.Modes = append(report.Modes, TraceMode{
-			Name: k, Traced: k[len(k)-3:] == "-on", Resolves: p.n,
-			P50Micros:      p.h.Percentile(50).Microseconds(),
-			P95Micros:      p.h.Percentile(95).Microseconds(),
-			P99Micros:      p.h.Percentile(99).Microseconds(),
-			ResolvesPerSec: float64(p.n) / p.elapsed.Seconds(),
-		})
-	}
-	report.MDMSpans = rig.mdm.Tracer().SpanCount()
 
 	// The headline overhead is the median of the per-wave paired p95
 	// ratios, not the ratio of pooled p95s: pooled tails are owned by
@@ -236,15 +221,21 @@ func medianRatio(rs []float64) float64 {
 		return 1
 	}
 	s := append([]float64(nil), rs...)
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	sort.Float64s(s)
 	if len(s)%2 == 1 {
 		return s[len(s)/2]
 	}
 	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// medianInt64 returns the median of vs (0 when empty).
+func medianInt64(vs []int64) int64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), vs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
 }
 
 // Table renders the report in the EXPERIMENTS.md house style.

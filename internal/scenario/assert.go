@@ -1,0 +1,124 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+)
+
+// Evaluate runs every assertion of sc against report, appends the
+// results and sets report.Pass. Failure details name the measured value,
+// the bound and the phase, so a CI failure reads as a diagnosis rather
+// than a boolean.
+func Evaluate(sc *Scenario, report *Report) {
+	report.Pass = true
+	for i := range sc.Asserts {
+		res := evalOne(&sc.Asserts[i], report)
+		if !res.Pass {
+			report.Pass = false
+		}
+		report.Assertions = append(report.Assertions, res)
+	}
+}
+
+func evalOne(a *Assertion, report *Report) AssertionResult {
+	res := AssertionResult{Kind: a.Kind, Target: a.Phase}
+	fail := func(format string, args ...any) AssertionResult {
+		res.Pass = false
+		res.Detail = fmt.Sprintf(format, args...)
+		return res
+	}
+	pass := func(format string, args ...any) AssertionResult {
+		res.Pass = true
+		res.Detail = fmt.Sprintf(format, args...)
+		return res
+	}
+	phase := func(name string) *PhaseReport {
+		return report.Phase(name)
+	}
+
+	switch a.Kind {
+	case AssertP95Ceiling:
+		p := phase(a.Phase)
+		if p == nil {
+			return fail("phase %q not in report", a.Phase)
+		}
+		got := time.Duration(p.P95Micros) * time.Microsecond
+		if got > a.Max {
+			return fail("phase %s p95 %s exceeds ceiling %s — the phase got slower; profile it or raise the ceiling deliberately", a.Phase, got, a.Max)
+		}
+		return pass("phase %s p95 %s within ceiling %s", a.Phase, got, a.Max)
+
+	case AssertGoodputFloor:
+		p := phase(a.Phase)
+		if p == nil {
+			return fail("phase %q not in report", a.Phase)
+		}
+		if p.GoodputPerSec < a.Min {
+			return fail("phase %s goodput %.1f/s below floor %.1f/s — in-budget completions collapsed", a.Phase, p.GoodputPerSec, a.Min)
+		}
+		return pass("phase %s goodput %.1f/s meets floor %.1f/s", a.Phase, p.GoodputPerSec, a.Min)
+
+	case AssertShedFloor:
+		p := phase(a.Phase)
+		if p == nil {
+			return fail("phase %q not in report", a.Phase)
+		}
+		if float64(p.Shed) < a.Min {
+			return fail("phase %s shed %d requests, floor %.0f — admission control did not engage under the offered load", a.Phase, p.Shed, a.Min)
+		}
+		return pass("phase %s shed %d requests (floor %.0f)", a.Phase, p.Shed, a.Min)
+
+	case AssertErrorCeiling:
+		p := phase(a.Phase)
+		if p == nil {
+			return fail("phase %q not in report", a.Phase)
+		}
+		if p.Errors > a.MaxCount {
+			return fail("phase %s had %d errors, ceiling %d — something broke beyond shedding and expiry", a.Phase, p.Errors, a.MaxCount)
+		}
+		return pass("phase %s errors %d within ceiling %d", a.Phase, p.Errors, a.MaxCount)
+
+	case AssertThroughputRatio, AssertRetentionFloor, AssertRetentionCeiling:
+		res.Target = a.Num + "/" + a.Den
+		num, den := phase(a.Num), phase(a.Den)
+		if num == nil || den == nil {
+			return fail("phases %q/%q not both in report", a.Num, a.Den)
+		}
+		var ratio float64
+		var metric string
+		if a.Kind == AssertThroughputRatio {
+			metric = "throughput"
+			if den.ThroughputPerSec > 0 {
+				ratio = num.ThroughputPerSec / den.ThroughputPerSec
+			}
+		} else {
+			metric = "goodput"
+			if den.GoodputPerSec > 0 {
+				ratio = num.GoodputPerSec / den.GoodputPerSec
+			}
+		}
+		if a.Kind == AssertRetentionCeiling {
+			if ratio > a.MaxRatio {
+				return fail("%s ratio %s/%s = %.2f above ceiling %.2f — the baseline no longer collapses; re-examine the testbed", metric, a.Num, a.Den, ratio, a.MaxRatio)
+			}
+			return pass("%s ratio %s/%s = %.2f within ceiling %.2f", metric, a.Num, a.Den, ratio, a.MaxRatio)
+		}
+		if ratio < a.Min {
+			return fail("%s ratio %s/%s = %.2f below floor %.2f", metric, a.Num, a.Den, ratio, a.Min)
+		}
+		return pass("%s ratio %s/%s = %.2f meets floor %.2f", metric, a.Num, a.Den, ratio, a.Min)
+
+	case AssertZeroLostCoverage:
+		res.Target = "registrations"
+		for _, audit := range report.Registrations {
+			if audit.Registered != audit.Expected {
+				return fail("rig %s holds %d registrations, expected %d — coverage was lost across the run", audit.Rig, audit.Registered, audit.Expected)
+			}
+			if audit.ProbeFailures > 0 {
+				return fail("rig %s: %d end-of-run coverage probes failed — registered paths did not resolve", audit.Rig, audit.ProbeFailures)
+			}
+		}
+		return pass("all %d rigs hold full coverage", len(report.Registrations))
+	}
+	return fail("unknown assertion kind %q", a.Kind)
+}

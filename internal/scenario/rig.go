@@ -1,0 +1,486 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/coverage"
+	"gupster/internal/faultinject"
+	"gupster/internal/federation"
+	"gupster/internal/overload"
+	"gupster/internal/policy"
+	"gupster/internal/resilience"
+	"gupster/internal/schema"
+	"gupster/internal/store"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/workload"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// SignerKey is the shared HMAC key every harness component signs with —
+// one key so MDMs, stores and direct-fetch clients built by different
+// call sites interoperate.
+var SignerKey = []byte("gupbench-shared-key")
+
+// NewSigner returns a token signer on the shared harness key.
+func NewSigner() *token.Signer { return token.NewSigner(SignerKey) }
+
+// MDMConfig translates a rig spec into the core configuration — exported
+// so programmatic harnesses (crash-recovery cycles that build bare MDMs,
+// not full rigs) construct their directories the same way a scenario rig
+// does.
+func MDMConfig(spec *RigSpec, signer *token.Signer) core.Config {
+	cfg := core.Config{
+		Schema:       schema.GUP(),
+		Signer:       signer,
+		GrantTTL:     time.Minute,
+		CacheEntries: spec.CacheEntries,
+	}
+	if spec.RetryAttempts > 0 {
+		cfg.Retry = resilience.Policy{MaxAttempts: spec.RetryAttempts, PerAttempt: spec.PerAttempt}
+	}
+	if spec.Baseline {
+		cfg.DisableCoalescing = true
+		cfg.FanOut = 1
+	}
+	if spec.DisableCoalescing {
+		cfg.DisableCoalescing = true
+	}
+	if spec.MaxConcurrency > 0 {
+		cfg.Overload = overload.Config{
+			MaxConcurrency: spec.MaxConcurrency,
+			QueueDepth:     spec.QueueDepth,
+		}
+	}
+	if spec.LeaseTTL > 0 {
+		cfg.LeaseTTL = spec.LeaseTTL
+		cfg.LeaseGrace = spec.LeaseGrace
+	}
+	return cfg
+}
+
+// StoreNode is one data store of a rig: engine, server, the optional
+// fault proxy in front of it, and the optional registrar heartbeating
+// its coverage.
+type StoreNode struct {
+	Index  int
+	Engine *store.Engine
+	Server *store.Server
+	// Proxy is the injectable link; nil when the spec declared none.
+	Proxy *faultinject.Proxy
+	// Addr is the address the MDM registered — the proxy when present.
+	Addr string
+	// Coverage lists the node's registered paths.
+	Coverage []string
+	// Registrar heartbeats the coverage (Heartbeats rigs only).
+	Registrar *store.Registrar
+	// Dead marks a blacked-out store whose registrar has been silenced;
+	// a re-registration herd revives it.
+	Dead bool
+}
+
+// Rig is a built topology instance: one MDM fronting a set of stores,
+// with fault-injectable links, seeded users and a shared signer. Build
+// one from a spec; Close tears it down registrars-first so no goroutine
+// outlives it.
+type Rig struct {
+	Spec   RigSpec
+	Seed   int64
+	Signer *token.Signer
+
+	MDM    *core.MDM
+	MDMSrv *core.Server
+	// MDMProxy fronts the MDM for clients when the spec declares an mdm
+	// link; MDMAddr is what clients dial either way.
+	MDMProxy *faultinject.Proxy
+	MDMAddr  string
+
+	Stores []*StoreNode
+	// Users is the owner population; Paths the registered coverage paths
+	// of the split layout (the batch-resolve targets).
+	Users []string
+	Paths []string
+
+	rigIdx int
+}
+
+// Build constructs a rig from its spec. seed drives payload generation
+// and every fault proxy's RNG; rigIdx salts the derivation so multi-rig
+// scenarios draw independent streams.
+func Build(spec RigSpec, seed int64, rigIdx int) (*Rig, error) {
+	r := &Rig{Spec: spec, Seed: seed, Signer: NewSigner(), rigIdx: rigIdx}
+	if err := r.build(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Rig) build() error {
+	spec := &r.Spec
+	r.MDM = core.New(MDMConfig(spec, r.Signer))
+	r.MDMSrv = core.NewServer(r.MDM)
+	if err := r.MDMSrv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	r.MDMAddr = r.MDMSrv.Addr()
+	if spec.Links.MDM != nil {
+		p, err := r.newProxy(r.MDMSrv.Addr(), spec.Links.MDM, 0)
+		if err != nil {
+			return err
+		}
+		r.MDMProxy = p
+		r.MDMAddr = p.Addr()
+	}
+
+	for i := 0; i < spec.Stores; i++ {
+		node, err := r.buildStore(i)
+		if err != nil {
+			return err
+		}
+		r.Stores = append(r.Stores, node)
+	}
+
+	switch spec.Layout {
+	case LayoutSplit:
+		if err := r.seedSplit(); err != nil {
+			return err
+		}
+	case LayoutSharded:
+		if err := r.seedSharded(); err != nil {
+			return err
+		}
+	}
+
+	if spec.Heartbeats {
+		for _, node := range r.Stores {
+			if err := r.startRegistrar(node); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// newProxy builds one fault proxy with the spec's initial settings and a
+// positionally derived RNG seed.
+func (r *Rig) newProxy(backend string, l *LinkSpec, linkIdx int) (*faultinject.Proxy, error) {
+	p, err := faultinject.NewProxy(backend, linkSeed(r.Seed, r.rigIdx, linkIdx))
+	if err != nil {
+		return nil, err
+	}
+	if l.Latency > 0 || l.Jitter > 0 {
+		p.SetLatency(l.Latency, l.Jitter)
+	}
+	if l.Bandwidth > 0 {
+		p.SetBandwidth(l.Bandwidth)
+	}
+	return p, nil
+}
+
+// storeLink resolves the link spec for store i: the per-store override,
+// else the default, else nil (bare TCP).
+func (r *Rig) storeLink(i int) *LinkSpec {
+	if l, ok := r.Spec.Links.PerStore[fmt.Sprintf("store-%d", i)]; ok {
+		return l
+	}
+	return r.Spec.Links.Stores
+}
+
+func (r *Rig) buildStore(i int) (*StoreNode, error) {
+	eng := store.NewEngine(fmt.Sprintf("store-%d", i))
+	srv := store.NewServer(eng, r.Signer)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	node := &StoreNode{Index: i, Engine: eng, Server: srv, Addr: srv.Addr()}
+	if l := r.storeLink(i); l != nil {
+		p, err := r.newProxy(srv.Addr(), l, i+1)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		node.Proxy = p
+		node.Addr = p.Addr()
+	}
+	return node, nil
+}
+
+// register records a coverage path for a node at the MDM.
+func (r *Rig) register(node *StoreNode, path string) error {
+	if err := r.MDM.Register(coverage.StoreID(node.Engine.ID()), node.Addr, xpath.MustParse(path)); err != nil {
+		return err
+	}
+	node.Coverage = append(node.Coverage, path)
+	return nil
+}
+
+// seedSplit builds the E16 topology: one user "u" whose address book is
+// split across every store by item type.
+func (r *Rig) seedSplit() error {
+	spec := &r.Spec
+	r.Users = []string{"u"}
+	book := workload.AddressBookOfSize(spec.SizeBytes, workload.Rand(dataSeed(r.Seed, r.rigIdx, 0)))
+	pieces := make([]*xmltree.Node, spec.Stores)
+	for i := range pieces {
+		pieces[i] = xmltree.New("address-book")
+	}
+	for i, item := range book.ChildrenNamed("item") {
+		it := item.Clone()
+		it.SetAttr("type", fmt.Sprintf("t%d", i%spec.Stores))
+		pieces[i%spec.Stores].Add(it)
+	}
+	bookPath := xpath.MustParse("/user[@id='u']/address-book")
+	for i, node := range r.Stores {
+		if _, err := node.Engine.Put("u", bookPath, pieces[i]); err != nil {
+			return err
+		}
+		reg := fmt.Sprintf("/user[@id='u']/address-book/item[@type='t%d']", i)
+		if err := r.register(node, reg); err != nil {
+			return err
+		}
+		r.Paths = append(r.Paths, reg)
+	}
+	return nil
+}
+
+// seedSharded builds the E19/E20 topology: Users owners, user i's
+// profile held whole by store i mod Stores. ProfileFull adds devices,
+// calendar and reach-me preferences alongside the address book.
+func (r *Rig) seedSharded() error {
+	spec := &r.Spec
+	for i := 0; i < spec.Users; i++ {
+		user := workload.UserID(i)
+		r.Users = append(r.Users, user)
+		node := r.Stores[i%spec.Stores]
+		rng := workload.Rand(dataSeed(r.Seed, r.rigIdx, i+1))
+		put := func(section string, doc *xmltree.Node) error {
+			p := fmt.Sprintf("/user[@id='%s']/%s", user, section)
+			if _, err := node.Engine.Put(user, xpath.MustParse(p), doc); err != nil {
+				return err
+			}
+			return r.register(node, p)
+		}
+		if err := put("address-book", workload.AddressBookOfSize(spec.SizeBytes, rng)); err != nil {
+			return err
+		}
+		if spec.Profile == ProfileFull {
+			if err := put("devices", workload.Devices(user)); err != nil {
+				return err
+			}
+			if err := put("calendar", workload.Calendar(8, rng)); err != nil {
+				return err
+			}
+			if err := put("preferences", workload.ReachMePreferences()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// startRegistrar attaches a heartbeating registrar to a node. The
+// registrar talks to the MDM directly (not through the client-facing
+// proxy): store liveness is a control-plane concern, and a blackout
+// silences it explicitly (see SilenceStore).
+func (r *Rig) startRegistrar(node *StoreNode) error {
+	reg := store.NewRegistrar(store.RegistrarConfig{
+		Store:    node.Engine.ID(),
+		Addr:     node.Addr,
+		MDM:      r.MDMSrv.Addr(),
+		Coverage: node.Coverage,
+		Interval: r.Spec.LeaseTTL / 2,
+	})
+	if err := reg.Start(context.Background()); err != nil {
+		reg.Close()
+		return err
+	}
+	node.Registrar = reg
+	return nil
+}
+
+// Link resolves a link name ("mdm" or "store-N") to its fault proxy;
+// nil when the link has no proxy.
+func (r *Rig) Link(name string) *faultinject.Proxy {
+	if name == "mdm" {
+		return r.MDMProxy
+	}
+	if i := storeIndex(name); i >= 0 && i < len(r.Stores) {
+		return r.Stores[i].Proxy
+	}
+	return nil
+}
+
+// SilenceStore blacks out a store: the link goes dark and the registrar
+// stops, so the store neither serves nor renews its lease — the MDM's
+// lease machinery quarantines it after TTL+grace.
+func (r *Rig) SilenceStore(i int) {
+	node := r.Stores[i]
+	if node.Proxy != nil {
+		node.Proxy.Blackout(true)
+	}
+	if node.Registrar != nil {
+		node.Registrar.Close()
+		node.Registrar = nil
+	}
+	node.Dead = true
+}
+
+// RestoreStore lifts a store's blackout. Heartbeats do not resume —
+// that is what a re-registration herd (ReviveStore) is for, mirroring a
+// real store process restarting.
+func (r *Rig) RestoreStore(i int) {
+	if node := r.Stores[i]; node.Proxy != nil {
+		node.Proxy.Blackout(false)
+	}
+}
+
+// ReviveStore re-registers a dead store's whole coverage and resumes
+// heartbeats — one member of the thundering herd.
+func (r *Rig) ReviveStore(ctx context.Context, i int) error {
+	node := r.Stores[i]
+	if node.Proxy != nil {
+		node.Proxy.Blackout(false)
+	}
+	if r.Spec.Heartbeats {
+		if err := r.startRegistrar(node); err != nil {
+			return err
+		}
+	} else {
+		for _, p := range node.Coverage {
+			if err := r.MDM.Register(coverage.StoreID(node.Engine.ID()), node.Addr, xpath.MustParse(p)); err != nil {
+				return err
+			}
+		}
+	}
+	node.Dead = false
+	return nil
+}
+
+// ExpectedRegistrations is the rig's full coverage count — what the
+// MDM's registry must hold when no registration has been lost.
+func (r *Rig) ExpectedRegistrations() int {
+	n := 0
+	for _, node := range r.Stores {
+		n += len(node.Coverage)
+	}
+	return n
+}
+
+// Close tears the rig down in dependency order: registrars first (stop
+// heartbeat traffic), then the client-facing proxy and the MDM (stop
+// request traffic, close pooled store connections), then the store
+// proxies and servers. Every component's Close blocks until its
+// goroutines exit, so a closed rig leaks nothing.
+func (r *Rig) Close() {
+	for _, node := range r.Stores {
+		if node.Registrar != nil {
+			node.Registrar.Close()
+			node.Registrar = nil
+		}
+	}
+	if r.MDMProxy != nil {
+		r.MDMProxy.Close()
+	}
+	if r.MDMSrv != nil {
+		r.MDMSrv.Close()
+	}
+	if r.MDM != nil {
+		r.MDM.Close()
+	}
+	for _, node := range r.Stores {
+		if node.Proxy != nil {
+			node.Proxy.Close()
+		}
+		if node.Server != nil {
+			node.Server.Close()
+		}
+	}
+}
+
+// Constellation is a mirrored-MDM federation built for the replication
+// experiments (E13): n mirrors joined pairwise.
+type Constellation struct {
+	MDMs    []*core.MDM
+	Mirrors []*federation.Mirror
+	Addrs   []string
+	servers []*wire.Server
+}
+
+// BuildConstellation assembles and joins n mirrored MDMs.
+func BuildConstellation(n int) (*Constellation, error) {
+	signer := NewSigner()
+	c := &Constellation{}
+	for i := 0; i < n; i++ {
+		m := core.New(core.Config{Schema: schema.GUP(), Signer: signer, GrantTTL: time.Minute})
+		mir := federation.NewMirror(m)
+		srv, err := mir.Serve("127.0.0.1:0")
+		if err != nil {
+			mir.Close()
+			m.Close()
+			c.Close()
+			return nil, err
+		}
+		c.MDMs = append(c.MDMs, m)
+		c.Mirrors = append(c.Mirrors, mir)
+		c.Addrs = append(c.Addrs, srv.Addr())
+		c.servers = append(c.servers, srv)
+	}
+	if err := federation.Join(c.Mirrors, c.Addrs); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close tears the constellation down: wire servers, then mirrors, then
+// MDMs.
+func (c *Constellation) Close() {
+	for _, s := range c.servers {
+		s.Close()
+	}
+	for _, m := range c.Mirrors {
+		m.Close()
+	}
+	for _, m := range c.MDMs {
+		m.Close()
+	}
+}
+
+// probeContext is the request context end-of-run audit probes resolve
+// under: the owner asking about themselves.
+func probeContext(owner string) policy.Context {
+	return policy.Context{Requester: owner, Role: "self"}
+}
+
+// probeCoverage resolves one chaining request per registered path owner,
+// verifying end-of-run registration integrity (the zero-lost-
+// registrations audit). Returns the number of failed probes.
+func (r *Rig) probeCoverage(ctx context.Context) int {
+	failures := 0
+	probe := func(owner, path string) {
+		_, err := r.MDM.Resolve(ctx, &wire.ResolveRequest{
+			Path:    path,
+			Context: probeContext(owner),
+			Verb:    token.VerbFetch,
+		})
+		if err != nil {
+			failures++
+		}
+	}
+	switch r.Spec.Layout {
+	case LayoutSplit:
+		for _, p := range r.Paths {
+			probe("u", p)
+		}
+	default:
+		for _, u := range r.Users {
+			probe(u, fmt.Sprintf("/user[@id='%s']/address-book", u))
+		}
+	}
+	return failures
+}

@@ -1,0 +1,788 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/metrics"
+	"gupster/internal/policy"
+	"gupster/internal/reachme"
+	"gupster/internal/store"
+	"gupster/internal/syncml"
+	"gupster/internal/token"
+	"gupster/internal/wire"
+	"gupster/internal/xmltree"
+	"gupster/internal/xpath"
+)
+
+// RunOptions parameterize a scenario run.
+type RunOptions struct {
+	// Fast shrinks the run for smoke testing: round counts, send windows
+	// and calibration iterations are scaled down (topology untouched).
+	Fast bool
+	// Seed overrides the scenario's seed.
+	Seed *int64
+	// Logf narrates phase progress; nil discards.
+	Logf func(format string, args ...any)
+	// OnRequest observes every scheduled request as it is drawn —
+	// (phase, client stream, request) — the reproducibility test's hook.
+	// Closed-loop streams are the client indices; open-loop is -1.
+	OnRequest func(phase string, client int, req Request)
+}
+
+func (o *RunOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// reachAt is the fixed instant reach-me decisions evaluate at — a
+// Wednesday working hour, so the committed preference rules route to the
+// office line. A wall-clock `at` would make runs time-of-day dependent.
+var reachAt = time.Date(2003, time.January, 15, 10, 30, 0, 0, time.UTC)
+
+// liveness bounds unbudgeted requests so a wedged phase terminates; it
+// never binds in practice.
+const liveness = 60 * time.Second
+
+// engine is one run's mutable state.
+type engine struct {
+	sc   *Scenario
+	opts RunOptions
+	seed int64
+
+	// serviceP50/capacity come from the run's first calibration; factor
+	// rates and budgets resolve against them.
+	serviceP50 time.Duration
+	capacity   float64
+
+	report *Report
+}
+
+// Run executes a scenario: rigs are built and torn down in declaration
+// order, each running the phases that name it in file order; assertions
+// evaluate against the assembled report at the end.
+func Run(sc *Scenario, opts RunOptions) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{sc: sc, opts: opts, seed: sc.Seed}
+	if opts.Seed != nil {
+		e.seed = *opts.Seed
+	}
+	e.report = &Report{Scenario: sc.Name, Seed: e.seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	for rigIdx := range sc.Topology.Rigs {
+		spec := &sc.Topology.Rigs[rigIdx]
+		var phaseIdxs []int
+		for i := range sc.Phases {
+			if sc.Phases[i].Rig == spec.Name {
+				phaseIdxs = append(phaseIdxs, i)
+			}
+		}
+		if len(phaseIdxs) == 0 {
+			continue
+		}
+		opts.logf("rig %s: building (%s, %d stores)", spec.Name, spec.Layout, spec.Stores)
+		rig, err := Build(*spec, e.seed, rigIdx)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: rig %s: %w", sc.Name, spec.Name, err)
+		}
+		err = e.runRig(rig, phaseIdxs)
+		audit := RegistrationAudit{
+			Rig:      spec.Name,
+			Expected: rig.ExpectedRegistrations(),
+		}
+		if err == nil {
+			audit.Registered = rig.MDM.Registry.Len()
+			audit.ProbeFailures = rig.probeCoverage(context.Background())
+			e.report.Registrations = append(e.report.Registrations, audit)
+			e.report.MDMSpans += rig.MDM.Tracer().SpanCount()
+		}
+		rig.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	Evaluate(sc, e.report)
+	return e.report, nil
+}
+
+// runRig runs one rig's phases.
+func (e *engine) runRig(rig *Rig, phaseIdxs []int) error {
+	run := &rigRun{engine: e, rig: rig}
+	defer run.close()
+	for _, pi := range phaseIdxs {
+		p := &e.sc.Phases[pi]
+		e.opts.logf("phase %s: starting", p.Name)
+		if err := run.applyFaults(p); err != nil {
+			return fmt.Errorf("phase %s: %w", p.Name, err)
+		}
+		herd := run.startHerd(p)
+		pr, err := run.runPhase(p, pi)
+		herdErrs := herd()
+		if err != nil {
+			return fmt.Errorf("phase %s: %w", p.Name, err)
+		}
+		pr.Errors += herdErrs
+		e.report.Phases = append(e.report.Phases, *pr)
+	}
+	return nil
+}
+
+// rigRun holds the per-rig connection pools.
+type rigRun struct {
+	engine *engine
+	rig    *Rig
+
+	mu        sync.Mutex
+	wireConns []*wire.Client
+	coreClis  []*core.Client
+	storeClis map[int]*store.Client
+	// userStore maps user → owning store index (sharded layout).
+	userStore map[string]int
+}
+
+func (rr *rigRun) close() {
+	for _, c := range rr.wireConns {
+		c.Close()
+	}
+	for _, c := range rr.coreClis {
+		c.Close()
+	}
+	for _, c := range rr.storeClis {
+		c.Close()
+	}
+	rr.wireConns, rr.coreClis, rr.storeClis = nil, nil, nil
+}
+
+// wireConn returns (dialing on demand) the i-th raw wire connection.
+func (rr *rigRun) wireConn(i int) (*wire.Client, error) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	for len(rr.wireConns) <= i {
+		c, err := wire.Dial(rr.rig.MDMAddr)
+		if err != nil {
+			return nil, err
+		}
+		rr.wireConns = append(rr.wireConns, c)
+	}
+	return rr.wireConns[i], nil
+}
+
+// coreCli returns the i-th pooled core client (reach-me decisions).
+func (rr *rigRun) coreCli(i int) (*core.Client, error) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	for len(rr.coreClis) <= i {
+		c, err := core.DialMDM(rr.rig.MDMAddr, rr.rig.Users[0], "self")
+		if err != nil {
+			return nil, err
+		}
+		rr.coreClis = append(rr.coreClis, c)
+	}
+	return rr.coreClis[i], nil
+}
+
+// storeCli returns the pooled direct connection to store i (through its
+// fault proxy when one exists).
+func (rr *rigRun) storeCli(i int) (*store.Client, error) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if rr.storeClis == nil {
+		rr.storeClis = map[int]*store.Client{}
+	}
+	if c, ok := rr.storeClis[i]; ok {
+		return c, nil
+	}
+	c, err := store.DialClient(rr.rig.Stores[i].Addr)
+	if err != nil {
+		return nil, err
+	}
+	rr.storeClis[i] = c
+	return c, nil
+}
+
+// dropStoreCli discards the pooled connection to store i — a lifted
+// blackout leaves the old TCP stream severed, so the next request must
+// re-dial through the restored proxy.
+func (rr *rigRun) dropStoreCli(i int) {
+	rr.mu.Lock()
+	if c, ok := rr.storeClis[i]; ok {
+		c.Close()
+		delete(rr.storeClis, i)
+	}
+	rr.mu.Unlock()
+}
+
+// storeFor maps a user (or, in the split layout, a request index) to the
+// owning store index.
+func (rr *rigRun) storeFor(user string, i int) int {
+	if rr.rig.Spec.Layout == LayoutSplit {
+		return i % len(rr.rig.Stores)
+	}
+	rr.mu.Lock()
+	if rr.userStore == nil {
+		rr.userStore = map[string]int{}
+		for idx, u := range rr.rig.Users {
+			rr.userStore[u] = idx % len(rr.rig.Stores)
+		}
+	}
+	s := rr.userStore[user]
+	rr.mu.Unlock()
+	return s
+}
+
+// applyFaults mutates links at phase start.
+func (rr *rigRun) applyFaults(p *Phase) error {
+	for _, f := range p.Faults {
+		proxy := rr.rig.Link(f.Link)
+		if f.Blackout != nil {
+			idx := storeIndex(f.Link)
+			switch {
+			case *f.Blackout && idx >= 0:
+				rr.engine.opts.logf("phase %s: blackout %s", p.Name, f.Link)
+				rr.rig.SilenceStore(idx)
+			case !*f.Blackout && idx >= 0:
+				rr.engine.opts.logf("phase %s: restore %s", p.Name, f.Link)
+				rr.rig.RestoreStore(idx)
+				rr.dropStoreCli(idx)
+			case proxy != nil:
+				proxy.Blackout(*f.Blackout)
+			}
+		}
+		if f.Latency != nil || f.Jitter != nil {
+			if proxy == nil {
+				return fmt.Errorf("fault on link %q, but the rig declares no proxy there", f.Link)
+			}
+			var lat, jit time.Duration
+			if f.Latency != nil {
+				lat = *f.Latency
+			}
+			if f.Jitter != nil {
+				jit = *f.Jitter
+			}
+			proxy.SetLatency(lat, jit)
+		}
+		if f.Bandwidth != nil {
+			if proxy == nil {
+				return fmt.Errorf("fault on link %q, but the rig declares no proxy there", f.Link)
+			}
+			proxy.SetBandwidth(*f.Bandwidth)
+		}
+	}
+	return nil
+}
+
+// startHerd fires the phase's re-registration storm concurrently with
+// the phase load; the returned wait function reports failures.
+func (rr *rigRun) startHerd(p *Phase) func() int {
+	if len(p.Reregister) == 0 {
+		return func() int { return 0 }
+	}
+	var targets []int
+	for _, name := range p.Reregister {
+		if name == "all-dead" {
+			for _, node := range rr.rig.Stores {
+				if node.Dead {
+					targets = append(targets, node.Index)
+				}
+			}
+			continue
+		}
+		targets = append(targets, storeIndex(name))
+	}
+	rr.engine.opts.logf("phase %s: re-registration herd of %d stores", p.Name, len(targets))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	failures := 0
+	for _, idx := range targets {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			if err := rr.rig.ReviveStore(context.Background(), idx); err != nil {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				return
+			}
+			rr.dropStoreCli(idx)
+		}(idx)
+	}
+	return func() int {
+		wg.Wait()
+		return failures
+	}
+}
+
+// resolveRate turns a phase rate into requests/sec.
+func (e *engine) resolveRate(r Rate) (float64, error) {
+	if r.PerSec > 0 {
+		return r.PerSec, nil
+	}
+	if e.capacity <= 0 {
+		return 0, errors.New("factor rate needs a calibration phase earlier in the run")
+	}
+	return r.Factor * e.capacity, nil
+}
+
+// resolveBudget turns a phase budget into a deadline (0 = none). The
+// factor form is the E19 derivation: factor × service p50, clamped to
+// [100ms, 1s].
+func (e *engine) resolveBudget(b Budget) (time.Duration, error) {
+	if b.IsZero() {
+		return 0, nil
+	}
+	if b.Duration > 0 {
+		return b.Duration, nil
+	}
+	if e.serviceP50 <= 0 {
+		return 0, errors.New("factor budget needs a calibration phase earlier in the run")
+	}
+	d := time.Duration(b.Factor * float64(e.serviceP50))
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d, nil
+}
+
+// phaseOutcome accumulates classified results.
+type phaseOutcome struct {
+	mu       sync.Mutex
+	h        *metrics.Histogram
+	pr       *PhaseReport
+	firstErr error
+}
+
+// classify applies the E19 outcome taxonomy: in-budget completion,
+// late completion (wasted work), explicit shed, budget expiry (local or
+// propagated), or error.
+func (o *phaseOutcome) classify(err error, elapsed, budget time.Duration) {
+	var ov *wire.OverloadedError
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch {
+	case err == nil && (budget <= 0 || elapsed <= budget):
+		o.pr.InBudget++
+		o.h.Record(elapsed)
+	case err == nil:
+		o.pr.Expired++
+	case errors.As(err, &ov):
+		o.pr.Shed++
+	case errors.Is(err, context.DeadlineExceeded):
+		o.pr.Expired++
+	case isRemoteExpiry(err):
+		o.pr.Expired++
+	default:
+		o.pr.Errors++
+		if o.firstErr == nil {
+			o.firstErr = err
+		}
+	}
+}
+
+// isRemoteExpiry reports a remote refusal caused by the propagated
+// budget expiring on a downstream hop.
+func isRemoteExpiry(err error) bool {
+	var re *wire.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "deadline exceeded")
+}
+
+// runPhase dispatches on the phase kind.
+func (rr *rigRun) runPhase(p *Phase, phaseIdx int) (*PhaseReport, error) {
+	fast := rr.engine.opts.Fast
+	before := rr.rig.MDM.Pipeline().Snapshot()
+	resBefore := sampleResources()
+	var pr *PhaseReport
+	var err error
+	switch {
+	case p.Calibrate > 0:
+		pr, err = rr.runCalibrate(p, fast)
+	case p.Rounds > 0:
+		pr, err = rr.runClosed(p, phaseIdx, fast)
+	default:
+		pr, err = rr.runOpen(p, phaseIdx, fast)
+	}
+	if err != nil {
+		return nil, err
+	}
+	after := rr.rig.MDM.Pipeline().Snapshot()
+	flights := after.Flights - before.Flights
+	hits := after.CoalesceHits - before.CoalesceHits
+	if flights+hits > 0 {
+		pr.CoalesceHitRate = float64(hits) / float64(flights+hits)
+	}
+	pr.FanOutCalls = after.FanOutCalls - before.FanOutCalls
+	pr.Resources = phaseDelta(resBefore, sampleResources())
+	return pr, nil
+}
+
+// chainOnce issues one chaining resolve over a raw wire connection —
+// the calibration unit.
+func (rr *rigRun) chainOnce(ctx context.Context, conn *wire.Client, user string) error {
+	var resp wire.ResolveResponse
+	return conn.Call(ctx, wire.TypeResolve, &wire.ResolveRequest{
+		Path:    fmt.Sprintf("/user[@id='%s']/address-book", user),
+		Context: policy.Context{Requester: user},
+		Verb:    token.VerbFetch,
+		Pattern: wire.PatternChaining,
+	}, &resp)
+}
+
+// runCalibrate measures the unloaded sequential service p50. The run's
+// first calibration fixes the service time and capacity every factor
+// rate/budget resolves against; later calibrations only warm their rig
+// (admission windows, connection pools).
+func (rr *rigRun) runCalibrate(p *Phase, fast bool) (*PhaseReport, error) {
+	iters := p.Calibrate
+	if fast && iters > 5 {
+		iters = 5
+	}
+	conn, err := rr.wireConn(0)
+	if err != nil {
+		return nil, err
+	}
+	pr := &PhaseReport{Name: p.Name, Rig: p.Rig, Kind: "calibrate", Sent: iters}
+	var samples []time.Duration
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if err := rr.chainOnce(context.Background(), conn, rr.rig.Users[i%len(rr.rig.Users)]); err != nil {
+			return nil, fmt.Errorf("calibrate: %w", err)
+		}
+		samples = append(samples, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	p50 := samples[len(samples)/2]
+	e := rr.engine
+	if e.serviceP50 == 0 {
+		e.serviceP50 = p50
+		e.capacity = 1 / p50.Seconds()
+		e.report.ServiceP50Micros = p50.Microseconds()
+		e.opts.logf("calibrated: service p50 %s, capacity %.1f/s", p50, e.capacity)
+	}
+	pr.InBudget = iters
+	pr.P50Micros = p50.Microseconds()
+	pr.P95Micros = samples[len(samples)*95/100].Microseconds()
+	pr.P99Micros = samples[len(samples)*99/100].Microseconds()
+	pr.ThroughputPerSec = float64(iters) / elapsed.Seconds()
+	pr.GoodputPerSec = pr.ThroughputPerSec
+	pr.DurationMillis = elapsed.Milliseconds()
+	return pr, nil
+}
+
+// execCore executes one scheduled request on a closed-loop client.
+// Returns how many individual requests it counted (batch resolves count
+// each path).
+func (rr *rigRun) execCore(ctx context.Context, cli *core.Client, req Request, reqIdx int, o *phaseOutcome, budget time.Duration) int {
+	rig := rr.rig
+	switch req.Verb {
+	case VerbResolve:
+		if req.Batch {
+			t0 := time.Now()
+			results, err := cli.GetBatch(ctx, rig.Paths)
+			if err != nil {
+				o.classify(err, time.Since(t0), budget)
+				return 1
+			}
+			per := time.Since(t0) / time.Duration(len(rig.Paths))
+			for _, res := range results {
+				o.classify(res.Err, per, budget)
+			}
+			return len(results)
+		}
+		cli.Identity = req.User
+		path := rr.pathFor(req, reqIdx)
+		t0 := time.Now()
+		var err error
+		if req.Pattern == "referral" {
+			_, err = cli.Get(ctx, path)
+		} else {
+			_, err = cli.GetVia(ctx, path, wire.QueryPattern(req.Pattern))
+		}
+		o.classify(err, time.Since(t0), budget)
+		return 1
+	case VerbReachMe:
+		svc := &reachme.Service{Profile: reachme.GetterFunc(func(ctx context.Context, path string) (*xmltree.Node, error) {
+			return cli.GetAs(ctx, path, probeContext(req.User))
+		})}
+		t0 := time.Now()
+		_, err := svc.Decide(ctx, req.User, reachAt)
+		o.classify(err, time.Since(t0), budget)
+		return 1
+	default:
+		return rr.execStore(ctx, req, reqIdx, o, budget)
+	}
+}
+
+// pathFor picks the resolve target of a non-batch request: the user's
+// address book, or — split layout — one of the registered split paths.
+func (rr *rigRun) pathFor(req Request, reqIdx int) string {
+	if rr.rig.Spec.Layout == LayoutSplit && req.Pattern == "referral" {
+		return rr.rig.Paths[reqIdx%len(rr.rig.Paths)]
+	}
+	return fmt.Sprintf("/user[@id='%s']/address-book", req.User)
+}
+
+// execStore executes a direct-store verb (fetch, sync).
+func (rr *rigRun) execStore(ctx context.Context, req Request, reqIdx int, o *phaseOutcome, budget time.Duration) int {
+	rig := rr.rig
+	idx := rr.storeFor(req.User, reqIdx)
+	sc, err := rr.storeCli(idx)
+	if err != nil {
+		o.classify(err, 0, budget)
+		return 1
+	}
+	storeID := rig.Stores[idx].Engine.ID()
+	switch req.Verb {
+	case VerbFetch:
+		path := fmt.Sprintf("/user[@id='%s']/address-book", req.User)
+		q := rig.Signer.Sign(storeID, req.User, xpath.MustParse(path), token.VerbFetch, req.User, time.Minute)
+		t0 := time.Now()
+		_, _, err := sc.Fetch(ctx, q)
+		o.classify(err, time.Since(t0), budget)
+	case VerbSync:
+		// A fast sync of the user's calendar: the device replaces one
+		// probe event each time, so the component stays bounded across
+		// the phase.
+		path := fmt.Sprintf("/user[@id='%s']/calendar", req.User)
+		q := rig.Signer.Sign(storeID, req.User, xpath.MustParse(path), token.VerbUpdate, req.User, time.Minute)
+		dev := syncml.NewDevice(xmltree.DefaultKeys)
+		dev.Edit(func(local *xmltree.Node) *xmltree.Node {
+			if local == nil {
+				local = xmltree.New("calendar")
+			}
+			local.Add(xmltree.New("event").
+				SetAttr("id", "wsync").SetAttr("day", "Mon").
+				SetAttr("start", "07:00").SetAttr("end", "07:30"))
+			return local
+		})
+		t0 := time.Now()
+		_, err := dev.Sync(ctx, sc.SyncTransport(q), syncml.Merge)
+		o.classify(err, time.Since(t0), budget)
+	}
+	return 1
+}
+
+// runClosed drives a closed-loop phase: Clients goroutines, each on a
+// fresh connection, each drawing Rounds requests from its own
+// deterministic stream.
+func (rr *rigRun) runClosed(p *Phase, phaseIdx int, fast bool) (*PhaseReport, error) {
+	clients, rounds := p.Clients, p.Rounds
+	if fast {
+		if clients > 8 {
+			clients = 8
+		}
+		if rounds > 2 {
+			rounds = 2
+		}
+	}
+	budget, err := rr.engine.resolveBudget(p.Budget)
+	if err != nil {
+		return nil, err
+	}
+	pr := &PhaseReport{Name: p.Name, Rig: p.Rig, Kind: "closed"}
+	o := &phaseOutcome{h: metrics.NewHistogram(), pr: pr}
+	var wg sync.WaitGroup
+	var dialErr error
+	var dialMu sync.Mutex
+	sent := make([]int, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := core.DialMDM(rr.rig.MDMAddr, rr.rig.Users[0], "self")
+			if err != nil {
+				dialMu.Lock()
+				if dialErr == nil {
+					dialErr = err
+				}
+				dialMu.Unlock()
+				return
+			}
+			defer cli.Close()
+			if rr.rig.Spec.Baseline {
+				cli.DisableCoalescing = true
+			}
+			if p.Trace != nil && !*p.Trace {
+				cli.Tracer = nil
+			}
+			d := newDrawer(rr.engine.seed, phaseIdx, c, p, rr.rig.Users)
+			for i := 0; i < rounds; i++ {
+				req := d.next()
+				if fn := rr.engine.opts.OnRequest; fn != nil {
+					fn(p.Name, c, req)
+				}
+				ctx := context.Background()
+				cancel := func() {}
+				if budget > 0 {
+					ctx, cancel = context.WithTimeout(ctx, budget)
+				}
+				sent[c] += rr.execCore(ctx, cli, req, i, o, budget)
+				cancel()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if dialErr != nil {
+		return nil, dialErr
+	}
+	for _, n := range sent {
+		pr.Sent += n
+	}
+	fillPercentiles(pr, o.h)
+	pr.ThroughputPerSec = float64(pr.InBudget) / elapsed.Seconds()
+	pr.GoodputPerSec = pr.ThroughputPerSec
+	pr.DurationMillis = elapsed.Milliseconds()
+	return pr, nil
+}
+
+// runOpen drives an open-loop phase: Rate requests/sec for Duration,
+// drawn sequentially from the phase's single deterministic stream and
+// spread over Conns connections, regardless of completions.
+func (rr *rigRun) runOpen(p *Phase, phaseIdx int, fast bool) (*PhaseReport, error) {
+	rate, err := rr.engine.resolveRate(p.Rate)
+	if err != nil {
+		return nil, err
+	}
+	budget, err := rr.engine.resolveBudget(p.Budget)
+	if err != nil {
+		return nil, err
+	}
+	if budget > 0 && rr.engine.report.BudgetMillis == 0 {
+		rr.engine.report.BudgetMillis = budget.Milliseconds()
+	}
+	stamped := p.Stamped == nil || *p.Stamped
+	duration := p.Duration
+	if fast && duration > 500*time.Millisecond {
+		duration = 500 * time.Millisecond
+	}
+	conns := p.Conns
+	if conns <= 0 {
+		conns = 1
+	}
+	if fast && conns > 8 {
+		conns = 8
+	}
+	n := int(rate * duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	interval := duration / time.Duration(n)
+
+	pr := &PhaseReport{Name: p.Name, Rig: p.Rig, Kind: "open", Sent: n}
+	o := &phaseOutcome{h: metrics.NewHistogram(), pr: pr}
+	d := newDrawer(rr.engine.seed, phaseIdx, -1, p, rr.rig.Users)
+
+	// Pre-dial so dial latency does not eat into the send schedule.
+	for c := 0; c < conns; c++ {
+		if _, err := rr.wireConn(c); err != nil {
+			return nil, err
+		}
+	}
+	needCore := false
+	for _, m := range p.Mix {
+		if m.Verb == VerbReachMe {
+			needCore = true
+		}
+	}
+	if needCore {
+		for c := 0; c < conns; c++ {
+			if _, err := rr.coreCli(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		req := d.next()
+		if fn := rr.engine.opts.OnRequest; fn != nil {
+			fn(p.Name, -1, req)
+		}
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			ctx := context.Background()
+			var cancel context.CancelFunc
+			if stamped && budget > 0 {
+				ctx, cancel = context.WithTimeout(ctx, budget)
+			} else {
+				ctx, cancel = context.WithTimeout(ctx, liveness)
+			}
+			defer cancel()
+			rr.execOpen(ctx, req, i, o, budget)
+		}(i, req)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if pr.InBudget+pr.Shed+pr.Expired == 0 && o.firstErr != nil {
+		return nil, fmt.Errorf("open-loop phase produced only errors: %w", o.firstErr)
+	}
+	fillPercentiles(pr, o.h)
+	pr.ThroughputPerSec = float64(pr.InBudget) / elapsed.Seconds()
+	pr.GoodputPerSec = float64(pr.InBudget) / duration.Seconds()
+	pr.DurationMillis = elapsed.Milliseconds()
+	return pr, nil
+}
+
+// execOpen executes one open-loop request on connection i mod conns.
+func (rr *rigRun) execOpen(ctx context.Context, req Request, i int, o *phaseOutcome, budget time.Duration) {
+	switch req.Verb {
+	case VerbResolve:
+		conn, err := rr.wireConn(i % len(rr.wireConns))
+		if err != nil {
+			o.classify(err, 0, budget)
+			return
+		}
+		var resp wire.ResolveResponse
+		t0 := time.Now()
+		err = conn.Call(ctx, wire.TypeResolve, &wire.ResolveRequest{
+			Path:    rr.pathFor(req, i),
+			Context: policy.Context{Requester: req.User},
+			Verb:    token.VerbFetch,
+			Pattern: wire.QueryPattern(req.Pattern),
+		}, &resp)
+		o.classify(err, time.Since(t0), budget)
+	case VerbReachMe:
+		cli, err := rr.coreCli(i % len(rr.coreClis))
+		if err != nil {
+			o.classify(err, 0, budget)
+			return
+		}
+		svc := &reachme.Service{Profile: reachme.GetterFunc(func(ctx context.Context, path string) (*xmltree.Node, error) {
+			return cli.GetAs(ctx, path, probeContext(req.User))
+		})}
+		t0 := time.Now()
+		_, err = svc.Decide(ctx, req.User, reachAt)
+		o.classify(err, time.Since(t0), budget)
+	default:
+		rr.execStore(ctx, req, i, o, budget)
+	}
+}
+
+// fillPercentiles copies the in-budget latency distribution into the
+// report row.
+func fillPercentiles(pr *PhaseReport, h *metrics.Histogram) {
+	pr.P50Micros = h.Percentile(50).Microseconds()
+	pr.P95Micros = h.Percentile(95).Microseconds()
+	pr.P99Micros = h.Percentile(99).Microseconds()
+}

@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Resources is one host-resource sample, attached per phase to the
+// report. CPUMillis is the process CPU consumed during the phase
+// (user+system, from /proc/self/stat deltas); the rest are end-of-phase
+// absolutes. Off Linux the /proc-derived fields read zero — the report
+// stays well-formed, just without host data.
+type Resources struct {
+	CPUMillis  int64 `json:"cpu_ms"`
+	RSSBytes   int64 `json:"rss_bytes"`
+	Goroutines int   `json:"goroutines"`
+	FDs        int   `json:"fds"`
+}
+
+// userHZ is the kernel clock-tick rate /proc/self/stat counts in. Linux
+// fixes USER_HZ at 100 for userspace regardless of the scheduler tick.
+const userHZ = 100
+
+// sampleResources takes one absolute sample.
+func sampleResources() Resources {
+	r := Resources{Goroutines: runtime.NumGoroutine()}
+	r.CPUMillis = procCPUMillis()
+	r.RSSBytes = procRSSBytes()
+	r.FDs = procFDCount()
+	return r
+}
+
+// phaseDelta folds a phase-start sample and a phase-end sample into the
+// per-phase report row: CPU as the delta, the rest as end-of-phase state.
+func phaseDelta(start, end Resources) Resources {
+	d := end
+	d.CPUMillis = end.CPUMillis - start.CPUMillis
+	if d.CPUMillis < 0 {
+		d.CPUMillis = 0
+	}
+	return d
+}
+
+// procCPUMillis reads utime+stime from /proc/self/stat (fields 14 and 15,
+// 1-based, after the parenthesized comm which may itself contain spaces).
+func procCPUMillis() int64 {
+	data, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0
+	}
+	s := string(data)
+	// Skip past the comm field: everything up to the last ')'.
+	i := strings.LastIndexByte(s, ')')
+	if i < 0 {
+		return 0
+	}
+	fields := strings.Fields(s[i+1:])
+	// fields[0] is state (field 3); utime is field 14, stime 15.
+	if len(fields) < 13 {
+		return 0
+	}
+	utime, err1 := strconv.ParseInt(fields[11], 10, 64)
+	stime, err2 := strconv.ParseInt(fields[12], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0
+	}
+	return (utime + stime) * 1000 / userHZ
+}
+
+// procRSSBytes reads the resident set from /proc/self/statm (field 2,
+// pages).
+func procRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}
+
+// procFDCount counts open file descriptors.
+func procFDCount() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 0
+	}
+	return len(ents)
+}

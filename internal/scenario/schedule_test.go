@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// twoRigScenario is a small closed-loop scenario with a mixed workload
+// and a skewed user draw — enough entropy that an accidental reseed or a
+// shared-RNG race would show up as a diverged schedule.
+func twoRigScenario() *Scenario {
+	return &Scenario{
+		Name: "repro",
+		Seed: 42,
+		Topology: Topology{Rigs: []RigSpec{
+			{Name: "a", Layout: LayoutSplit, Stores: 2, SizeBytes: 256},
+			{Name: "b", Layout: LayoutSharded, Stores: 2, Users: 8, SizeBytes: 256},
+		}},
+		Phases: []Phase{
+			{Name: "p0", Rig: "a", Clients: 3, Rounds: 4,
+				Mix: []MixEntry{{Verb: VerbResolve, Pattern: "referral", Weight: 1},
+					{Verb: VerbResolve, Pattern: "chaining", Weight: 2}}},
+			{Name: "p1", Rig: "b", Clients: 2, Rounds: 4,
+				Mix: []MixEntry{{Verb: VerbResolve, Pattern: "chaining", Users: UsersZipf, Weight: 3},
+					{Verb: VerbFetch, Users: UsersUniform, Weight: 1}}},
+		},
+	}
+}
+
+// TestScheduleForDeterminism pins the reproducibility contract at the
+// schedule level: same (scenario, seed, phase, client) → the same
+// request sequence; a different seed or client → an independent stream.
+func TestScheduleForDeterminism(t *testing.T) {
+	sc := twoRigScenario()
+	for phase := range sc.Phases {
+		for _, client := range []int{-1, 0, 1, 2} {
+			a := ScheduleFor(sc, phase, client, 32)
+			b := ScheduleFor(sc, phase, client, 32)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("phase %d client %d: two schedules from one seed differ", phase, client)
+			}
+			// A longer draw must extend, not reshuffle, the shorter one.
+			long := ScheduleFor(sc, phase, client, 64)
+			if !reflect.DeepEqual(a, long[:32]) {
+				t.Fatalf("phase %d client %d: schedule is not prefix-stable", phase, client)
+			}
+		}
+		if reflect.DeepEqual(ScheduleFor(sc, phase, 0, 32), ScheduleFor(sc, phase, 1, 32)) {
+			t.Errorf("phase %d: clients 0 and 1 drew identical streams", phase)
+		}
+	}
+	reseeded := twoRigScenario()
+	reseeded.Seed = 43
+	if reflect.DeepEqual(ScheduleFor(sc, 0, 0, 32), ScheduleFor(reseeded, 0, 0, 32)) {
+		t.Error("different seeds drew identical streams")
+	}
+}
+
+// requestLog records every request a run draws, keyed per (phase,
+// client) stream — the per-stream order is the deterministic contract;
+// the global interleaving across clients is not.
+type requestLog struct {
+	mu      sync.Mutex
+	streams map[string][]Request
+}
+
+func (l *requestLog) record(phase string, client int, req Request) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.streams == nil {
+		l.streams = map[string][]Request{}
+	}
+	key := fmt.Sprintf("%s/%d", phase, client)
+	l.streams[key] = append(l.streams[key], req)
+}
+
+// TestRunReproducibility runs the same scenario twice with the same seed
+// and requires byte-identical request streams — and that each stream
+// matches what ScheduleFor predicts without running anything.
+func TestRunReproducibility(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds live rigs")
+	}
+	sc := twoRigScenario()
+	runOnce := func() *requestLog {
+		log := &requestLog{}
+		rep, err := Run(sc, RunOptions{OnRequest: log.record})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range rep.Phases {
+			if p.Errors > 0 {
+				t.Fatalf("phase %s had %d errors", p.Name, p.Errors)
+			}
+		}
+		return log
+	}
+	first := runOnce()
+	second := runOnce()
+	if len(first.streams) == 0 {
+		t.Fatal("OnRequest observed nothing")
+	}
+	if !reflect.DeepEqual(first.streams, second.streams) {
+		t.Fatalf("two same-seed runs drew different request streams:\n first: %v\nsecond: %v",
+			first.streams, second.streams)
+	}
+	for phaseIdx, p := range sc.Phases {
+		for client := 0; client < p.Clients; client++ {
+			got := first.streams[fmt.Sprintf("%s/%d", p.Name, client)]
+			if len(got) == 0 {
+				t.Fatalf("phase %s client %d drew no requests", p.Name, client)
+			}
+			want := ScheduleFor(sc, phaseIdx, client, len(got))
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("phase %s client %d: live draw diverged from ScheduleFor:\n got: %v\nwant: %v",
+					p.Name, client, got, want)
+			}
+		}
+	}
+}
