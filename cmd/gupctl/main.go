@@ -19,6 +19,7 @@
 //	provenance-summary                 per-requester disclosure rollup
 //	stats                              print MDM counters
 //	health                             print the store-liveness lease table
+//	replication                        print quorum-replication role and peer lag
 //	trace <trace-id>                   render a request's span tree
 //	slow [n]                           print recent slow-query traces
 //
@@ -237,6 +238,36 @@ func main() {
 			}
 			fmt.Printf("%-24s %-22s %-12s %-6d %s\n",
 				l.Store, l.Addr, time.Duration(l.RemainingMillis)*time.Millisecond, l.Registrations, state)
+		}
+	case "replication":
+		st, err := cli.Stats(ctx)
+		fatal(err)
+		rs := st.Repl
+		if rs == nil {
+			fmt.Println("(not replicated: MDM runs without -peers)")
+			return
+		}
+		fmt.Printf("member: %s  role=%s  term=%d\n", rs.ID, rs.Role, rs.Term)
+		if rs.LeaderID == "" {
+			fmt.Println("leader: (none — election in progress)")
+		} else {
+			fmt.Printf("leader: %s (%s)\n", rs.LeaderID, rs.LeaderAddr)
+		}
+		fmt.Printf("journal: last index %d, snapshot base %d, quorum %d\n",
+			rs.LastIndex, rs.Base, rs.Quorum)
+		if len(rs.Peers) > 0 {
+			fmt.Printf("%-24s %-10s %-10s %s\n", "PEER", "MATCH", "LAG", "STATE")
+			for _, p := range rs.Peers {
+				state := "reachable"
+				if !p.Reachable {
+					state = "UNREACHABLE"
+				}
+				if p.Snapshots > 0 {
+					state += fmt.Sprintf(" (%d snapshot installs)", p.Snapshots)
+				}
+				lag := rs.LastIndex - p.Match
+				fmt.Printf("%-24s %-10d %-10d %s\n", p.Addr, p.Match, lag, state)
+			}
 		}
 	case "trace":
 		need(args, 2, "trace <trace-id>")

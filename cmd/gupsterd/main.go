@@ -8,6 +8,8 @@
 //	         [-provenance 4096] [-peer 127.0.0.1:7001 -peer 127.0.0.1:7002]
 //	         [-data-dir /var/lib/gupster] [-lease-ttl 10s] [-lease-grace 10s]
 //	         [-max-concurrency 64] [-queue-depth 128] [-brownout-threshold 0.8]
+//	         [-peers 127.0.0.1:7001 -peers 127.0.0.1:7002 -replication-quorum 2
+//	          -advertise 127.0.0.1:7000 -election-ttl 2s]
 //
 // With -max-concurrency the daemon gates the wire dispatch behind an
 // admission controller: at most that many requests execute at once, the
@@ -21,6 +23,14 @@
 // to the peers, and any mirror can answer any resolve. Peers are kept with
 // anti-entropy: a peer that dies and restarts is re-peered and receives
 // this mirror's full meta-data snapshot.
+//
+// With -peers (note the plural; requires -data-dir) the daemon instead
+// joins a QUORUM-replicated constellation: one elected leader accepts
+// directory mutations, ships its journal to the followers, and
+// acknowledges only after -replication-quorum members hold the record
+// durably. Followers answer reads and redirect writes to the leader
+// (clients re-home transparently); if the leader dies, a follower takes
+// over within one -election-ttl with no acknowledged mutation lost.
 //
 // With -data-dir the meta-data directory is crash-safe: every registration
 // and shield rule is journaled (write-ahead log + periodic snapshot) and
@@ -47,6 +57,7 @@ import (
 	"gupster/internal/journal"
 	"gupster/internal/overload"
 	"gupster/internal/provenance"
+	"gupster/internal/replication"
 	"gupster/internal/schema"
 	"gupster/internal/token"
 )
@@ -71,10 +82,23 @@ func main() {
 	brownout := flag.Float64("brownout-threshold", 0, "pressure fraction that triggers degraded (stale-cache) answers (0 disables)")
 	var peers repeated
 	flag.Var(&peers, "peer", "address of a peer mirror (repeatable)")
+	var replPeers repeated
+	flag.Var(&replPeers, "peers", "address of a quorum-replication peer MDM (repeatable; requires -data-dir)")
+	replQuorum := flag.Int("replication-quorum", 0, "members (self included) that must hold a mutation durably before acking (0 = majority)")
+	advertise := flag.String("advertise", "", "address peers and redirected clients should dial (default: -listen)")
+	electionTTL := flag.Duration("election-ttl", 2*time.Second, "leader lease TTL; failover completes within one TTL")
 	flag.Parse()
 
 	if *key == "" {
 		fmt.Fprintln(os.Stderr, "gupsterd: -key is required (shared with data stores)")
+		os.Exit(2)
+	}
+	if len(replPeers) > 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "gupsterd: -peers (quorum replication) requires -data-dir (the journal is the replicated log)")
+		os.Exit(2)
+	}
+	if len(replPeers) > 0 && len(peers) > 0 {
+		fmt.Fprintln(os.Stderr, "gupsterd: -peers (quorum replication) and -peer (best-effort mirroring) are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -115,7 +139,32 @@ func main() {
 	}
 
 	var closeServer func() error
-	if len(peers) > 0 {
+	if len(replPeers) > 0 {
+		// Quorum-replicated constellation: this member ships its journal
+		// to followers (or follows a leader), mutations ack only after a
+		// quorum holds them durably, and leader failure elects a
+		// replacement within one election TTL.
+		id := *advertise
+		if id == "" {
+			id = *listen
+		}
+		node, err := replication.NewNode(mdm, replication.Config{
+			ID:     id,
+			Peers:  replPeers,
+			Quorum: *replQuorum,
+			TTL:    *electionTTL,
+			Logf:   log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("gupsterd: %v", err)
+		}
+		if err := node.Start(*listen); err != nil {
+			log.Fatalf("gupsterd: %v", err)
+		}
+		closeServer = node.Close
+		log.Printf("gupsterd: replicated MDM listening on %s (id=%s, peers=%v, quorum=%d, election-ttl=%s)",
+			node.Addr(), id, replPeers, *replQuorum, *electionTTL)
+	} else if len(peers) > 0 {
 		mirror := federation.NewMirror(mdm)
 		srv, err := mirror.Serve(*listen)
 		if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -79,6 +80,13 @@ type Client struct {
 	// defaults. Every timeout the client imposes on its own derives from
 	// here — no hard-coded durations on any call path.
 	Budgets Budgets
+
+	// leaderConn is a lazily dialed connection to the constellation
+	// leader a follower redirected a mutation to (DESIGN.md §11.3). It is
+	// kept for the next mutation; leadership moving again just re-chases.
+	leaderMu   sync.Mutex
+	leaderConn *wire.Client
+	leaderAddr string
 
 	// traceConn is a lazily dialed out-of-band connection for trace
 	// reports: telemetry frames must never queue ahead of request frames
@@ -298,6 +306,12 @@ func (c *Client) Close() error {
 		delete(c.pool, addr)
 	}
 	c.poolMu.Unlock()
+	c.leaderMu.Lock()
+	if c.leaderConn != nil {
+		c.leaderConn.Close()
+		c.leaderConn = nil
+	}
+	c.leaderMu.Unlock()
 	c.traceMu.Lock()
 	if c.traceConn != nil {
 		c.traceConn.Close()
@@ -316,6 +330,46 @@ func (c *Client) Close() error {
 
 func (c *Client) contextFor(purpose policy.Purpose) policy.Context {
 	return policy.Context{Requester: c.Identity, Role: c.Role, Purpose: purpose}
+}
+
+// callMutate issues a directory mutation, chasing a not-leader redirect:
+// on a quorum-replicated constellation a follower refuses mutations and
+// names the leader, and the client follows transparently instead of
+// surfacing the refusal. Two hops bound the chase — a second redirect
+// means leadership is moving and the caller should see the error.
+func (c *Client) callMutate(ctx context.Context, typ string, req, resp any) error {
+	err := c.mdm.Call(ctx, typ, req, resp)
+	for hops := 0; hops < 2; hops++ {
+		var nl *wire.NotLeaderError
+		if !errors.As(err, &nl) || nl.LeaderAddr == "" {
+			return err
+		}
+		lc, derr := c.leaderClient(nl.LeaderAddr)
+		if derr != nil {
+			return err
+		}
+		err = lc.Call(ctx, typ, req, resp)
+	}
+	return err
+}
+
+// leaderClient returns (dialing or re-dialing on demand) the cached
+// connection to the redirected-to leader.
+func (c *Client) leaderClient(addr string) (*wire.Client, error) {
+	c.leaderMu.Lock()
+	defer c.leaderMu.Unlock()
+	if c.leaderConn != nil && c.leaderAddr == addr {
+		return c.leaderConn, nil
+	}
+	lc, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if c.leaderConn != nil {
+		c.leaderConn.Close()
+	}
+	c.leaderConn, c.leaderAddr = lc, addr
+	return lc, nil
 }
 
 // Resolve asks the MDM for referrals (or data, for chaining/recruiting).
@@ -731,7 +785,7 @@ func (c *Client) Unsubscribe(ctx context.Context, subID uint64) error {
 // PutRule provisions a privacy-shield rule for owner (self-provisioning —
 // "enter once, use everywhere" requires the owner to stay in control).
 func (c *Client) PutRule(ctx context.Context, owner string, rule policy.Rule) error {
-	return c.mdm.Call(ctx, wire.TypePutRule, &wire.PutRuleRequest{
+	return c.callMutate(ctx, wire.TypePutRule, &wire.PutRuleRequest{
 		Owner: owner,
 		Rule:  encodeRule(rule),
 	}, nil)
@@ -739,7 +793,7 @@ func (c *Client) PutRule(ctx context.Context, owner string, rule policy.Rule) er
 
 // DeleteRule removes a rule.
 func (c *Client) DeleteRule(ctx context.Context, owner, ruleID string) error {
-	return c.mdm.Call(ctx, wire.TypeDeleteRule, &wire.DeleteRuleRequest{Owner: owner, RuleID: ruleID}, nil)
+	return c.callMutate(ctx, wire.TypeDeleteRule, &wire.DeleteRuleRequest{Owner: owner, RuleID: ruleID}, nil)
 }
 
 // SyncDeviceComponent resolves an update grant for path and runs one sync

@@ -23,7 +23,15 @@ import (
 // idempotent, so this window never corrupts recovery.
 
 // journalAppend durably logs one mutation; a no-op without a journal.
+// With a replicator installed (replicated constellation), the record is
+// handed to the replication layer instead, which appends locally AND
+// waits for a quorum of followers to hold it durably before returning —
+// a mutation acknowledged to a client survives the loss of any minority
+// of the constellation, the leader included.
 func (m *MDM) journalAppend(r journal.Record) error {
+	if m.replicate != nil {
+		return m.replicate(r)
+	}
 	if m.journal == nil {
 		return nil
 	}

@@ -160,6 +160,18 @@ type MDM struct {
 	// AttachJournal before the MDM starts serving.
 	journal *journal.Journal
 
+	// replicate, when set, owns the durable append path: instead of
+	// appending to the local journal directly, journalAppend hands the
+	// record to the replication layer, which acknowledges only after a
+	// quorum of the constellation has it durably. Set once via
+	// SetReplicator before serving.
+	replicate func(journal.Record) error
+
+	// replStatus, when set, feeds the node's replication/election view
+	// into Snapshot(); core cannot import the replication package (it
+	// imports core), so the status crosses as a callback.
+	replStatus func() *wire.ReplStatus
+
 	// Store-liveness state (leases). leases is keyed by store; entries
 	// exist only while the store holds registrations and leases are
 	// enabled.
@@ -858,6 +870,49 @@ func (m *MDM) ShieldSnapshot() []wire.PutRuleRequest {
 	return out
 }
 
+// SetReplicator installs the replication layer's append hook: every
+// durable mutation goes through fn instead of the local journal, and the
+// caller is acknowledged only when fn returns nil (quorum-durable in a
+// replicated constellation). Install once, before the MDM starts serving.
+func (m *MDM) SetReplicator(fn func(journal.Record) error) { m.replicate = fn }
+
+// SetReplStatus installs the callback that surfaces replication status
+// through Snapshot() (and so through `gupctl replication`).
+func (m *MDM) SetReplStatus(fn func() *wire.ReplStatus) { m.replStatus = fn }
+
+// ResetDirectory clears every coverage registration and shield rule —
+// the rebuild path a replicated follower takes before installing a
+// leader snapshot, when its local history has diverged from the
+// constellation's. Addresses, pooled store connections, and leases go
+// with the registrations. Profile data cached from stores is untouched
+// (it is owned by the stores, not the directory).
+func (m *MDM) ResetDirectory() {
+	for _, reg := range m.Registry.Snapshot() {
+		_ = m.Registry.Unregister(reg.Path, reg.Store)
+	}
+	m.mu.Lock()
+	addrs := m.addrs
+	m.addrs = make(map[coverage.StoreID]string)
+	m.mu.Unlock()
+	for _, addr := range addrs {
+		m.dropStoreClient(addr)
+	}
+	m.leaseMu.Lock()
+	for id := range m.leases {
+		delete(m.leases, id)
+	}
+	m.leaseMu.Unlock()
+	for _, owner := range m.Repo.ChangedSince(0) {
+		shield, err := m.Repo.Get(owner)
+		if err != nil {
+			continue
+		}
+		for _, rule := range shield.Rules {
+			_ = m.PAP.DeleteRule(owner, rule.ID)
+		}
+	}
+}
+
 // Pipeline exposes the resolve-pipeline counters (coalescing, fan-out,
 // batching).
 func (m *MDM) Pipeline() *metrics.PipelineStats { return m.pipe }
@@ -921,6 +976,9 @@ func (m *MDM) Snapshot() wire.StatsResponse {
 		resp.BrownoutExits = os.BrownoutExits
 		resp.BrownoutServed = os.BrownoutServed
 		resp.Pressure = m.adm.Pressure()
+	}
+	if m.replStatus != nil {
+		resp.Repl = m.replStatus()
 	}
 	return resp
 }

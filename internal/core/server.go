@@ -111,6 +111,14 @@ func (s *Server) serve(c *wire.ServerConn, m *wire.Message) {
 		err = fmt.Errorf("gupster: unknown message type %q", m.Type)
 	}
 	if err != nil {
+		// A mutation refused because this node lost (or never had)
+		// constellation leadership is a redirect, not a failure: the typed
+		// reply carries the leader's address so the caller re-homes.
+		var nl *wire.NotLeaderError
+		if errors.As(err, &nl) {
+			_ = c.ReplyNotLeader(m, nl.LeaderAddr, nl.LeaderID, nl.Term)
+			return
+		}
 		_ = c.ReplyError(m, err)
 	}
 }

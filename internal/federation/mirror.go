@@ -340,6 +340,33 @@ func (mc *MirrorClient) drop() {
 	mc.cur++
 }
 
+// rehome points the client at the constellation's current leader after a
+// not-leader redirect. A leader address outside the configured list is
+// adopted (the constellation knows its membership better than our
+// config); an empty one — mid-election — just advances to the next
+// member like a failed connection would.
+func (mc *MirrorClient) rehome(leaderAddr string) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.conn != nil {
+		mc.conn.Close()
+		mc.conn = nil
+		mc.connAddr = ""
+	}
+	if leaderAddr == "" {
+		mc.cur++
+		return
+	}
+	for i, a := range mc.addrs {
+		if a == leaderAddr {
+			mc.cur = i
+			return
+		}
+	}
+	mc.addrs = append(mc.addrs, leaderAddr)
+	mc.cur = len(mc.addrs) - 1
+}
+
 // Call invokes one MDM operation with failover: connection-level failures
 // advance to the next mirror and retry (once per mirror and pass, with
 // backoff between passes). Application-level errors (denials, spurious
@@ -364,6 +391,16 @@ func (mc *MirrorClient) Call(ctx context.Context, msgType string, req, resp any)
 			if err == nil {
 				mc.res.Success(addr)
 				return nil
+			}
+			var notLeader *wire.NotLeaderError
+			if errors.As(err, &notLeader) {
+				// A replicated constellation redirected us: re-home to the
+				// leader and retry there. The member that answered is
+				// healthy — no breaker failure.
+				mc.res.Success(addr)
+				mc.rehome(notLeader.LeaderAddr)
+				lastErr = err
+				continue
 			}
 			var remote *wire.RemoteError
 			if errors.As(err, &remote) {

@@ -51,9 +51,12 @@ const (
 )
 
 // Record is one journaled mutation. Exactly one of the payload fields is
-// set, matching Op.
+// set, matching Op. Term is the leader term that produced the record when
+// the journal backs a replicated MDM (0 on a standalone node); replication
+// uses it for log matching, replay ignores it.
 type Record struct {
 	Op         string                  `json:"op"`
+	Term       uint64                  `json:"term,omitempty"`
 	Register   *wire.RegisterRequest   `json:"register,omitempty"`
 	Unregister *wire.UnregisterRequest `json:"unregister,omitempty"`
 	PutRule    *wire.PutRuleRequest    `json:"put_rule,omitempty"`
@@ -61,10 +64,14 @@ type Record struct {
 }
 
 // Snapshot is a checkpoint of the whole directory, in the same shapes the
-// mirror protocol replays to late-joining peers.
+// mirror protocol replays to late-joining peers. Index and Term locate the
+// checkpoint in the replicated log: the snapshot covers every record up to
+// and including Index (both 0 on a standalone node).
 type Snapshot struct {
 	Coverage []wire.RegisterRequest `json:"coverage"`
 	Shields  []wire.PutRuleRequest  `json:"shields"`
+	Index    uint64                 `json:"index,omitempty"`
+	Term     uint64                 `json:"snap_term,omitempty"`
 }
 
 // Options tune a journal.
@@ -144,6 +151,13 @@ type Journal struct {
 	pending  uint64 // records written to the buffer
 	synced   uint64 // records durably flushed (+synced) to disk
 	appended int    // records since the last compaction
+	// Replicated-log view of the WAL (see replicate.go): base is the
+	// index of the last record folded into the snapshot, baseTerm its
+	// term, and recs the in-memory copy of the live log, so record
+	// base+1+i is recs[i]. Bounded by CompactEvery on durable MDMs.
+	base     uint64
+	baseTerm uint64
+	recs     []Record
 	syncErr  error  // sticky: a failed flush/fsync poisons the journal
 	closed   bool
 	flusherG sync.WaitGroup
@@ -175,6 +189,8 @@ func Open(dir string, opts Options) (*Journal, *Recovered, error) {
 		return nil, nil, err
 	} else if snap != nil {
 		rec.Snapshot = snap
+		j.base = snap.Index
+		j.baseTerm = snap.Term
 		j.stats.RecoveredSnapshot.Store(uint64(len(snap.Coverage) + len(snap.Shields)))
 	}
 
@@ -203,6 +219,7 @@ func Open(dir string, opts Options) (*Journal, *Recovered, error) {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
 	rec.Records = records
+	j.recs = records
 	j.stats.RecoveredRecords.Store(uint64(len(records)))
 	// Recovered records count against the compaction budget so a crash
 	// loop cannot grow the log without bound.
@@ -235,60 +252,93 @@ func (j *Journal) Dir() string { return j.dir }
 // flushed and fsynced. Append may trigger a compaction once the log
 // passes the CompactEvery threshold.
 func (j *Journal) Append(r Record) error {
-	payload, err := json.Marshal(r)
-	if err != nil {
-		return fmt.Errorf("journal: marshal: %w", err)
+	_, err := j.AppendBatch([]Record{r})
+	return err
+}
+
+// AppendIndexed is Append returning the record's global index, assigned
+// atomically with the append — the hook replication uses so concurrent
+// appenders each learn exactly where their record landed.
+func (j *Journal) AppendIndexed(r Record) (uint64, error) {
+	return j.AppendBatch([]Record{r})
+}
+
+// AppendBatch durably logs records as one unit, sharing a single flush
+// and fsync across the whole batch (plus whatever concurrent appenders
+// piled into the same group commit). It returns the global index of the
+// last record appended. Followers use it to land a shipped entry batch
+// at one fsync instead of one per record.
+func (j *Journal) AppendBatch(records []Record) (uint64, error) {
+	if len(records) == 0 {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.base + uint64(len(j.recs)), nil
 	}
-	if len(payload) > maxRecord {
-		return ErrRecordTooLarge
+	type framed struct {
+		hdr     [headerSize]byte
+		payload []byte
 	}
-	var hdr [headerSize]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	frames := make([]framed, len(records))
+	for i, r := range records {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			return 0, fmt.Errorf("journal: marshal: %w", err)
+		}
+		if len(payload) > maxRecord {
+			return 0, ErrRecordTooLarge
+		}
+		frames[i].payload = payload
+		binary.BigEndian.PutUint32(frames[i].hdr[0:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(frames[i].hdr[4:8], crc32.Checksum(payload, crcTable))
+	}
 
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if j.syncErr != nil {
 		err := j.syncErr
 		j.mu.Unlock()
-		return err
+		return 0, err
 	}
-	if _, err := j.w.Write(hdr[:]); err == nil {
-		_, err = j.w.Write(payload)
-		if err != nil {
+	for i := range frames {
+		if _, err := j.w.Write(frames[i].hdr[:]); err != nil {
 			j.syncErr = err
+			break
 		}
-	} else {
-		j.syncErr = err
+		if _, err := j.w.Write(frames[i].payload); err != nil {
+			j.syncErr = err
+			break
+		}
 	}
 	if j.syncErr != nil {
 		err := j.syncErr
 		j.mu.Unlock()
-		return err
+		return 0, err
 	}
-	j.pending++
+	j.pending += uint64(len(records))
 	seq := j.pending
-	j.appended++
+	j.appended += len(records)
+	j.recs = append(j.recs, records...)
+	last := j.base + uint64(len(j.recs))
 	needCompact := j.opts.CompactEvery > 0 && j.appended >= j.opts.CompactEvery
 	j.work.Signal()
-	// Wait for the flusher to carry this record (and its batch) to disk.
+	// Wait for the flusher to carry this batch (and its group) to disk.
 	for j.synced < seq && j.syncErr == nil {
 		j.done.Wait()
 	}
-	err = j.syncErr
+	err := j.syncErr
 	j.mu.Unlock()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	j.stats.Appends.Add(1)
+	j.stats.Appends.Add(uint64(len(records)))
 	if needCompact {
 		// Best-effort: a failed compaction leaves the log long but valid.
 		_ = j.Compact()
 	}
-	return nil
+	return last, nil
 }
 
 // flusher is the single goroutine that moves buffered records to disk.
@@ -353,6 +403,8 @@ func (j *Journal) Compact() error {
 	// journaled are ahead of the log; including them in the snapshot is
 	// safe (their append lands in the fresh log and replays idempotently).
 	snap := fn()
+	snap.Index = j.base + uint64(len(j.recs))
+	snap.Term = j.lastTermLocked()
 	if err := writeSnapshot(j.dir, &snap, j.opts.NoSync); err != nil {
 		return err
 	}
@@ -368,6 +420,9 @@ func (j *Journal) Compact() error {
 			return fmt.Errorf("journal: %w", err)
 		}
 	}
+	j.base = snap.Index
+	j.baseTerm = snap.Term
+	j.recs = nil
 	j.appended = 0
 	j.stats.Compactions.Add(1)
 	return nil

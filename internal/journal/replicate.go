@@ -1,0 +1,233 @@
+package journal
+
+// Replicated-log surface. A journal doubles as the persistent log of a
+// replicated MDM: records carry the leader term that produced them, the
+// snapshot records the index it covers, and this file exposes the indexed
+// view replication needs — read a suffix for shipping, truncate a
+// conflicting tail, install a leader snapshot wholesale.
+//
+// Indexing is global and monotone across compactions: record 1 is the
+// first mutation ever journaled. Compaction folds a prefix into the
+// snapshot and advances base; Entries on a compacted prefix returns
+// ErrCompacted so the shipper falls back to a snapshot instead of
+// silently skipping records — the fix for the single-reader assumption
+// the original compaction made.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+)
+
+// ErrCompacted reports that the requested log prefix has been folded into
+// the snapshot; the caller should ship the snapshot instead.
+var ErrCompacted = errors.New("journal: prefix compacted into snapshot")
+
+// lastTermLocked is the term of the newest record, falling back to the
+// snapshot's term when the live log is empty. Caller holds j.mu.
+func (j *Journal) lastTermLocked() uint64 {
+	if n := len(j.recs); n > 0 {
+		return j.recs[n-1].Term
+	}
+	return j.baseTerm
+}
+
+// LastIndex is the index of the newest record (0 before any append).
+func (j *Journal) LastIndex() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.base + uint64(len(j.recs))
+}
+
+// LastTerm is the term of the newest record (or of the snapshot when the
+// live log is empty).
+func (j *Journal) LastTerm() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lastTermLocked()
+}
+
+// Base is the index of the last record folded into the snapshot.
+func (j *Journal) Base() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.base
+}
+
+// TermAt returns the term of the record at index. ok is false when the
+// index is ahead of the log; an index at or below base reports the
+// snapshot's term (exact for base itself, a lower bound below it, which
+// is sufficient for log matching — anything at or below base is
+// committed by definition).
+func (j *Journal) TermAt(index uint64) (term uint64, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if index <= j.base {
+		return j.baseTerm, true
+	}
+	if index > j.base+uint64(len(j.recs)) {
+		return 0, false
+	}
+	return j.recs[index-j.base-1].Term, true
+}
+
+// Entries returns a copy of every record with index > after, in order,
+// plus the index of the first returned record. ErrCompacted means the
+// suffix starts inside the snapshot — ship the snapshot instead. Safe
+// against a concurrent Compact: both hold j.mu, so a reader never
+// observes a half-truncated log.
+func (j *Journal) Entries(after uint64) (recs []Record, first uint64, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, 0, ErrClosed
+	}
+	if after < j.base {
+		return nil, 0, ErrCompacted
+	}
+	from := after - j.base
+	if from >= uint64(len(j.recs)) {
+		return nil, after + 1, nil
+	}
+	out := make([]Record, len(j.recs[from:]))
+	copy(out, j.recs[from:])
+	return out, after + 1, nil
+}
+
+// TruncateTo discards every record with index > index, rewriting the WAL
+// in place — the conflict-resolution path when a follower's tail diverges
+// from the new leader's log. Truncating below base is an error (that
+// prefix lives in the snapshot); truncating at or past the last index is
+// a no-op.
+func (j *Journal) TruncateTo(index uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	for j.synced < j.pending && j.syncErr == nil {
+		j.done.Wait()
+	}
+	if j.syncErr != nil {
+		return j.syncErr
+	}
+	if index < j.base {
+		return fmt.Errorf("journal: truncate to %d below snapshot base %d", index, j.base)
+	}
+	keep := index - j.base
+	if keep >= uint64(len(j.recs)) {
+		return nil
+	}
+	kept := make([]Record, keep)
+	copy(kept, j.recs[:keep])
+	if err := j.rewriteLocked(kept); err != nil {
+		return err
+	}
+	j.recs = kept
+	j.appended = len(kept)
+	return nil
+}
+
+// InstallSnapshot replaces the journal's whole state with a leader
+// checkpoint: the snapshot is written atomically, the WAL is reset to
+// empty and base advances to the snapshot's index. The caller rebuilds
+// the in-memory directory from the same snapshot.
+func (j *Journal) InstallSnapshot(s *Snapshot) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	for j.synced < j.pending && j.syncErr == nil {
+		j.done.Wait()
+	}
+	if j.syncErr != nil {
+		return j.syncErr
+	}
+	if err := writeSnapshot(j.dir, s, j.opts.NoSync); err != nil {
+		return err
+	}
+	if err := j.rewriteLocked(nil); err != nil {
+		return err
+	}
+	j.base = s.Index
+	j.baseTerm = s.Term
+	j.recs = nil
+	j.appended = 0
+	return nil
+}
+
+// SnapshotNow captures the directory checkpoint without compacting the
+// log — the shipping path when a follower is too far behind. The capture
+// runs under j.mu like Compact's, so it is consistent with the log index
+// it is stamped with.
+func (j *Journal) SnapshotNow() (*Snapshot, error) {
+	j.snapMu.Lock()
+	fn := j.snapFn
+	j.snapMu.Unlock()
+	if fn == nil {
+		return nil, errors.New("journal: no snapshot callback installed")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil, ErrClosed
+	}
+	for j.synced < j.pending && j.syncErr == nil {
+		j.done.Wait()
+	}
+	if j.syncErr != nil {
+		return nil, j.syncErr
+	}
+	snap := fn()
+	snap.Index = j.base + uint64(len(j.recs))
+	snap.Term = j.lastTermLocked()
+	return &snap, nil
+}
+
+// ReadSnapshot loads the journal's on-disk checkpoint (nil when none
+// exists) — the base state a follower replays after truncating a
+// divergent tail.
+func (j *Journal) ReadSnapshot() (*Snapshot, error) {
+	return readSnapshot(filepath.Join(j.dir, snapName))
+}
+
+// rewriteLocked replaces the WAL's contents with recs. Caller holds j.mu
+// with all in-flight appends drained.
+func (j *Journal) rewriteLocked(recs []Record) error {
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: truncate: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.w.Reset(j.f)
+	for _, r := range recs {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("journal: marshal: %w", err)
+		}
+		var hdr [headerSize]byte
+		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+		binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+		if _, err := j.w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("journal: rewrite: %w", err)
+		}
+		if _, err := j.w.Write(payload); err != nil {
+			return fmt.Errorf("journal: rewrite: %w", err)
+		}
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal: rewrite flush: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: rewrite sync: %w", err)
+		}
+	}
+	return nil
+}

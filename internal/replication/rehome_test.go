@@ -1,0 +1,123 @@
+package replication_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/federation"
+	"gupster/internal/journal"
+	"gupster/internal/policy"
+	"gupster/internal/store"
+	"gupster/internal/wire"
+	"gupster/internal/xpath"
+)
+
+// A MirrorClient whose address list starts at a follower transparently
+// follows the not-leader redirect: mutations land on the leader and
+// replicate, with no caller-visible error.
+func TestMirrorClientFollowsRedirect(t *testing.T) {
+	c := newCluster(t, 3, journal.Options{})
+	lead := c.waitLeader(4 * testTTL)
+	follower := (lead + 1) % 3
+
+	// Order the list so the client homes on a follower first.
+	addrs := []string{c.addrs[follower], c.addrs[(lead+2)%3], c.addrs[lead]}
+	mc, err := federation.DialMirrors(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := mc.Call(ctx, wire.TypeRegister, &wire.RegisterRequest{
+		Store: "s1", Address: "127.0.0.1:9999", Path: "/user[@id='mc']/presence",
+	}, nil); err != nil {
+		t.Fatalf("MirrorClient register via follower: %v", err)
+	}
+	for i, m := range c.mdms {
+		if !waitCovered(t, m, "/user[@id='mc']/presence", 4*testTTL) {
+			t.Errorf("node %d missing registration made through MirrorClient", i)
+		}
+	}
+	// Reads keep working against whatever member the client is homed on.
+	var stats wire.StatsResponse
+	if err := mc.Call(ctx, wire.TypeStats, wire.Empty{}, &stats); err != nil {
+		t.Fatalf("stats through MirrorClient: %v", err)
+	}
+	if stats.Repl == nil {
+		t.Fatal("replicated member reports no repl status")
+	}
+}
+
+// A store registrar configured with a follower's address re-homes to the
+// leader and completes its coverage announcement.
+func TestRegistrarFollowsRedirect(t *testing.T) {
+	c := newCluster(t, 3, journal.Options{})
+	lead := c.waitLeader(4 * testTTL)
+	follower := (lead + 2) % 3
+
+	r := store.NewRegistrar(store.RegistrarConfig{
+		Store: "sX", Addr: "127.0.0.1:9998", MDM: c.addrs[follower],
+		Coverage: []string{"/user[@id='reg']/presence", "/user[@id='reg']/calendar"},
+		Logf:     t.Logf,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := r.Start(ctx); err != nil {
+		t.Fatalf("registrar start against follower: %v", err)
+	}
+	defer r.Close()
+	for i, m := range c.mdms {
+		for _, p := range []string{"/user[@id='reg']/presence", "/user[@id='reg']/calendar"} {
+			if !waitCovered(t, m, p, 4*testTTL) {
+				t.Errorf("node %d missing registrar coverage %s", i, p)
+			}
+		}
+	}
+}
+
+// A core.Client dialed at a follower chases the not-leader redirect for
+// shield mutations: PutRule lands on the leader and replicates, with no
+// caller-visible refusal (the gupctl path).
+func TestCoreClientFollowsRedirect(t *testing.T) {
+	c := newCluster(t, 3, journal.Options{})
+	lead := c.waitLeader(4 * testTTL)
+	follower := (lead + 1) % 3
+
+	cli, err := core.DialMDM(c.addrs[follower], "redir", "self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rule := policy.Rule{
+		ID:     "r1",
+		Effect: policy.Permit,
+		Path:   xpath.MustParse("/user[@id='redir']/presence"),
+	}
+	if err := cli.PutRule(ctx, "redir", rule); err != nil {
+		t.Fatalf("PutRule via follower: %v", err)
+	}
+	deadline := time.Now().Add(4 * testTTL)
+	for i, m := range c.mdms {
+		for {
+			found := false
+			for _, r := range m.ShieldSnapshot() {
+				if r.Owner == "redir" {
+					found = true
+				}
+			}
+			if found {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d missing shield rule provisioned through a follower", i)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

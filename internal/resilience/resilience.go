@@ -379,6 +379,21 @@ func (g *Group) Do(ctx context.Context, endpoint string, fn func(context.Context
 			}
 			continue
 		}
+		// A not-leader redirect is likewise not an endpoint failure: the
+		// node is alive and mid-failover (or we raced an election). Retry
+		// after backoff — leadership settles within a lease TTL — without
+		// feeding the breaker; callers that can re-home (MirrorClient,
+		// Registrar) follow the redirect themselves before this matters.
+		var nl *wire.NotLeaderError
+		if errors.As(err, &nl) {
+			if attempt < g.Policy.MaxAttempts-1 {
+				g.Stats.Retries.Add(1)
+				if Sleep(ctx, g.Backoff(attempt)) != nil {
+					return lastErr
+				}
+			}
+			continue
+		}
 		if !g.transient(err) {
 			return err
 		}

@@ -117,8 +117,25 @@ func evalOne(a *Assertion, report *Report) AssertionResult {
 			if audit.ProbeFailures > 0 {
 				return fail("rig %s: %d end-of-run coverage probes failed — registered paths did not resolve", audit.Rig, audit.ProbeFailures)
 			}
+			if audit.Lost > 0 {
+				return fail("rig %s lost %d of %d quorum-acked registrations — a durability ack was broken by failover", audit.Rig, audit.Lost, audit.Acked)
+			}
 		}
 		return pass("all %d rigs hold full coverage", len(report.Registrations))
+
+	case AssertFailoverCeiling:
+		p := phase(a.Phase)
+		if p == nil {
+			return fail("phase %q not in report", a.Phase)
+		}
+		if p.FailoverMillis <= 0 {
+			return fail("phase %s recorded no failover — the leader kill did not fire or no replacement was elected", a.Phase)
+		}
+		got := time.Duration(p.FailoverMillis) * time.Millisecond
+		if got > a.Max {
+			return fail("phase %s failover took %s, ceiling %s — election is slower than one lease TTL", a.Phase, got, a.Max)
+		}
+		return pass("phase %s failed over in %s (ceiling %s)", a.Phase, got, a.Max)
 	}
 	return fail("unknown assertion kind %q", a.Kind)
 }

@@ -498,6 +498,9 @@ func decodeRig(n *node, r *RigSpec) error {
 		"lease-ttl":          setDuration(&r.LeaseTTL, "lease-ttl"),
 		"lease-grace":        setDuration(&r.LeaseGrace, "lease-grace"),
 		"heartbeats":         setBool(&r.Heartbeats, "heartbeats"),
+		"replicas":           setInt(&r.Replicas, "replicas"),
+		"quorum":             setInt(&r.Quorum, "quorum"),
+		"election-ttl":       setDuration(&r.ElectionTTL, "election-ttl"),
 		"profile":            setString(&r.Profile, "profile"),
 		"links":              func(n *node) error { return decodeLinks(n, &r.Links) },
 	})
@@ -546,6 +549,7 @@ func decodePhase(n *node, p *Phase) error {
 		"rounds":    setInt(&p.Rounds, "rounds"),
 		"conns":     setInt(&p.Conns, "conns"),
 		"duration":  setDuration(&p.Duration, "duration"),
+		"kill-leader-after": setDuration(&p.KillLeaderAfter, "kill-leader-after"),
 		"rate": func(n *node) error {
 			s, err := wantScalar(n, "rate")
 			if err != nil {

@@ -38,6 +38,9 @@ type PhaseReport struct {
 	CoalesceHitRate float64 `json:"coalesce_hit_rate"`
 	FanOutCalls     uint64  `json:"fan_out_calls"`
 	DurationMillis  int64   `json:"duration_ms"`
+	// FailoverMillis is how long a kill-leader-after phase's surviving
+	// members took to elect a replacement (0 = no kill in this phase).
+	FailoverMillis int64 `json:"failover_ms,omitempty"`
 	// Resources samples the host across the phase (CPU as a delta).
 	Resources Resources `json:"resources"`
 }
@@ -52,6 +55,11 @@ type RegistrationAudit struct {
 	Expected      int `json:"expected"`
 	Registered    int `json:"registered"`
 	ProbeFailures int `json:"probe_failures"`
+	// Acked counts quorum-acknowledged workload registrations on a
+	// replicated rig; Lost how many of those the surviving leader no
+	// longer holds at teardown — the zero-lost-registrations claim.
+	Acked int `json:"acked,omitempty"`
+	Lost  int `json:"lost,omitempty"`
 }
 
 // AssertionResult is one evaluated assertion.

@@ -3,14 +3,20 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"gupster/internal/core"
 	"gupster/internal/coverage"
 	"gupster/internal/faultinject"
 	"gupster/internal/federation"
+	"gupster/internal/journal"
 	"gupster/internal/overload"
 	"gupster/internal/policy"
+	"gupster/internal/replication"
 	"gupster/internal/resilience"
 	"gupster/internal/schema"
 	"gupster/internal/store"
@@ -83,10 +89,29 @@ type StoreNode struct {
 	Dead bool
 }
 
+// Member is one MDM of a quorum-replicated rig: the directory, its
+// replication node (journal shipping + election) and the temp journal
+// directory backing it.
+type Member struct {
+	MDM  *core.MDM
+	Node *replication.Node
+	Addr string
+	Dir  string
+	// Killed marks a member whose node was hard-closed mid-run (the
+	// leader-kill fault); pollers skip it.
+	Killed atomic.Bool
+}
+
 // Rig is a built topology instance: one MDM fronting a set of stores,
 // with fault-injectable links, seeded users and a shared signer. Build
 // one from a spec; Close tears it down registrars-first so no goroutine
 // outlives it.
+//
+// With Spec.Replicas >= 2 the MDM side is a quorum-replicated
+// constellation instead: Members holds the nodes, MDM points at the
+// seed-time leader's directory (for in-process counters) and MDMAddr at
+// its address; workload mutations ride a federation.MirrorClient so they
+// re-home when leadership moves.
 type Rig struct {
 	Spec   RigSpec
 	Seed   int64
@@ -99,11 +124,20 @@ type Rig struct {
 	MDMProxy *faultinject.Proxy
 	MDMAddr  string
 
+	// Members is the replicated constellation (empty on single-MDM rigs).
+	Members []*Member
+
 	Stores []*StoreNode
 	// Users is the owner population; Paths the registered coverage paths
 	// of the split layout (the batch-resolve targets).
 	Users []string
 	Paths []string
+
+	// acked collects quorum-acknowledged workload registrations (the
+	// register verb); the teardown audit checks every one survived the
+	// failover.
+	ackedMu sync.Mutex
+	acked   []wire.RegisterRequest
 
 	rigIdx int
 }
@@ -122,19 +156,25 @@ func Build(spec RigSpec, seed int64, rigIdx int) (*Rig, error) {
 
 func (r *Rig) build() error {
 	spec := &r.Spec
-	r.MDM = core.New(MDMConfig(spec, r.Signer))
-	r.MDMSrv = core.NewServer(r.MDM)
-	if err := r.MDMSrv.Start("127.0.0.1:0"); err != nil {
-		return err
-	}
-	r.MDMAddr = r.MDMSrv.Addr()
-	if spec.Links.MDM != nil {
-		p, err := r.newProxy(r.MDMSrv.Addr(), spec.Links.MDM, 0)
-		if err != nil {
+	if spec.Replicas >= 2 {
+		if err := r.buildReplicated(); err != nil {
 			return err
 		}
-		r.MDMProxy = p
-		r.MDMAddr = p.Addr()
+	} else {
+		r.MDM = core.New(MDMConfig(spec, r.Signer))
+		r.MDMSrv = core.NewServer(r.MDM)
+		if err := r.MDMSrv.Start("127.0.0.1:0"); err != nil {
+			return err
+		}
+		r.MDMAddr = r.MDMSrv.Addr()
+		if spec.Links.MDM != nil {
+			p, err := r.newProxy(r.MDMSrv.Addr(), spec.Links.MDM, 0)
+			if err != nil {
+				return err
+			}
+			r.MDMProxy = p
+			r.MDMAddr = p.Addr()
+		}
 	}
 
 	for i := 0; i < spec.Stores; i++ {
@@ -164,6 +204,157 @@ func (r *Rig) build() error {
 		}
 	}
 	return nil
+}
+
+// buildReplicated assembles the quorum-replicated MDM constellation:
+// Replicas members with temp-dir journals, pre-bound listeners (so every
+// member knows its peers' addresses before any starts), and an initial
+// election. Seeding then runs through the leader's directory in-process,
+// which acks each registration only after a quorum holds it durably.
+func (r *Rig) buildReplicated() error {
+	spec := &r.Spec
+	ttl := spec.ElectionTTL
+	if ttl <= 0 {
+		ttl = 500 * time.Millisecond
+	}
+	lns := make([]net.Listener, spec.Replicas)
+	addrs := make([]string, spec.Replicas)
+	closeRest := func(from int) {
+		for i := from; i < len(lns); i++ {
+			if lns[i] != nil {
+				lns[i].Close()
+			}
+		}
+	}
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeRest(0)
+			return err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for i := range lns {
+		m := core.New(MDMConfig(spec, r.Signer))
+		dir, err := os.MkdirTemp("", "gupster-scenario-*")
+		if err != nil {
+			m.Close()
+			closeRest(i)
+			return err
+		}
+		if _, err := core.OpenDurable(m, dir, journal.Options{NoSync: true}); err != nil {
+			m.Close()
+			os.RemoveAll(dir)
+			closeRest(i)
+			return err
+		}
+		peers := make([]string, 0, len(addrs)-1)
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		node, err := replication.NewNode(m, replication.Config{
+			ID: addrs[i], Peers: peers, Quorum: spec.Quorum, TTL: ttl,
+		})
+		if err != nil {
+			m.Close()
+			os.RemoveAll(dir)
+			closeRest(i)
+			return err
+		}
+		node.StartListener(lns[i])
+		r.Members = append(r.Members, &Member{MDM: m, Node: node, Addr: addrs[i], Dir: dir})
+	}
+	lead := r.WaitLeader(20 * ttl)
+	if lead < 0 {
+		return fmt.Errorf("replicated rig %s: no leader elected within %s", spec.Name, 20*ttl)
+	}
+	r.MDM = r.Members[lead].MDM
+	r.MDMAddr = r.Members[lead].Addr
+	return nil
+}
+
+// Leader returns the index of the live member currently reporting
+// itself leader, or -1 mid-election.
+func (r *Rig) Leader() int {
+	for i, mem := range r.Members {
+		if mem.Killed.Load() {
+			continue
+		}
+		if st := mem.Node.Status(); st.Role == "leader" {
+			return i
+		}
+	}
+	return -1
+}
+
+// WaitLeader polls until some live member is leader, returning its index
+// or -1 on timeout.
+func (r *Rig) WaitLeader(timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		if i := r.Leader(); i >= 0 {
+			return i
+		}
+		if time.Now().After(deadline) {
+			return -1
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// KillLeader hard-closes the current leader's node (listener, shippers,
+// election loop — the in-process analog of kill -9) and returns its
+// index, or -1 when no member holds the lease right now.
+func (r *Rig) KillLeader() int {
+	i := r.Leader()
+	if i < 0 {
+		return -1
+	}
+	r.Members[i].Killed.Store(true)
+	r.Members[i].Node.Close()
+	return i
+}
+
+// MemberAddrs lists every constellation address (single-MDM rigs: just
+// MDMAddr) — the MirrorClient seed list.
+func (r *Rig) MemberAddrs() []string {
+	if len(r.Members) == 0 {
+		return []string{r.MDMAddr}
+	}
+	addrs := make([]string, len(r.Members))
+	for i, mem := range r.Members {
+		addrs[i] = mem.Addr
+	}
+	return addrs
+}
+
+// RecordAcked notes a quorum-acknowledged workload registration for the
+// teardown audit.
+func (r *Rig) RecordAcked(reg wire.RegisterRequest) {
+	r.ackedMu.Lock()
+	r.acked = append(r.acked, reg)
+	r.ackedMu.Unlock()
+}
+
+// auditMDM is the directory the end-of-run audit reads: the surviving
+// leader of a replicated rig (any live member as a fallback), or the
+// single MDM.
+func (r *Rig) auditMDM() *core.MDM {
+	if len(r.Members) == 0 {
+		return r.MDM
+	}
+	if i := r.Leader(); i >= 0 {
+		return r.Members[i].MDM
+	}
+	for _, mem := range r.Members {
+		if !mem.Killed.Load() {
+			return mem.MDM
+		}
+	}
+	return r.Members[0].MDM
 }
 
 // newProxy builds one fault proxy with the spec's initial settings and a
@@ -371,6 +562,43 @@ func (r *Rig) ExpectedRegistrations() int {
 	return n
 }
 
+// auditCoverage fills the audit's registration counts. A single-MDM rig
+// reports its registry size. A replicated rig instead counts which seed
+// coverage paths the surviving leader still holds (the workload may have
+// legitimately registered more, so a raw registry size proves nothing)
+// and how many quorum-acked workload registrations went missing — the
+// zero-lost claim a leader kill must not break.
+func (r *Rig) auditCoverage(audit *RegistrationAudit) {
+	m := r.auditMDM()
+	r.ackedMu.Lock()
+	acked := append([]wire.RegisterRequest(nil), r.acked...)
+	r.ackedMu.Unlock()
+	if len(r.Members) == 0 && len(acked) == 0 {
+		audit.Registered = m.Registry.Len()
+		return
+	}
+	canon := func(store, path string) string {
+		return store + "|" + xpath.MustParse(path).String()
+	}
+	present := map[string]bool{}
+	for _, reg := range m.CoverageSnapshot() {
+		present[reg.Store+"|"+reg.Path] = true
+	}
+	for _, node := range r.Stores {
+		for _, p := range node.Coverage {
+			if present[canon(node.Engine.ID(), p)] {
+				audit.Registered++
+			}
+		}
+	}
+	audit.Acked = len(acked)
+	for _, reg := range acked {
+		if !present[canon(reg.Store, reg.Path)] {
+			audit.Lost++
+		}
+	}
+}
+
 // Close tears the rig down in dependency order: registrars first (stop
 // heartbeat traffic), then the client-facing proxy and the MDM (stop
 // request traffic, close pooled store connections), then the store
@@ -389,7 +617,16 @@ func (r *Rig) Close() {
 	if r.MDMSrv != nil {
 		r.MDMSrv.Close()
 	}
-	if r.MDM != nil {
+	// Replicated members own their MDMs (r.MDM aliases the leader's);
+	// close nodes first so no shipper is mid-append when the journals go.
+	for _, mem := range r.Members {
+		mem.Node.Close()
+	}
+	for _, mem := range r.Members {
+		mem.MDM.Close()
+		os.RemoveAll(mem.Dir)
+	}
+	if r.MDM != nil && len(r.Members) == 0 {
 		r.MDM.Close()
 	}
 	for _, node := range r.Stores {
@@ -461,9 +698,10 @@ func probeContext(owner string) policy.Context {
 // verifying end-of-run registration integrity (the zero-lost-
 // registrations audit). Returns the number of failed probes.
 func (r *Rig) probeCoverage(ctx context.Context) int {
+	m := r.auditMDM()
 	failures := 0
 	probe := func(owner, path string) {
-		_, err := r.MDM.Resolve(ctx, &wire.ResolveRequest{
+		_, err := m.Resolve(ctx, &wire.ResolveRequest{
 			Path:    path,
 			Context: probeContext(owner),
 			Verb:    token.VerbFetch,

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gupster/internal/core"
+	"gupster/internal/federation"
 	"gupster/internal/metrics"
 	"gupster/internal/policy"
 	"gupster/internal/reachme"
@@ -101,7 +102,7 @@ func Run(sc *Scenario, opts RunOptions) (*Report, error) {
 			Expected: rig.ExpectedRegistrations(),
 		}
 		if err == nil {
-			audit.Registered = rig.MDM.Registry.Len()
+			rig.auditCoverage(&audit)
 			audit.ProbeFailures = rig.probeCoverage(context.Background())
 			e.report.Registrations = append(e.report.Registrations, audit)
 			e.report.MDMSpans += rig.MDM.Tracer().SpanCount()
@@ -147,6 +148,10 @@ type rigRun struct {
 	wireConns []*wire.Client
 	coreClis  []*core.Client
 	storeClis map[int]*store.Client
+	// mirrors are failover clients over the rig's member addresses —
+	// directory mutations (and, on replicated rigs, resolves) ride them
+	// so a leader kill re-homes transparently.
+	mirrors []*federation.MirrorClient
 	// userStore maps user → owning store index (sharded layout).
 	userStore map[string]int
 }
@@ -161,7 +166,10 @@ func (rr *rigRun) close() {
 	for _, c := range rr.storeClis {
 		c.Close()
 	}
-	rr.wireConns, rr.coreClis, rr.storeClis = nil, nil, nil
+	for _, c := range rr.mirrors {
+		c.Close()
+	}
+	rr.wireConns, rr.coreClis, rr.storeClis, rr.mirrors = nil, nil, nil, nil
 }
 
 // wireConn returns (dialing on demand) the i-th raw wire connection.
@@ -190,6 +198,21 @@ func (rr *rigRun) coreCli(i int) (*core.Client, error) {
 		rr.coreClis = append(rr.coreClis, c)
 	}
 	return rr.coreClis[i], nil
+}
+
+// mirrorCli returns the i-th pooled failover client over the rig's
+// constellation (or its single MDM).
+func (rr *rigRun) mirrorCli(i int) (*federation.MirrorClient, error) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	for len(rr.mirrors) <= i {
+		mc, err := federation.DialMirrors(rr.rig.MemberAddrs())
+		if err != nil {
+			return nil, err
+		}
+		rr.mirrors = append(rr.mirrors, mc)
+	}
+	return rr.mirrors[i], nil
 }
 
 // storeCli returns the pooled direct connection to store i (through its
@@ -486,9 +509,11 @@ func (rr *rigRun) runCalibrate(p *Phase, fast bool) (*PhaseReport, error) {
 // execCore executes one scheduled request on a closed-loop client.
 // Returns how many individual requests it counted (batch resolves count
 // each path).
-func (rr *rigRun) execCore(ctx context.Context, cli *core.Client, req Request, reqIdx int, o *phaseOutcome, budget time.Duration) int {
+func (rr *rigRun) execCore(ctx context.Context, cli *core.Client, req Request, phaseIdx, reqIdx int, o *phaseOutcome, budget time.Duration) int {
 	rig := rr.rig
 	switch req.Verb {
+	case VerbRegister:
+		return rr.execRegister(ctx, req, phaseIdx, reqIdx, 0, o, budget)
 	case VerbResolve:
 		if req.Batch {
 			t0 := time.Now()
@@ -525,6 +550,42 @@ func (rr *rigRun) execCore(ctx context.Context, cli *core.Client, req Request, r
 	default:
 		return rr.execStore(ctx, req, reqIdx, o, budget)
 	}
+}
+
+// execRegister issues one fresh coverage registration through the
+// failover client. A nil error means the directory durably holds it (at
+// quorum, on a replicated rig) — the teardown audit demands every acked
+// one back from whoever leads after the run's faults.
+func (rr *rigRun) execRegister(ctx context.Context, req Request, phaseIdx, reqIdx, connIdx int, o *phaseOutcome, budget time.Duration) int {
+	mc, err := rr.mirrorCli(connIdx)
+	if err != nil {
+		o.classify(err, 0, budget)
+		return 1
+	}
+	node := rr.rig.Stores[rr.storeFor(req.User, reqIdx)]
+	reg := wire.RegisterRequest{
+		Store:   node.Engine.ID(),
+		Address: node.Addr,
+		Path:    fmt.Sprintf("/user[@id='%s']/scratch-p%d-%d", req.User, phaseIdx, reqIdx),
+	}
+	t0 := time.Now()
+	err = mc.Call(ctx, wire.TypeRegister, &reg, nil)
+	if err == nil {
+		rr.rig.RecordAcked(reg)
+	}
+	o.classify(err, time.Since(t0), budget)
+	return 1
+}
+
+// mirrorIdx maps a request index onto the pre-dialed mirror-client pool.
+func (rr *rigRun) mirrorIdx(i int) int {
+	rr.mu.Lock()
+	n := len(rr.mirrors)
+	rr.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	return i % n
 }
 
 // pathFor picks the resolve target of a non-batch request: the user's
@@ -631,7 +692,7 @@ func (rr *rigRun) runClosed(p *Phase, phaseIdx int, fast bool) (*PhaseReport, er
 				if budget > 0 {
 					ctx, cancel = context.WithTimeout(ctx, budget)
 				}
-				sent[c] += rr.execCore(ctx, cli, req, i, o, budget)
+				sent[c] += rr.execCore(ctx, cli, req, phaseIdx, i, o, budget)
 				cancel()
 			}
 		}(c)
@@ -694,10 +755,18 @@ func (rr *rigRun) runOpen(p *Phase, phaseIdx int, fast bool) (*PhaseReport, erro
 			return nil, err
 		}
 	}
-	needCore := false
+	needCore, needMirror := false, false
+	replicated := len(rr.rig.Members) > 0
 	for _, m := range p.Mix {
-		if m.Verb == VerbReachMe {
+		switch m.Verb {
+		case VerbReachMe:
 			needCore = true
+		case VerbRegister:
+			needMirror = true
+		case VerbResolve:
+			if replicated {
+				needMirror = true
+			}
 		}
 	}
 	if needCore {
@@ -706,6 +775,43 @@ func (rr *rigRun) runOpen(p *Phase, phaseIdx int, fast bool) (*PhaseReport, erro
 				return nil, err
 			}
 		}
+	}
+	if needMirror {
+		for c := 0; c < conns; c++ {
+			if _, err := rr.mirrorCli(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// A kill-leader-after phase assassinates the leader mid-storm and
+	// times how long the survivors take to elect a replacement.
+	var killWG sync.WaitGroup
+	if p.KillLeaderAfter > 0 {
+		killAfter := p.KillLeaderAfter
+		if fast && killAfter >= duration {
+			killAfter = duration / 2
+		}
+		killWG.Add(1)
+		go func() {
+			defer killWG.Done()
+			time.Sleep(killAfter)
+			idx := rr.rig.KillLeader()
+			if idx < 0 {
+				rr.engine.opts.logf("phase %s: no leader to kill", p.Name)
+				return
+			}
+			rr.engine.opts.logf("phase %s: killed leader member %d", p.Name, idx)
+			t0 := time.Now()
+			if rr.rig.WaitLeader(liveness) >= 0 {
+				ms := time.Since(t0).Milliseconds()
+				if ms <= 0 {
+					ms = 1
+				}
+				pr.FailoverMillis = ms
+				rr.engine.opts.logf("phase %s: new leader elected after %dms", p.Name, ms)
+			}
+		}()
 	}
 
 	var wg sync.WaitGroup
@@ -729,10 +835,11 @@ func (rr *rigRun) runOpen(p *Phase, phaseIdx int, fast bool) (*PhaseReport, erro
 				ctx, cancel = context.WithTimeout(ctx, liveness)
 			}
 			defer cancel()
-			rr.execOpen(ctx, req, i, o, budget)
+			rr.execOpen(ctx, req, phaseIdx, i, o, budget)
 		}(i, req)
 	}
 	wg.Wait()
+	killWG.Wait()
 	elapsed := time.Since(start)
 	if pr.InBudget+pr.Shed+pr.Expired == 0 && o.firstErr != nil {
 		return nil, fmt.Errorf("open-loop phase produced only errors: %w", o.firstErr)
@@ -745,9 +852,30 @@ func (rr *rigRun) runOpen(p *Phase, phaseIdx int, fast bool) (*PhaseReport, erro
 }
 
 // execOpen executes one open-loop request on connection i mod conns.
-func (rr *rigRun) execOpen(ctx context.Context, req Request, i int, o *phaseOutcome, budget time.Duration) {
+func (rr *rigRun) execOpen(ctx context.Context, req Request, phaseIdx, i int, o *phaseOutcome, budget time.Duration) {
 	switch req.Verb {
+	case VerbRegister:
+		rr.execRegister(ctx, req, phaseIdx, i, rr.mirrorIdx(i), o, budget)
 	case VerbResolve:
+		if len(rr.rig.Members) > 0 {
+			// Replicated rigs resolve through the failover client so a
+			// mid-phase leader kill re-homes instead of erroring.
+			mc, err := rr.mirrorCli(rr.mirrorIdx(i))
+			if err != nil {
+				o.classify(err, 0, budget)
+				return
+			}
+			var resp wire.ResolveResponse
+			t0 := time.Now()
+			err = mc.Call(ctx, wire.TypeResolve, &wire.ResolveRequest{
+				Path:    rr.pathFor(req, i),
+				Context: policy.Context{Requester: req.User},
+				Verb:    token.VerbFetch,
+				Pattern: wire.QueryPattern(req.Pattern),
+			}, &resp)
+			o.classify(err, time.Since(t0), budget)
+			return
+		}
 		conn, err := rr.wireConn(i % len(rr.wireConns))
 		if err != nil {
 			o.classify(err, 0, budget)

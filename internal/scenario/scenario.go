@@ -43,10 +43,11 @@ const (
 
 // Workload verbs.
 const (
-	VerbResolve = "resolve" // through the MDM (pattern picks the query plan)
-	VerbFetch   = "fetch"   // direct store fetch with a signed query
-	VerbSync    = "sync"    // SyncML fast sync against the owning store
-	VerbReachMe = "reachme" // the reach-me decision over the full profile
+	VerbResolve  = "resolve"  // through the MDM (pattern picks the query plan)
+	VerbFetch    = "fetch"    // direct store fetch with a signed query
+	VerbSync     = "sync"     // SyncML fast sync against the owning store
+	VerbReachMe  = "reachme"  // the reach-me decision over the full profile
+	VerbRegister = "register" // a fresh coverage registration (directory mutation)
 )
 
 // User-selection modes for workload entries.
@@ -67,6 +68,7 @@ const (
 	AssertShedFloor        = "shed-floor"
 	AssertErrorCeiling     = "error-ceiling"
 	AssertZeroLostCoverage = "zero-lost-registrations"
+	AssertFailoverCeiling  = "failover-ceiling"
 )
 
 // Scenario is one declarative experiment: a topology, phases on a
@@ -123,6 +125,14 @@ type RigSpec struct {
 	// Heartbeats runs a registrar per store (interval TTL/2) so leases
 	// stay renewed until a fault silences the store.
 	Heartbeats bool
+	// Replicas, when >= 2, makes the rig a quorum-replicated MDM
+	// constellation instead of a single MDM: Replicas members with
+	// temp-dir journals, one elected leader shipping its log, mutations
+	// acked at Quorum (0 = majority). ElectionTTL is the leader lease;
+	// failover after a leader kill completes within one TTL.
+	Replicas    int
+	Quorum      int
+	ElectionTTL time.Duration
 	// Profile is ProfileBook (default) or ProfileFull.
 	Profile string
 	// Links declares the fault-injection proxies of the rig.
@@ -181,6 +191,11 @@ type Phase struct {
 	// named store (or every dead store, with the single entry "all-dead")
 	// replays its whole coverage concurrently — the thundering herd.
 	Reregister []string
+	// KillLeaderAfter, on a replicated rig's open-loop phase, kills the
+	// constellation's leader that long into the phase (mid-storm) and
+	// measures how long the surviving members take to elect a
+	// replacement; the duration lands in PhaseReport.FailoverMillis.
+	KillLeaderAfter time.Duration
 	// Mix is the phase's workload: each request draws an entry by weight.
 	Mix []MixEntry
 }
@@ -323,6 +338,20 @@ func (r *RigSpec) validate(sc string) error {
 	if r.Heartbeats && r.LeaseTTL <= 0 {
 		return fmt.Errorf("scenario %s: rig %s: heartbeats need lease-ttl", sc, r.Name)
 	}
+	if r.Replicas == 1 || r.Replicas < 0 {
+		return fmt.Errorf("scenario %s: rig %s: replicas must be 0 (single MDM) or >= 2", sc, r.Name)
+	}
+	if r.Replicas >= 2 {
+		if r.Quorum < 0 || r.Quorum > r.Replicas {
+			return fmt.Errorf("scenario %s: rig %s: quorum must be between 0 (majority) and replicas", sc, r.Name)
+		}
+		if r.Heartbeats {
+			return fmt.Errorf("scenario %s: rig %s: replicated rigs seed coverage through the leader, not store registrars", sc, r.Name)
+		}
+		if r.Links.MDM != nil {
+			return fmt.Errorf("scenario %s: rig %s: replicated rigs have no single mdm link to proxy", sc, r.Name)
+		}
+	}
 	for name := range r.Links.PerStore {
 		if storeIndex(name) < 0 || storeIndex(name) >= r.Stores {
 			return fmt.Errorf("scenario %s: rig %s: link %q names no store", sc, r.Name, name)
@@ -350,6 +379,20 @@ func (p *Phase) validate(sc string, rig *RigSpec) error {
 	}
 	if p.Rounds > 0 && p.Clients <= 0 {
 		return fmt.Errorf("scenario %s: phase %s: closed loop needs clients", sc, p.Name)
+	}
+	if rig.Replicas >= 2 && p.Rounds > 0 {
+		return fmt.Errorf("scenario %s: phase %s: replicated rigs drive open-loop (or calibrate) phases only", sc, p.Name)
+	}
+	if p.KillLeaderAfter > 0 {
+		if rig.Replicas < 2 {
+			return fmt.Errorf("scenario %s: phase %s: kill-leader-after needs a replicated rig (replicas >= 2)", sc, p.Name)
+		}
+		if p.Rate.IsZero() {
+			return fmt.Errorf("scenario %s: phase %s: kill-leader-after needs an open-loop phase", sc, p.Name)
+		}
+		if p.KillLeaderAfter >= p.Duration {
+			return fmt.Errorf("scenario %s: phase %s: kill-leader-after must fall inside the phase duration", sc, p.Name)
+		}
 	}
 	if p.Calibrate == 0 && len(p.Mix) == 0 {
 		return fmt.Errorf("scenario %s: phase %s: no workload mix", sc, p.Name)
@@ -383,10 +426,16 @@ func (m *MixEntry) validate(sc, phase string, rig *RigSpec) error {
 		if m.Batch && (m.Pattern != "referral" || rig.Layout != LayoutSplit) {
 			return fmt.Errorf("scenario %s: phase %s: batch resolves need pattern referral on a split rig", sc, phase)
 		}
-	case VerbFetch:
+		if m.Batch && rig.Replicas >= 2 {
+			return fmt.Errorf("scenario %s: phase %s: batch resolves are not supported on replicated rigs", sc, phase)
+		}
+	case VerbFetch, VerbRegister:
 	case VerbSync, VerbReachMe:
 		if rig.Profile != ProfileFull && m.Verb == VerbReachMe {
 			return fmt.Errorf("scenario %s: phase %s: reachme needs profile full", sc, phase)
+		}
+		if rig.Replicas >= 2 && m.Verb == VerbReachMe {
+			return fmt.Errorf("scenario %s: phase %s: reachme is not supported on replicated rigs", sc, phase)
 		}
 	default:
 		return fmt.Errorf("scenario %s: phase %s: unknown verb %q", sc, phase, m.Verb)
@@ -443,6 +492,11 @@ func (a *Assertion) validate(sc string, phases map[string]bool) error {
 		return need(a.Den, "den")
 	case AssertZeroLostCoverage:
 		return nil
+	case AssertFailoverCeiling:
+		if a.Max <= 0 {
+			return fmt.Errorf("scenario %s: failover-ceiling needs max-duration", sc)
+		}
+		return need(a.Phase, "phase")
 	default:
 		return fmt.Errorf("scenario %s: unknown assertion kind %q", sc, a.Kind)
 	}

@@ -24,6 +24,10 @@ type Registrar struct {
 
 	mu   sync.Mutex
 	conn *wire.Client
+	// target is the MDM address currently dialed: cfg.MDM until a
+	// replicated constellation redirects us to its leader, cfg.MDM again
+	// when that leader stops answering.
+	target string
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -72,8 +76,14 @@ func (r *Registrar) client() (*wire.Client, error) {
 	if r.conn != nil {
 		return r.conn, nil
 	}
-	c, err := wire.Dial(r.cfg.MDM)
+	if r.target == "" {
+		r.target = r.cfg.MDM
+	}
+	c, err := wire.Dial(r.target)
 	if err != nil {
+		// The current target (possibly a redirected-to leader that died)
+		// is unreachable: fall back to the configured seed address.
+		r.target = r.cfg.MDM
 		return nil, err
 	}
 	r.conn = c
@@ -81,17 +91,34 @@ func (r *Registrar) client() (*wire.Client, error) {
 }
 
 // dropConn discards the connection after a transport failure so the next
-// call redials (the MDM may have restarted).
+// call redials (the MDM may have restarted), and forgets any redirected
+// leader — the configured address is the seed we can always start from.
 func (r *Registrar) dropConn() {
 	r.mu.Lock()
 	if r.conn != nil {
 		r.conn.Close()
 		r.conn = nil
 	}
+	r.target = r.cfg.MDM
 	r.mu.Unlock()
 }
 
-// call invokes one MDM operation, redialing once on transport failure.
+// rehome re-points the registrar at a replicated constellation's current
+// leader after a not-leader redirect.
+func (r *Registrar) rehome(leaderAddr string) {
+	r.mu.Lock()
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+	if leaderAddr != "" {
+		r.target = leaderAddr
+	}
+	r.mu.Unlock()
+}
+
+// call invokes one MDM operation, redialing once on transport failure
+// and following one not-leader redirect to the constellation's leader.
 func (r *Registrar) call(ctx context.Context, msgType string, req, resp any) error {
 	for attempt := 0; ; attempt++ {
 		c, err := r.client()
@@ -99,6 +126,24 @@ func (r *Registrar) call(ctx context.Context, msgType string, req, resp any) err
 			err = c.Call(ctx, msgType, req, resp)
 			if err == nil {
 				return nil
+			}
+			var notLeader *wire.NotLeaderError
+			if errors.As(err, &notLeader) {
+				r.logf("registrar: %s redirected to leader %q", msgType, notLeader.LeaderAddr)
+				r.rehome(notLeader.LeaderAddr)
+				if attempt >= 4 {
+					return err
+				}
+				if notLeader.LeaderAddr == "" {
+					// Mid-election: no leader to re-home to yet. Elections
+					// settle within a lease TTL; wait a beat and ask again.
+					select {
+					case <-ctx.Done():
+						return err
+					case <-time.After(100 * time.Millisecond):
+					}
+				}
+				continue
 			}
 			var remote *wire.RemoteError
 			if errors.As(err, &remote) {

@@ -84,6 +84,25 @@ func (e *OverloadedError) Error() string {
 	return fmt.Sprintf("wire: %s overloaded: %s (retry after %s)", e.Op, e.Reason, e.RetryAfter)
 }
 
+// NotLeaderError is a replicated MDM refusing a mutation because it is
+// not the constellation's leader (TypeNotLeader reply). Like overload it
+// is a redirect, not a failure: the caller should re-home to LeaderAddr
+// (or probe other members when it is empty) and retry; the resilience
+// layer does not count it against the endpoint's breaker.
+type NotLeaderError struct {
+	Op         string
+	LeaderAddr string
+	LeaderID   string
+	Term       uint64
+}
+
+func (e *NotLeaderError) Error() string {
+	if e.LeaderAddr == "" {
+		return fmt.Sprintf("wire: %s: not leader (no leader known, term %d)", e.Op, e.Term)
+	}
+	return fmt.Sprintf("wire: %s: not leader (leader at %s, term %d)", e.Op, e.LeaderAddr, e.Term)
+}
+
 // Call sends a request and decodes the response payload into resp (which
 // may be nil to discard it). It respects ctx cancellation and deadlines.
 func (c *Client) Call(ctx context.Context, msgType string, req any, resp any) error {
@@ -180,6 +199,20 @@ func (c *Client) Call(ctx context.Context, msgType string, req any, resp any) er
 				Op:         msgType,
 				RetryAfter: time.Duration(op.RetryAfterMillis) * time.Millisecond,
 				Reason:     op.Reason,
+			}
+		}
+		// Same precedence for a not-leader redirect: typed for new
+		// clients, plain Error for old ones.
+		if reply.Type == TypeNotLeader {
+			var nl NotLeaderPayload
+			if len(reply.Payload) > 0 {
+				_ = Unmarshal(reply.Payload, &nl)
+			}
+			return &NotLeaderError{
+				Op:         msgType,
+				LeaderAddr: nl.LeaderAddr,
+				LeaderID:   nl.LeaderID,
+				Term:       nl.Term,
 			}
 		}
 		if reply.Error != "" {

@@ -59,6 +59,20 @@ const (
 	// Old clients that predate the type still terminate cleanly: the reply
 	// also sets Error, which they surface as a plain remote error.
 	TypeOverloaded = "overloaded"
+	// TypeNotLeader is a reply type from a replicated MDM constellation:
+	// the node refused a directory mutation because it is not the current
+	// leader. The payload carries the leader's address (when known) so
+	// clients and stores re-home transparently instead of failing. Like
+	// TypeOverloaded, the reply also sets Error for old clients.
+	TypeNotLeader = "not-leader"
+	// Replication traffic between the MDMs of a constellation: log
+	// append/ack (also the leader's heartbeat when empty), election votes,
+	// and snapshot catch-up chunks. Payload shapes live in
+	// internal/replication (they embed journal records, which wire cannot
+	// import).
+	TypeReplAppend   = "repl-append"
+	TypeReplVote     = "repl-vote"
+	TypeReplSnapshot = "repl-snapshot"
 )
 
 // OverloadedPayload is the body of a TypeOverloaded reply.
@@ -68,6 +82,51 @@ type OverloadedPayload struct {
 	// Reason says why the request was refused ("admission queue full",
 	// "queue wait exceeded", "budget expired on arrival", …).
 	Reason string `json:"reason,omitempty"`
+}
+
+// NotLeaderPayload is the body of a TypeNotLeader reply.
+type NotLeaderPayload struct {
+	// LeaderAddr is the current leader's dialable address; empty when the
+	// node does not know one (mid-election), in which case the caller
+	// should retry another constellation member after a short backoff.
+	LeaderAddr string `json:"leader_addr,omitempty"`
+	// LeaderID names the leader node; Term is the replying node's current
+	// election term (diagnostics and staleness checks).
+	LeaderID string `json:"leader_id,omitempty"`
+	Term     uint64 `json:"term,omitempty"`
+}
+
+// ReplStatus is a replicated node's election/log view, surfaced through
+// StatsResponse for `gupctl replication`.
+type ReplStatus struct {
+	ID   string `json:"id"`
+	Role string `json:"role"` // "leader" | "follower" | "candidate"
+	Term uint64 `json:"term"`
+	// LeaderID/LeaderAddr identify the leader this node follows (itself
+	// when leader; empty mid-election).
+	LeaderID   string `json:"leader_id,omitempty"`
+	LeaderAddr string `json:"leader_addr,omitempty"`
+	// LastIndex is the newest journal record's global index; Base the
+	// index covered by the local snapshot; Quorum the ack count a write
+	// needs (leader included).
+	LastIndex uint64 `json:"last_index"`
+	Base      uint64 `json:"base,omitempty"`
+	Quorum    int    `json:"quorum,omitempty"`
+	// Peers reports the leader's view of each follower (empty on
+	// followers).
+	Peers []ReplPeer `json:"peers,omitempty"`
+}
+
+// ReplPeer is one row of the leader's follower table.
+type ReplPeer struct {
+	Addr string `json:"addr"`
+	// Match is the highest journal index known durably appended at the
+	// peer; Reachable is whether the last ship attempt succeeded.
+	Match     uint64 `json:"match"`
+	Reachable bool   `json:"reachable"`
+	// Snapshots counts snapshot installs shipped to this peer (catch-up
+	// after compaction).
+	Snapshots uint64 `json:"snapshots,omitempty"`
 }
 
 // HeartbeatRequest renews a store's lease. Addr, when non-empty, is
@@ -520,4 +579,7 @@ type StatsResponse struct {
 	BrownoutExits     uint64  `json:"brownout_exits,omitempty"`
 	BrownoutServed    uint64  `json:"brownout_served,omitempty"`
 	Pressure          float64 `json:"pressure,omitempty"`
+	// Repl is the node's replication status (present only when the MDM is
+	// part of a replicated constellation).
+	Repl *ReplStatus `json:"repl,omitempty"`
 }

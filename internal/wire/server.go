@@ -63,6 +63,28 @@ func (c *ServerConn) ReplyOverloaded(m *Message, retryAfter time.Duration, reaso
 	return c.send(out)
 }
 
+// ReplyNotLeader sends the first-class replication redirect for m: the
+// response frame's Type is rewritten to TypeNotLeader so new clients get
+// a typed redirect carrying the leader's address, and Error is also set
+// so old clients that predate the type terminate cleanly with a plain
+// remote error instead of hanging.
+func (c *ServerConn) ReplyNotLeader(m *Message, leaderAddr, leaderID string, term uint64) error {
+	errText := "not leader (no leader known)"
+	if leaderAddr != "" {
+		errText = "not leader (leader at " + leaderAddr + ")"
+	}
+	out := &Message{
+		Type:    TypeNotLeader,
+		ID:      m.ID,
+		Error:   errText,
+		Payload: Marshal(NotLeaderPayload{LeaderAddr: leaderAddr, LeaderID: leaderID, Term: term}),
+	}
+	if m.spanDrain != nil {
+		out.Spans = m.spanDrain()
+	}
+	return c.send(out)
+}
+
 func (c *ServerConn) send(m *Message) error {
 	if c.closed.Load() {
 		return ErrClosed
