@@ -22,6 +22,8 @@
 //	replication                        print quorum-replication role and peer lag
 //	trace <trace-id>                   render a request's span tree
 //	slow [n]                           print recent slow-query traces
+//	shard-map                          print the directory's shard map
+//	rebalance <id=addr,...> [fwd-ms]   move the directory onto a new shard map live
 //
 // get, get-via and update run traced: the request's trace ID is printed to
 // stderr ("trace <id>") so it can be fed to `gupctl trace`.
@@ -34,10 +36,13 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"gupster/internal/core"
 	"gupster/internal/policy"
+	"gupster/internal/shard"
 	"gupster/internal/token"
 	"gupster/internal/trace"
 	"gupster/internal/wire"
@@ -295,6 +300,60 @@ func main() {
 				time.Duration(st.RootMicros)*time.Microsecond)
 			fmt.Print(trace.RenderTree(st.Spans))
 		}
+	case "shard-map":
+		wc, err := wire.Dial(*mdmAddr)
+		fatal(err)
+		defer wc.Close()
+		var m wire.ShardMap
+		fatal(wc.Call(ctx, wire.TypeShardMap, wire.Empty{}, &m))
+		if m.Version == 0 || len(m.Shards) == 0 {
+			fmt.Println("(unsharded: MDM runs without -shard-of)")
+			return
+		}
+		fmt.Printf("shard map v%d (%d shards):\n", m.Version, len(m.Shards))
+		for _, s := range m.Shards {
+			fmt.Printf("  %-16s %s", s.ID, s.Addr)
+			if len(s.Members) > 0 {
+				fmt.Printf("  members=%v", s.Members)
+			}
+			fmt.Println()
+		}
+	case "rebalance":
+		need(args, 2, `rebalance <id=addr,id=addr,...> [forward-ms]`)
+		wc, err := wire.Dial(*mdmAddr)
+		fatal(err)
+		var old wire.ShardMap
+		err = wc.Call(ctx, wire.TypeShardMap, wire.Empty{}, &old)
+		wc.Close()
+		fatal(err)
+		if old.Version == 0 || len(old.Shards) == 0 {
+			log.Fatalf("gupctl: %s holds no shard map — nothing to rebalance", *mdmAddr)
+		}
+		next := wire.ShardMap{Version: old.Version + 1}
+		for _, entry := range strings.Split(args[1], ",") {
+			entry = strings.TrimSpace(entry)
+			if entry == "" {
+				continue
+			}
+			id, addr, ok := strings.Cut(entry, "=")
+			if !ok || id == "" || addr == "" {
+				log.Fatalf(`gupctl: bad shard entry %q (want "id=addr")`, entry)
+			}
+			next.Shards = append(next.Shards, wire.ShardInfo{ID: id, Addr: addr})
+		}
+		var forwardMillis int64
+		if len(args) > 2 {
+			ms, err := strconv.ParseInt(args[2], 10, 64)
+			fatal(err)
+			forwardMillis = ms
+		}
+		fatal(shard.Rebalance(ctx, old, next, shard.RebalanceOptions{
+			ForwardMillis: forwardMillis,
+			Logf: func(format string, a ...any) {
+				fmt.Printf(format+"\n", a...)
+			},
+		}))
+		fmt.Printf("directory live on shard map v%d (%d shards)\n", next.Version, len(next.Shards))
 	default:
 		log.Fatalf("gupctl: unknown command %q", cmd)
 	}

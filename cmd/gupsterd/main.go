@@ -38,6 +38,16 @@
 // re-register. With -lease-ttl stores must heartbeat; one silent past
 // TTL+grace is quarantined out of query plans until it comes back.
 //
+// With -shard-of and -shard-map the daemon serves one shard of a
+// partitioned directory: owners hash onto shards through a deterministic
+// consistent-hash ring over the map, requests for owners held elsewhere
+// are answered with wrong-shard redirects (clients re-route
+// transparently), and `gupctl rebalance` moves owner ranges between
+// shards live. Each shard may itself be a quorum constellation (-peers).
+// With -router the daemon instead runs a data-less front-end that
+// forwards every request to the owning shard, so shard-unaware clients
+// can keep dialing a single address.
+//
 // Data stores register coverage with `datastored -mdm <addr>`; clients use
 // `gupctl -mdm <addr>`.
 package main
@@ -46,6 +56,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -59,13 +70,35 @@ import (
 	"gupster/internal/provenance"
 	"gupster/internal/replication"
 	"gupster/internal/schema"
+	"gupster/internal/shard"
 	"gupster/internal/token"
+	"gupster/internal/wire"
 )
 
 type repeated []string
 
 func (r *repeated) String() string     { return strings.Join(*r, ",") }
 func (r *repeated) Set(s string) error { *r = append(*r, s); return nil }
+
+// parseShardMap decodes "id=addr,id=addr,..." into a versioned shard map.
+func parseShardMap(s string, version uint64) (wire.ShardMap, error) {
+	m := wire.ShardMap{Version: version}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || addr == "" {
+			return m, fmt.Errorf(`gupsterd: bad -shard-map entry %q (want "id=addr")`, entry)
+		}
+		m.Shards = append(m.Shards, wire.ShardInfo{ID: id, Addr: addr})
+	}
+	if _, err := shard.BuildRing(m); err != nil {
+		return m, fmt.Errorf("gupsterd: bad -shard-map: %w", err)
+	}
+	return m, nil
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7000", "address to listen on")
@@ -87,7 +120,53 @@ func main() {
 	replQuorum := flag.Int("replication-quorum", 0, "members (self included) that must hold a mutation durably before acking (0 = majority)")
 	advertise := flag.String("advertise", "", "address peers and redirected clients should dial (default: -listen)")
 	electionTTL := flag.Duration("election-ttl", 2*time.Second, "leader lease TTL; failover completes within one TTL")
+	shardOf := flag.String("shard-of", "", "this node's shard ID in -shard-map (enables shard routing)")
+	shardMapFlag := flag.String("shard-map", "", `initial shard map as "id=addr,id=addr,..." (with -shard-of or -router)`)
+	shardMapVersion := flag.Uint64("shard-map-version", 1, "version of the -shard-map")
+	router := flag.Bool("router", false, "run a data-less shard router over -shard-map instead of an MDM")
 	flag.Parse()
+
+	if *router {
+		// A router holds no directory state — it needs no key, journal or
+		// replication, only the map.
+		if *shardMapFlag == "" {
+			fmt.Fprintln(os.Stderr, "gupsterd: -router requires -shard-map")
+			os.Exit(2)
+		}
+		m, err := parseShardMap(*shardMapFlag, *shardMapVersion)
+		if err != nil {
+			log.Fatalf("gupsterd: %v", err)
+		}
+		rt, err := shard.NewRouter(m, shard.RouterConfig{Logf: log.Printf})
+		if err != nil {
+			log.Fatalf("gupsterd: %v", err)
+		}
+		ws, err := wire.Serve(*listen, rt)
+		if err != nil {
+			log.Fatalf("gupsterd: %v", err)
+		}
+		log.Printf("gupsterd: shard router listening on %s (map v%d, %d shards)", ws.Addr(), m.Version, len(m.Shards))
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("gupsterd: shutting down")
+		ws.Close()
+		rt.Close()
+		return
+	}
+
+	var shardMap wire.ShardMap
+	if *shardOf != "" {
+		if *shardMapFlag == "" {
+			fmt.Fprintln(os.Stderr, "gupsterd: -shard-of requires -shard-map")
+			os.Exit(2)
+		}
+		m, err := parseShardMap(*shardMapFlag, *shardMapVersion)
+		if err != nil {
+			log.Fatalf("gupsterd: %v", err)
+		}
+		shardMap = m
+	}
 
 	if *key == "" {
 		fmt.Fprintln(os.Stderr, "gupsterd: -key is required (shared with data stores)")
@@ -99,6 +178,10 @@ func main() {
 	}
 	if len(replPeers) > 0 && len(peers) > 0 {
 		fmt.Fprintln(os.Stderr, "gupsterd: -peers (quorum replication) and -peer (best-effort mirroring) are mutually exclusive")
+		os.Exit(2)
+	}
+	if *shardOf != "" && len(peers) > 0 {
+		fmt.Fprintln(os.Stderr, "gupsterd: -shard-of cannot combine with -peer mirroring (shard a plain or quorum-replicated MDM)")
 		os.Exit(2)
 	}
 
@@ -158,12 +241,36 @@ func main() {
 		if err != nil {
 			log.Fatalf("gupsterd: %v", err)
 		}
-		if err := node.Start(*listen); err != nil {
-			log.Fatalf("gupsterd: %v", err)
+		if *shardOf != "" {
+			// Shard routing fronts the constellation member: the shard node
+			// answers map/install/coverage frames and routes owner-scoped
+			// traffic before the replication layer sees it.
+			sn := shard.NewNode(shard.NodeConfig{
+				ShardID: *shardOf, MDM: mdm,
+				Inner: wire.HandlerFunc(node.Handle), Logf: log.Printf,
+			})
+			if _, err := sn.Install(&wire.ShardInstallRequest{Map: shardMap}); err != nil {
+				log.Fatalf("gupsterd: %v", err)
+			}
+			ln, err := net.Listen("tcp", *listen)
+			if err != nil {
+				log.Fatalf("gupsterd: %v", err)
+			}
+			node.StartWith(ln, sn)
+			closeServer = func() error {
+				sn.Close()
+				return node.Close()
+			}
+			log.Printf("gupsterd: replicated MDM shard %q listening on %s (map v%d, id=%s, peers=%v, quorum=%d)",
+				*shardOf, node.Addr(), shardMap.Version, id, replPeers, *replQuorum)
+		} else {
+			if err := node.Start(*listen); err != nil {
+				log.Fatalf("gupsterd: %v", err)
+			}
+			closeServer = node.Close
+			log.Printf("gupsterd: replicated MDM listening on %s (id=%s, peers=%v, quorum=%d, election-ttl=%s)",
+				node.Addr(), id, replPeers, *replQuorum, *electionTTL)
 		}
-		closeServer = node.Close
-		log.Printf("gupsterd: replicated MDM listening on %s (id=%s, peers=%v, quorum=%d, election-ttl=%s)",
-			node.Addr(), id, replPeers, *replQuorum, *electionTTL)
 	} else if len(peers) > 0 {
 		mirror := federation.NewMirror(mdm)
 		srv, err := mirror.Serve(*listen)
@@ -178,6 +285,25 @@ func main() {
 			mirror.KeepPeer(p, time.Second)
 		}
 		defer mirror.Close()
+	} else if *shardOf != "" {
+		srv := core.NewServer(mdm)
+		sn := shard.NewNode(shard.NodeConfig{
+			ShardID: *shardOf, MDM: mdm,
+			Inner: wire.HandlerFunc(srv.Handle), Logf: log.Printf,
+		})
+		if _, err := sn.Install(&wire.ShardInstallRequest{Map: shardMap}); err != nil {
+			log.Fatalf("gupsterd: %v", err)
+		}
+		ws, err := wire.Serve(*listen, sn)
+		if err != nil {
+			log.Fatalf("gupsterd: %v", err)
+		}
+		closeServer = func() error {
+			sn.Close()
+			return ws.Close()
+		}
+		log.Printf("gupsterd: MDM shard %q listening on %s (map v%d, %d shards, cache=%d, ttl=%s)",
+			*shardOf, ws.Addr(), shardMap.Version, len(shardMap.Shards), *cache, *ttl)
 	} else {
 		srv := core.NewServer(mdm)
 		if err := srv.Start(*listen); err != nil {

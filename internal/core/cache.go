@@ -199,6 +199,40 @@ func (c *componentCache) evict(el *list.Element) {
 	}
 }
 
+// reset empties the cache wholesale: live entries, the stale side-buffer,
+// and — critically — every owner generation with a fill in flight is
+// advanced so a fetch that started against the pre-reset directory cannot
+// land its answer afterwards. Used when the directory is discarded and
+// rebuilt (a follower installing a leader snapshot): both the cached
+// merges and the parked brownout answers derive from the diverged
+// history and must not survive it.
+func (c *componentCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.entries = make(map[string]*list.Element)
+	c.byOwner = make(map[string]map[string]bool)
+	c.staleLRU.Init()
+	c.stale = make(map[string]*list.Element)
+	// Owners with in-flight fills keep a (bumped) generation so putIfFresh
+	// rejects their stale landings; every other generation is prunable now
+	// that no entry references it.
+	for owner := range c.gens {
+		if c.fills[owner] > 0 {
+			c.gens[owner]++
+		} else {
+			delete(c.gens, owner)
+		}
+	}
+	for owner := range c.fills {
+		if _, ok := c.gens[owner]; !ok {
+			// A fill whose owner had no generation yet snapshotted zero;
+			// give the owner a non-zero generation so that landing fails too.
+			c.gens[owner] = 1
+		}
+	}
+}
+
 // invalidateOwner drops every entry for an owner (a component changed)
 // and advances the owner's generation so in-flight fills cannot land. With
 // no fills in flight the bumped generation is immediately prunable: every

@@ -195,3 +195,30 @@ func TestCachePropertyRandomOps(t *testing.T) {
 	}
 	checkCacheInvariants(t, c)
 }
+
+// Regression for the reset gap: discarding the directory (a follower
+// installing a leader snapshot) must empty the cache — live entries AND
+// the stale brownout side-buffer — and must fence in-flight fills, even
+// fills whose owner had never been invalidated (generation still zero).
+func TestCacheResetBlocksStaleFills(t *testing.T) {
+	c := newComponentCache(8)
+	c.put("k1", "u1", "<old/>")
+	c.invalidateOwner("u1") // parks k1 in the stale side-buffer
+
+	// A fill that began before the reset snapshotted u2's zero generation.
+	gen := c.beginFill("u2")
+
+	c.reset()
+
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("reset kept a live entry")
+	}
+	if _, ok := c.staleGet("k1"); ok {
+		t.Fatal("reset kept a stale side-buffer entry")
+	}
+	if c.putIfFresh("k2", "u2", "<stale/>", gen) {
+		t.Fatal("a fill begun before reset landed its answer afterwards")
+	}
+	c.endFill("u2")
+	checkCacheInvariants(t, c)
+}

@@ -38,9 +38,24 @@ type Client struct {
 	poolMu sync.Mutex
 	pool   map[string]*store.Client
 
-	subMu      sync.Mutex
-	subs       map[uint64]func(wire.Notification)
-	notifyOnce sync.Once
+	// Subscription state. Push subscriptions are server-side, in-memory,
+	// per-node objects: they die with the serving node (leader failover)
+	// and are cancelled with a tombstone when the node discards its
+	// directory (snapshot install) or hands the owner to another shard.
+	// The client therefore keeps its own durable record of every
+	// subscription — path and handler, keyed by a stable client-side
+	// handle — and re-establishes them on reconnect or tombstone, chasing
+	// not-leader and wrong-shard redirects. Callers see the stable handle
+	// in every notification, never the server's per-incarnation ID.
+	subMu       sync.Mutex
+	subRecs     map[uint64]*subRecord // stable handle → record
+	subByServer map[uint64]uint64     // current server sub ID → stable handle
+	subNextID   uint64
+	subConn     *wire.Client // dedicated notification connection
+	subConnAddr string
+	subAddrs    []string // extra re-home candidates (constellation members)
+	subRehoming bool     // one re-home loop at a time
+	subClosed   bool
 
 	// DisableLatencyRouting turns off closest-replica ordering of
 	// alternatives, leaving the MDM's (deterministic) order — the ablation
@@ -125,21 +140,22 @@ func DialMDM(addr, identity, role string) (*Client, error) {
 	}
 	pipe := &metrics.PipelineStats{}
 	return &Client{
-		mdm:        c,
-		mdmAddr:    addr,
-		Identity:   identity,
-		Role:       role,
-		Keys:       xmltree.DefaultKeys,
-		pool:       make(map[string]*store.Client),
-		subs:       make(map[uint64]func(wire.Notification)),
-		lat:        make(map[string]time.Duration),
-		Resilience: resilience.NewGroup(resilience.Policy{}, resilience.BreakerConfig{}, nil),
-		flights:    flight.NewGroup(pipe),
-		pipe:       pipe,
-		Tracer:     trace.NewCollector("client", 0, 0),
-		Budgets:    Budgets{TraceReport: 2 * time.Second},
-		traceQ:     make(chan []trace.Span, 64),
-		traceQuit:  make(chan struct{}),
+		mdm:         c,
+		mdmAddr:     addr,
+		Identity:    identity,
+		Role:        role,
+		Keys:        xmltree.DefaultKeys,
+		pool:        make(map[string]*store.Client),
+		subRecs:     make(map[uint64]*subRecord),
+		subByServer: make(map[uint64]uint64),
+		lat:         make(map[string]time.Duration),
+		Resilience:  resilience.NewGroup(resilience.Policy{}, resilience.BreakerConfig{}, nil),
+		flights:     flight.NewGroup(pipe),
+		pipe:        pipe,
+		Tracer:      trace.NewCollector("client", 0, 0),
+		Budgets:     Budgets{TraceReport: 2 * time.Second},
+		traceQ:      make(chan []trace.Span, 64),
+		traceQuit:   make(chan struct{}),
 	}, nil
 }
 
@@ -312,6 +328,13 @@ func (c *Client) Close() error {
 		c.leaderConn = nil
 	}
 	c.leaderMu.Unlock()
+	c.subMu.Lock()
+	c.subClosed = true
+	if c.subConn != nil {
+		c.subConn.Close()
+		c.subConn = nil
+	}
+	c.subMu.Unlock()
 	c.traceMu.Lock()
 	if c.traceConn != nil {
 		c.traceConn.Close()
@@ -332,19 +355,33 @@ func (c *Client) contextFor(purpose policy.Purpose) policy.Context {
 	return policy.Context{Requester: c.Identity, Role: c.Role, Purpose: purpose}
 }
 
-// callMutate issues a directory mutation, chasing a not-leader redirect:
-// on a quorum-replicated constellation a follower refuses mutations and
-// names the leader, and the client follows transparently instead of
-// surfacing the refusal. Two hops bound the chase — a second redirect
-// means leadership is moving and the caller should see the error.
+// callMutate issues a directory mutation, chasing redirects: on a
+// quorum-replicated constellation a follower refuses mutations and names
+// the leader; on a sharded directory the wrong shard refuses and names
+// the owner's home. The client follows both transparently instead of
+// surfacing the refusal. Three hops bound the chase (wrong shard, then
+// not-leader inside the target constellation, then one leadership move);
+// beyond that the topology is churning and the caller should see the
+// error.
 func (c *Client) callMutate(ctx context.Context, typ string, req, resp any) error {
+	return c.callDirectory(ctx, typ, req, resp)
+}
+
+func (c *Client) callDirectory(ctx context.Context, typ string, req, resp any) error {
 	err := c.mdm.Call(ctx, typ, req, resp)
-	for hops := 0; hops < 2; hops++ {
+	for hops := 0; hops < 3; hops++ {
+		var addr string
 		var nl *wire.NotLeaderError
-		if !errors.As(err, &nl) || nl.LeaderAddr == "" {
+		var ws *wire.WrongShardError
+		switch {
+		case errors.As(err, &nl) && nl.LeaderAddr != "":
+			addr = nl.LeaderAddr
+		case errors.As(err, &ws) && ws.Addr != "":
+			addr = ws.Addr
+		default:
 			return err
 		}
-		lc, derr := c.leaderClient(nl.LeaderAddr)
+		lc, derr := c.leaderClient(addr)
 		if derr != nil {
 			return err
 		}
@@ -372,10 +409,12 @@ func (c *Client) leaderClient(addr string) (*wire.Client, error) {
 	return lc, nil
 }
 
-// Resolve asks the MDM for referrals (or data, for chaining/recruiting).
+// Resolve asks the MDM for referrals (or data, for chaining/recruiting),
+// following a wrong-shard redirect when the dialed MDM is not the owner's
+// home shard.
 func (c *Client) Resolve(ctx context.Context, req *wire.ResolveRequest) (*wire.ResolveResponse, error) {
 	var resp wire.ResolveResponse
-	if err := c.mdm.Call(ctx, wire.TypeResolve, req, &resp); err != nil {
+	if err := c.callDirectory(ctx, wire.TypeResolve, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -740,46 +779,268 @@ func extractForReferral(frag *xmltree.Node, ref wire.Referral, keys xmltree.KeyS
 	return nil
 }
 
+// subRecord is the client's durable record of one push subscription: what
+// was subscribed and where notifications go. id is the stable handle the
+// caller holds; serverID is the serving node's ID for the current
+// incarnation and changes on every re-subscribe.
+type subRecord struct {
+	id       uint64
+	path     string
+	handler  func(wire.Notification)
+	serverID uint64
+}
+
+// SetReconnectAddrs supplies extra addresses (constellation members, shard
+// peers) the client may try when re-homing subscriptions after losing its
+// notification connection. The learned leader address and the original
+// MDM address are always tried first.
+func (c *Client) SetReconnectAddrs(addrs []string) {
+	c.subMu.Lock()
+	c.subAddrs = append([]string(nil), addrs...)
+	c.subMu.Unlock()
+}
+
 // Subscribe registers a push subscription; handler runs on the client's
-// notification loop and must not block.
+// notification loop and must not block. The returned handle stays valid
+// across leader failovers and shard handoffs: when the serving node dies
+// or cancels the subscription with a tombstone, the client re-subscribes
+// on the constellation transparently and keeps delivering under the same
+// handle.
 func (c *Client) Subscribe(ctx context.Context, path string, handler func(wire.Notification)) (uint64, error) {
-	c.notifyOnce.Do(func() {
-		c.mdm.OnNotify(func(msgType string, payload []byte) {
-			if msgType != wire.TypeNotify {
-				return
-			}
-			var n wire.Notification
-			if err := wire.Unmarshal(payload, &n); err != nil {
-				return
-			}
-			c.subMu.Lock()
-			h := c.subs[n.SubID]
-			c.subMu.Unlock()
-			if h != nil {
-				h(n)
-			}
-		})
-	})
-	var resp wire.SubscribeResponse
-	err := c.mdm.Call(ctx, wire.TypeSubscribe, &wire.SubscribeRequest{
-		Path:    path,
-		Context: c.contextFor(policy.PurposeSubscribe),
-	}, &resp)
+	c.subMu.Lock()
+	conn, err := c.subConnLocked()
 	if err != nil {
+		c.subMu.Unlock()
+		return 0, err
+	}
+	c.subNextID++
+	rec := &subRecord{id: c.subNextID, path: path, handler: handler}
+	c.subMu.Unlock()
+
+	if err := c.subscribeOn(ctx, conn, rec); err != nil {
 		return 0, err
 	}
 	c.subMu.Lock()
-	c.subs[resp.SubID] = handler
+	c.subRecs[rec.id] = rec
+	c.subByServer[rec.serverID] = rec.id
 	c.subMu.Unlock()
-	return resp.SubID, nil
+	return rec.id, nil
 }
 
 // Unsubscribe cancels a subscription.
 func (c *Client) Unsubscribe(ctx context.Context, subID uint64) error {
 	c.subMu.Lock()
-	delete(c.subs, subID)
+	rec, ok := c.subRecs[subID]
+	var conn *wire.Client
+	if ok {
+		delete(c.subRecs, subID)
+		delete(c.subByServer, rec.serverID)
+		conn = c.subConn
+	}
 	c.subMu.Unlock()
-	return c.mdm.Call(ctx, wire.TypeUnsubscribe, &wire.UnsubscribeRequest{SubID: subID}, nil)
+	if !ok || conn == nil {
+		return nil
+	}
+	return conn.Call(ctx, wire.TypeUnsubscribe, &wire.UnsubscribeRequest{SubID: rec.serverID}, nil)
+}
+
+// subConnLocked returns the dedicated notification connection, dialing it
+// on first use. Caller holds subMu. Notifications ride a connection of
+// their own so a re-home never disturbs the request connection, and vice
+// versa.
+func (c *Client) subConnLocked() (*wire.Client, error) {
+	if c.subConn != nil {
+		return c.subConn, nil
+	}
+	return c.adoptSubConnLocked(c.mdmAddr)
+}
+
+// adoptSubConnLocked dials addr and installs it as the notification
+// connection, wiring the dispatch and disconnect hooks. Caller holds subMu.
+func (c *Client) adoptSubConnLocked(addr string) (*wire.Client, error) {
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if c.subConn != nil {
+		c.subConn.Close()
+	}
+	c.subConn, c.subConnAddr = conn, addr
+	conn.OnNotify(func(msgType string, payload []byte) {
+		if msgType != wire.TypeNotify {
+			return
+		}
+		var n wire.Notification
+		if err := wire.Unmarshal(payload, &n); err != nil {
+			return
+		}
+		c.dispatchNotification(n)
+	})
+	conn.OnDisconnect(func(error) { c.rehomeSubs(conn) })
+	return conn, nil
+}
+
+// dispatchNotification routes a server notification to the caller's
+// handler under the stable handle. A tombstone (the serving node reset its
+// directory or handed the owner to another shard) triggers a background
+// re-subscribe instead of reaching the handler.
+func (c *Client) dispatchNotification(n wire.Notification) {
+	c.subMu.Lock()
+	id, ok := c.subByServer[n.SubID]
+	rec := c.subRecs[id]
+	if ok && n.Canceled {
+		delete(c.subByServer, n.SubID)
+		rec.serverID = 0
+	}
+	c.subMu.Unlock()
+	if !ok || rec == nil {
+		return
+	}
+	if n.Canceled {
+		go c.resubscribe(rec)
+		return
+	}
+	n.SubID = rec.id
+	rec.handler(n)
+}
+
+// resubscribe re-establishes one tombstoned subscription on the current
+// notification connection (chasing redirects). Failure is retried by the
+// next disconnect/re-home cycle, not here: a tombstone arrives on a live
+// connection, so one attempt is the common case.
+func (c *Client) resubscribe(rec *subRecord) {
+	c.subMu.Lock()
+	conn := c.subConn
+	closed := c.subClosed
+	c.subMu.Unlock()
+	if closed || conn == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.subscribeOn(ctx, conn, rec); err != nil {
+		return
+	}
+	c.subMu.Lock()
+	if _, live := c.subRecs[rec.id]; live {
+		c.subByServer[rec.serverID] = rec.id
+	}
+	c.subMu.Unlock()
+}
+
+// subscribeOn issues one subscribe for rec on conn, chasing a not-leader
+// or wrong-shard redirect (two hops) by re-homing the notification
+// connection to the named address. On success rec.serverID holds the new
+// server-side ID.
+func (c *Client) subscribeOn(ctx context.Context, conn *wire.Client, rec *subRecord) error {
+	req := &wire.SubscribeRequest{Path: rec.path, Context: c.contextFor(policy.PurposeSubscribe)}
+	var resp wire.SubscribeResponse
+	err := conn.Call(ctx, wire.TypeSubscribe, req, &resp)
+	for hops := 0; hops < 2 && err != nil; hops++ {
+		addr := ""
+		var nl *wire.NotLeaderError
+		var ws *wire.WrongShardError
+		switch {
+		case errors.As(err, &nl) && nl.LeaderAddr != "":
+			addr = nl.LeaderAddr
+		case errors.As(err, &ws) && ws.Addr != "":
+			addr = ws.Addr
+		default:
+			return err
+		}
+		c.subMu.Lock()
+		next, derr := c.adoptSubConnLocked(addr)
+		c.subMu.Unlock()
+		if derr != nil {
+			return err
+		}
+		conn = next
+		err = conn.Call(ctx, wire.TypeSubscribe, req, &resp)
+	}
+	if err != nil {
+		return err
+	}
+	rec.serverID = resp.SubID
+	return nil
+}
+
+// rehomeSubs runs when the notification connection dies with live
+// subscriptions outstanding: it re-dials the constellation — the learned
+// leader first, then the original address, then any SetReconnectAddrs
+// candidates — and re-subscribes every record there. Without it a leader
+// failover silently orphans every push subscription: the client keeps a
+// dead handle and the next change is never delivered.
+func (c *Client) rehomeSubs(dead *wire.Client) {
+	c.subMu.Lock()
+	if c.subClosed || c.subConn != dead || len(c.subRecs) == 0 || c.subRehoming {
+		c.subMu.Unlock()
+		return
+	}
+	c.subRehoming = true
+	c.subMu.Unlock()
+	defer func() {
+		c.subMu.Lock()
+		c.subRehoming = false
+		c.subMu.Unlock()
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c.subMu.Lock()
+		if c.subClosed || len(c.subRecs) == 0 {
+			c.subMu.Unlock()
+			return
+		}
+		c.leaderMu.Lock()
+		leader := c.leaderAddr
+		c.leaderMu.Unlock()
+		candidates := make([]string, 0, 2+len(c.subAddrs))
+		if leader != "" {
+			candidates = append(candidates, leader)
+		}
+		candidates = append(candidates, c.mdmAddr)
+		candidates = append(candidates, c.subAddrs...)
+		c.subMu.Unlock()
+
+		for _, addr := range candidates {
+			if c.rehomeSubsTo(addr) {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// rehomeSubsTo tries to move every live subscription to addr; it reports
+// whether all of them re-established (possibly elsewhere, via redirects).
+func (c *Client) rehomeSubsTo(addr string) bool {
+	c.subMu.Lock()
+	conn, err := c.adoptSubConnLocked(addr)
+	recs := make([]*subRecord, 0, len(c.subRecs))
+	for _, rec := range c.subRecs {
+		recs = append(recs, rec)
+	}
+	c.subMu.Unlock()
+	if err != nil {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, rec := range recs {
+		c.subMu.Lock()
+		delete(c.subByServer, rec.serverID)
+		conn = c.subConn // subscribeOn may have re-homed the connection
+		c.subMu.Unlock()
+		if err := c.subscribeOn(ctx, conn, rec); err != nil {
+			return false
+		}
+		c.subMu.Lock()
+		if _, live := c.subRecs[rec.id]; live {
+			c.subByServer[rec.serverID] = rec.id
+		}
+		c.subMu.Unlock()
+	}
+	return true
 }
 
 // PutRule provisions a privacy-shield rule for owner (self-provisioning —

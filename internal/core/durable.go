@@ -5,6 +5,7 @@ import (
 
 	"gupster/internal/coverage"
 	"gupster/internal/journal"
+	"gupster/internal/policy"
 	"gupster/internal/wire"
 	"gupster/internal/xpath"
 )
@@ -17,10 +18,18 @@ import (
 // re-provision shields (the ISSUE's "enter once" applied to meta-data
 // itself).
 //
-// The mutation is validated and applied in memory first, then journaled.
-// If the append fails the caller gets an error (and retries), while the
-// already-applied mutation merely anticipates the retry — replay is
-// idempotent, so this window never corrupts recovery.
+// The mutation is validated and applied in memory first, then journaled
+// (compaction requires this order: an auto-compacting append snapshots
+// the directory stamped with the post-append index, so the directory
+// must already include the record). If the append fails — a local I/O
+// error, or a replicated constellation that could not reach quorum — the
+// in-memory application is rolled back before the caller sees the error:
+// acknowledged state and durable state never diverge. Without the
+// rollback, a leader that lost quorum mid-call would keep serving a
+// registration its followers never accepted, and the divergence would
+// surface as phantom coverage after the next election. The whole
+// apply+append+rollback sequence runs under MDM.mutMu so the rollback is
+// exact.
 
 // journalAppend durably logs one mutation; a no-op without a journal.
 // With a replicator installed (replicated constellation), the record is
@@ -144,7 +153,8 @@ func OpenDurable(m *MDM, dir string, opts journal.Options) (*journal.Recovered, 
 }
 
 // PutRule provisions a privacy-shield rule durably: applied to the
-// policy repository, then journaled. The serving layer goes through this
+// policy repository, then journaled; a failed append restores the rule
+// (or absence) the owner had before. The serving layer goes through this
 // wrapper (not the PAP directly) so shield rules survive a crash exactly
 // like coverage registrations.
 func (m *MDM) PutRule(owner string, req *wire.PutRuleRequest) error {
@@ -152,20 +162,53 @@ func (m *MDM) PutRule(owner string, req *wire.PutRuleRequest) error {
 	if err != nil {
 		return err
 	}
+	m.mutMu.Lock()
+	defer m.mutMu.Unlock()
+	prev, hadPrev := m.ruleByID(owner, rule.ID)
 	if err := m.PAP.PutRule(owner, rule); err != nil {
 		return err
 	}
-	return m.journalAppend(journal.Record{Op: journal.OpPutRule, PutRule: &wire.PutRuleRequest{
+	err = m.journalAppend(journal.Record{Op: journal.OpPutRule, PutRule: &wire.PutRuleRequest{
 		Owner: owner, Rule: req.Rule,
 	}})
+	if err != nil {
+		if hadPrev {
+			_ = m.PAP.PutRule(owner, prev)
+		} else {
+			_ = m.PAP.DeleteRule(owner, rule.ID)
+		}
+	}
+	return err
 }
 
-// DeleteRule withdraws a shield rule durably.
+// DeleteRule withdraws a shield rule durably; a failed append re-provisions
+// the rule it removed.
 func (m *MDM) DeleteRule(owner, ruleID string) error {
+	m.mutMu.Lock()
+	defer m.mutMu.Unlock()
+	prev, hadPrev := m.ruleByID(owner, ruleID)
 	if err := m.PAP.DeleteRule(owner, ruleID); err != nil {
 		return err
 	}
-	return m.journalAppend(journal.Record{Op: journal.OpDeleteRule, DeleteRule: &wire.DeleteRuleRequest{
+	err := m.journalAppend(journal.Record{Op: journal.OpDeleteRule, DeleteRule: &wire.DeleteRuleRequest{
 		Owner: owner, RuleID: ruleID,
 	}})
+	if err != nil && hadPrev {
+		_ = m.PAP.PutRule(owner, prev)
+	}
+	return err
+}
+
+// ruleByID snapshots an owner's current rule for rollback.
+func (m *MDM) ruleByID(owner, id string) (policy.Rule, bool) {
+	shield, err := m.Repo.Get(owner)
+	if err != nil {
+		return policy.Rule{}, false
+	}
+	for _, r := range shield.Rules {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return policy.Rule{}, false
 }

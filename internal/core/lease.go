@@ -64,6 +64,18 @@ func (m *MDM) renewLease(storeID coverage.StoreID) {
 }
 
 // dropLease forgets a store's lease (last registration gone).
+// hasLease reports whether a store currently holds a lease entry (the
+// mutation rollback uses it to restore what forgetStore dropped).
+func (m *MDM) hasLease(storeID coverage.StoreID) bool {
+	if !m.leasesEnabled() {
+		return false
+	}
+	m.leaseMu.Lock()
+	defer m.leaseMu.Unlock()
+	_, ok := m.leases[storeID]
+	return ok
+}
+
 func (m *MDM) dropLease(storeID coverage.StoreID) {
 	if !m.leasesEnabled() {
 		return

@@ -73,11 +73,13 @@ func TestRegisterAddressAuthoritative(t *testing.T) {
 	if got := m.AddrOf("s1"); got != "127.0.0.1:7002" {
 		t.Fatalf("re-registration kept stale address: %q", got)
 	}
+	// A registration without an address is a coverage claim, not an
+	// address update: the directory keeps the last address it learned.
 	if err := m.Register("s1", "", p); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.AddrOf("s1"); got != "" {
-		t.Fatalf("empty re-registration preserved address: %q", got)
+	if got := m.AddrOf("s1"); got != "127.0.0.1:7002" {
+		t.Fatalf("empty re-registration lost the address: %q", got)
 	}
 }
 

@@ -131,6 +131,12 @@ type MDM struct {
 	mu    sync.RWMutex
 	addrs map[coverage.StoreID]string // store → dialable address
 
+	// mutMu serialises the durable mutation path (apply + journal append +
+	// rollback-on-failure). Holding it makes the rollback exact: nothing
+	// else can interleave between the pre-mutation snapshot and the
+	// rollback that restores it. Resolves never take it.
+	mutMu sync.Mutex
+
 	cache *componentCache
 	subs  *subscriptions
 
@@ -222,18 +228,49 @@ func New(cfg Config) *MDM {
 }
 
 // Register records that a store (reachable at addr) covers path. A
-// re-registration is authoritative about the address: a store that moved
-// replaces its previous address (the stale pooled connection is dropped),
-// and an empty addr clears it rather than silently preserving a dead one.
-// With a journal attached the registration is durable before Register
-// returns; with leases enabled it also grants/renews the store's lease.
+// re-registration with a new address is authoritative: a store that moved
+// replaces its previous address (the stale pooled connection is dropped).
+// An empty addr means "no address update" — a store adding a second
+// coverage path without repeating its address keeps the address the
+// directory already knows. With a journal attached the registration is
+// durable before Register returns, and a failed append (local I/O error,
+// lost quorum) rolls the in-memory application back so the caller's error
+// is the truth; with leases enabled it also grants/renews the store's
+// lease.
 func (m *MDM) Register(storeID coverage.StoreID, addr string, path xpath.Path) error {
+	m.mutMu.Lock()
+	defer m.mutMu.Unlock()
+	existed := m.Registry.Registered(path, storeID)
+	m.mu.RLock()
+	prevAddr, hadAddr := m.addrs[storeID]
+	m.mu.RUnlock()
 	if err := m.applyRegister(storeID, addr, path); err != nil {
 		return err
 	}
-	return m.journalAppend(journal.Record{Op: journal.OpRegister, Register: &wire.RegisterRequest{
+	err := m.journalAppend(journal.Record{Op: journal.OpRegister, Register: &wire.RegisterRequest{
 		Store: string(storeID), Address: addr, Path: path.String(),
 	}})
+	if err != nil {
+		// The caller gets an error, so the directory must not keep the
+		// mutation: a leader whose quorum never accepted the record would
+		// otherwise serve registrations its followers do not hold. The
+		// rollback is exact — an idempotent re-registration removes
+		// nothing, and the previous address is restored.
+		if !existed {
+			_ = m.Registry.Unregister(path, storeID)
+			if m.Registry.StoreCount(storeID) == 0 {
+				m.forgetStore(storeID)
+			}
+		}
+		m.mu.Lock()
+		if hadAddr {
+			m.addrs[storeID] = prevAddr
+		} else {
+			delete(m.addrs, storeID)
+		}
+		m.mu.Unlock()
+	}
+	return err
 }
 
 func (m *MDM) applyRegister(storeID coverage.StoreID, addr string, path xpath.Path) error {
@@ -242,13 +279,14 @@ func (m *MDM) applyRegister(storeID coverage.StoreID, addr string, path xpath.Pa
 	}
 	m.mu.Lock()
 	old := m.addrs[storeID]
-	if addr == "" {
-		delete(m.addrs, storeID)
-	} else {
+	// An empty addr is "no address update", not "forget the address":
+	// wiping it would leave every other registration of the store
+	// undialable until its next heartbeat.
+	if addr != "" {
 		m.addrs[storeID] = addr
 	}
 	m.mu.Unlock()
-	if old != "" && old != addr {
+	if old != "" && addr != "" && old != addr {
 		m.dropStoreClient(old)
 	}
 	m.renewLease(storeID)
@@ -257,14 +295,35 @@ func (m *MDM) applyRegister(storeID coverage.StoreID, addr string, path xpath.Pa
 
 // Unregister withdraws a coverage registration. When the store's last
 // registration goes, its address, pooled connection, and lease go with it
-// — the directory forgets the store completely.
+// — the directory forgets the store completely. Like Register, a failed
+// journal append rolls the removal back before the error is returned.
 func (m *MDM) Unregister(storeID coverage.StoreID, path xpath.Path) error {
+	m.mutMu.Lock()
+	defer m.mutMu.Unlock()
+	m.mu.RLock()
+	prevAddr, hadAddr := m.addrs[storeID]
+	m.mu.RUnlock()
+	hadLease := m.hasLease(storeID)
 	if err := m.applyUnregister(storeID, path); err != nil {
 		return err
 	}
-	return m.journalAppend(journal.Record{Op: journal.OpUnregister, Unregister: &wire.UnregisterRequest{
+	err := m.journalAppend(journal.Record{Op: journal.OpUnregister, Unregister: &wire.UnregisterRequest{
 		Store: string(storeID), Path: path.String(),
 	}})
+	if err != nil {
+		// Re-insert the registration and restore whatever forgetStore may
+		// have dropped with the store's last registration.
+		_ = m.Registry.Register(path, storeID)
+		if hadAddr {
+			m.mu.Lock()
+			m.addrs[storeID] = prevAddr
+			m.mu.Unlock()
+		}
+		if hadLease {
+			m.renewLease(storeID)
+		}
+	}
+	return err
 }
 
 func (m *MDM) applyUnregister(storeID coverage.StoreID, path xpath.Path) error {
@@ -884,8 +943,11 @@ func (m *MDM) SetReplStatus(fn func() *wire.ReplStatus) { m.replStatus = fn }
 // the rebuild path a replicated follower takes before installing a
 // leader snapshot, when its local history has diverged from the
 // constellation's. Addresses, pooled store connections, and leases go
-// with the registrations. Profile data cached from stores is untouched
-// (it is owned by the stores, not the directory).
+// with the registrations; so do the component cache (including the stale
+// brownout side-buffer — everything in it was merged under the diverged
+// history) and every live push subscription, which is cancelled with a
+// tombstone notification so its client re-subscribes against the rebuilt
+// directory instead of waiting forever on a feed that will never fire.
 func (m *MDM) ResetDirectory() {
 	for _, reg := range m.Registry.Snapshot() {
 		_ = m.Registry.Unregister(reg.Path, reg.Store)
@@ -911,6 +973,56 @@ func (m *MDM) ResetDirectory() {
 			_ = m.PAP.DeleteRule(owner, rule.ID)
 		}
 	}
+	if m.cache != nil {
+		m.cache.reset()
+	}
+	for _, sub := range m.subs.reset() {
+		sub.deliver(wire.Notification{SubID: sub.id, Path: sub.path.String(), Canceled: true})
+	}
+}
+
+// RetainOwners drops every coverage registration and shield rule whose
+// owner fails keep — the cleanup half of a shard handoff, after an owner
+// range has been replayed to its new shard. Removals go through the
+// normal durable mutation path so a restart cannot resurrect the moved
+// owners; cached components are invalidated and the owners' push
+// subscriptions are cancelled with tombstones so subscribers re-home to
+// the owning shard. Returns how many registrations were dropped.
+func (m *MDM) RetainOwners(keep func(owner string) bool) int {
+	dropped := 0
+	moved := make(map[string]bool)
+	for _, reg := range m.Registry.Snapshot() {
+		owner, _ := coverage.UserOf(reg.Path)
+		if keep(owner) {
+			continue
+		}
+		if err := m.Unregister(reg.Store, reg.Path); err == nil {
+			dropped++
+			moved[owner] = true
+		}
+	}
+	for _, owner := range m.Repo.ChangedSince(0) {
+		if keep(owner) {
+			continue
+		}
+		shield, err := m.Repo.Get(owner)
+		if err != nil {
+			continue
+		}
+		for _, rule := range shield.Rules {
+			_ = m.DeleteRule(owner, rule.ID)
+		}
+		moved[owner] = true
+	}
+	for owner := range moved {
+		if m.cache != nil {
+			m.cache.invalidateOwner(owner)
+		}
+		for _, sub := range m.subs.dropOwner(owner) {
+			sub.deliver(wire.Notification{SubID: sub.id, Path: sub.path.String(), Canceled: true})
+		}
+	}
+	return dropped
 }
 
 // Pipeline exposes the resolve-pipeline counters (coalescing, fan-out,

@@ -119,6 +119,17 @@ func (s *Server) serve(c *wire.ServerConn, m *wire.Message) {
 			_ = c.ReplyNotLeader(m, nl.LeaderAddr, nl.LeaderID, nl.Term)
 			return
 		}
+		// Likewise a request that reached a shard no longer owning the
+		// subject (surfaced here when a forwarding hop chased a stale map):
+		// propagate the redirect so the caller re-routes instead of failing.
+		var ws *wire.WrongShardError
+		if errors.As(err, &ws) {
+			_ = c.ReplyWrongShard(m, wire.WrongShardPayload{
+				Owner: ws.Owner, ShardID: ws.ShardID, Addr: ws.Addr,
+				Members: ws.Members, Map: ws.Map,
+			})
+			return
+		}
 		_ = c.ReplyError(m, err)
 	}
 }

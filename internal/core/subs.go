@@ -88,6 +88,37 @@ func (s *subscriptions) len() int {
 	return len(s.subs)
 }
 
+// reset drops every live subscription and returns them, so the caller
+// can deliver cancellation tombstones. Used when the directory the
+// subscriptions were admitted against is discarded wholesale (a follower
+// re-homing from a leader snapshot).
+func (s *subscriptions) reset() []*subscription {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*subscription, 0, len(s.subs))
+	for _, sub := range s.subs {
+		out = append(out, sub)
+	}
+	s.subs = make(map[uint64]*subscription)
+	s.byOwner = make(map[string]map[uint64]*subscription)
+	return out
+}
+
+// dropOwner removes and returns one owner's subscriptions (shard handoff:
+// the owner's slice of the directory moved to another shard).
+func (s *subscriptions) dropOwner(owner string) []*subscription {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	owned := s.byOwner[owner]
+	out := make([]*subscription, 0, len(owned))
+	for id, sub := range owned {
+		out = append(out, sub)
+		delete(s.subs, id)
+	}
+	delete(s.byOwner, owner)
+	return out
+}
+
 // Subscribe registers a push subscription after checking the privacy shield
 // with the subscribe purpose. deliver runs on the MDM's notification path
 // and must not block.

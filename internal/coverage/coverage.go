@@ -136,6 +136,23 @@ func (r *Registry) Register(path xpath.Path, store StoreID) error {
 	return nil
 }
 
+// Registered reports whether the exact (path, store) registration exists.
+// The mutation path uses it to decide whether a failed journal append
+// must roll back an insert or leave a pre-existing registration alone.
+func (r *Registry) Registered(path xpath.Path, store StoreID) bool {
+	key := path.String()
+	user, _ := UserOf(path)
+	section := sectionOf(path)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.byUser[user][section] {
+		if e.store == store && e.pathStr == key {
+			return true
+		}
+	}
+	return false
+}
+
 // Unregister removes a prior registration.
 func (r *Registry) Unregister(path xpath.Path, store StoreID) error {
 	key := path.String()

@@ -402,6 +402,15 @@ func (mc *MirrorClient) Call(ctx context.Context, msgType string, req, resp any)
 				lastErr = err
 				continue
 			}
+			var wrongShard *wire.WrongShardError
+			if errors.As(err, &wrongShard) && wrongShard.Addr != "" {
+				// A sharded directory redirected us to the owner's home
+				// shard: same treatment as a leader redirect.
+				mc.res.Success(addr)
+				mc.rehome(wrongShard.Addr)
+				lastErr = err
+				continue
+			}
 			var remote *wire.RemoteError
 			if errors.As(err, &remote) {
 				return err // the MDM answered; failing over cannot help

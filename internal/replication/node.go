@@ -186,6 +186,14 @@ func (n *Node) StartListener(ln net.Listener) {
 	n.attach(wire.ServeListener(ln, wire.HandlerFunc(n.Handle)))
 }
 
+// StartWith is StartListener with an outer handler fronting this node's
+// dispatch — shard routing wraps the constellation member while the
+// node's election and shipping loops still run against the listener.
+// The outer handler must eventually delegate to Handle.
+func (n *Node) StartWith(ln net.Listener, h wire.Handler) {
+	n.attach(wire.ServeListener(ln, h))
+}
+
 func (n *Node) attach(ws *wire.Server) {
 	n.ws = ws
 	n.wg.Add(1 + len(n.peers))

@@ -1,0 +1,100 @@
+package replication_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/journal"
+	"gupster/internal/wire"
+)
+
+// Regression: push subscriptions must survive a leader failover. The
+// subscription object lives in the serving node's memory, so killing that
+// node destroys it; before the client-side re-home, core.Client kept a
+// dead handle forever and the next change was silently never delivered.
+// The client must notice the lost connection, re-subscribe on a surviving
+// member, and keep delivering under the same handle.
+func TestSubscriptionSurvivesLeaderFailover(t *testing.T) {
+	c := newCluster(t, 3, journal.Options{})
+	lead := c.waitLeader(4 * testTTL)
+
+	cli, err := core.DialMDM(c.addrs[lead], "alice", "self")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetReconnectAddrs(c.addrs)
+
+	notif := make(chan wire.Notification, 16)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	subID, err := cli.Subscribe(ctx, "/user[@id='alice']/presence", func(n wire.Notification) {
+		notif <- n
+	})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	// Delivery works before the failover.
+	c.mdms[lead].HandleChanged(&wire.ChangedNotice{
+		User: "alice", Path: "/user[@id='alice']/presence",
+		XML: `<presence status="online"/>`, Version: 1,
+	})
+	select {
+	case n := <-notif:
+		if !strings.Contains(n.XML, "online") {
+			t.Fatalf("pre-failover notification XML = %q", n.XML)
+		}
+		if n.SubID != subID {
+			t.Fatalf("notification under handle %d, want %d", n.SubID, subID)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("pre-failover notification never arrived")
+	}
+
+	// Crash the node holding the subscription.
+	if err := c.nodes[lead].Close(); err != nil {
+		t.Logf("leader close: %v", err)
+	}
+	c.nodes[lead] = nil
+	c.waitNewLeader(lead, 4*testTTL)
+
+	// The next change must still reach the subscriber. The client re-homes
+	// in the background, so keep injecting the change at every survivor
+	// until a notification lands (re-subscription may land on any member;
+	// each node only notifies its own subscribers).
+	deadline := time.Now().Add(8 * time.Second)
+	version := uint64(2)
+	for {
+		for i, m := range c.mdms {
+			if i == lead {
+				continue
+			}
+			m.HandleChanged(&wire.ChangedNotice{
+				User: "alice", Path: "/user[@id='alice']/presence",
+				XML: `<presence status="offline"/>`, Version: version,
+			})
+		}
+		version++
+		select {
+		case n := <-notif:
+			if n.Canceled {
+				t.Fatalf("tombstone leaked to the handler: %+v", n)
+			}
+			if !strings.Contains(n.XML, "offline") {
+				t.Fatalf("post-failover notification XML = %q", n.XML)
+			}
+			if n.SubID != subID {
+				t.Fatalf("post-failover notification under handle %d, want the original %d", n.SubID, subID)
+			}
+			return
+		case <-time.After(200 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("subscription did not survive the leader failover: no notification after the kill")
+		}
+	}
+}

@@ -136,6 +136,19 @@ func evalOne(a *Assertion, report *Report) AssertionResult {
 			return fail("phase %s failover took %s, ceiling %s — election is slower than one lease TTL", a.Phase, got, a.Max)
 		}
 		return pass("phase %s failed over in %s (ceiling %s)", a.Phase, got, a.Max)
+
+	case AssertMovedOwnersFloor:
+		p := phase(a.Phase)
+		if p == nil {
+			return fail("phase %q not in report", a.Phase)
+		}
+		if p.RebalanceMillis <= 0 {
+			return fail("phase %s recorded no rebalance — the shard-map expansion did not fire or did not complete", a.Phase)
+		}
+		if float64(p.MovedOwners) < a.Min {
+			return fail("phase %s rebalance moved %d owners, floor %.0f — the expansion did not actually spread the keyspace", a.Phase, p.MovedOwners, a.Min)
+		}
+		return pass("phase %s rebalanced in %dms, %d owners moved (floor %.0f)", a.Phase, p.RebalanceMillis, p.MovedOwners, a.Min)
 	}
 	return fail("unknown assertion kind %q", a.Kind)
 }

@@ -501,6 +501,8 @@ func decodeRig(n *node, r *RigSpec) error {
 		"replicas":           setInt(&r.Replicas, "replicas"),
 		"quorum":             setInt(&r.Quorum, "quorum"),
 		"election-ttl":       setDuration(&r.ElectionTTL, "election-ttl"),
+		"shards":             setInt(&r.Shards, "shards"),
+		"spare-shards":       setInt(&r.SpareShards, "spare-shards"),
 		"profile":            setString(&r.Profile, "profile"),
 		"links":              func(n *node) error { return decodeLinks(n, &r.Links) },
 	})
@@ -550,6 +552,7 @@ func decodePhase(n *node, p *Phase) error {
 		"conns":     setInt(&p.Conns, "conns"),
 		"duration":  setDuration(&p.Duration, "duration"),
 		"kill-leader-after": setDuration(&p.KillLeaderAfter, "kill-leader-after"),
+		"rebalance-after":   setDuration(&p.RebalanceAfter, "rebalance-after"),
 		"rate": func(n *node) error {
 			s, err := wantScalar(n, "rate")
 			if err != nil {

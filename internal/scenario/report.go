@@ -41,6 +41,11 @@ type PhaseReport struct {
 	// FailoverMillis is how long a kill-leader-after phase's surviving
 	// members took to elect a replacement (0 = no kill in this phase).
 	FailoverMillis int64 `json:"failover_ms,omitempty"`
+	// RebalanceMillis is how long a rebalance-after phase's live shard-map
+	// expansion took end to end (0 = no rebalance in this phase);
+	// MovedOwners counts the seeded owners whose home shard changed.
+	RebalanceMillis int64 `json:"rebalance_ms,omitempty"`
+	MovedOwners     int   `json:"moved_owners,omitempty"`
 	// Resources samples the host across the phase (CPU as a delta).
 	Resources Resources `json:"resources"`
 }

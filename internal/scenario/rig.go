@@ -19,6 +19,7 @@ import (
 	"gupster/internal/replication"
 	"gupster/internal/resilience"
 	"gupster/internal/schema"
+	"gupster/internal/shard"
 	"gupster/internal/store"
 	"gupster/internal/token"
 	"gupster/internal/wire"
@@ -102,6 +103,20 @@ type Member struct {
 	Killed atomic.Bool
 }
 
+// Shard is one directory shard of a sharded rig: an independent MDM
+// slice wrapped in a routing shard node, serving the owners the
+// installed map's ring assigns to its ID.
+type Shard struct {
+	ID   string
+	MDM  *core.MDM
+	Node *shard.Node
+	Addr string
+	srv  *wire.Server
+	// Spare marks a shard built outside the initial map — a rebalance
+	// expansion target holding no owners until the map grows onto it.
+	Spare bool
+}
+
 // Rig is a built topology instance: one MDM fronting a set of stores,
 // with fault-injectable links, seeded users and a shared signer. Build
 // one from a spec; Close tears it down registrars-first so no goroutine
@@ -126,6 +141,13 @@ type Rig struct {
 
 	// Members is the replicated constellation (empty on single-MDM rigs).
 	Members []*Member
+
+	// Shards is the sharded directory (empty on single-MDM and replicated
+	// rigs); shardMap/shardRing track the currently installed map.
+	Shards    []*Shard
+	shardMu   sync.Mutex
+	shardMap  wire.ShardMap
+	shardRing *shard.Ring
 
 	Stores []*StoreNode
 	// Users is the owner population; Paths the registered coverage paths
@@ -158,6 +180,10 @@ func (r *Rig) build() error {
 	spec := &r.Spec
 	if spec.Replicas >= 2 {
 		if err := r.buildReplicated(); err != nil {
+			return err
+		}
+	} else if spec.Shards >= 2 {
+		if err := r.buildSharded(); err != nil {
 			return err
 		}
 	} else {
@@ -274,6 +300,109 @@ func (r *Rig) buildReplicated() error {
 	r.MDM = r.Members[lead].MDM
 	r.MDMAddr = r.Members[lead].Addr
 	return nil
+}
+
+// buildSharded assembles the partitioned directory: Shards+SpareShards
+// independent MDM slices, each behind a routing shard node on its own
+// listener. The initial map (version 1) covers only the non-spare shards
+// and is installed everywhere — spares included, so a spare redirects
+// rather than mis-serving until a rebalance grows the map onto it.
+// Seeding then registers each owner's coverage at its home shard's MDM
+// in-process, exactly as the ring routes it.
+func (r *Rig) buildSharded() error {
+	spec := &r.Spec
+	total := spec.Shards + spec.SpareShards
+	for i := 0; i < total; i++ {
+		m := core.New(MDMConfig(spec, r.Signer))
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			m.Close()
+			return err
+		}
+		id := fmt.Sprintf("shard-%d", i)
+		sn := shard.NewNode(shard.NodeConfig{
+			ShardID: id,
+			MDM:     m,
+			Inner:   wire.HandlerFunc(core.NewServer(m).Handle),
+		})
+		r.Shards = append(r.Shards, &Shard{
+			ID: id, MDM: m, Node: sn, Addr: ln.Addr().String(),
+			srv: wire.ServeListener(ln, sn), Spare: i >= spec.Shards,
+		})
+	}
+	initial := wire.ShardMap{Version: 1}
+	for _, s := range r.Shards[:spec.Shards] {
+		initial.Shards = append(initial.Shards, wire.ShardInfo{ID: s.ID, Addr: s.Addr})
+	}
+	ring, err := shard.BuildRing(initial)
+	if err != nil {
+		return err
+	}
+	for _, s := range r.Shards {
+		if _, err := s.Node.Install(&wire.ShardInstallRequest{Map: initial}); err != nil {
+			return err
+		}
+	}
+	r.shardMap, r.shardRing = initial, ring
+	// The first shard stands in as "the MDM" for pipeline counters and as
+	// the seed address shard-aware clients bootstrap from.
+	r.MDM = r.Shards[0].MDM
+	r.MDMAddr = r.Shards[0].Addr
+	return nil
+}
+
+// directoryFor returns the MDM holding an owner's directory slice: the
+// owner's home shard under the current ring, or the audit MDM on
+// unsharded rigs.
+func (r *Rig) directoryFor(owner string) *core.MDM {
+	if len(r.Shards) == 0 {
+		return r.auditMDM()
+	}
+	r.shardMu.Lock()
+	ring := r.shardRing
+	r.shardMu.Unlock()
+	home := ring.Owner(owner)
+	for _, s := range r.Shards {
+		if s.ID == home.ID {
+			return s.MDM
+		}
+	}
+	return r.MDM
+}
+
+// Rebalance expands the shard map onto the rig's spare shards and runs
+// the live three-phase rebalance against the running constellation,
+// replaying moved coverage shard-to-shard while resolves continue.
+// Returns how many seeded owners changed home shards.
+func (r *Rig) Rebalance(ctx context.Context) (int, error) {
+	r.shardMu.Lock()
+	old := r.shardMap
+	r.shardMu.Unlock()
+	next := wire.ShardMap{Version: old.Version + 1}
+	for _, s := range r.Shards {
+		next.Shards = append(next.Shards, wire.ShardInfo{ID: s.ID, Addr: s.Addr})
+	}
+	oldRing, err := shard.BuildRing(old)
+	if err != nil {
+		return 0, err
+	}
+	nextRing, err := shard.BuildRing(next)
+	if err != nil {
+		return 0, err
+	}
+	moved := 0
+	for _, u := range r.Users {
+		if oldRing.Owner(u).ID != nextRing.Owner(u).ID {
+			moved++
+		}
+	}
+	if err := shard.Rebalance(ctx, old, next, shard.RebalanceOptions{ForwardMillis: 300}); err != nil {
+		return moved, err
+	}
+	r.shardMu.Lock()
+	r.shardMap, r.shardRing = next, nextRing
+	r.shardMu.Unlock()
+	return moved, nil
 }
 
 // Leader returns the index of the live member currently reporting
@@ -401,9 +530,17 @@ func (r *Rig) buildStore(i int) (*StoreNode, error) {
 	return node, nil
 }
 
-// register records a coverage path for a node at the MDM.
+// register records a coverage path for a node at the MDM — on a sharded
+// rig, at the path owner's home shard, exactly as the ring routes it.
 func (r *Rig) register(node *StoreNode, path string) error {
-	if err := r.MDM.Register(coverage.StoreID(node.Engine.ID()), node.Addr, xpath.MustParse(path)); err != nil {
+	p := xpath.MustParse(path)
+	m := r.MDM
+	if len(r.Shards) > 0 {
+		if owner, ok := coverage.UserOf(p); ok {
+			m = r.directoryFor(owner)
+		}
+	}
+	if err := m.Register(coverage.StoreID(node.Engine.ID()), node.Addr, p); err != nil {
 		return err
 	}
 	node.Coverage = append(node.Coverage, path)
@@ -569,20 +706,30 @@ func (r *Rig) ExpectedRegistrations() int {
 // and how many quorum-acked workload registrations went missing — the
 // zero-lost claim a leader kill must not break.
 func (r *Rig) auditCoverage(audit *RegistrationAudit) {
-	m := r.auditMDM()
 	r.ackedMu.Lock()
 	acked := append([]wire.RegisterRequest(nil), r.acked...)
 	r.ackedMu.Unlock()
-	if len(r.Members) == 0 && len(acked) == 0 {
-		audit.Registered = m.Registry.Len()
+	if len(r.Members) == 0 && len(r.Shards) == 0 && len(acked) == 0 {
+		audit.Registered = r.auditMDM().Registry.Len()
 		return
 	}
 	canon := func(store, path string) string {
 		return store + "|" + xpath.MustParse(path).String()
 	}
+	// A sharded rig's directory is the union of its slices (a mid-drain
+	// source may briefly hold a moved owner alongside its new home, so a
+	// raw sum would double-count).
 	present := map[string]bool{}
-	for _, reg := range m.CoverageSnapshot() {
-		present[reg.Store+"|"+reg.Path] = true
+	if len(r.Shards) > 0 {
+		for _, s := range r.Shards {
+			for _, reg := range s.MDM.CoverageSnapshot() {
+				present[reg.Store+"|"+reg.Path] = true
+			}
+		}
+	} else {
+		for _, reg := range r.auditMDM().CoverageSnapshot() {
+			present[reg.Store+"|"+reg.Path] = true
+		}
 	}
 	for _, node := range r.Stores {
 		for _, p := range node.Coverage {
@@ -626,7 +773,17 @@ func (r *Rig) Close() {
 		mem.MDM.Close()
 		os.RemoveAll(mem.Dir)
 	}
-	if r.MDM != nil && len(r.Members) == 0 {
+	// Shards own their MDMs (r.MDM aliases the first shard's); stop the
+	// wire servers first, then the routing nodes' forwarding connections
+	// and drain timers, then the directories themselves.
+	for _, s := range r.Shards {
+		s.srv.Close()
+	}
+	for _, s := range r.Shards {
+		s.Node.Close()
+		s.MDM.Close()
+	}
+	if r.MDM != nil && len(r.Members) == 0 && len(r.Shards) == 0 {
 		r.MDM.Close()
 	}
 	for _, node := range r.Stores {
@@ -698,10 +855,12 @@ func probeContext(owner string) policy.Context {
 // verifying end-of-run registration integrity (the zero-lost-
 // registrations audit). Returns the number of failed probes.
 func (r *Rig) probeCoverage(ctx context.Context) int {
-	m := r.auditMDM()
 	failures := 0
 	probe := func(owner, path string) {
-		_, err := m.Resolve(ctx, &wire.ResolveRequest{
+		// directoryFor routes each probe to the owner's home shard on a
+		// sharded rig (post-rebalance ring included) and to the audit MDM
+		// everywhere else.
+		_, err := r.directoryFor(owner).Resolve(ctx, &wire.ResolveRequest{
 			Path:    path,
 			Context: probeContext(owner),
 			Verb:    token.VerbFetch,

@@ -15,6 +15,7 @@ import (
 	"gupster/internal/metrics"
 	"gupster/internal/policy"
 	"gupster/internal/reachme"
+	"gupster/internal/shard"
 	"gupster/internal/store"
 	"gupster/internal/syncml"
 	"gupster/internal/token"
@@ -152,6 +153,11 @@ type rigRun struct {
 	// directory mutations (and, on replicated rigs, resolves) ride them
 	// so a leader kill re-homes transparently.
 	mirrors []*federation.MirrorClient
+	// shardClis are shard-aware clients (sharded rigs) — they route each
+	// request to its owner's home shard and adopt newer maps from
+	// wrong-shard redirects, so a mid-phase rebalance re-routes instead
+	// of erroring.
+	shardClis []*shard.Client
 	// userStore maps user → owning store index (sharded layout).
 	userStore map[string]int
 }
@@ -169,7 +175,10 @@ func (rr *rigRun) close() {
 	for _, c := range rr.mirrors {
 		c.Close()
 	}
-	rr.wireConns, rr.coreClis, rr.storeClis, rr.mirrors = nil, nil, nil, nil
+	for _, c := range rr.shardClis {
+		c.Close()
+	}
+	rr.wireConns, rr.coreClis, rr.storeClis, rr.mirrors, rr.shardClis = nil, nil, nil, nil, nil
 }
 
 // wireConn returns (dialing on demand) the i-th raw wire connection.
@@ -213,6 +222,32 @@ func (rr *rigRun) mirrorCli(i int) (*federation.MirrorClient, error) {
 		rr.mirrors = append(rr.mirrors, mc)
 	}
 	return rr.mirrors[i], nil
+}
+
+// shardCli returns the i-th pooled shard-aware client, bootstrapping its
+// map from the rig's first shard.
+func (rr *rigRun) shardCli(i int) (*shard.Client, error) {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	for len(rr.shardClis) <= i {
+		c, err := shard.Dial(rr.rig.MDMAddr)
+		if err != nil {
+			return nil, err
+		}
+		rr.shardClis = append(rr.shardClis, c)
+	}
+	return rr.shardClis[i], nil
+}
+
+// shardIdx maps a request index onto the pre-dialed shard-client pool.
+func (rr *rigRun) shardIdx(i int) int {
+	rr.mu.Lock()
+	n := len(rr.shardClis)
+	rr.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	return i % n
 }
 
 // storeCli returns the pooled direct connection to store i (through its
@@ -451,16 +486,25 @@ func (rr *rigRun) runPhase(p *Phase, phaseIdx int) (*PhaseReport, error) {
 	return pr, nil
 }
 
-// chainOnce issues one chaining resolve over a raw wire connection —
-// the calibration unit.
+// chainOnce issues one chaining resolve — the calibration unit. Sharded
+// rigs route it by owner through the shard-aware client; everything else
+// goes over the raw wire connection.
 func (rr *rigRun) chainOnce(ctx context.Context, conn *wire.Client, user string) error {
-	var resp wire.ResolveResponse
-	return conn.Call(ctx, wire.TypeResolve, &wire.ResolveRequest{
+	req := &wire.ResolveRequest{
 		Path:    fmt.Sprintf("/user[@id='%s']/address-book", user),
 		Context: policy.Context{Requester: user},
 		Verb:    token.VerbFetch,
 		Pattern: wire.PatternChaining,
-	}, &resp)
+	}
+	var resp wire.ResolveResponse
+	if len(rr.rig.Shards) > 0 {
+		sc, err := rr.shardCli(0)
+		if err != nil {
+			return err
+		}
+		return sc.Call(ctx, user, wire.TypeResolve, req, &resp)
+	}
+	return conn.Call(ctx, wire.TypeResolve, req, &resp)
 }
 
 // runCalibrate measures the unloaded sequential service p50. The run's
@@ -755,8 +799,9 @@ func (rr *rigRun) runOpen(p *Phase, phaseIdx int, fast bool) (*PhaseReport, erro
 			return nil, err
 		}
 	}
-	needCore, needMirror := false, false
+	needCore, needMirror, needShard := false, false, false
 	replicated := len(rr.rig.Members) > 0
+	sharded := len(rr.rig.Shards) > 0
 	for _, m := range p.Mix {
 		switch m.Verb {
 		case VerbReachMe:
@@ -766,6 +811,9 @@ func (rr *rigRun) runOpen(p *Phase, phaseIdx int, fast bool) (*PhaseReport, erro
 		case VerbResolve:
 			if replicated {
 				needMirror = true
+			}
+			if sharded {
+				needShard = true
 			}
 		}
 	}
@@ -779,6 +827,13 @@ func (rr *rigRun) runOpen(p *Phase, phaseIdx int, fast bool) (*PhaseReport, erro
 	if needMirror {
 		for c := 0; c < conns; c++ {
 			if _, err := rr.mirrorCli(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if needShard {
+		for c := 0; c < conns; c++ {
+			if _, err := rr.shardCli(c); err != nil {
 				return nil, err
 			}
 		}
@@ -811,6 +866,35 @@ func (rr *rigRun) runOpen(p *Phase, phaseIdx int, fast bool) (*PhaseReport, erro
 				pr.FailoverMillis = ms
 				rr.engine.opts.logf("phase %s: new leader elected after %dms", p.Name, ms)
 			}
+		}()
+	}
+
+	// A rebalance-after phase expands the shard map onto the spares
+	// mid-storm: the resolve stream must ride through the handoff and
+	// drain windows without a single failed request.
+	if p.RebalanceAfter > 0 {
+		after := p.RebalanceAfter
+		if fast && after >= duration {
+			after = duration / 2
+		}
+		killWG.Add(1)
+		go func() {
+			defer killWG.Done()
+			time.Sleep(after)
+			t0 := time.Now()
+			moved, err := rr.rig.Rebalance(context.Background())
+			if err != nil {
+				rr.engine.opts.logf("phase %s: rebalance failed: %v", p.Name, err)
+				return
+			}
+			ms := time.Since(t0).Milliseconds()
+			if ms <= 0 {
+				ms = 1
+			}
+			pr.RebalanceMillis = ms
+			pr.MovedOwners = moved
+			rr.engine.opts.logf("phase %s: rebalanced onto %d shards in %dms (%d owners moved)",
+				p.Name, len(rr.rig.Shards), ms, moved)
 		}()
 	}
 
@@ -857,6 +941,26 @@ func (rr *rigRun) execOpen(ctx context.Context, req Request, phaseIdx, i int, o 
 	case VerbRegister:
 		rr.execRegister(ctx, req, phaseIdx, i, rr.mirrorIdx(i), o, budget)
 	case VerbResolve:
+		if len(rr.rig.Shards) > 0 {
+			// Sharded rigs resolve through the shard-aware client so each
+			// request lands on its owner's home shard — and re-routes via
+			// wrong-shard redirects while a rebalance moves the keyspace.
+			sc, err := rr.shardCli(rr.shardIdx(i))
+			if err != nil {
+				o.classify(err, 0, budget)
+				return
+			}
+			var resp wire.ResolveResponse
+			t0 := time.Now()
+			err = sc.Call(ctx, req.User, wire.TypeResolve, &wire.ResolveRequest{
+				Path:    rr.pathFor(req, i),
+				Context: policy.Context{Requester: req.User},
+				Verb:    token.VerbFetch,
+				Pattern: wire.QueryPattern(req.Pattern),
+			}, &resp)
+			o.classify(err, time.Since(t0), budget)
+			return
+		}
 		if len(rr.rig.Members) > 0 {
 			// Replicated rigs resolve through the failover client so a
 			// mid-phase leader kill re-homes instead of erroring.

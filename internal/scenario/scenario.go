@@ -69,6 +69,7 @@ const (
 	AssertErrorCeiling     = "error-ceiling"
 	AssertZeroLostCoverage = "zero-lost-registrations"
 	AssertFailoverCeiling  = "failover-ceiling"
+	AssertMovedOwnersFloor = "moved-owners-floor"
 )
 
 // Scenario is one declarative experiment: a topology, phases on a
@@ -133,6 +134,15 @@ type RigSpec struct {
 	Replicas    int
 	Quorum      int
 	ElectionTTL time.Duration
+	// Shards, when >= 2, makes the rig a partitioned directory instead of
+	// a single MDM: Shards independent MDM slices behind a consistent-hash
+	// ring over the owner keyspace, each wrapped in a routing shard node.
+	// Workload resolves ride a shard-aware client that routes by owner and
+	// chases wrong-shard redirects. SpareShards builds that many extra
+	// shards outside the initial map — the expansion targets a mid-phase
+	// rebalance (Phase.RebalanceAfter) grows onto.
+	Shards      int
+	SpareShards int
 	// Profile is ProfileBook (default) or ProfileFull.
 	Profile string
 	// Links declares the fault-injection proxies of the rig.
@@ -196,6 +206,12 @@ type Phase struct {
 	// measures how long the surviving members take to elect a
 	// replacement; the duration lands in PhaseReport.FailoverMillis.
 	KillLeaderAfter time.Duration
+	// RebalanceAfter, on a sharded rig's open-loop phase, expands the
+	// shard map onto the rig's spare shards that long into the phase —
+	// a live rebalance under fire. The wall time lands in
+	// PhaseReport.RebalanceMillis and the count of owners whose home
+	// shard changed in PhaseReport.MovedOwners.
+	RebalanceAfter time.Duration
 	// Mix is the phase's workload: each request draws an entry by weight.
 	Mix []MixEntry
 }
@@ -352,6 +368,26 @@ func (r *RigSpec) validate(sc string) error {
 			return fmt.Errorf("scenario %s: rig %s: replicated rigs have no single mdm link to proxy", sc, r.Name)
 		}
 	}
+	if r.Shards == 1 || r.Shards < 0 {
+		return fmt.Errorf("scenario %s: rig %s: shards must be 0 (single MDM) or >= 2", sc, r.Name)
+	}
+	if r.SpareShards < 0 || (r.SpareShards > 0 && r.Shards < 2) {
+		return fmt.Errorf("scenario %s: rig %s: spare-shards need a sharded rig (shards >= 2)", sc, r.Name)
+	}
+	if r.Shards >= 2 {
+		if r.Layout != LayoutSharded {
+			return fmt.Errorf("scenario %s: rig %s: a sharded directory needs the sharded layout", sc, r.Name)
+		}
+		if r.Replicas >= 2 {
+			return fmt.Errorf("scenario %s: rig %s: shards and replicas are separate rig kinds", sc, r.Name)
+		}
+		if r.Heartbeats {
+			return fmt.Errorf("scenario %s: rig %s: sharded rigs seed coverage in-process, not through store registrars", sc, r.Name)
+		}
+		if r.Links.MDM != nil {
+			return fmt.Errorf("scenario %s: rig %s: sharded rigs have no single mdm link to proxy", sc, r.Name)
+		}
+	}
 	for name := range r.Links.PerStore {
 		if storeIndex(name) < 0 || storeIndex(name) >= r.Stores {
 			return fmt.Errorf("scenario %s: rig %s: link %q names no store", sc, r.Name, name)
@@ -383,6 +419,9 @@ func (p *Phase) validate(sc string, rig *RigSpec) error {
 	if rig.Replicas >= 2 && p.Rounds > 0 {
 		return fmt.Errorf("scenario %s: phase %s: replicated rigs drive open-loop (or calibrate) phases only", sc, p.Name)
 	}
+	if rig.Shards >= 2 && p.Rounds > 0 {
+		return fmt.Errorf("scenario %s: phase %s: sharded rigs drive open-loop (or calibrate) phases only", sc, p.Name)
+	}
 	if p.KillLeaderAfter > 0 {
 		if rig.Replicas < 2 {
 			return fmt.Errorf("scenario %s: phase %s: kill-leader-after needs a replicated rig (replicas >= 2)", sc, p.Name)
@@ -392,6 +431,17 @@ func (p *Phase) validate(sc string, rig *RigSpec) error {
 		}
 		if p.KillLeaderAfter >= p.Duration {
 			return fmt.Errorf("scenario %s: phase %s: kill-leader-after must fall inside the phase duration", sc, p.Name)
+		}
+	}
+	if p.RebalanceAfter > 0 {
+		if rig.Shards < 2 || rig.SpareShards < 1 {
+			return fmt.Errorf("scenario %s: phase %s: rebalance-after needs a sharded rig with spare-shards", sc, p.Name)
+		}
+		if p.Rate.IsZero() {
+			return fmt.Errorf("scenario %s: phase %s: rebalance-after needs an open-loop phase", sc, p.Name)
+		}
+		if p.RebalanceAfter >= p.Duration {
+			return fmt.Errorf("scenario %s: phase %s: rebalance-after must fall inside the phase duration", sc, p.Name)
 		}
 	}
 	if p.Calibrate == 0 && len(p.Mix) == 0 {
@@ -436,6 +486,9 @@ func (m *MixEntry) validate(sc, phase string, rig *RigSpec) error {
 		}
 		if rig.Replicas >= 2 && m.Verb == VerbReachMe {
 			return fmt.Errorf("scenario %s: phase %s: reachme is not supported on replicated rigs", sc, phase)
+		}
+		if rig.Shards >= 2 && m.Verb == VerbReachMe {
+			return fmt.Errorf("scenario %s: phase %s: reachme is not supported on sharded rigs", sc, phase)
 		}
 	default:
 		return fmt.Errorf("scenario %s: phase %s: unknown verb %q", sc, phase, m.Verb)
@@ -495,6 +548,11 @@ func (a *Assertion) validate(sc string, phases map[string]bool) error {
 	case AssertFailoverCeiling:
 		if a.Max <= 0 {
 			return fmt.Errorf("scenario %s: failover-ceiling needs max-duration", sc)
+		}
+		return need(a.Phase, "phase")
+	case AssertMovedOwnersFloor:
+		if a.Min <= 0 {
+			return fmt.Errorf("scenario %s: moved-owners-floor needs min", sc)
 		}
 		return need(a.Phase, "phase")
 	default:

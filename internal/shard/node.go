@@ -1,0 +1,524 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gupster/internal/core"
+	"gupster/internal/coverage"
+	"gupster/internal/wire"
+	"gupster/internal/xpath"
+)
+
+// NodeConfig parameterizes a shard node.
+type NodeConfig struct {
+	// ShardID is this node's identity in the shard map. A node serves an
+	// owner exactly when the installed map's ring assigns the owner to
+	// this ID.
+	ShardID string
+	// MDM is the local directory slice (used for coverage dumps and the
+	// post-drain cleanup; the serving path goes through Inner).
+	MDM *core.MDM
+	// Inner is the unsharded dispatch the node wraps: a core.Server's
+	// Handle for a plain shard, a replication.Node's Handle when the
+	// shard is itself a quorum constellation.
+	Inner wire.Handler
+	// ForwardTimeout bounds one shard-to-shard forward when the inbound
+	// frame carries no budget; 0 means 5s.
+	ForwardTimeout time.Duration
+	// Logf, when set, receives install/rebalance events.
+	Logf func(format string, args ...any)
+}
+
+// handoffState tracks a live rebalance on the losing side. While present,
+// owners this node held under prev but lost under the current ring are
+// not redirected outright: in "handoff" mode their reads are still served
+// locally (the replay to the new shard is in flight) while their
+// mutations forward to the new owner so nothing lands in a directory
+// slice about to be dropped; in "drain" mode everything forwards until
+// the window closes, after which the node flips to wrong-shard redirects
+// and drops the moved owners' local state.
+type handoffState struct {
+	mode  string // "handoff" | "drain"
+	until time.Time
+	prev  *Ring
+	timer *time.Timer
+}
+
+// Node wraps an MDM's wire dispatch with shard routing. Requests for
+// owners this shard holds fall through to Inner untouched; requests for
+// owners held elsewhere are redirected (TypeWrongShard, carrying the full
+// map) or — during a rebalance window — transparently forwarded.
+type Node struct {
+	cfg NodeConfig
+
+	mu      sync.Mutex
+	ring    *Ring
+	handoff *handoffState
+
+	connMu sync.Mutex
+	conns  map[string]*wire.Client // addr → forwarding connection
+}
+
+// NewNode wraps inner with shard routing. With no map installed the node
+// serves everything locally — a one-shard directory needs no map.
+func NewNode(cfg NodeConfig) *Node {
+	return &Node{cfg: cfg, conns: make(map[string]*wire.Client)}
+}
+
+// Install adopts a shard map in-process (the wire path arrives via
+// TypeShardInstall). See ShardInstallRequest for the mode semantics.
+func (n *Node) Install(req *wire.ShardInstallRequest) (*wire.ShardInstallResponse, error) {
+	ring, err := BuildRing(req.Map)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ring != nil && ring.Version() < n.ring.Version() {
+		return nil, errStaleMap(ring.Version(), n.ring.Version())
+	}
+	// The outgoing state machine: the previous ring (against which this
+	// node may still hold moved owners) survives a handoff→drain install
+	// chain; a plain install ends any window.
+	prev := n.ring
+	if n.handoff != nil {
+		prev = n.handoff.prev
+		if n.handoff.timer != nil {
+			n.handoff.timer.Stop()
+		}
+		n.handoff = nil
+	}
+	n.ring = ring
+	switch req.Mode {
+	case "":
+		// Adopted outright.
+	case "handoff":
+		if prev != nil {
+			n.handoff = &handoffState{mode: "handoff", prev: prev}
+		}
+	case "drain":
+		if prev != nil {
+			window := time.Duration(req.ForwardMillis) * time.Millisecond
+			if window <= 0 {
+				window = 500 * time.Millisecond
+			}
+			h := &handoffState{mode: "drain", prev: prev, until: time.Now().Add(window)}
+			h.timer = time.AfterFunc(window, n.finishDrain)
+			n.handoff = h
+		}
+	default:
+		return nil, errUnknownMode(req.Mode)
+	}
+	n.logf("shard %s: installed map v%d (%d shards, mode=%q)", n.cfg.ShardID, ring.Version(), len(ring.Shards()), req.Mode)
+	return &wire.ShardInstallResponse{Version: ring.Version()}, nil
+}
+
+func errStaleMap(got, have uint64) error {
+	return fmt.Errorf("shard: refusing stale map v%d (holding v%d)", got, have)
+}
+
+func errUnknownMode(mode string) error {
+	return fmt.Errorf("shard: unknown install mode %q", mode)
+}
+
+// finishDrain ends the drain window: the node stops forwarding, answers
+// moved owners with wrong-shard redirects, and drops their registrations,
+// shield rules, cached components and subscriptions locally (tombstoned
+// subscribers re-home to the owning shard).
+func (n *Node) finishDrain() {
+	n.mu.Lock()
+	h := n.handoff
+	ring := n.ring
+	if h == nil || h.mode != "drain" {
+		n.mu.Unlock()
+		return
+	}
+	n.handoff = nil
+	n.mu.Unlock()
+	if n.cfg.MDM != nil {
+		dropped := n.cfg.MDM.RetainOwners(func(owner string) bool {
+			return ring.Owner(owner).ID == n.cfg.ShardID
+		})
+		n.logf("shard %s: drain complete, dropped %d moved registrations", n.cfg.ShardID, dropped)
+	}
+}
+
+// Ring returns the node's current routing table (nil before any install).
+func (n *Node) Ring() *Ring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ring
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// Handle implements wire.Handler: shard administration is answered here,
+// owner-scoped traffic is routed, everything else falls through.
+func (n *Node) Handle(c *wire.ServerConn, m *wire.Message) {
+	switch m.Type {
+	case wire.TypeShardMap:
+		n.mu.Lock()
+		var mp wire.ShardMap
+		if n.ring != nil {
+			mp = n.ring.Map()
+		}
+		n.mu.Unlock()
+		_ = c.Reply(m, mp)
+		return
+	case wire.TypeShardInstall:
+		var req wire.ShardInstallRequest
+		if err := wire.Unmarshal(m.Payload, &req); err != nil {
+			_ = c.ReplyError(m, err)
+			return
+		}
+		resp, err := n.Install(&req)
+		if err != nil {
+			_ = c.ReplyError(m, err)
+			return
+		}
+		_ = c.Reply(m, resp)
+		return
+	case wire.TypeShardCoverage:
+		if n.cfg.MDM == nil {
+			_ = c.ReplyError(m, fmt.Errorf("shard: node has no local directory to dump"))
+			return
+		}
+		_ = c.Reply(m, wire.ShardCoverageResponse{
+			Coverage: n.cfg.MDM.CoverageSnapshot(),
+			Shields:  n.cfg.MDM.ShieldSnapshot(),
+		})
+		return
+	}
+
+	owners, scoped := ownersOfMessage(m.Type, m.Payload)
+	if !scoped || len(owners) == 0 {
+		n.cfg.Inner.ServeWire(c, m)
+		return
+	}
+
+	n.mu.Lock()
+	ring := n.ring
+	h := n.handoff
+	if h != nil && h.mode == "drain" && time.Now().After(h.until) {
+		// The timer callback flips the state; don't serve a stale window
+		// if dispatch races it.
+		h = nil
+	}
+	n.mu.Unlock()
+	if ring == nil {
+		n.cfg.Inner.ServeWire(c, m)
+		return
+	}
+
+	// A multi-owner frame (batch resolve) is served locally only when
+	// every owner routes here; a mixed batch is redirected on the first
+	// foreign owner — the shard-aware client splits batches by owner and
+	// never sends one.
+	for _, owner := range owners {
+		target := ring.Owner(owner)
+		if target.ID == n.cfg.ShardID {
+			continue
+		}
+		movedAway := h != nil && h.prev.Owner(owner).ID == n.cfg.ShardID
+		switch {
+		case movedAway && h.mode == "drain":
+			n.forward(c, m, target)
+			return
+		case movedAway && h.mode == "handoff":
+			if m.Type == wire.TypeSubscribe {
+				// Subscriptions are never forwarded (the notification
+				// stream would need relaying); the new shard already has
+				// the map and serves them directly.
+				n.redirect(c, m, owner, target, ring)
+				return
+			}
+			if isMutation(m.Type) {
+				n.forward(c, m, target)
+				return
+			}
+			if m.Type == wire.TypeChanged {
+				// The new shard notifies its subscribers; this node still
+				// serves reads for the owner, so its cache must hear the
+				// change too.
+				n.applyChangedLocally(m)
+				n.forward(c, m, target)
+				return
+			}
+			// Reads stay local until the drain: the replay to the new
+			// shard is still in flight and this replica is complete.
+			continue
+		default:
+			n.redirect(c, m, owner, target, ring)
+			return
+		}
+	}
+	n.cfg.Inner.ServeWire(c, m)
+}
+
+// ServeWire implements wire.Handler.
+func (n *Node) ServeWire(c *wire.ServerConn, m *wire.Message) { n.Handle(c, m) }
+
+func (n *Node) redirect(c *wire.ServerConn, m *wire.Message, owner string, target wire.ShardInfo, ring *Ring) {
+	if m.ID == 0 {
+		return // one-way frame: nothing to redirect
+	}
+	mp := ring.Map()
+	_ = c.ReplyWrongShard(m, wire.WrongShardPayload{
+		Owner: owner, ShardID: target.ID, Addr: target.Addr,
+		Members: target.Members, Map: &mp,
+	})
+}
+
+// applyChangedLocally feeds a change notice into the local MDM (cache
+// invalidation and local subscribers) without replying.
+func (n *Node) applyChangedLocally(m *wire.Message) {
+	if n.cfg.MDM == nil {
+		return
+	}
+	var cn wire.ChangedNotice
+	if err := wire.Unmarshal(m.Payload, &cn); err != nil {
+		return
+	}
+	n.cfg.MDM.HandleChanged(&cn)
+}
+
+// forward relays a frame to another shard and relays the raw reply back,
+// chasing one not-leader hop inside the target constellation. Forwarding
+// exists only inside rebalance windows; steady-state cross-shard traffic
+// is redirected so clients learn the map instead of taxing two shards per
+// call.
+func (n *Node) forward(c *wire.ServerConn, m *wire.Message, target wire.ShardInfo) {
+	timeout := n.cfg.ForwardTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := wire.BudgetContext(context.Background(), m)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+
+	if m.ID == 0 {
+		if conn, err := n.shardConn(target.Addr); err == nil {
+			if err := conn.Send(ctx, m.Type, json.RawMessage(m.Payload)); err != nil {
+				n.dropConn(target.Addr)
+			}
+		}
+		return
+	}
+
+	var raw json.RawMessage
+	var err error
+	// During the coordinator's install sweep the destination may not hold
+	// the new map yet and bounce the frame back with a redirect; the
+	// window is one install round-trip wide, so retry briefly before
+	// surfacing anything.
+	for attempt := 0; attempt < 5; attempt++ {
+		err = n.callShard(ctx, target.Addr, m.Type, json.RawMessage(m.Payload), &raw)
+		var ws *wire.WrongShardError
+		if err == nil || !errors.As(err, &ws) || ctx.Err() != nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		var ws *wire.WrongShardError
+		if errors.As(err, &ws) {
+			// The target knows better (a newer map): propagate its verdict.
+			_ = c.ReplyWrongShard(m, wire.WrongShardPayload{
+				Owner: ws.Owner, ShardID: ws.ShardID, Addr: ws.Addr,
+				Members: ws.Members, Map: ws.Map,
+			})
+			return
+		}
+		_ = c.ReplyError(m, err)
+		return
+	}
+	_ = c.Reply(m, raw)
+}
+
+// callShard issues one call to a shard address, chasing a single
+// not-leader redirect (the shard is a constellation and the address we
+// hold is a follower's).
+func (n *Node) callShard(ctx context.Context, addr, typ string, req, resp any) error {
+	conn, err := n.shardConn(addr)
+	if err != nil {
+		return err
+	}
+	err = conn.Call(ctx, typ, req, resp)
+	if err == nil {
+		return nil
+	}
+	var nl *wire.NotLeaderError
+	if errors.As(err, &nl) && nl.LeaderAddr != "" && nl.LeaderAddr != addr {
+		lc, derr := n.shardConn(nl.LeaderAddr)
+		if derr != nil {
+			return err
+		}
+		return lc.Call(ctx, typ, req, resp)
+	}
+	var re *wire.RemoteError
+	if !errors.As(err, &re) {
+		// Transport-level failure: drop the pooled conn so the next
+		// forward redials.
+		n.dropConn(addr)
+	}
+	return err
+}
+
+func (n *Node) shardConn(addr string) (*wire.Client, error) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if c, ok := n.conns[addr]; ok {
+		return c, nil
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.conns[addr] = c
+	return c, nil
+}
+
+func (n *Node) dropConn(addr string) {
+	n.connMu.Lock()
+	if c, ok := n.conns[addr]; ok {
+		c.Close()
+		delete(n.conns, addr)
+	}
+	n.connMu.Unlock()
+}
+
+// Close releases forwarding connections and stops any drain timer.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.handoff != nil && n.handoff.timer != nil {
+		n.handoff.timer.Stop()
+	}
+	n.handoff = nil
+	n.mu.Unlock()
+	n.connMu.Lock()
+	for addr, c := range n.conns {
+		c.Close()
+		delete(n.conns, addr)
+	}
+	n.connMu.Unlock()
+}
+
+// isMutation reports whether a message type mutates the directory.
+func isMutation(typ string) bool {
+	switch typ {
+	case wire.TypeRegister, wire.TypeUnregister, wire.TypePutRule, wire.TypeDeleteRule:
+		return true
+	}
+	return false
+}
+
+// ownersOfMessage extracts the profile owner(s) a frame is scoped to.
+// Types with no owner scope (stats, traces, heartbeats, replication
+// traffic) report scoped=false and are always served locally.
+func ownersOfMessage(typ string, payload []byte) (owners []string, scoped bool) {
+	switch typ {
+	case wire.TypeResolve:
+		var req wire.ResolveRequest
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return nil, false
+		}
+		if o, ok := resolveOwner(req.Owner, req.Path); ok {
+			return []string{o}, true
+		}
+		return nil, true
+	case wire.TypeBatchResolve:
+		var req wire.BatchResolveRequest
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return nil, false
+		}
+		for _, r := range req.Requests {
+			if o, ok := resolveOwner(r.Owner, r.Path); ok {
+				owners = append(owners, o)
+			}
+		}
+		return owners, true
+	case wire.TypeRegister:
+		var req wire.RegisterRequest
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return nil, false
+		}
+		if o, ok := pathOwner(req.Path); ok {
+			return []string{o}, true
+		}
+		return nil, true
+	case wire.TypeUnregister:
+		var req wire.UnregisterRequest
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return nil, false
+		}
+		if o, ok := pathOwner(req.Path); ok {
+			return []string{o}, true
+		}
+		return nil, true
+	case wire.TypeSubscribe:
+		var req wire.SubscribeRequest
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return nil, false
+		}
+		if o, ok := resolveOwner(req.Owner, req.Path); ok {
+			return []string{o}, true
+		}
+		return nil, true
+	case wire.TypePutRule:
+		var req wire.PutRuleRequest
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return nil, false
+		}
+		if req.Owner != "" {
+			return []string{req.Owner}, true
+		}
+		return nil, true
+	case wire.TypeDeleteRule:
+		var req wire.DeleteRuleRequest
+		if err := wire.Unmarshal(payload, &req); err != nil {
+			return nil, false
+		}
+		if req.Owner != "" {
+			return []string{req.Owner}, true
+		}
+		return nil, true
+	case wire.TypeChanged:
+		var cn wire.ChangedNotice
+		if err := wire.Unmarshal(payload, &cn); err != nil {
+			return nil, false
+		}
+		if cn.User != "" {
+			return []string{cn.User}, true
+		}
+		return nil, true
+	}
+	return nil, false
+}
+
+func resolveOwner(owner, path string) (string, bool) {
+	if owner != "" {
+		return owner, true
+	}
+	return pathOwner(path)
+}
+
+func pathOwner(path string) (string, bool) {
+	p, err := xpath.Parse(path)
+	if err != nil {
+		return "", false
+	}
+	return coverage.UserOf(p)
+}

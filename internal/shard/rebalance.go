@@ -1,0 +1,168 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"gupster/internal/wire"
+)
+
+// RebalanceOptions parameterizes a live rebalance.
+type RebalanceOptions struct {
+	// ForwardMillis is the drain window length installed on losing shards;
+	// 0 means the node-side default (500ms).
+	ForwardMillis int64
+	// Logf, when set, receives progress events.
+	Logf func(format string, args ...any)
+}
+
+// Rebalance moves the directory from shard map old to shard map next
+// without dropping in-flight resolves, in three phases:
+//
+//  1. Every shard in next that is not in old adopts the map outright (it
+//     holds no owners yet, so there is nothing to hand off).
+//  2. Every shard in old installs next in "handoff" mode: it keeps
+//     serving reads for owners it just lost (its replica is still the
+//     complete one) while forwarding their mutations to the new owner so
+//     nothing lands in a slice about to be dropped. The coordinator then
+//     replays each moved owner's coverage registrations and shield rules
+//     source-to-destination over the destinations' normal durable
+//     mutation path.
+//  3. Every shard in old installs next in "drain" mode: everything for
+//     moved owners forwards for the window, after which the source flips
+//     to wrong-shard redirects and drops the moved state locally.
+//
+// The guarantee: a resolve for a moved owner succeeds at every moment —
+// before the rebalance (old shard serves), during replay (old shard still
+// serves reads), during drain (old shard forwards), and after (new shard
+// serves, stragglers are redirected). Mutations are never lost: they
+// either land on the source before handoff (and are replayed) or are
+// forwarded to the destination from the moment the handoff installs.
+func Rebalance(ctx context.Context, old, next wire.ShardMap, opts RebalanceOptions) error {
+	oldRing, err := BuildRing(old)
+	if err != nil {
+		return fmt.Errorf("shard: rebalance: bad old map: %w", err)
+	}
+	nextRing, err := BuildRing(next)
+	if err != nil {
+		return fmt.Errorf("shard: rebalance: bad new map: %w", err)
+	}
+	if next.Version <= old.Version {
+		return fmt.Errorf("shard: rebalance: new map v%d must supersede v%d", next.Version, old.Version)
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	conns := make(map[string]*wire.Client)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	conn := func(addr string) (*wire.Client, error) {
+		if c, ok := conns[addr]; ok {
+			return c, nil
+		}
+		c, err := wire.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		conns[addr] = c
+		return c, nil
+	}
+	install := func(addr, mode string) error {
+		c, err := conn(addr)
+		if err != nil {
+			return err
+		}
+		var resp wire.ShardInstallResponse
+		return c.Call(ctx, wire.TypeShardInstall, &wire.ShardInstallRequest{
+			Map: next, Mode: mode, ForwardMillis: opts.ForwardMillis,
+		}, &resp)
+	}
+
+	oldIDs := make(map[string]wire.ShardInfo, len(old.Shards))
+	for _, s := range old.Shards {
+		oldIDs[s.ID] = s
+	}
+
+	// Phase 1: joining shards adopt the map first, so from the instant a
+	// source starts forwarding there is a destination that routes
+	// correctly.
+	for _, s := range next.Shards {
+		if _, existed := oldIDs[s.ID]; existed {
+			continue
+		}
+		if err := install(s.Addr, ""); err != nil {
+			return fmt.Errorf("shard: rebalance: install on joining shard %s: %w", s.ID, err)
+		}
+		logf("rebalance: shard %s adopted map v%d", s.ID, next.Version)
+	}
+
+	// Phase 2: sources enter the handoff window, then the moved owners'
+	// state is replayed to its new homes.
+	for _, s := range old.Shards {
+		if err := install(s.Addr, "handoff"); err != nil {
+			return fmt.Errorf("shard: rebalance: handoff install on shard %s: %w", s.ID, err)
+		}
+	}
+	moved := 0
+	for _, src := range old.Shards {
+		c, err := conn(src.Addr)
+		if err != nil {
+			return fmt.Errorf("shard: rebalance: dial source %s: %w", src.ID, err)
+		}
+		var dump wire.ShardCoverageResponse
+		if err := c.Call(ctx, wire.TypeShardCoverage, wire.Empty{}, &dump); err != nil {
+			return fmt.Errorf("shard: rebalance: coverage dump from %s: %w", src.ID, err)
+		}
+		for _, reg := range dump.Coverage {
+			owner, ok := pathOwner(reg.Path)
+			if !ok || oldRing.Owner(owner).ID != src.ID {
+				continue // not this source's to move (or ownerless)
+			}
+			dest := nextRing.Owner(owner)
+			if dest.ID == src.ID {
+				continue // stays put
+			}
+			dc, err := conn(dest.Addr)
+			if err != nil {
+				return fmt.Errorf("shard: rebalance: dial destination %s: %w", dest.ID, err)
+			}
+			if err := dc.Call(ctx, wire.TypeRegister, &reg, nil); err != nil {
+				return fmt.Errorf("shard: rebalance: replay registration %s→%s (%s): %w", src.ID, dest.ID, reg.Path, err)
+			}
+			moved++
+		}
+		for _, pr := range dump.Shields {
+			if oldRing.Owner(pr.Owner).ID != src.ID {
+				continue
+			}
+			dest := nextRing.Owner(pr.Owner)
+			if dest.ID == src.ID {
+				continue
+			}
+			dc, err := conn(dest.Addr)
+			if err != nil {
+				return fmt.Errorf("shard: rebalance: dial destination %s: %w", dest.ID, err)
+			}
+			if err := dc.Call(ctx, wire.TypePutRule, &pr, nil); err != nil {
+				return fmt.Errorf("shard: rebalance: replay shield rule %s→%s (owner %s): %w", src.ID, dest.ID, pr.Owner, err)
+			}
+			moved++
+		}
+	}
+	logf("rebalance: replayed %d moved records to map v%d homes", moved, next.Version)
+
+	// Phase 3: sources drain — forward for the window, then flip to
+	// redirects and drop the moved slice.
+	for _, s := range old.Shards {
+		if err := install(s.Addr, "drain"); err != nil {
+			return fmt.Errorf("shard: rebalance: drain install on shard %s: %w", s.ID, err)
+		}
+	}
+	logf("rebalance: map v%d live on all shards", next.Version)
+	return nil
+}

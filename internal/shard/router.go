@@ -1,0 +1,204 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"gupster/internal/wire"
+)
+
+// Router is a data-less shard front-end: it holds no directory state,
+// only the shard map, and forwards every frame to the owning shard. It
+// lets shard-unaware clients (old tooling, store registrars, federation
+// mirrors) address a sharded directory as a single endpoint, at the cost
+// of one extra network hop per call. Shard-aware clients should route
+// themselves with Client instead.
+type Router struct {
+	cfg RouterConfig
+
+	mu   sync.Mutex
+	ring *Ring
+
+	connMu sync.Mutex
+	conns  map[string]*wire.Client
+}
+
+// RouterConfig parameterizes a Router.
+type RouterConfig struct {
+	// ForwardTimeout bounds forwarded calls that carry no budget of their
+	// own. Zero means 10s.
+	ForwardTimeout time.Duration
+	// Logf, when set, receives routing events.
+	Logf func(format string, args ...any)
+}
+
+// NewRouter builds a router over an initial shard map.
+func NewRouter(m wire.ShardMap, cfg RouterConfig) (*Router, error) {
+	ring, err := BuildRing(m)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ForwardTimeout == 0 {
+		cfg.ForwardTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Router{cfg: cfg, ring: ring, conns: make(map[string]*wire.Client)}, nil
+}
+
+// Install adopts a new shard map. The router holds no owners, so installs
+// are plain: any mode is accepted and only the map matters.
+func (r *Router) Install(req *wire.ShardInstallRequest) (uint64, error) {
+	ring, err := BuildRing(req.Map)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ring != nil && ring.Version() < r.ring.Version() {
+		return 0, errStaleMap(ring.Version(), r.ring.Version())
+	}
+	r.ring = ring
+	r.cfg.Logf("router: shard map v%d installed (%d shards)", ring.Version(), len(ring.Shards()))
+	return ring.Version(), nil
+}
+
+// ServeWire implements wire.Handler.
+func (r *Router) ServeWire(c *wire.ServerConn, m *wire.Message) {
+	switch m.Type {
+	case wire.TypeShardMap:
+		r.mu.Lock()
+		mp := r.ring.Map()
+		r.mu.Unlock()
+		_ = c.Reply(m, mp)
+		return
+	case wire.TypeShardInstall:
+		var req wire.ShardInstallRequest
+		if err := json.Unmarshal(m.Payload, &req); err != nil {
+			_ = c.ReplyError(m, err)
+			return
+		}
+		v, err := r.Install(&req)
+		if err != nil {
+			_ = c.ReplyError(m, err)
+			return
+		}
+		_ = c.Reply(m, wire.ShardInstallResponse{Version: v})
+		return
+	}
+
+	r.mu.Lock()
+	ring := r.ring
+	r.mu.Unlock()
+
+	owners, scoped := ownersOfMessage(m.Type, m.Payload)
+	var target wire.ShardInfo
+	if scoped && len(owners) > 0 {
+		target = ring.Owner(owners[0])
+		// Cross-shard batches are split-routed by shard-aware clients; a
+		// router keeps the single-endpoint illusion only for single-owner
+		// frames and sends mixed batches to the first owner's shard, which
+		// redirects the rest.
+	} else {
+		// Ownerless traffic (stats, trace reports, heartbeat frames with no
+		// scoped owner) goes to the first shard deterministically.
+		target = ring.Shards()[0]
+	}
+	r.forward(c, m, target)
+}
+
+func (r *Router) forward(c *wire.ServerConn, m *wire.Message, target wire.ShardInfo) {
+	ctx, cancel := wire.BudgetContext(context.Background(), m)
+	if _, has := ctx.Deadline(); !has {
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.ForwardTimeout)
+	}
+	defer cancel()
+
+	conn, err := r.shardConn(target.Addr)
+	if err != nil {
+		if m.ID != 0 {
+			_ = c.ReplyError(m, err)
+		}
+		return
+	}
+	if m.ID == 0 {
+		_ = conn.Send(ctx, m.Type, json.RawMessage(m.Payload))
+		return
+	}
+	var raw json.RawMessage
+	err = conn.Call(ctx, m.Type, json.RawMessage(m.Payload), &raw)
+	if err != nil {
+		var nl *wire.NotLeaderError
+		if errors.As(err, &nl) && nl.LeaderAddr != "" && nl.LeaderAddr != target.Addr {
+			if lc, derr := r.shardConn(nl.LeaderAddr); derr == nil {
+				if err2 := lc.Call(ctx, m.Type, json.RawMessage(m.Payload), &raw); err2 == nil {
+					_ = c.Reply(m, raw)
+					return
+				}
+			}
+		}
+		var ws *wire.WrongShardError
+		if errors.As(err, &ws) {
+			// The target knows better than we do; pass its redirect through
+			// so the caller (or we, on its next call) can adopt the map.
+			_ = c.ReplyWrongShard(m, wire.WrongShardPayload{
+				Owner: ws.Owner, ShardID: ws.ShardID, Addr: ws.Addr,
+				Members: ws.Members, Map: ws.Map,
+			})
+			if ws.Map != nil {
+				if ring, berr := BuildRing(*ws.Map); berr == nil {
+					r.mu.Lock()
+					if ring.Version() > r.ring.Version() {
+						r.ring = ring
+					}
+					r.mu.Unlock()
+				}
+			}
+			return
+		}
+		var re *wire.RemoteError
+		if !errors.As(err, &re) {
+			r.dropConn(target.Addr)
+		}
+		_ = c.ReplyError(m, err)
+		return
+	}
+	_ = c.Reply(m, raw)
+}
+
+func (r *Router) shardConn(addr string) (*wire.Client, error) {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	if conn, ok := r.conns[addr]; ok {
+		return conn, nil
+	}
+	conn, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	r.conns[addr] = conn
+	return conn, nil
+}
+
+func (r *Router) dropConn(addr string) {
+	r.connMu.Lock()
+	if conn, ok := r.conns[addr]; ok {
+		conn.Close()
+		delete(r.conns, addr)
+	}
+	r.connMu.Unlock()
+}
+
+// Close releases the router's shard connections.
+func (r *Router) Close() {
+	r.connMu.Lock()
+	defer r.connMu.Unlock()
+	for addr, conn := range r.conns {
+		conn.Close()
+		delete(r.conns, addr)
+	}
+}

@@ -145,6 +145,18 @@ func (r *Registrar) call(ctx context.Context, msgType string, req, resp any) err
 				}
 				continue
 			}
+			var wrongShard *wire.WrongShardError
+			if errors.As(err, &wrongShard) && wrongShard.Addr != "" {
+				// A sharded directory: this path's owner lives on another
+				// shard. Re-home there; a store whose coverage spans shards
+				// bounces per path, which is fine at registration cadence.
+				r.logf("registrar: %s redirected to shard %q at %q", msgType, wrongShard.ShardID, wrongShard.Addr)
+				r.rehome(wrongShard.Addr)
+				if attempt >= 4 {
+					return err
+				}
+				continue
+			}
 			var remote *wire.RemoteError
 			if errors.As(err, &remote) {
 				return err // the MDM answered; redialing cannot help

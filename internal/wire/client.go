@@ -33,8 +33,9 @@ type Client struct {
 	closed   bool
 	closeErr error
 
-	notifyMu sync.RWMutex
-	onNotify func(msgType string, payload []byte)
+	notifyMu     sync.RWMutex
+	onNotify     func(msgType string, payload []byte)
+	onDisconnect func(err error)
 }
 
 // Dial connects to a wire server.
@@ -58,6 +59,17 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) OnNotify(fn func(msgType string, payload []byte)) {
 	c.notifyMu.Lock()
 	c.onNotify = fn
+	c.notifyMu.Unlock()
+}
+
+// OnDisconnect registers a callback invoked once, when the connection's
+// read loop exits (peer died, network cut, or local Close). Subscription
+// holders use it to re-home push subscriptions that would otherwise die
+// silently with the connection. The callback runs on the read loop's
+// goroutine after all pending calls have been failed.
+func (c *Client) OnDisconnect(fn func(err error)) {
+	c.notifyMu.Lock()
+	c.onDisconnect = fn
 	c.notifyMu.Unlock()
 }
 
@@ -101,6 +113,29 @@ func (e *NotLeaderError) Error() string {
 		return fmt.Sprintf("wire: %s: not leader (no leader known, term %d)", e.Op, e.Term)
 	}
 	return fmt.Sprintf("wire: %s: not leader (leader at %s, term %d)", e.Op, e.LeaderAddr, e.Term)
+}
+
+// WrongShardError is a sharded directory node refusing an owner-scoped
+// request because the owner's keyspace slice belongs to another shard
+// (TypeWrongShard reply). Like not-leader it is a redirect, not a
+// failure: the caller should re-issue the request against Addr (or route
+// by Map when present) and must not count it against any breaker.
+type WrongShardError struct {
+	Op      string
+	Owner   string
+	ShardID string
+	Addr    string
+	Members []string
+	// Map is the replier's full shard map when it chose to share it;
+	// callers cache it and route subsequent requests client-side.
+	Map *ShardMap
+}
+
+func (e *WrongShardError) Error() string {
+	if e.Addr == "" {
+		return fmt.Sprintf("wire: %s: wrong shard for owner %q (no routable shard known)", e.Op, e.Owner)
+	}
+	return fmt.Sprintf("wire: %s: wrong shard for owner %q (shard %s at %s)", e.Op, e.Owner, e.ShardID, e.Addr)
 }
 
 // Call sends a request and decodes the response payload into resp (which
@@ -213,6 +248,21 @@ func (c *Client) Call(ctx context.Context, msgType string, req any, resp any) er
 				LeaderAddr: nl.LeaderAddr,
 				LeaderID:   nl.LeaderID,
 				Term:       nl.Term,
+			}
+		}
+		// And for a wrong-shard redirect from a partitioned directory.
+		if reply.Type == TypeWrongShard {
+			var ws WrongShardPayload
+			if len(reply.Payload) > 0 {
+				_ = Unmarshal(reply.Payload, &ws)
+			}
+			return &WrongShardError{
+				Op:      msgType,
+				Owner:   ws.Owner,
+				ShardID: ws.ShardID,
+				Addr:    ws.Addr,
+				Members: ws.Members,
+				Map:     ws.Map,
 			}
 		}
 		if reply.Error != "" {
@@ -340,4 +390,10 @@ func (c *Client) readLoop() {
 	}
 	c.mu.Unlock()
 	c.conn.Close()
+	c.notifyMu.RLock()
+	fn := c.onDisconnect
+	c.notifyMu.RUnlock()
+	if fn != nil {
+		fn(err)
+	}
 }

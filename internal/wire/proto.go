@@ -73,6 +73,21 @@ const (
 	TypeReplAppend   = "repl-append"
 	TypeReplVote     = "repl-vote"
 	TypeReplSnapshot = "repl-snapshot"
+	// TypeWrongShard is a reply type from a sharded directory: the node
+	// refused an owner-scoped request because the owner's keyspace slice
+	// belongs to another shard. The payload carries the owning shard's
+	// address (and, when known, the replier's full shard map) so clients,
+	// stores and mirrors re-home transparently instead of failing. Like
+	// TypeOverloaded and TypeNotLeader, the reply also sets Error for old
+	// clients.
+	TypeWrongShard = "wrong-shard"
+	// Shard administration: fetch a node's current shard map, install a
+	// new map version (the rebalance protocol), and dump a shard's
+	// directory state so a coordinator can replay moved owners
+	// shard-to-shard.
+	TypeShardMap      = "shard-map"
+	TypeShardInstall  = "shard-install"
+	TypeShardCoverage = "shard-coverage"
 )
 
 // OverloadedPayload is the body of a TypeOverloaded reply.
@@ -94,6 +109,65 @@ type NotLeaderPayload struct {
 	// election term (diagnostics and staleness checks).
 	LeaderID string `json:"leader_id,omitempty"`
 	Term     uint64 `json:"term,omitempty"`
+}
+
+// ShardInfo locates one shard of a partitioned directory: a stable shard
+// ID, the address clients dial, and (when the shard is itself a quorum
+// constellation) the full member set for mirror-style failover clients.
+type ShardInfo struct {
+	ID      string   `json:"id"`
+	Addr    string   `json:"addr"`
+	Members []string `json:"members,omitempty"`
+}
+
+// ShardMap is a versioned assignment of the owner keyspace to shards.
+// Owners map to shards through the deterministic consistent-hash ring in
+// internal/shard; the map itself only names the shards, so any two nodes
+// holding the same version route every owner identically.
+type ShardMap struct {
+	Version uint64      `json:"version"`
+	Shards  []ShardInfo `json:"shards"`
+}
+
+// WrongShardPayload is the body of a TypeWrongShard reply.
+type WrongShardPayload struct {
+	// Owner is the profile owner whose keyspace slice lives elsewhere.
+	Owner string `json:"owner,omitempty"`
+	// ShardID/Addr/Members locate the owning shard. Addr may be empty when
+	// the replying node has no routable map entry, in which case the
+	// caller should retry another directory address.
+	ShardID string   `json:"shard_id,omitempty"`
+	Addr    string   `json:"addr,omitempty"`
+	Members []string `json:"members,omitempty"`
+	// Map, when present, is the replying node's full shard map, letting
+	// the caller route all subsequent requests client-side.
+	Map *ShardMap `json:"map,omitempty"`
+}
+
+// ShardInstallRequest installs a new shard-map version on a node. Mode
+// sequences a live rebalance (see internal/shard): "" adopts the map
+// outright (the receiving side of a move), "handoff" keeps serving reads
+// for owners this node just lost while forwarding their mutations to the
+// new owner (the replay window), and "drain" forwards everything for
+// ForwardMillis before flipping to wrong-shard redirects and dropping the
+// moved owners' registrations locally.
+type ShardInstallRequest struct {
+	Map           ShardMap `json:"map"`
+	Mode          string   `json:"mode,omitempty"` // "" | "handoff" | "drain"
+	ForwardMillis int64    `json:"forward_ms,omitempty"`
+}
+
+// ShardInstallResponse acknowledges an install with the adopted version.
+type ShardInstallResponse struct {
+	Version uint64 `json:"version"`
+}
+
+// ShardCoverageResponse dumps a node's directory state for shard-to-shard
+// replay: every live coverage registration (with the owning store's
+// dialable address) and every shield rule.
+type ShardCoverageResponse struct {
+	Coverage []RegisterRequest `json:"coverage,omitempty"`
+	Shields  []PutRuleRequest  `json:"shields,omitempty"`
 }
 
 // ReplStatus is a replicated node's election/log view, surfaced through
@@ -417,6 +491,11 @@ type Notification struct {
 	XML string `json:"xml"`
 	// Version is the store version that triggered the notification.
 	Version uint64 `json:"version"`
+	// Canceled marks a tombstone: the server dropped the subscription
+	// (directory reset from a leader snapshot, shard handoff) and will
+	// send nothing further under this SubID. Clients re-subscribe against
+	// their current directory target.
+	Canceled bool `json:"canceled,omitempty"`
 }
 
 // PutRuleRequest provisions one privacy-shield rule (self-provisioning,

@@ -85,6 +85,28 @@ func (c *ServerConn) ReplyNotLeader(m *Message, leaderAddr, leaderID string, ter
 	return c.send(out)
 }
 
+// ReplyWrongShard sends the first-class shard redirect for m: the
+// response frame's Type is rewritten to TypeWrongShard so new clients get
+// a typed redirect carrying the owning shard's address (and optionally
+// the full shard map), and Error is also set so old clients that predate
+// the type terminate cleanly with a plain remote error.
+func (c *ServerConn) ReplyWrongShard(m *Message, ws WrongShardPayload) error {
+	errText := "wrong shard for owner " + ws.Owner + " (no routable shard known)"
+	if ws.Addr != "" {
+		errText = "wrong shard for owner " + ws.Owner + " (shard " + ws.ShardID + " at " + ws.Addr + ")"
+	}
+	out := &Message{
+		Type:    TypeWrongShard,
+		ID:      m.ID,
+		Error:   errText,
+		Payload: Marshal(ws),
+	}
+	if m.spanDrain != nil {
+		out.Spans = m.spanDrain()
+	}
+	return c.send(out)
+}
+
 func (c *ServerConn) send(m *Message) error {
 	if c.closed.Load() {
 		return ErrClosed
