@@ -18,7 +18,7 @@
 //	provenance                         print my disclosure ledger
 //	provenance-summary                 per-requester disclosure rollup
 //	stats                              print MDM counters
-//	health                             print the store-liveness lease table
+//	health                             print the shard's gossip membership view, or the store-liveness lease table
 //	replication                        print quorum-replication role and peer lag
 //	trace <trace-id>                   render a request's span tree
 //	slow [n]                           print recent slow-query traces
@@ -223,6 +223,36 @@ func main() {
 			}
 		}
 	case "health":
+		// A shard running a gossip failure detector answers TypeMembership
+		// with its constellation view; anything else refuses the frame and
+		// we fall through to the store-liveness lease table.
+		if wc, derr := wire.Dial(*mdmAddr); derr == nil {
+			var mem wire.MembershipResponse
+			merr := wc.Call(ctx, wire.TypeMembership, wire.Empty{}, &mem)
+			wc.Close()
+			if merr == nil && mem.Self != "" {
+				repair := "off"
+				if mem.AutoRepair {
+					repair = "on"
+				}
+				fmt.Printf("gossip: shard %s on map v%d@e%d, auto-repair %s\n",
+					mem.Self, mem.MapVersion, mem.MapEpoch, repair)
+				fmt.Printf("%-16s %-22s %-9s %-12s %s\n", "MEMBER", "ADDR", "STATE", "FOR", "ROLE")
+				for _, m := range mem.Members {
+					role := "in-map"
+					if m.Spare {
+						role = "spare"
+					}
+					state := m.State
+					if state != "alive" {
+						state = strings.ToUpper(state)
+					}
+					fmt.Printf("%-16s %-22s %-9s %-12s %s\n",
+						m.ID, m.Addr, state, time.Duration(m.SinceMillis)*time.Millisecond, role)
+				}
+				return
+			}
+		}
 		st, err := cli.Stats(ctx)
 		fatal(err)
 		if st.JournalAppends+st.JournalRecovered+st.JournalSyncs > 0 {

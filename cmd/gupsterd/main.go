@@ -48,6 +48,17 @@
 // forwards every request to the owning shard, so shard-unaware clients
 // can keep dialing a single address.
 //
+// With -gossip-interval the shards probe each other SWIM-style
+// (ping, then ping-req through relays) and walk silent members through
+// alive → suspect → dead; `gupctl health` prints the view. With
+// -auto-repair a confirmed death triggers a self-healing repair: the
+// first surviving in-map shard evicts the dead member, promotes -spare
+// shards into the gap under an epoch-bumped map, and replays the dead
+// slice's coverage from gossiped snapshots. Repair epochs fence
+// partitioned minorities: a shard cut off from the majority adopts the
+// higher-epoch map the moment it hears of it and drops the owners
+// repaired away from it, so a split brain cannot serve stale slices.
+//
 // Data stores register coverage with `datastored -mdm <addr>`; clients use
 // `gupctl -mdm <addr>`.
 package main
@@ -65,6 +76,7 @@ import (
 
 	"gupster/internal/core"
 	"gupster/internal/federation"
+	"gupster/internal/health"
 	"gupster/internal/journal"
 	"gupster/internal/overload"
 	"gupster/internal/provenance"
@@ -100,6 +112,56 @@ func parseShardMap(s string, version uint64) (wire.ShardMap, error) {
 	return m, nil
 }
 
+// startGossip wraps a shard node's dispatch in a gossip failure detector
+// when -gossip-interval / -auto-repair ask for one, returning the handler
+// to serve and a closer. With gossip off both pass through untouched.
+// The constellation is the shard map plus every -spare entry; a node
+// absent from both (a spare learning the map by install) gossips as
+// itself on its advertised address.
+func startGossip(sn *shard.Node, selfID, selfAddr string, m wire.ShardMap, spares []string,
+	interval, suspectTimeout time.Duration, autoRepair bool) (wire.Handler, func()) {
+	if !autoRepair && interval <= 0 && suspectTimeout <= 0 {
+		return sn, func() {}
+	}
+	members := append([]wire.ShardInfo(nil), m.Shards...)
+	for _, s := range spares {
+		id, addr, ok := strings.Cut(s, "=")
+		if !ok || id == "" || addr == "" {
+			log.Fatalf(`gupsterd: bad -spare entry %q (want "id=addr")`, s)
+		}
+		members = append(members, wire.ShardInfo{ID: id, Addr: addr})
+	}
+	self := wire.ShardInfo{ID: selfID, Addr: selfAddr}
+	found := false
+	for _, mem := range members {
+		if mem.ID == selfID {
+			self = mem
+			found = true
+			break
+		}
+	}
+	if !found {
+		members = append(members, self)
+	}
+	agent := health.New(health.Config{
+		Self:    self,
+		Members: members,
+		Map: func() wire.ShardMap {
+			if r := sn.Ring(); r != nil {
+				return r.Map()
+			}
+			return wire.ShardMap{}
+		},
+		SelfInstall:    sn.Install,
+		Interval:       interval,
+		SuspectTimeout: suspectTimeout,
+		AutoRepair:     autoRepair,
+		Logf:           log.Printf,
+	})
+	agent.Start()
+	return health.Wrap(agent, sn), agent.Close
+}
+
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7000", "address to listen on")
 	key := flag.String("key", "", "shared referral-signing key (required)")
@@ -124,6 +186,11 @@ func main() {
 	shardMapFlag := flag.String("shard-map", "", `initial shard map as "id=addr,id=addr,..." (with -shard-of or -router)`)
 	shardMapVersion := flag.Uint64("shard-map-version", 1, "version of the -shard-map")
 	router := flag.Bool("router", false, "run a data-less shard router over -shard-map instead of an MDM")
+	gossipInterval := flag.Duration("gossip-interval", 0, "failure-detector probe interval between shards (0 disables gossip; requires -shard-of)")
+	suspectTimeout := flag.Duration("suspect-timeout", 0, "silence after which a suspect shard is confirmed dead (0 = 4x gossip-interval)")
+	autoRepair := flag.Bool("auto-repair", false, "repair the shard map on confirmed shard death: evict the dead, promote spares, bump the epoch")
+	var spareFlags repeated
+	flag.Var(&spareFlags, "spare", `a spare shard outside the map, as "id=addr" (repeatable; the auto-repair promotion pool)`)
 	flag.Parse()
 
 	if *router {
@@ -182,6 +249,10 @@ func main() {
 	}
 	if *shardOf != "" && len(peers) > 0 {
 		fmt.Fprintln(os.Stderr, "gupsterd: -shard-of cannot combine with -peer mirroring (shard a plain or quorum-replicated MDM)")
+		os.Exit(2)
+	}
+	if (*autoRepair || *gossipInterval > 0 || *suspectTimeout > 0 || len(spareFlags) > 0) && *shardOf == "" {
+		fmt.Fprintln(os.Stderr, "gupsterd: -auto-repair/-gossip-interval/-suspect-timeout/-spare require -shard-of (gossip runs between directory shards)")
 		os.Exit(2)
 	}
 
@@ -252,17 +323,24 @@ func main() {
 			if _, err := sn.Install(&wire.ShardInstallRequest{Map: shardMap}); err != nil {
 				log.Fatalf("gupsterd: %v", err)
 			}
+			selfAddr := *advertise
+			if selfAddr == "" {
+				selfAddr = *listen
+			}
+			h, stopGossip := startGossip(sn, *shardOf, selfAddr, shardMap, spareFlags,
+				*gossipInterval, *suspectTimeout, *autoRepair)
 			ln, err := net.Listen("tcp", *listen)
 			if err != nil {
 				log.Fatalf("gupsterd: %v", err)
 			}
-			node.StartWith(ln, sn)
+			node.StartWith(ln, h)
 			closeServer = func() error {
+				stopGossip()
 				sn.Close()
 				return node.Close()
 			}
-			log.Printf("gupsterd: replicated MDM shard %q listening on %s (map v%d, id=%s, peers=%v, quorum=%d)",
-				*shardOf, node.Addr(), shardMap.Version, id, replPeers, *replQuorum)
+			log.Printf("gupsterd: replicated MDM shard %q listening on %s (map v%d, id=%s, peers=%v, quorum=%d, auto-repair=%v)",
+				*shardOf, node.Addr(), shardMap.Version, id, replPeers, *replQuorum, *autoRepair)
 		} else {
 			if err := node.Start(*listen); err != nil {
 				log.Fatalf("gupsterd: %v", err)
@@ -294,16 +372,23 @@ func main() {
 		if _, err := sn.Install(&wire.ShardInstallRequest{Map: shardMap}); err != nil {
 			log.Fatalf("gupsterd: %v", err)
 		}
-		ws, err := wire.Serve(*listen, sn)
+		selfAddr := *advertise
+		if selfAddr == "" {
+			selfAddr = *listen
+		}
+		h, stopGossip := startGossip(sn, *shardOf, selfAddr, shardMap, spareFlags,
+			*gossipInterval, *suspectTimeout, *autoRepair)
+		ws, err := wire.Serve(*listen, h)
 		if err != nil {
 			log.Fatalf("gupsterd: %v", err)
 		}
 		closeServer = func() error {
+			stopGossip()
 			sn.Close()
 			return ws.Close()
 		}
-		log.Printf("gupsterd: MDM shard %q listening on %s (map v%d, %d shards, cache=%d, ttl=%s)",
-			*shardOf, ws.Addr(), shardMap.Version, len(shardMap.Shards), *cache, *ttl)
+		log.Printf("gupsterd: MDM shard %q listening on %s (map v%d, %d shards, cache=%d, ttl=%s, auto-repair=%v)",
+			*shardOf, ws.Addr(), shardMap.Version, len(shardMap.Shards), *cache, *ttl, *autoRepair)
 	} else {
 		srv := core.NewServer(mdm)
 		if err := srv.Start(*listen); err != nil {

@@ -1,0 +1,148 @@
+package faultinject
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// recordingServer echoes lines and reports every line it receives, so
+// tests can tell "the request never arrived" from "the reply was lost" —
+// the distinction directional faults exist to express.
+func recordingServer(t *testing.T) (net.Listener, chan string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := make(chan string, 64)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					select {
+					case recv <- sc.Text():
+					default:
+					}
+					fmt.Fprintf(c, "%s\n", sc.Text())
+				}
+			}(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln, recv
+}
+
+func awaitLine(t *testing.T, recv chan string, want string) {
+	t.Helper()
+	select {
+	case got := <-recv:
+		if got != want {
+			t.Fatalf("server received %q, want %q", got, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("server never received %q", want)
+	}
+}
+
+// An upstream-only sever must kill the connection before the request
+// reaches the endpoint: the server sees nothing.
+func TestDirectionalSeverUpstream(t *testing.T) {
+	ln, recv := recordingServer(t)
+	p, err := NewProxy(ln.Addr().String(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetDirectionalSever(Upstream, 1.0)
+	conn := dialProxy(t, p)
+	if _, err := roundTrip(conn, "doomed-up"); err == nil {
+		t.Error("round trip survived a 100% upstream sever")
+	}
+	select {
+	case got := <-recv:
+		t.Errorf("server received %q through a severed upstream", got)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if p.Severed.Load() == 0 {
+		t.Error("no sever recorded")
+	}
+}
+
+// A downstream-only sever must let the request LAND and kill the
+// connection on the reply: the server sees the line, the client gets an
+// error.
+func TestDirectionalSeverDownstream(t *testing.T) {
+	ln, recv := recordingServer(t)
+	p, err := NewProxy(ln.Addr().String(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.SetDirectionalSever(Downstream, 1.0)
+	conn := dialProxy(t, p)
+	if _, err := roundTrip(conn, "doomed-down"); err == nil {
+		t.Error("round trip survived a 100% downstream sever")
+	}
+	awaitLine(t, recv, "doomed-down")
+	if p.Severed.Load() == 0 {
+		t.Error("no sever recorded")
+	}
+}
+
+// PartitionOneWay is the "can hear, cannot be heard" node: requests keep
+// arriving, replies vanish without an error, and nothing counts as
+// severed — from every sender's view the writes succeed.
+func TestPartitionOneWay(t *testing.T) {
+	ln, recv := recordingServer(t)
+	p, err := NewProxy(ln.Addr().String(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	before := dialProxy(t, p)
+	if _, err := roundTrip(before, "healthy"); err != nil {
+		t.Fatalf("round trip before partition: %v", err)
+	}
+	awaitLine(t, recv, "healthy")
+
+	p.PartitionOneWay(true)
+	// The pre-partition connection was dropped: a resumed byte stream
+	// could otherwise desync mid-frame after the heal.
+	if _, err := roundTrip(before, "stale-conn"); err == nil {
+		t.Error("pre-partition connection survived the transition")
+	}
+
+	conn := dialProxy(t, p)
+	if _, err := fmt.Fprintf(conn, "swallowed\n"); err != nil {
+		t.Fatalf("write during one-way partition: %v", err)
+	}
+	awaitLine(t, recv, "swallowed") // the request got through…
+	conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if _, err := bufio.NewReader(conn).ReadString('\n'); err == nil {
+		t.Error("reply escaped a one-way partition") // …the reply did not
+	}
+	if p.Severed.Load() != 0 {
+		t.Errorf("one-way partition counted %d severs, want 0", p.Severed.Load())
+	}
+
+	p.PartitionOneWay(false)
+	// Healing also drops connections (same desync hazard) …
+	if _, err := roundTrip(conn, "stale-conn-2"); err == nil {
+		t.Error("mid-partition connection survived the heal")
+	}
+	// …and fresh ones round-trip again.
+	after := dialProxy(t, p)
+	if got, err := roundTrip(after, "healed"); err != nil || got != "healed\n" {
+		t.Fatalf("round trip after heal = %q, %v", got, err)
+	}
+}

@@ -26,6 +26,18 @@ import (
 // checks) apply per chunk, so smaller chunks make slow-drip smoother.
 const chunk = 8 << 10
 
+// Direction selects one flow of a proxied connection, so faults can be
+// asymmetric — a node whose requests arrive fine but whose replies vanish
+// is a different failure than a severed link.
+type Direction int
+
+const (
+	// Upstream is client→target bytes (requests arriving at the endpoint).
+	Upstream Direction = iota
+	// Downstream is target→client bytes (the endpoint's replies).
+	Downstream
+)
+
 // Proxy is a fault-injecting TCP proxy in front of one endpoint.
 // Safe for concurrent use.
 type Proxy struct {
@@ -33,15 +45,17 @@ type Proxy struct {
 	ln     net.Listener
 	wg     sync.WaitGroup
 
-	mu       sync.Mutex
-	rng      *rand.Rand
-	latency  time.Duration
-	jitter   time.Duration
-	byteRate int // bytes/sec; 0 = unlimited
-	sever    float64
-	blackout bool
-	closed   bool
-	conns    map[net.Conn]net.Conn // accepted → upstream
+	mu        sync.Mutex
+	rng       *rand.Rand
+	latency   time.Duration
+	jitter    time.Duration
+	byteRate  int // bytes/sec; 0 = unlimited
+	sever     float64
+	severDir  [2]float64 // per-direction sever probability, indexed by Direction
+	blackhole [2]bool    // per-direction read-and-discard, indexed by Direction
+	blackout  bool
+	closed    bool
+	conns     map[net.Conn]net.Conn // accepted → upstream
 
 	// Counters for test assertions.
 	Accepted atomic.Uint64
@@ -91,6 +105,28 @@ func (p *Proxy) SetSeverProb(prob float64) {
 	p.mu.Lock()
 	p.sever = prob
 	p.mu.Unlock()
+}
+
+// SetDirectionalSever makes each chunk transferred in dir sever the
+// connection with probability prob, independently of the symmetric
+// SetSeverProb knob (the larger of the two wins per chunk); 0 disables.
+func (p *Proxy) SetDirectionalSever(dir Direction, prob float64) {
+	p.mu.Lock()
+	p.severDir[dir] = prob
+	p.mu.Unlock()
+}
+
+// PartitionOneWay simulates an asymmetric partition: the endpoint keeps
+// receiving requests (Upstream flows), but its replies (Downstream bytes)
+// are read and discarded — the classic "can hear, cannot be heard" node.
+// Both transitions drop active connections: the wire protocol is
+// length-prefix framed, and a stream that lost half a frame into the void
+// cannot resume at a frame boundary after the heal.
+func (p *Proxy) PartitionOneWay(on bool) {
+	p.mu.Lock()
+	p.blackhole[Downstream] = on
+	p.mu.Unlock()
+	p.DropActive()
 }
 
 // Blackout turns the endpoint dark: new connections are refused and
@@ -161,14 +197,14 @@ func (p *Proxy) acceptLoop() {
 		p.mu.Unlock()
 		p.Accepted.Add(1)
 		p.wg.Add(2)
-		go p.pump(up, conn)
-		go p.pump(conn, up)
+		go p.pump(up, conn, Upstream)
+		go p.pump(conn, up, Downstream)
 	}
 }
 
-// faults samples the current knobs for one chunk: the injected delay and
-// whether to sever.
-func (p *Proxy) faults(n int) (delay time.Duration, sever bool) {
+// faults samples the current knobs for one chunk in one direction: the
+// injected delay, whether to sever, and whether to silently discard.
+func (p *Proxy) faults(n int, dir Direction) (delay time.Duration, sever, discard bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	delay = p.latency
@@ -178,20 +214,30 @@ func (p *Proxy) faults(n int) (delay time.Duration, sever bool) {
 	if p.byteRate > 0 {
 		delay += time.Duration(float64(n) / float64(p.byteRate) * float64(time.Second))
 	}
-	if p.sever > 0 && p.rng.Float64() < p.sever {
+	prob := p.sever
+	if d := p.severDir[dir]; d > prob {
+		prob = d
+	}
+	if prob > 0 && p.rng.Float64() < prob {
 		sever = true
 	}
-	return delay, sever
+	return delay, sever, p.blackhole[dir]
 }
 
-func (p *Proxy) pump(dst, src net.Conn) {
+func (p *Proxy) pump(dst, src net.Conn, dir Direction) {
 	defer p.wg.Done()
 	defer p.forget(src, dst)
 	buf := make([]byte, chunk)
 	for {
 		n, err := src.Read(buf)
 		if n > 0 {
-			delay, sever := p.faults(n)
+			delay, sever, discard := p.faults(n, dir)
+			if discard {
+				// One-way partition: the bytes vanish, the connection stays
+				// up, and nothing counts as severed — from the sender's view
+				// the write succeeded.
+				continue
+			}
 			if delay > 0 {
 				time.Sleep(delay)
 			}

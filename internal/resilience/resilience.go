@@ -398,7 +398,14 @@ func (g *Group) Do(ctx context.Context, endpoint string, fn func(context.Context
 			return err
 		}
 		g.Stats.Failures.Add(1)
-		b.Failure()
+		// The caller's own context expiring mid-attempt says nothing about
+		// endpoint health — the budget was the binding constraint, not the
+		// endpoint. Feeding the breaker here would let a burst of
+		// tight-budget callers trip it and turn their expiry into an
+		// outage for everyone after them.
+		if ctx.Err() == nil {
+			b.Failure()
+		}
 		if attempt < g.Policy.MaxAttempts-1 {
 			g.Stats.Retries.Add(1)
 			if Sleep(ctx, g.Backoff(attempt)) != nil {

@@ -270,3 +270,37 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+// An attempt that dies because the CALLER's context expired says nothing
+// about the endpoint, and must not feed its breaker: a burst of
+// tight-budget callers against a healthy-but-queued endpoint would
+// otherwise trip it and turn their own expiry into an outage for
+// everyone arriving after the budgets clear.
+func TestCallerExpiryDoesNotFeedBreaker(t *testing.T) {
+	g := NewGroup(
+		Policy{MaxAttempts: 1, PerAttempt: time.Second},
+		BreakerConfig{Threshold: 2, Cooldown: time.Minute},
+		nil,
+	)
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		err := g.Do(ctx, "ep", func(actx context.Context) error {
+			<-actx.Done() // endpoint alive but slower than the caller's budget
+			return actx.Err()
+		})
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Do = %v, want the caller's deadline", err)
+		}
+	}
+	if st := g.State("ep"); st != Closed {
+		t.Fatalf("breaker state after caller-budget expiries = %v, want closed", st)
+	}
+	// A genuine endpoint failure under a live caller context still counts.
+	for i := 0; i < 2; i++ {
+		_ = g.Do(context.Background(), "ep", func(context.Context) error { return errBoom })
+	}
+	if st := g.State("ep"); st != Open {
+		t.Fatalf("breaker state after real failures = %v, want open", st)
+	}
+}

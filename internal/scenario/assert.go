@@ -137,6 +137,40 @@ func evalOne(a *Assertion, report *Report) AssertionResult {
 		}
 		return pass("phase %s failed over in %s (ceiling %s)", a.Phase, got, a.Max)
 
+	case AssertRepairCeiling:
+		p := phase(a.Phase)
+		if p == nil {
+			return fail("phase %q not in report", a.Phase)
+		}
+		if p.RepairMillis <= 0 {
+			return fail("phase %s recorded no repair — the shard fault did not fire or no auto-repair completed", a.Phase)
+		}
+		got := time.Duration(p.RepairMillis) * time.Millisecond
+		if got > a.Max {
+			return fail("phase %s detected and repaired in %s, ceiling %s — gossip detection or spare promotion is too slow", a.Phase, got, a.Max)
+		}
+		return pass("phase %s repaired in %s to epoch %d, promoting %v (ceiling %s)", a.Phase, got, p.RepairEpoch, p.PromotedShards, a.Max)
+
+	case AssertConvergence:
+		res.Target = "constellation"
+		checked := 0
+		for _, audit := range report.Registrations {
+			if audit.MapViews == 0 {
+				continue // not an auto-repair rig
+			}
+			checked++
+			if audit.MapViews != 1 {
+				return fail("rig %s ended with %d distinct shard-map views — the constellation did not converge on one epoch", audit.Rig, audit.MapViews)
+			}
+			if audit.SplitBrainOwners > 0 {
+				return fail("rig %s ended with %d owners claimed by more than one live shard — split-brain coverage survived the repair", audit.Rig, audit.SplitBrainOwners)
+			}
+		}
+		if checked == 0 {
+			return fail("no rig recorded a constellation view — convergence asserted on a scenario without auto-repair rigs")
+		}
+		return pass("%d rigs converged on a single shard-map view with no split-brain owners", checked)
+
 	case AssertMovedOwnersFloor:
 		p := phase(a.Phase)
 		if p == nil {

@@ -503,6 +503,17 @@ func decodeRig(n *node, r *RigSpec) error {
 		"election-ttl":       setDuration(&r.ElectionTTL, "election-ttl"),
 		"shards":             setInt(&r.Shards, "shards"),
 		"spare-shards":       setInt(&r.SpareShards, "spare-shards"),
+		"auto-repair":        setBool(&r.AutoRepair, "auto-repair"),
+		"gossip-interval":    setDuration(&r.GossipInterval, "gossip-interval"),
+		"suspect-timeout":    setDuration(&r.SuspectTimeout, "suspect-timeout"),
+		"shard-links": func(n *node) error {
+			spec := &LinkSpec{}
+			if err := decodeLinkSpec(n, spec); err != nil {
+				return err
+			}
+			r.ShardLinks = spec
+			return nil
+		},
 		"profile":            setString(&r.Profile, "profile"),
 		"links":              func(n *node) error { return decodeLinks(n, &r.Links) },
 	})
@@ -553,6 +564,11 @@ func decodePhase(n *node, p *Phase) error {
 		"duration":  setDuration(&p.Duration, "duration"),
 		"kill-leader-after": setDuration(&p.KillLeaderAfter, "kill-leader-after"),
 		"rebalance-after":   setDuration(&p.RebalanceAfter, "rebalance-after"),
+		"kill-shard-after":  setDuration(&p.KillShardAfter, "kill-shard-after"),
+		"kill-shard":        setString(&p.KillShard, "kill-shard"),
+		"partition-after":      setDuration(&p.PartitionAfter, "partition-after"),
+		"partition-shard":      setString(&p.PartitionShard, "partition-shard"),
+		"partition-heal-after": setDuration(&p.PartitionHealAfter, "partition-heal-after"),
 		"rate": func(n *node) error {
 			s, err := wantScalar(n, "rate")
 			if err != nil {

@@ -46,6 +46,13 @@ type PhaseReport struct {
 	// MovedOwners counts the seeded owners whose home shard changed.
 	RebalanceMillis int64 `json:"rebalance_ms,omitempty"`
 	MovedOwners     int   `json:"moved_owners,omitempty"`
+	// RepairMillis is how long a kill-shard-after / partition-after phase
+	// took from imposing the fault to a completed auto-repair (0 = no
+	// shard fault in this phase); RepairEpoch the fencing epoch the repair
+	// installed, PromotedShards the spares it promoted.
+	RepairMillis   int64    `json:"repair_ms,omitempty"`
+	RepairEpoch    uint64   `json:"repair_epoch,omitempty"`
+	PromotedShards []string `json:"promoted_shards,omitempty"`
 	// Resources samples the host across the phase (CPU as a delta).
 	Resources Resources `json:"resources"`
 }
@@ -65,6 +72,11 @@ type RegistrationAudit struct {
 	// longer holds at teardown — the zero-lost-registrations claim.
 	Acked int `json:"acked,omitempty"`
 	Lost  int `json:"lost,omitempty"`
+	// MapViews counts the distinct shard-map coordinates live shards of an
+	// auto-repair rig served at teardown (1 = converged); SplitBrainOwners
+	// how many owners more than one live slice still claimed.
+	MapViews         int `json:"map_views,omitempty"`
+	SplitBrainOwners int `json:"split_brain_owners,omitempty"`
 }
 
 // AssertionResult is one evaluated assertion.

@@ -13,6 +13,7 @@ import (
 	"gupster/internal/coverage"
 	"gupster/internal/faultinject"
 	"gupster/internal/federation"
+	"gupster/internal/health"
 	"gupster/internal/journal"
 	"gupster/internal/overload"
 	"gupster/internal/policy"
@@ -112,6 +113,14 @@ type Shard struct {
 	Node *shard.Node
 	Addr string
 	srv  *wire.Server
+	// Proxy fronts the shard when the spec declares shard-links; Addr is
+	// the proxy address then, and partitions act on it.
+	Proxy *faultinject.Proxy
+	// Agent is the shard's gossip failure detector (auto-repair rigs).
+	Agent *health.Agent
+	// Killed marks a shard hard-killed mid-run (KillShard); pollers and
+	// the teardown audit skip it.
+	Killed atomic.Bool
 	// Spare marks a shard built outside the initial map — a rebalance
 	// expansion target holding no owners until the map grows onto it.
 	Spare bool
@@ -148,6 +157,11 @@ type Rig struct {
 	shardMu   sync.Mutex
 	shardMap  wire.ShardMap
 	shardRing *shard.Ring
+
+	// repairs collects completed auto-repairs from every shard's gossip
+	// agent (auto-repair rigs); WaitRepair polls it.
+	repairMu sync.Mutex
+	repairs  []health.RepairEvent
 
 	Stores []*StoreNode
 	// Users is the owner population; Paths the registered coverage paths
@@ -312,6 +326,11 @@ func (r *Rig) buildReplicated() error {
 func (r *Rig) buildSharded() error {
 	spec := &r.Spec
 	total := spec.Shards + spec.SpareShards
+	// Phase A: build every shard's directory, node, listener and (when the
+	// spec declares shard-links) fault proxy, so the full constellation
+	// address list is known before anything serves — each gossip agent
+	// needs every member's dialable address up front.
+	lns := make([]net.Listener, total)
 	for i := 0; i < total; i++ {
 		m := core.New(MDMConfig(spec, r.Signer))
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -325,10 +344,52 @@ func (r *Rig) buildSharded() error {
 			MDM:     m,
 			Inner:   wire.HandlerFunc(core.NewServer(m).Handle),
 		})
-		r.Shards = append(r.Shards, &Shard{
-			ID: id, MDM: m, Node: sn, Addr: ln.Addr().String(),
-			srv: wire.ServeListener(ln, sn), Spare: i >= spec.Shards,
-		})
+		sh := &Shard{ID: id, MDM: m, Node: sn, Addr: ln.Addr().String(), Spare: i >= spec.Shards}
+		if spec.ShardLinks != nil {
+			p, err := r.newProxy(ln.Addr().String(), spec.ShardLinks, 100+i)
+			if err != nil {
+				ln.Close()
+				sn.Close()
+				m.Close()
+				return err
+			}
+			sh.Proxy = p
+			sh.Addr = p.Addr()
+		}
+		lns[i] = ln
+		r.Shards = append(r.Shards, sh)
+	}
+	// Phase B: serve each shard, wrapping its dispatch in a gossip agent
+	// on auto-repair rigs. Members cover the whole constellation (spares
+	// included — they are the promotion pool), addressed through the
+	// proxies so a partition severs gossip and repair traffic alike.
+	infos := make([]wire.ShardInfo, total)
+	for i, s := range r.Shards {
+		infos[i] = wire.ShardInfo{ID: s.ID, Addr: s.Addr}
+	}
+	for i, s := range r.Shards {
+		var h wire.Handler = s.Node
+		if spec.AutoRepair {
+			sn := s.Node
+			s.Agent = health.New(health.Config{
+				Self:    infos[i],
+				Members: infos,
+				Map: func() wire.ShardMap {
+					if ring := sn.Ring(); ring != nil {
+						return ring.Map()
+					}
+					return wire.ShardMap{}
+				},
+				SelfInstall:    sn.Install,
+				Interval:       spec.GossipInterval,
+				SuspectTimeout: spec.SuspectTimeout,
+				AutoRepair:     true,
+				ForwardMillis:  300,
+				OnRepair:       r.recordRepair,
+			})
+			h = health.Wrap(s.Agent, s.Node)
+		}
+		s.srv = wire.ServeListener(lns[i], h)
 	}
 	initial := wire.ShardMap{Version: 1}
 	for _, s := range r.Shards[:spec.Shards] {
@@ -348,6 +409,13 @@ func (r *Rig) buildSharded() error {
 	// the seed address shard-aware clients bootstrap from.
 	r.MDM = r.Shards[0].MDM
 	r.MDMAddr = r.Shards[0].Addr
+	// Agents start only after the initial map is everywhere, so the first
+	// probe rounds gossip real coordinates.
+	if spec.AutoRepair {
+		for _, s := range r.Shards {
+			s.Agent.Start()
+		}
+	}
 	return nil
 }
 
@@ -403,6 +471,103 @@ func (r *Rig) Rebalance(ctx context.Context) (int, error) {
 	r.shardMap, r.shardRing = next, nextRing
 	r.shardMu.Unlock()
 	return moved, nil
+}
+
+// recordRepair is the OnRepair hook every shard agent shares.
+func (r *Rig) recordRepair(ev health.RepairEvent) {
+	r.repairMu.Lock()
+	r.repairs = append(r.repairs, ev)
+	r.repairMu.Unlock()
+}
+
+// WaitRepair blocks until some agent completes a repair to an epoch above
+// sinceEpoch, returning its event; ok=false on timeout.
+func (r *Rig) WaitRepair(sinceEpoch uint64, timeout time.Duration) (health.RepairEvent, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		r.repairMu.Lock()
+		for _, ev := range r.repairs {
+			if ev.Epoch > sinceEpoch {
+				r.repairMu.Unlock()
+				return ev, true
+			}
+		}
+		r.repairMu.Unlock()
+		if time.Now().After(deadline) {
+			return health.RepairEvent{}, false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// CurrentEpoch reads the repair epoch a live shard currently serves — the
+// baseline a WaitRepair measures progress against.
+func (r *Rig) CurrentEpoch() uint64 {
+	for _, s := range r.Shards {
+		if s.Killed.Load() {
+			continue
+		}
+		if ring := s.Node.Ring(); ring != nil {
+			return ring.Map().Epoch
+		}
+	}
+	return 0
+}
+
+// refreshShardView re-reads the installed map from a live shard, so
+// directoryFor and the audit probes route by the post-repair ring rather
+// than the map the rig installed at build time.
+func (r *Rig) refreshShardView() {
+	for _, s := range r.Shards {
+		if s.Killed.Load() {
+			continue
+		}
+		ring := s.Node.Ring()
+		if ring == nil {
+			continue
+		}
+		m := ring.Map()
+		r.shardMu.Lock()
+		if shard.CompareMaps(m, r.shardMap) > 0 {
+			r.shardMap, r.shardRing = m, ring
+		}
+		r.shardMu.Unlock()
+		return
+	}
+}
+
+// KillShard hard-kills the named shard: its gossip agent, wire server and
+// fault proxy all go down, so peer dials are refused — the in-process
+// analog of a machine loss. Reports whether a live shard was killed.
+func (r *Rig) KillShard(id string) bool {
+	for _, s := range r.Shards {
+		if s.ID != id || s.Killed.Load() {
+			continue
+		}
+		s.Killed.Store(true)
+		if s.Agent != nil {
+			s.Agent.Close()
+		}
+		s.srv.Close()
+		if s.Proxy != nil {
+			s.Proxy.Close()
+		}
+		return true
+	}
+	return false
+}
+
+// PartitionShard imposes (on=true) or heals the one-way partition on the
+// named shard's proxy: inbound requests still land, but its replies
+// vanish — the shard can hear and not be heard.
+func (r *Rig) PartitionShard(id string, on bool) bool {
+	for _, s := range r.Shards {
+		if s.ID == id && s.Proxy != nil && !s.Killed.Load() {
+			s.Proxy.PartitionOneWay(on)
+			return true
+		}
+	}
+	return false
 }
 
 // Leader returns the index of the live member currently reporting
@@ -719,9 +884,14 @@ func (r *Rig) auditCoverage(audit *RegistrationAudit) {
 	// A sharded rig's directory is the union of its slices (a mid-drain
 	// source may briefly hold a moved owner alongside its new home, so a
 	// raw sum would double-count).
+	// A killed shard's MDM is excluded: its slice is stale by definition,
+	// and counting it could mask a registration the repair failed to move.
 	present := map[string]bool{}
 	if len(r.Shards) > 0 {
 		for _, s := range r.Shards {
+			if s.Killed.Load() {
+				continue
+			}
 			for _, reg := range s.MDM.CoverageSnapshot() {
 				present[reg.Store+"|"+reg.Path] = true
 			}
@@ -744,6 +914,59 @@ func (r *Rig) auditCoverage(audit *RegistrationAudit) {
 			audit.Lost++
 		}
 	}
+	if len(r.Shards) > 0 && r.Spec.AutoRepair {
+		r.auditConstellation(audit)
+	}
+}
+
+// constellationView summarizes the live shards' state: how many distinct
+// (epoch, version) map coordinates they serve, and how many owners more
+// than one live shard claims to own (coverage held on two slices at
+// once — the split-brain signature, transient only while a handoff
+// drains).
+func (r *Rig) constellationView() (views, splitBrain int) {
+	coords := map[[2]uint64]bool{}
+	ownersAt := map[string]map[string]bool{}
+	for _, s := range r.Shards {
+		if s.Killed.Load() {
+			continue
+		}
+		if ring := s.Node.Ring(); ring != nil {
+			m := ring.Map()
+			coords[[2]uint64{m.Epoch, m.Version}] = true
+		}
+		for _, reg := range s.MDM.CoverageSnapshot() {
+			owner, ok := coverage.UserOf(xpath.MustParse(reg.Path))
+			if !ok {
+				continue
+			}
+			if ownersAt[owner] == nil {
+				ownersAt[owner] = map[string]bool{}
+			}
+			ownersAt[owner][s.ID] = true
+		}
+	}
+	for _, at := range ownersAt {
+		if len(at) > 1 {
+			splitBrain++
+		}
+	}
+	return len(coords), splitBrain
+}
+
+// auditConstellation records post-run convergence for an auto-repair
+// rig: every live shard on one map coordinate, no owner held by two
+// slices. Handoff drains and anti-entropy fencing both run on timers, so
+// the audit polls briefly before recording what it sees.
+func (r *Rig) auditConstellation(audit *RegistrationAudit) {
+	deadline := time.Now().Add(5 * time.Second)
+	views, splitBrain := r.constellationView()
+	for (views != 1 || splitBrain != 0) && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		views, splitBrain = r.constellationView()
+	}
+	audit.MapViews = views
+	audit.SplitBrainOwners = splitBrain
 }
 
 // Close tears the rig down in dependency order: registrars first (stop
@@ -774,10 +997,21 @@ func (r *Rig) Close() {
 		os.RemoveAll(mem.Dir)
 	}
 	// Shards own their MDMs (r.MDM aliases the first shard's); stop the
-	// wire servers first, then the routing nodes' forwarding connections
-	// and drain timers, then the directories themselves.
+	// gossip agents first (no repair mid-teardown), then the wire servers
+	// and proxies, then the routing nodes' forwarding connections and
+	// drain timers, then the directories themselves.
 	for _, s := range r.Shards {
-		s.srv.Close()
+		if s.Agent != nil {
+			s.Agent.Close()
+		}
+	}
+	for _, s := range r.Shards {
+		if s.srv != nil {
+			s.srv.Close()
+		}
+		if s.Proxy != nil {
+			s.Proxy.Close()
+		}
 	}
 	for _, s := range r.Shards {
 		s.Node.Close()
@@ -855,6 +1089,9 @@ func probeContext(owner string) policy.Context {
 // verifying end-of-run registration integrity (the zero-lost-
 // registrations audit). Returns the number of failed probes.
 func (r *Rig) probeCoverage(ctx context.Context) int {
+	if len(r.Shards) > 0 {
+		r.refreshShardView()
+	}
 	failures := 0
 	probe := func(owner, path string) {
 		// directoryFor routes each probe to the owner's home shard on a

@@ -898,6 +898,90 @@ func (rr *rigRun) runOpen(p *Phase, phaseIdx int, fast bool) (*PhaseReport, erro
 		}()
 	}
 
+	// A kill-shard-after phase hard-kills one shard mid-storm and times
+	// how long gossip detection plus epoch-fenced spare promotion take to
+	// put its keyspace back in service.
+	if p.KillShardAfter > 0 {
+		after := p.KillShardAfter
+		if fast && after >= duration {
+			after = duration / 2
+		}
+		killWG.Add(1)
+		go func() {
+			defer killWG.Done()
+			time.Sleep(after)
+			since := rr.rig.CurrentEpoch()
+			if !rr.rig.KillShard(p.KillShard) {
+				rr.engine.opts.logf("phase %s: shard %s not alive to kill", p.Name, p.KillShard)
+				return
+			}
+			rr.engine.opts.logf("phase %s: killed shard %s", p.Name, p.KillShard)
+			t0 := time.Now()
+			ev, ok := rr.rig.WaitRepair(since, liveness)
+			if !ok {
+				rr.engine.opts.logf("phase %s: no auto-repair within %s", p.Name, liveness)
+				return
+			}
+			ms := time.Since(t0).Milliseconds()
+			if ms <= 0 {
+				ms = 1
+			}
+			pr.RepairMillis = ms
+			pr.RepairEpoch = ev.Epoch
+			pr.PromotedShards = ev.Promoted
+			rr.rig.refreshShardView()
+			rr.engine.opts.logf("phase %s: auto-repair to epoch %d in %dms (dead %v, promoted %v)",
+				p.Name, ev.Epoch, ms, ev.Dead, ev.Promoted)
+		}()
+	}
+
+	// A partition-after phase severs one shard's replies mid-storm: the
+	// shard still hears the constellation but cannot be heard, so its
+	// peers must confirm it dead, promote a spare under a higher epoch,
+	// and the partitioned minority must fence itself rather than keep
+	// serving its evicted slice. The partition lifts only after the repair
+	// completes (heal delay measured from when it was imposed).
+	if p.PartitionAfter > 0 {
+		after := p.PartitionAfter
+		if fast && after >= duration {
+			after = duration / 2
+		}
+		killWG.Add(1)
+		go func() {
+			defer killWG.Done()
+			time.Sleep(after)
+			since := rr.rig.CurrentEpoch()
+			if !rr.rig.PartitionShard(p.PartitionShard, true) {
+				rr.engine.opts.logf("phase %s: shard %s has no proxy to partition", p.Name, p.PartitionShard)
+				return
+			}
+			rr.engine.opts.logf("phase %s: one-way partition on shard %s", p.Name, p.PartitionShard)
+			t0 := time.Now()
+			ev, ok := rr.rig.WaitRepair(since, liveness)
+			if ok {
+				ms := time.Since(t0).Milliseconds()
+				if ms <= 0 {
+					ms = 1
+				}
+				pr.RepairMillis = ms
+				pr.RepairEpoch = ev.Epoch
+				pr.PromotedShards = ev.Promoted
+				rr.rig.refreshShardView()
+				rr.engine.opts.logf("phase %s: auto-repair to epoch %d in %dms (dead %v, promoted %v)",
+					p.Name, ev.Epoch, ms, ev.Dead, ev.Promoted)
+			} else {
+				rr.engine.opts.logf("phase %s: no auto-repair within %s", p.Name, liveness)
+			}
+			if p.PartitionHealAfter > 0 {
+				if remain := p.PartitionHealAfter - time.Since(t0); remain > 0 {
+					time.Sleep(remain)
+				}
+				rr.rig.PartitionShard(p.PartitionShard, false)
+				rr.engine.opts.logf("phase %s: healed partition on shard %s", p.Name, p.PartitionShard)
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < n; i++ {

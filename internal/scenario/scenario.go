@@ -70,6 +70,8 @@ const (
 	AssertZeroLostCoverage = "zero-lost-registrations"
 	AssertFailoverCeiling  = "failover-ceiling"
 	AssertMovedOwnersFloor = "moved-owners-floor"
+	AssertRepairCeiling    = "repair-ceiling"
+	AssertConvergence      = "convergence"
 )
 
 // Scenario is one declarative experiment: a topology, phases on a
@@ -143,6 +145,18 @@ type RigSpec struct {
 	// rebalance (Phase.RebalanceAfter) grows onto.
 	Shards      int
 	SpareShards int
+	// AutoRepair arms the self-healing constellation on a sharded rig:
+	// every shard runs a gossip failure detector (health.Agent) and the
+	// acting coordinator repairs a confirmed shard death automatically —
+	// promoting spares and bumping the map's repair epoch. GossipInterval
+	// and SuspectTimeout tune the detector (zero keeps package defaults).
+	AutoRepair     bool
+	GossipInterval time.Duration
+	SuspectTimeout time.Duration
+	// ShardLinks fronts every shard with a fault proxy so phases can
+	// partition shards (Phase.PartitionAfter). Gossip, repair traffic and
+	// client resolves all ride the proxies.
+	ShardLinks *LinkSpec
 	// Profile is ProfileBook (default) or ProfileFull.
 	Profile string
 	// Links declares the fault-injection proxies of the rig.
@@ -212,6 +226,24 @@ type Phase struct {
 	// PhaseReport.RebalanceMillis and the count of owners whose home
 	// shard changed in PhaseReport.MovedOwners.
 	RebalanceAfter time.Duration
+	// KillShardAfter, on an auto-repair rig's open-loop phase, hard-kills
+	// the named shard (KillShard) that long into the phase and waits for
+	// the constellation's gossip detector to confirm the death and the
+	// repair to complete; the fault-to-repaired wall time lands in
+	// PhaseReport.RepairMillis and the repaired map's epoch in
+	// PhaseReport.RepairEpoch.
+	KillShardAfter time.Duration
+	KillShard      string
+	// PartitionAfter imposes a one-way partition on the named shard
+	// (PartitionShard): inbound requests still land but its replies
+	// vanish, so the majority confirms it dead while it still believes
+	// everyone else alive — the asymmetric split-brain case. The engine
+	// waits for the repair, then lifts the partition PartitionHealAfter
+	// after it was imposed; the fenced minority must converge onto the
+	// repaired epoch (the convergence assertion).
+	PartitionAfter     time.Duration
+	PartitionShard     string
+	PartitionHealAfter time.Duration
 	// Mix is the phase's workload: each request draws an entry by weight.
 	Mix []MixEntry
 }
@@ -388,6 +420,12 @@ func (r *RigSpec) validate(sc string) error {
 			return fmt.Errorf("scenario %s: rig %s: sharded rigs have no single mdm link to proxy", sc, r.Name)
 		}
 	}
+	if (r.AutoRepair || r.ShardLinks != nil) && r.Shards < 2 {
+		return fmt.Errorf("scenario %s: rig %s: auto-repair and shard-links need a sharded rig (shards >= 2)", sc, r.Name)
+	}
+	if (r.GossipInterval > 0 || r.SuspectTimeout > 0) && !r.AutoRepair {
+		return fmt.Errorf("scenario %s: rig %s: gossip-interval and suspect-timeout need auto-repair", sc, r.Name)
+	}
 	for name := range r.Links.PerStore {
 		if storeIndex(name) < 0 || storeIndex(name) >= r.Stores {
 			return fmt.Errorf("scenario %s: rig %s: link %q names no store", sc, r.Name, name)
@@ -442,6 +480,47 @@ func (p *Phase) validate(sc string, rig *RigSpec) error {
 		}
 		if p.RebalanceAfter >= p.Duration {
 			return fmt.Errorf("scenario %s: phase %s: rebalance-after must fall inside the phase duration", sc, p.Name)
+		}
+	}
+	if (p.KillShardAfter > 0) != (p.KillShard != "") {
+		return fmt.Errorf("scenario %s: phase %s: kill-shard-after and kill-shard go together", sc, p.Name)
+	}
+	if (p.PartitionAfter > 0) != (p.PartitionShard != "") {
+		return fmt.Errorf("scenario %s: phase %s: partition-after and partition-shard go together", sc, p.Name)
+	}
+	if p.PartitionHealAfter > 0 && p.PartitionAfter == 0 {
+		return fmt.Errorf("scenario %s: phase %s: partition-heal-after needs partition-after", sc, p.Name)
+	}
+	checkShardFault := func(what, target string, after time.Duration) error {
+		if !rig.AutoRepair {
+			return fmt.Errorf("scenario %s: phase %s: %s needs an auto-repair rig", sc, p.Name, what)
+		}
+		if p.Rate.IsZero() {
+			return fmt.Errorf("scenario %s: phase %s: %s needs an open-loop phase", sc, p.Name, what)
+		}
+		if after >= p.Duration {
+			return fmt.Errorf("scenario %s: phase %s: %s must fall inside the phase duration", sc, p.Name, what)
+		}
+		idx := shardIndex(target)
+		if idx < 1 || idx >= rig.Shards {
+			// shard-0 is the rig's bootstrap/audit alias and must survive;
+			// spares are not in the initial map, so killing one repairs
+			// nothing.
+			return fmt.Errorf("scenario %s: phase %s: %s targets %q, want an initial-map shard other than shard-0", sc, p.Name, what, target)
+		}
+		return nil
+	}
+	if p.KillShardAfter > 0 {
+		if err := checkShardFault("kill-shard-after", p.KillShard, p.KillShardAfter); err != nil {
+			return err
+		}
+	}
+	if p.PartitionAfter > 0 {
+		if rig.ShardLinks == nil {
+			return fmt.Errorf("scenario %s: phase %s: partition-after needs shard-links on the rig", sc, p.Name)
+		}
+		if err := checkShardFault("partition-after", p.PartitionShard, p.PartitionAfter); err != nil {
+			return err
 		}
 	}
 	if p.Calibrate == 0 && len(p.Mix) == 0 {
@@ -555,6 +634,13 @@ func (a *Assertion) validate(sc string, phases map[string]bool) error {
 			return fmt.Errorf("scenario %s: moved-owners-floor needs min", sc)
 		}
 		return need(a.Phase, "phase")
+	case AssertRepairCeiling:
+		if a.Max <= 0 {
+			return fmt.Errorf("scenario %s: repair-ceiling needs max-duration", sc)
+		}
+		return need(a.Phase, "phase")
+	case AssertConvergence:
+		return nil
 	default:
 		return fmt.Errorf("scenario %s: unknown assertion kind %q", sc, a.Kind)
 	}
@@ -564,6 +650,15 @@ func (a *Assertion) validate(sc string, phases map[string]bool) error {
 func storeIndex(name string) int {
 	var i int
 	if n, err := fmt.Sscanf(name, "store-%d", &i); err != nil || n != 1 || i < 0 {
+		return -1
+	}
+	return i
+}
+
+// shardIndex parses "shard-2" → 2, or -1.
+func shardIndex(name string) int {
+	var i int
+	if n, err := fmt.Sscanf(name, "shard-%d", &i); err != nil || n != 1 || i < 0 {
 		return -1
 	}
 	return i

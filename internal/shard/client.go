@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"gupster/internal/wire"
 )
@@ -83,6 +84,7 @@ func (c *Client) Call(ctx context.Context, owner, msgType string, req, resp any)
 	target := c.ring.Owner(owner)
 	c.mu.Unlock()
 
+	rebootstrapped := false
 	var err error
 	for hops := 0; hops < 4; hops++ {
 		err = c.callAddr(ctx, target.Addr, msgType, req, resp)
@@ -90,18 +92,76 @@ func (c *Client) Call(ctx context.Context, owner, msgType string, req, resp any)
 			return nil
 		}
 		var ws *wire.WrongShardError
-		if !errors.As(err, &ws) {
-			return err
+		if errors.As(err, &ws) {
+			if ws.Map != nil {
+				c.adopt(*ws.Map)
+			}
+			if ws.Addr == "" || ws.Addr == target.Addr {
+				return err
+			}
+			target = wire.ShardInfo{ID: ws.ShardID, Addr: ws.Addr, Members: ws.Members}
+			continue
 		}
-		if ws.Map != nil {
-			c.adopt(*ws.Map)
+		// A dead shard sends no redirect — the dial (or the stream) just
+		// fails. The map may have moved on without us (auto-repair installs
+		// a new epoch on the survivors), so refresh it once from the seeds
+		// and the other known shards, and retry only if the owner now routes
+		// somewhere else.
+		if isTransportErr(err) && !rebootstrapped && ctx.Err() == nil {
+			rebootstrapped = true
+			if c.rebootstrap(ctx, target.Addr) {
+				c.mu.Lock()
+				next := c.ring.Owner(owner)
+				c.mu.Unlock()
+				if next.Addr != target.Addr {
+					target = next
+					continue
+				}
+			}
 		}
-		if ws.Addr == "" || ws.Addr == target.Addr {
-			return err
-		}
-		target = wire.ShardInfo{ID: ws.ShardID, Addr: ws.Addr, Members: ws.Members}
+		return err
 	}
 	return err
+}
+
+// rebootstrap re-fetches the shard map from the first reachable seed or
+// known shard other than deadAddr, adopting anything newer. It reports
+// whether any probe answered.
+func (c *Client) rebootstrap(ctx context.Context, deadAddr string) bool {
+	c.mu.Lock()
+	cands := append([]string(nil), c.seeds...)
+	if c.ring != nil {
+		for _, s := range c.ring.Shards() {
+			cands = append(cands, s.Addr)
+		}
+	}
+	c.mu.Unlock()
+	seen := map[string]bool{deadAddr: true}
+	for _, addr := range cands {
+		if seen[addr] || ctx.Err() != nil {
+			continue
+		}
+		seen[addr] = true
+		conn, err := c.conn(addr)
+		if err != nil {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		var m wire.ShardMap
+		err = conn.Call(pctx, wire.TypeShardMap, wire.Empty{}, &m)
+		cancel()
+		if err != nil {
+			if isTransportErr(err) {
+				c.drop(addr)
+			}
+			continue
+		}
+		if len(m.Shards) > 0 {
+			c.adopt(m)
+		}
+		return true
+	}
+	return false
 }
 
 // callAddr issues one call, chasing a single not-leader hop.
@@ -126,27 +186,39 @@ func (c *Client) callAddr(ctx context.Context, addr, msgType string, req, resp a
 	// it is multiplexed, so closing it kills every other in-flight call.
 	// Typed replies mean the shard answered (the link is healthy), and the
 	// caller's own budget expiring says nothing about the link either.
+	if isTransportErr(err) {
+		c.drop(addr) // transport failure; redial next time
+	}
+	return err
+}
+
+// isTransportErr distinguishes a dead link from a healthy shard saying no:
+// typed protocol replies and the caller's own context expiry are not
+// transport failures.
+func isTransportErr(err error) bool {
 	var re *wire.RemoteError
 	var wse *wire.WrongShardError
 	var nle *wire.NotLeaderError
 	var ove *wire.OverloadedError
 	switch {
 	case errors.As(err, &re), errors.As(err, &wse), errors.As(err, &nle), errors.As(err, &ove):
+		return false
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-	default:
-		c.drop(addr) // transport failure; redial next time
+		return false
 	}
-	return err
+	return true
 }
 
-// adopt installs a newer shard map learned from a redirect.
+// adopt installs a newer shard map learned from a redirect or refresh.
+// Ordering is by (epoch, version): a repair epoch outranks any number of
+// version bumps inside a stale epoch.
 func (c *Client) adopt(m wire.ShardMap) {
 	ring, err := BuildRing(m)
 	if err != nil {
 		return
 	}
 	c.mu.Lock()
-	if c.ring == nil || ring.Version() > c.ring.Version() {
+	if c.ring == nil || CompareMaps(ring.Map(), c.ring.Map()) > 0 {
 		c.ring = ring
 	}
 	c.mu.Unlock()

@@ -77,10 +77,41 @@ func (n *Node) Install(req *wire.ShardInstallRequest) (*wire.ShardInstallRespons
 	if err != nil {
 		return nil, err
 	}
+	resp, err := n.install(ring, req)
+	if err != nil {
+		return nil, err
+	}
+	if req.Mode == "fence" && n.cfg.MDM != nil {
+		// The fencing drop runs outside n.mu: RetainOwners walks the whole
+		// directory and must not stall dispatch. The ring captured above is
+		// the one just installed, so a racing newer install only makes the
+		// retain predicate stricter, never wrong.
+		dropped := n.cfg.MDM.RetainOwners(func(owner string) bool {
+			return ring.Owner(owner).ID == n.cfg.ShardID
+		})
+		n.logf("shard %s: fenced to map v%d@e%d, dropped %d stale registrations", n.cfg.ShardID, ring.Version(), ring.Epoch(), dropped)
+	}
+	return resp, nil
+}
+
+// install is Install's locked core: fencing checks, handoff-state
+// bookkeeping, and the ring swap.
+func (n *Node) install(ring *Ring, req *wire.ShardInstallRequest) (*wire.ShardInstallResponse, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.ring != nil && ring.Version() < n.ring.Version() {
-		return nil, errStaleMap(ring.Version(), n.ring.Version())
+	if n.ring != nil {
+		switch CompareMaps(ring.Map(), n.ring.Map()) {
+		case -1:
+			return nil, errStaleMap(ring, n.ring)
+		case 0:
+			// Same coordinates re-arrive legitimately (handoff→drain chains
+			// reinstall the same map), but only with identical content: two
+			// different maps at one (epoch, version) mean a split-brain
+			// repair and neither side may silently win.
+			if !sameMapContent(ring.Map(), n.ring.Map()) {
+				return nil, errDivergentMap(ring)
+			}
+		}
 	}
 	// The outgoing state machine: the previous ring (against which this
 	// node may still hold moved owners) survives a handoff→drain install
@@ -97,6 +128,8 @@ func (n *Node) Install(req *wire.ShardInstallRequest) (*wire.ShardInstallRespons
 	switch req.Mode {
 	case "":
 		// Adopted outright.
+	case "fence":
+		// Adopted outright; the caller drops stale slices after unlock.
 	case "handoff":
 		if prev != nil {
 			n.handoff = &handoffState{mode: "handoff", prev: prev}
@@ -114,12 +147,25 @@ func (n *Node) Install(req *wire.ShardInstallRequest) (*wire.ShardInstallRespons
 	default:
 		return nil, errUnknownMode(req.Mode)
 	}
-	n.logf("shard %s: installed map v%d (%d shards, mode=%q)", n.cfg.ShardID, ring.Version(), len(ring.Shards()), req.Mode)
+	n.logf("shard %s: installed map v%d@e%d (%d shards, mode=%q)", n.cfg.ShardID, ring.Version(), ring.Epoch(), len(ring.Shards()), req.Mode)
 	return &wire.ShardInstallResponse{Version: ring.Version()}, nil
 }
 
-func errStaleMap(got, have uint64) error {
-	return fmt.Errorf("shard: refusing stale map v%d (holding v%d)", got, have)
+func errStaleMap(got, have *Ring) error {
+	return fmt.Errorf("shard: refusing stale map v%d@e%d (holding v%d@e%d)", got.Version(), got.Epoch(), have.Version(), have.Epoch())
+}
+
+func errDivergentMap(got *Ring) error {
+	return fmt.Errorf("shard: refusing divergent map v%d@e%d (same coordinates, different shards)", got.Version(), got.Epoch())
+}
+
+// sameMapContent reports whether two maps name the same shards in the same
+// order. JSON field order is deterministic, so byte equality of the
+// marshaled forms is content equality.
+func sameMapContent(a, b wire.ShardMap) bool {
+	ab, err1 := json.Marshal(a)
+	bb, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && string(ab) == string(bb)
 }
 
 func errUnknownMode(mode string) error {

@@ -12,6 +12,13 @@ type RebalanceOptions struct {
 	// ForwardMillis is the drain window length installed on losing shards;
 	// 0 means the node-side default (500ms).
 	ForwardMillis int64
+	// DeadShards names source shards that are confirmed dead, keyed by
+	// shard ID, each with the coordinator's last cached coverage snapshot.
+	// A dead source is never dialed: its installs are skipped and its
+	// moved owners are replayed from the snapshot instead of a live dump.
+	// This is the auto-repair entry point — the rebalance machinery is
+	// identical, only the source of truth for the dead slice changes.
+	DeadShards map[string]wire.ShardCoverageResponse
 	// Logf, when set, receives progress events.
 	Logf func(format string, args ...any)
 }
@@ -47,8 +54,8 @@ func Rebalance(ctx context.Context, old, next wire.ShardMap, opts RebalanceOptio
 	if err != nil {
 		return fmt.Errorf("shard: rebalance: bad new map: %w", err)
 	}
-	if next.Version <= old.Version {
-		return fmt.Errorf("shard: rebalance: new map v%d must supersede v%d", next.Version, old.Version)
+	if CompareMaps(next, old) <= 0 {
+		return fmt.Errorf("shard: rebalance: new map v%d@e%d must supersede v%d@e%d", next.Version, next.Epoch, old.Version, old.Epoch)
 	}
 	logf := opts.Logf
 	if logf == nil {
@@ -95,6 +102,9 @@ func Rebalance(ctx context.Context, old, next wire.ShardMap, opts RebalanceOptio
 		if _, existed := oldIDs[s.ID]; existed {
 			continue
 		}
+		if _, dead := opts.DeadShards[s.ID]; dead {
+			continue // defensive: a dead shard cannot join
+		}
 		if err := install(s.Addr, ""); err != nil {
 			return fmt.Errorf("shard: rebalance: install on joining shard %s: %w", s.ID, err)
 		}
@@ -102,21 +112,30 @@ func Rebalance(ctx context.Context, old, next wire.ShardMap, opts RebalanceOptio
 	}
 
 	// Phase 2: sources enter the handoff window, then the moved owners'
-	// state is replayed to its new homes.
+	// state is replayed to its new homes. Dead sources get no install and
+	// no live dump — the coordinator's cached snapshot stands in for the
+	// corpse's slice.
 	for _, s := range old.Shards {
+		if _, dead := opts.DeadShards[s.ID]; dead {
+			continue
+		}
 		if err := install(s.Addr, "handoff"); err != nil {
 			return fmt.Errorf("shard: rebalance: handoff install on shard %s: %w", s.ID, err)
 		}
 	}
 	moved := 0
 	for _, src := range old.Shards {
-		c, err := conn(src.Addr)
-		if err != nil {
-			return fmt.Errorf("shard: rebalance: dial source %s: %w", src.ID, err)
-		}
 		var dump wire.ShardCoverageResponse
-		if err := c.Call(ctx, wire.TypeShardCoverage, wire.Empty{}, &dump); err != nil {
-			return fmt.Errorf("shard: rebalance: coverage dump from %s: %w", src.ID, err)
+		if snap, dead := opts.DeadShards[src.ID]; dead {
+			dump = snap
+		} else {
+			c, err := conn(src.Addr)
+			if err != nil {
+				return fmt.Errorf("shard: rebalance: dial source %s: %w", src.ID, err)
+			}
+			if err := c.Call(ctx, wire.TypeShardCoverage, wire.Empty{}, &dump); err != nil {
+				return fmt.Errorf("shard: rebalance: coverage dump from %s: %w", src.ID, err)
+			}
 		}
 		for _, reg := range dump.Coverage {
 			owner, ok := pathOwner(reg.Path)
@@ -159,10 +178,13 @@ func Rebalance(ctx context.Context, old, next wire.ShardMap, opts RebalanceOptio
 	// Phase 3: sources drain — forward for the window, then flip to
 	// redirects and drop the moved slice.
 	for _, s := range old.Shards {
+		if _, dead := opts.DeadShards[s.ID]; dead {
+			continue
+		}
 		if err := install(s.Addr, "drain"); err != nil {
 			return fmt.Errorf("shard: rebalance: drain install on shard %s: %w", s.ID, err)
 		}
 	}
-	logf("rebalance: map v%d live on all shards", next.Version)
+	logf("rebalance: map v%d@e%d live on all shards", next.Version, next.Epoch)
 	return nil
 }

@@ -37,8 +37,29 @@ type point struct {
 // map version. Build once per install; lookups are lock-free.
 type Ring struct {
 	version uint64
+	epoch   uint64
 	shards  []wire.ShardInfo
 	points  []point // sorted by hash
+}
+
+// CompareMaps orders two shard maps by (Epoch, Version), lexicographically:
+// negative when a is older than b, zero when the coordinates are equal,
+// positive when a is newer. Repair bumps the epoch, operator rebalances
+// bump the version within an epoch, so the pair totally orders every
+// legitimate map lineage; equal coordinates with different content mean a
+// split-brain and are the installer's job to reject.
+func CompareMaps(a, b wire.ShardMap) int {
+	switch {
+	case a.Epoch < b.Epoch:
+		return -1
+	case a.Epoch > b.Epoch:
+		return 1
+	case a.Version < b.Version:
+		return -1
+	case a.Version > b.Version:
+		return 1
+	}
+	return 0
 }
 
 // BuildRing validates a shard map and builds its ring. A valid map has a
@@ -54,6 +75,7 @@ func BuildRing(m wire.ShardMap) (*Ring, error) {
 	seen := make(map[string]bool, len(m.Shards))
 	r := &Ring{
 		version: m.Version,
+		epoch:   m.Epoch,
 		shards:  append([]wire.ShardInfo(nil), m.Shards...),
 		points:  make([]point, 0, vpoints*len(m.Shards)),
 	}
@@ -114,9 +136,16 @@ func (r *Ring) Owner(owner string) wire.ShardInfo {
 // Version returns the map version the ring was built from.
 func (r *Ring) Version() uint64 { return r.version }
 
+// Epoch returns the repair epoch the ring was built from.
+func (r *Ring) Epoch() uint64 { return r.epoch }
+
 // Map re-exports the ring's shard map in wire form.
 func (r *Ring) Map() wire.ShardMap {
-	return wire.ShardMap{Version: r.version, Shards: append([]wire.ShardInfo(nil), r.shards...)}
+	return wire.ShardMap{
+		Version: r.version,
+		Epoch:   r.epoch,
+		Shards:  append([]wire.ShardInfo(nil), r.shards...),
+	}
 }
 
 // Shards lists the ring's members.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -59,13 +60,36 @@ func (r *Router) Install(req *wire.ShardInstallRequest) (uint64, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.ring != nil && ring.Version() < r.ring.Version() {
-		return 0, errStaleMap(ring.Version(), r.ring.Version())
+	if r.ring != nil {
+		switch CompareMaps(ring.Map(), r.ring.Map()) {
+		case -1:
+			return 0, errStaleMap(ring, r.ring)
+		case 0:
+			if !sameMapContent(ring.Map(), r.ring.Map()) {
+				return 0, errDivergentMap(ring)
+			}
+		}
 	}
 	r.ring = ring
-	r.cfg.Logf("router: shard map v%d installed (%d shards)", ring.Version(), len(ring.Shards()))
+	r.cfg.Logf("router: shard map v%d@e%d installed (%d shards)", ring.Version(), ring.Epoch(), len(ring.Shards()))
 	return ring.Version(), nil
 }
+
+// NoShardAvailableError reports that every shard named by the router's
+// current map refused a connection. It carries the map coordinates so the
+// caller can tell a dead constellation from a stale map, and wraps the
+// last dial error for diagnostics.
+type NoShardAvailableError struct {
+	MapVersion uint64
+	MapEpoch   uint64
+	LastErr    error
+}
+
+func (e *NoShardAvailableError) Error() string {
+	return fmt.Sprintf("shard: no shard available (map v%d@e%d): %v", e.MapVersion, e.MapEpoch, e.LastErr)
+}
+
+func (e *NoShardAvailableError) Unwrap() error { return e.LastErr }
 
 // ServeWire implements wire.Handler.
 func (r *Router) ServeWire(c *wire.ServerConn, m *wire.Message) {
@@ -108,10 +132,10 @@ func (r *Router) ServeWire(c *wire.ServerConn, m *wire.Message) {
 		// scoped owner) goes to the first shard deterministically.
 		target = ring.Shards()[0]
 	}
-	r.forward(c, m, target)
+	r.forward(c, m, target, ring)
 }
 
-func (r *Router) forward(c *wire.ServerConn, m *wire.Message, target wire.ShardInfo) {
+func (r *Router) forward(c *wire.ServerConn, m *wire.Message, target wire.ShardInfo, ring *Ring) {
 	ctx, cancel := wire.BudgetContext(context.Background(), m)
 	if _, has := ctx.Deadline(); !has {
 		ctx, cancel = context.WithTimeout(ctx, r.cfg.ForwardTimeout)
@@ -120,10 +144,19 @@ func (r *Router) forward(c *wire.ServerConn, m *wire.Message, target wire.ShardI
 
 	conn, err := r.shardConn(target.Addr)
 	if err != nil {
-		if m.ID != 0 {
-			_ = c.ReplyError(m, err)
+		// The owner's shard refused the dial. Any other live map member can
+		// still make progress (a redirect carrying a newer post-repair map,
+		// or direct service once the repair moved the owner), so fail over
+		// across the ring — and when every member is down, answer with the
+		// typed no-shard verdict instead of burning the caller's deadline on
+		// repeat dials of a dead constellation.
+		conn, err = r.failover(ctx, ring, target.Addr, err)
+		if err != nil {
+			if m.ID != 0 {
+				_ = c.ReplyError(m, err)
+			}
+			return
 		}
-		return
 	}
 	if m.ID == 0 {
 		_ = conn.Send(ctx, m.Type, json.RawMessage(m.Payload))
@@ -152,7 +185,7 @@ func (r *Router) forward(c *wire.ServerConn, m *wire.Message, target wire.ShardI
 			if ws.Map != nil {
 				if ring, berr := BuildRing(*ws.Map); berr == nil {
 					r.mu.Lock()
-					if ring.Version() > r.ring.Version() {
+					if CompareMaps(ring.Map(), r.ring.Map()) > 0 {
 						r.ring = ring
 					}
 					r.mu.Unlock()
@@ -168,6 +201,27 @@ func (r *Router) forward(c *wire.ServerConn, m *wire.Message, target wire.ShardI
 		return
 	}
 	_ = c.Reply(m, raw)
+}
+
+// failover tries every other shard in the map once. It returns the first
+// connection that dials, or a NoShardAvailableError when the whole ring is
+// unreachable (bounded further by ctx between attempts).
+func (r *Router) failover(ctx context.Context, ring *Ring, failedAddr string, firstErr error) (*wire.Client, error) {
+	lastErr := firstErr
+	for _, s := range ring.Shards() {
+		if s.Addr == failedAddr {
+			continue
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		conn, err := r.shardConn(s.Addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, &NoShardAvailableError{MapVersion: ring.Version(), MapEpoch: ring.Epoch(), LastErr: lastErr}
 }
 
 func (r *Router) shardConn(addr string) (*wire.Client, error) {

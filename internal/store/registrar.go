@@ -28,6 +28,18 @@ type Registrar struct {
 	// replicated constellation redirects us to its leader, cfg.MDM again
 	// when that leader stops answering.
 	target string
+	// seeds are every directory address the registrar can fall back to:
+	// the configured MDM plus every shard address learned from the
+	// directory's shard map (fetched once per connection, and absorbed
+	// from wrong-shard redirects). When the current target stops dialing
+	// — its shard died and a spare was promoted in its place — the
+	// registrar rotates to the next seed instead of redialing the corpse
+	// forever.
+	seeds []string
+	// seedsFresh is cleared whenever the connection is dropped or
+	// re-homed so the next successful call re-fetches the map (a repair
+	// may have changed it).
+	seedsFresh bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -81,13 +93,77 @@ func (r *Registrar) client() (*wire.Client, error) {
 	}
 	c, err := wire.Dial(r.target)
 	if err != nil {
-		// The current target (possibly a redirected-to leader that died)
-		// is unreachable: fall back to the configured seed address.
-		r.target = r.cfg.MDM
+		// The current target (a redirected-to leader or shard that died)
+		// is unreachable: rotate to the next known seed so a dead home
+		// shard cannot strand us — its replacement answers on another
+		// address and will redirect us the rest of the way.
+		r.target = r.nextSeedLocked(r.target)
 		return nil, err
 	}
 	r.conn = c
 	return c, nil
+}
+
+// nextSeedLocked returns the seed to try after cur, wrapping around the
+// learned list; with nothing learned it falls back to the configured
+// address. Callers hold r.mu.
+func (r *Registrar) nextSeedLocked(cur string) string {
+	if len(r.seeds) == 0 {
+		return r.cfg.MDM
+	}
+	for i, s := range r.seeds {
+		if s == cur {
+			return r.seeds[(i+1)%len(r.seeds)]
+		}
+	}
+	return r.seeds[0]
+}
+
+// learnSeedsLocked merges newly discovered directory addresses into the
+// rotation list, keeping the configured address present and the existing
+// order stable. Callers hold r.mu.
+func (r *Registrar) learnSeedsLocked(addrs []string) {
+	have := make(map[string]bool, len(r.seeds)+1)
+	for _, s := range r.seeds {
+		have[s] = true
+	}
+	if !have[r.cfg.MDM] {
+		r.seeds = append(r.seeds, r.cfg.MDM)
+		have[r.cfg.MDM] = true
+	}
+	for _, a := range addrs {
+		if a != "" && !have[a] {
+			r.seeds = append(r.seeds, a)
+			have[a] = true
+		}
+	}
+}
+
+// maybeLearnMap fetches the directory's shard map once per connection and
+// absorbs every shard address as a fallback seed. A non-sharded directory
+// refuses the call; either way the connection is marked fresh so the
+// probe is not repeated until the next reconnect or re-home.
+func (r *Registrar) maybeLearnMap(ctx context.Context, c *wire.Client) {
+	r.mu.Lock()
+	fresh := r.seedsFresh
+	r.seedsFresh = true
+	r.mu.Unlock()
+	if fresh {
+		return
+	}
+	var mp wire.ShardMap
+	if err := c.Call(ctx, wire.TypeShardMap, wire.Empty{}, &mp); err != nil || len(mp.Shards) == 0 {
+		return
+	}
+	addrs := make([]string, 0, len(mp.Shards))
+	for _, s := range mp.Shards {
+		addrs = append(addrs, s.Addr)
+	}
+	r.mu.Lock()
+	r.learnSeedsLocked(addrs)
+	n := len(r.seeds)
+	r.mu.Unlock()
+	r.logf("registrar: learned shard map v%d (%d fallback seeds)", mp.Version, n)
 }
 
 // dropConn discards the connection after a transport failure so the next
@@ -100,6 +176,7 @@ func (r *Registrar) dropConn() {
 		r.conn = nil
 	}
 	r.target = r.cfg.MDM
+	r.seedsFresh = false
 	r.mu.Unlock()
 }
 
@@ -114,6 +191,7 @@ func (r *Registrar) rehome(leaderAddr string) {
 	if leaderAddr != "" {
 		r.target = leaderAddr
 	}
+	r.seedsFresh = false
 	r.mu.Unlock()
 }
 
@@ -125,6 +203,7 @@ func (r *Registrar) call(ctx context.Context, msgType string, req, resp any) err
 		if err == nil {
 			err = c.Call(ctx, msgType, req, resp)
 			if err == nil {
+				r.maybeLearnMap(ctx, c)
 				return nil
 			}
 			var notLeader *wire.NotLeaderError
@@ -152,6 +231,15 @@ func (r *Registrar) call(ctx context.Context, msgType string, req, resp any) err
 				// bounces per path, which is fine at registration cadence.
 				r.logf("registrar: %s redirected to shard %q at %q", msgType, wrongShard.ShardID, wrongShard.Addr)
 				r.rehome(wrongShard.Addr)
+				if wrongShard.Map != nil {
+					addrs := make([]string, 0, len(wrongShard.Map.Shards))
+					for _, s := range wrongShard.Map.Shards {
+						addrs = append(addrs, s.Addr)
+					}
+					r.mu.Lock()
+					r.learnSeedsLocked(addrs)
+					r.mu.Unlock()
+				}
 				if attempt >= 4 {
 					return err
 				}
@@ -163,7 +251,16 @@ func (r *Registrar) call(ctx context.Context, msgType string, req, resp any) err
 			}
 			r.dropConn()
 		}
-		if attempt >= 1 {
+		// With fallback seeds learned, allow one attempt per seed so a
+		// single call can rotate past dead addresses; otherwise keep the
+		// historical redial-once behavior.
+		r.mu.Lock()
+		limit := len(r.seeds)
+		r.mu.Unlock()
+		if limit < 1 {
+			limit = 1
+		}
+		if attempt >= limit {
 			return err
 		}
 	}

@@ -2,13 +2,17 @@ package store_test
 
 import (
 	"context"
+	"fmt"
+	"net"
 	"testing"
 	"time"
 
 	"gupster/internal/core"
 	"gupster/internal/schema"
+	"gupster/internal/shard"
 	"gupster/internal/store"
 	"gupster/internal/token"
+	"gupster/internal/wire"
 )
 
 func newLeasedMDM(t *testing.T, ttl, grace time.Duration) (*core.MDM, *core.Server) {
@@ -123,5 +127,90 @@ func TestRegistrarReregistersAfterMDMAmnesia(t *testing.T) {
 	}
 	if r.Reregistrations.Load() == 0 {
 		t.Error("re-registration not counted")
+	}
+}
+
+// When the registrar's home shard dies and a repair re-maps the keyspace,
+// the registrar must find the surviving constellation on its own: it
+// learns every shard address from the directory's map while healthy, and
+// rotates through those seeds when its current target stops dialing — a
+// store configured with a single -mdm address survives that address's
+// death.
+func TestRegistrarRotatesToLearnedSeedsWhenHomeShardDies(t *testing.T) {
+	startShard := func(id string) (*core.MDM, *wire.Server, *shard.Node) {
+		m := core.New(core.Config{
+			Schema:   schema.GUP(),
+			Signer:   token.NewSigner([]byte("registrar-test-key")),
+			LeaseTTL: time.Minute,
+		})
+		srv := core.NewServer(m)
+		node := shard.NewNode(shard.NodeConfig{ShardID: id, MDM: m, Inner: wire.HandlerFunc(srv.Handle)})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := wire.ServeListener(ln, node)
+		t.Cleanup(func() { ws.Close(); node.Close(); m.Close() })
+		return m, ws, node
+	}
+	_, wsA, nodeA := startShard("sa")
+	mB, wsB, nodeB := startShard("sb")
+
+	v1 := wire.ShardMap{Version: 1, Shards: []wire.ShardInfo{
+		{ID: "sa", Addr: wsA.Addr()}, {ID: "sb", Addr: wsB.Addr()},
+	}}
+	ring, err := shard.BuildRing(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []*shard.Node{nodeA, nodeB} {
+		if _, err := n.Install(&wire.ShardInstallRequest{Map: v1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pick an owner homed on sa so the registrar's traffic stays on its
+	// configured seed until that shard dies.
+	owner := ""
+	for i := 0; i < 4096; i++ {
+		if o := fmt.Sprintf("u-%d", i); ring.Owner(o).ID == "sa" {
+			owner = o
+			break
+		}
+	}
+	if owner == "" {
+		t.Fatal("no owner homed on sa")
+	}
+
+	r := store.NewRegistrar(store.RegistrarConfig{
+		Store:    "st",
+		Addr:     "127.0.0.1:7101",
+		MDM:      wsA.Addr(),
+		Coverage: []string{fmt.Sprintf("/user[@id='%s']/presence", owner)},
+		Interval: 25 * time.Millisecond,
+		Logf:     t.Logf,
+	})
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer r.Close()
+
+	// Kill sa and repair the keyspace onto sb alone — the self-healing
+	// planner's promotion, reduced to its map effect.
+	wsA.Close()
+	nodeA.Close()
+	v2 := wire.ShardMap{Version: 2, Epoch: 1, Shards: []wire.ShardInfo{{ID: "sb", Addr: wsB.Addr()}}}
+	if _, err := nodeB.Install(&wire.ShardInstallRequest{Map: v2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The registrar's next beats dial the dead seed, rotate to sb, get
+	// Known=false there, and replay the coverage — all without help.
+	deadline := time.Now().Add(3 * time.Second)
+	for mB.Registry.StoreCount("st") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("registrar never re-homed to the surviving shard (heartbeats=%d, reregs=%d)",
+				r.Heartbeats.Load(), r.Reregistrations.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

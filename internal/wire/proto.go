@@ -88,6 +88,14 @@ const (
 	TypeShardMap      = "shard-map"
 	TypeShardInstall  = "shard-install"
 	TypeShardCoverage = "shard-coverage"
+	// Gossip failure detection between shard nodes (internal/health):
+	// direct probe, indirect probe relayed through a third member, and the
+	// operator-facing membership dump. Ping and ack both piggyback the
+	// sender's shard-map (epoch, version) so a node fenced behind a stale
+	// map learns about newer installs from any round-trip.
+	TypeGossipPing    = "gossip-ping"
+	TypeGossipPingReq = "gossip-ping-req"
+	TypeMembership    = "membership"
 )
 
 // OverloadedPayload is the body of a TypeOverloaded reply.
@@ -127,6 +135,13 @@ type ShardInfo struct {
 type ShardMap struct {
 	Version uint64      `json:"version"`
 	Shards  []ShardInfo `json:"shards"`
+	// Epoch is the repair generation: operator rebalances reuse the current
+	// epoch and bump Version, while every auto-repair (spare promotion,
+	// survivor re-partition) bumps Epoch. Maps order lexicographically by
+	// (Epoch, Version); a node holding a lower pair is fenced — its installs
+	// and redirects are refused by every up-to-date peer. Maps that predate
+	// the field decode as epoch 0.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // WrongShardPayload is the body of a TypeWrongShard reply.
@@ -148,12 +163,15 @@ type WrongShardPayload struct {
 // sequences a live rebalance (see internal/shard): "" adopts the map
 // outright (the receiving side of a move), "handoff" keeps serving reads
 // for owners this node just lost while forwarding their mutations to the
-// new owner (the replay window), and "drain" forwards everything for
+// new owner (the replay window), "drain" forwards everything for
 // ForwardMillis before flipping to wrong-shard redirects and dropping the
-// moved owners' registrations locally.
+// moved owners' registrations locally, and "fence" adopts the map and
+// immediately drops every owner the new map assigns elsewhere — the
+// rejoin path for a node that missed a repair epoch and must not serve
+// stale slices.
 type ShardInstallRequest struct {
 	Map           ShardMap `json:"map"`
-	Mode          string   `json:"mode,omitempty"` // "" | "handoff" | "drain"
+	Mode          string   `json:"mode,omitempty"` // "" | "handoff" | "drain" | "fence"
 	ForwardMillis int64    `json:"forward_ms,omitempty"`
 }
 
@@ -168,6 +186,63 @@ type ShardInstallResponse struct {
 type ShardCoverageResponse struct {
 	Coverage []RegisterRequest `json:"coverage,omitempty"`
 	Shields  []PutRuleRequest  `json:"shields,omitempty"`
+}
+
+// GossipPing is a direct liveness probe between shard nodes. The sender's
+// current shard-map (epoch, version) rides along so any probed peer —
+// even one the sender believes suspect — can notice it holds a newer map
+// and anti-entropy it back.
+type GossipPing struct {
+	FromID   string `json:"from_id"`
+	FromAddr string `json:"from_addr,omitempty"`
+	// MapEpoch/MapVersion are the sender's installed map coordinates.
+	MapEpoch   uint64 `json:"map_epoch,omitempty"`
+	MapVersion uint64 `json:"map_version,omitempty"`
+}
+
+// GossipAck answers a ping (directly or relayed through a ping-req). Only
+// an ack refutes suspicion: receiving a probe proves the peer's inbound
+// path works, but availability needs the full request→reply round trip,
+// which is exactly what a delivered ack witnesses.
+type GossipAck struct {
+	FromID     string `json:"from_id"`
+	MapEpoch   uint64 `json:"map_epoch,omitempty"`
+	MapVersion uint64 `json:"map_version,omitempty"`
+}
+
+// GossipPingReq asks an intermediary to probe Target on the requester's
+// behalf (SWIM's indirect probe): a healthy target that the requester
+// merely cannot reach — a partial partition — still gets vouched for by
+// the relay's ack.
+type GossipPingReq struct {
+	FromID     string `json:"from_id"`
+	TargetID   string `json:"target_id"`
+	TargetAddr string `json:"target_addr"`
+	// TimeoutMillis bounds the relay's probe of the target.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// MemberHealth is one row of a node's failure-detector view, surfaced
+// through TypeMembership for `gupctl health`.
+type MemberHealth struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr,omitempty"`
+	// State is "alive" | "suspect" | "dead".
+	State string `json:"state"`
+	// SinceMillis is how long the member has been in State.
+	SinceMillis int64 `json:"since_ms,omitempty"`
+	// Spare marks a member the current shard map does not assign coverage
+	// to — the promotion pool for auto-repair.
+	Spare bool `json:"spare,omitempty"`
+}
+
+// MembershipResponse dumps a shard node's gossip view.
+type MembershipResponse struct {
+	Self       string         `json:"self"`
+	MapEpoch   uint64         `json:"map_epoch"`
+	MapVersion uint64         `json:"map_version"`
+	AutoRepair bool           `json:"auto_repair,omitempty"`
+	Members    []MemberHealth `json:"members,omitempty"`
 }
 
 // ReplStatus is a replicated node's election/log view, surfaced through
